@@ -1,0 +1,62 @@
+//! Ablation benches for the substrate design choices DESIGN.md calls out:
+//!
+//! * token map construction cost across graph families (the `T₂` driver);
+//! * rooted canonical forms vs full isomorphism search for map grouping
+//!   (why majority voting hashes canonical forms);
+//! * quotient graph computation (the `Find-Map` oracle step).
+
+use bd_exploration::sim::build_map_offline;
+use bd_graphs::canonical::canonical_form;
+use bd_graphs::generators::{complete, erdos_renyi_connected, lollipop, ring};
+use bd_graphs::iso::{are_isomorphic, are_isomorphic_rooted};
+use bd_graphs::quotient::quotient_graph;
+use bd_graphs::scramble::random_presentation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn token_map_families(c: &mut Criterion) {
+    let mut g = c.benchmark_group("token_map_construction");
+    g.sample_size(10);
+    for (graph, label) in [
+        (ring(24).unwrap(), "ring24"),
+        (complete(12).unwrap(), "complete12"),
+        (lollipop(8, 8).unwrap(), "lollipop8+8"),
+        (erdos_renyi_connected(20, 0.25, 3).unwrap(), "gnp20"),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &graph, |b, graph| {
+            b.iter(|| build_map_offline(graph, 0).expect("map"))
+        });
+    }
+    g.finish();
+}
+
+fn map_grouping(c: &mut Criterion) {
+    let g1 = erdos_renyi_connected(16, 0.3, 5).unwrap();
+    let (g2, perm) = random_presentation(&g1, 9);
+    let mut group = c.benchmark_group("map_grouping");
+    group.bench_function("rooted_canonical_form", |b| {
+        b.iter(|| {
+            assert_eq!(canonical_form(&g1, 0), canonical_form(&g2, perm[0]));
+        })
+    });
+    group.bench_function("rooted_iso_check", |b| {
+        b.iter(|| assert!(are_isomorphic_rooted(&g1, 0, &g2, perm[0])))
+    });
+    group.bench_function("unrooted_iso_search", |b| {
+        b.iter(|| assert!(are_isomorphic(&g1, &g2)))
+    });
+    group.finish();
+}
+
+fn quotient_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quotient_graph");
+    for n in [16usize, 32, 64] {
+        let g = erdos_renyi_connected(n, (8.0 / n as f64).min(0.5), 2).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| quotient_graph(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(substrates, token_map_families, map_grouping, quotient_computation);
+criterion_main!(substrates);

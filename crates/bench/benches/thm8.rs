@@ -1,0 +1,29 @@
+//! Criterion bench: the Theorem 8 replay construction (two full runs —
+//! fault-free record plus Byzantine replay — per iteration).
+
+use bd_dispersion::impossibility::replay_experiment;
+use bd_graphs::generators::erdos_renyi_connected;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn thm8(c: &mut Criterion) {
+    let g = erdos_renyi_connected(6, 0.4, 1).expect("graph");
+    let mut group = c.benchmark_group("thm8_replay");
+    group.sample_size(10);
+    for (k, f) in [(12usize, 6usize), (18, 6), (24, 9)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_f{f}")),
+            &(k, f),
+            |b, &(k, f)| {
+                b.iter(|| {
+                    let r = replay_experiment(&g, k, f, 7).expect("valid cell");
+                    assert_eq!(r.violated, r.theorem_predicts);
+                    r
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(impossibility, thm8);
+criterion_main!(impossibility);

@@ -1,0 +1,124 @@
+//! Emit the scaling/ablation series (DESIGN.md Series A–C) as JSON lines.
+//!
+//! * **Series A** — mean rounds vs `n` for every Table 1 row (shape check);
+//! * **Series B** — success rate vs `f` across each tolerance bound for the
+//!   gathered rows (the crossover the tolerance column claims);
+//! * **Series C** — adversary ablation: rounds and success per adversary
+//!   kind for the Theorem 3 pipeline.
+//!
+//! Usage: `cargo run --release -p bd-bench --bin series [--quick] > series.jsonl`
+
+use bd_bench::{mean_rounds, run_cell, success_rate, sweep_n};
+use bd_dispersion::adversaries::AdversaryKind;
+use bd_dispersion::runner::{Algorithm, ByzPlacement};
+use rayon::prelude::*;
+use serde_json::json;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps: u64 = if quick { 2 } else { 5 };
+
+    // Series A: rounds vs n.
+    let rows: &[(Algorithm, AdversaryKind, &[usize])] = &[
+        (Algorithm::QuotientTh1, AdversaryKind::FakeSettler, &[8, 12, 16, 24]),
+        (Algorithm::ArbitraryHalfTh2, AdversaryKind::Wanderer, &[6, 8, 10]),
+        (Algorithm::ArbitrarySqrtTh5, AdversaryKind::TokenHijacker, &[9, 12, 16]),
+        (Algorithm::GatheredHalfTh3, AdversaryKind::Wanderer, &[6, 8, 12, 16]),
+        (Algorithm::GatheredThirdTh4, AdversaryKind::TokenHijacker, &[9, 12, 16, 24]),
+        (Algorithm::StrongArbitraryTh7, AdversaryKind::StrongSpoofer, &[8, 12, 16]),
+        (Algorithm::StrongGatheredTh6, AdversaryKind::StrongSpoofer, &[8, 12, 16, 24]),
+    ];
+    for &(algo, kind, ns) in rows {
+        let ns: Vec<usize> = if quick { ns.iter().take(2).copied().collect() } else { ns.to_vec() };
+        let cells = sweep_n(algo, &ns, |n| algo.tolerance(n), kind, reps);
+        for (n, rounds) in mean_rounds(&cells) {
+            println!(
+                "{}",
+                json!({
+                    "series": "A-rounds-vs-n",
+                    "algo": format!("{algo:?}"),
+                    "adversary": format!("{kind:?}"),
+                    "n": n,
+                    "f": algo.tolerance(n),
+                    "mean_rounds": rounds,
+                    "success": success_rate(&cells),
+                })
+            );
+        }
+    }
+
+    // Series B: success vs f around the tolerance bound.
+    let n = if quick { 9 } else { 12 };
+    for algo in [
+        Algorithm::GatheredHalfTh3,
+        Algorithm::GatheredThirdTh4,
+        Algorithm::StrongGatheredTh6,
+    ] {
+        let tol = algo.tolerance(n);
+        let fs: Vec<usize> = (0..=(tol + 2).min(n - 1)).collect();
+        let cells: Vec<_> = fs
+            .par_iter()
+            .flat_map(|&f| {
+                (0..reps).into_par_iter().map(move |r| {
+                    run_cell(
+                        algo,
+                        n,
+                        f,
+                        AdversaryKind::Wanderer,
+                        ByzPlacement::LowIds,
+                        2000 + r,
+                    )
+                })
+            })
+            .collect();
+        for &f in &fs {
+            let at_f: Vec<_> = cells.iter().filter(|c| c.f == f).cloned().collect();
+            println!(
+                "{}",
+                json!({
+                    "series": "B-success-vs-f",
+                    "algo": format!("{algo:?}"),
+                    "n": n,
+                    "f": f,
+                    "tolerance": tol,
+                    "within_tolerance": f <= tol,
+                    "success": success_rate(&at_f),
+                })
+            );
+        }
+    }
+
+    // Series C: adversary ablation on the Theorem 3 pipeline.
+    let n = 8;
+    let f = Algorithm::GatheredHalfTh3.tolerance(n);
+    for kind in AdversaryKind::all() {
+        if kind.needs_strong() {
+            continue; // Theorem 3 assumes weak Byzantine robots.
+        }
+        let cells: Vec<_> = (0..reps)
+            .into_par_iter()
+            .map(|r| {
+                run_cell(
+                    Algorithm::GatheredHalfTh3,
+                    n,
+                    f,
+                    kind,
+                    ByzPlacement::Random,
+                    3000 + r,
+                )
+            })
+            .collect();
+        println!(
+            "{}",
+            json!({
+                "series": "C-adversary-ablation",
+                "algo": "GatheredHalfTh3",
+                "adversary": format!("{kind:?}"),
+                "n": n,
+                "f": f,
+                "mean_rounds": mean_rounds(&cells).first().map(|x| x.1),
+                "success": success_rate(&cells),
+            })
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! Byzantine strategies.
+//!
+//! A Byzantine robot is just a controller that deviates; the engine's
+//! identity stamping (weak vs strong) is the only physics-level difference.
+//! Each strategy here targets a specific protocol joint:
+//!
+//! * [`AdversaryKind::Squatter`] — claims `Settled` forever at one node,
+//!   trying to waste it (the paper's "Byzantine robots can occupy a node",
+//!   §2.1);
+//! * [`AdversaryKind::FakeSettler`] — claims `Settled` but keeps moving, the
+//!   behavior blacklisting step 4 exists for;
+//! * [`AdversaryKind::Silent`] — never announces (step 4's "does not
+//!   transmit a message when it is supposed to");
+//! * [`AdversaryKind::Wanderer`] — roams claiming `ToBeSettled`, never
+//!   settles (tries to stall settle decisions);
+//! * [`AdversaryKind::LiarFlags`] — permanently raised intent flag (§2.2
+//!   step 2b's flag-wait);
+//! * [`AdversaryKind::TokenHijacker`] — spams forged `TokenGo`/`RunDone`
+//!   instructions at map-finding tokens;
+//! * [`AdversaryKind::MapLiar`] — votes garbage maps at vote rounds and
+//!   refuses token duty (the "bad pair" of §3.1);
+//! * [`AdversaryKind::StrongSpoofer`] — rotates through *honest* claimed
+//!   IDs while spamming every message class (meaningful under
+//!   `Flavor::StrongByzantine`, §4);
+//! * [`AdversaryKind::Crowd`] — sits at the gathering claiming
+//!   `ToBeSettled` forever (inflates `S_tbs` everywhere).
+//!
+//! Adversaries accept an *activity span* from the scenario builder: before
+//! it they idle (they still physically exist and appear in rosters). This
+//! is an omniscient-adversary convenience — activating exactly when the
+//! protocol is vulnerable — and keeps the simulation fast-forwardable.
+
+use crate::msg::{DumState, Msg};
+use bd_graphs::canonical::canonical_form;
+use bd_graphs::{CanonicalForm, Port};
+use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The adversary strategies available to scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdversaryKind {
+    /// Claim `Settled` forever at one spot.
+    Squatter,
+    /// Claim `Settled` while wandering.
+    FakeSettler,
+    /// Never publish anything; wander.
+    Silent,
+    /// Claim `ToBeSettled` while wandering; never settle.
+    Wanderer,
+    /// Permanent intent flag, never settles, never moves.
+    LiarFlags,
+    /// Forge token instructions during map finding.
+    TokenHijacker,
+    /// Vote garbage maps; refuse token duty.
+    MapLiar,
+    /// Strong-Byzantine kitchen sink: rotate honest claimed IDs, spam all
+    /// message classes.
+    StrongSpoofer,
+    /// Sit at the gathering claiming `ToBeSettled` forever.
+    Crowd,
+    /// Run the honest protocol faithfully, then halt forever mid-run — the
+    /// crash-fault regime of Pattanayak–Sharma–Mandal \[38\]. Strictly
+    /// weaker than Byzantine, so every algorithm must absorb it within its
+    /// tolerance.
+    CrashMidway,
+}
+
+impl AdversaryKind {
+    /// Whether the strategy needs the strong (ID-faking) flavor.
+    pub fn needs_strong(self) -> bool {
+        matches!(self, AdversaryKind::StrongSpoofer)
+    }
+
+    /// All kinds, for exhaustive robustness sweeps.
+    pub fn all() -> [AdversaryKind; 10] {
+        [
+            AdversaryKind::Squatter,
+            AdversaryKind::FakeSettler,
+            AdversaryKind::Silent,
+            AdversaryKind::Wanderer,
+            AdversaryKind::LiarFlags,
+            AdversaryKind::TokenHijacker,
+            AdversaryKind::MapLiar,
+            AdversaryKind::StrongSpoofer,
+            AdversaryKind::Crowd,
+            AdversaryKind::CrashMidway,
+        ]
+    }
+}
+
+/// A configurable Byzantine controller.
+pub struct AdversaryController {
+    id: RobotId,
+    kind: AdversaryKind,
+    rng: StdRng,
+    /// Optional gathering script (so the adversary infiltrates the
+    /// gathering in arbitrary-start scenarios).
+    gather_script: VecDeque<Port>,
+    /// Rounds before this are spent idle (after the gather script).
+    active_from: u64,
+    /// Honest IDs to impersonate (StrongSpoofer).
+    spoof_pool: Vec<RobotId>,
+    /// This robot's position within the Byzantine coalition (spoofers
+    /// coordinate offline to claim *distinct* honest IDs — the worst case
+    /// §4's distinct-ID counting is sized against).
+    coalition_index: usize,
+    garbage: CanonicalForm,
+    round_seen: u64,
+    acted_rounds: u64,
+}
+
+impl AdversaryController {
+    /// Build an adversary. `active_from` is the round interaction starts
+    /// (the scenario builder passes the phase where this strategy bites);
+    /// `spoof_pool` is used by [`AdversaryKind::StrongSpoofer`].
+    pub fn new(
+        id: RobotId,
+        kind: AdversaryKind,
+        seed: u64,
+        gather_script: Vec<Port>,
+        active_from: u64,
+        spoof_pool: Vec<RobotId>,
+        coalition_index: usize,
+    ) -> Self {
+        AdversaryController {
+            id,
+            kind,
+            rng: StdRng::seed_from_u64(seed ^ id.0),
+            gather_script: gather_script.into(),
+            active_from,
+            spoof_pool,
+            coalition_index,
+            // Lexicographically minimal nontrivial form: a garbage map that
+            // wins any deterministic tie-break it manages to reach quorum in.
+            garbage: canonical_form(&bd_graphs::generators::path(2).expect("edge"), 0),
+            round_seen: 0,
+            acted_rounds: 0,
+        }
+    }
+
+    fn active(&self, round: u64) -> bool {
+        round >= self.active_from
+    }
+}
+
+impl Controller<Msg> for AdversaryController {
+    fn id(&self) -> RobotId {
+        self.id
+    }
+
+    fn claimed_id(&self) -> RobotId {
+        if self.kind == AdversaryKind::StrongSpoofer && !self.spoof_pool.is_empty() {
+            // Each coalition member permanently impersonates a *distinct*
+            // honest low-ID (agent-group) robot: the strongest forgery
+            // configuration against §4's distinct-claimed-ID quorums.
+            let half = (self.spoof_pool.len() / 2).max(1);
+            self.spoof_pool[self.coalition_index % half]
+        } else {
+            self.id
+        }
+    }
+
+    fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
+        self.round_seen = obs.round;
+        if !self.active(obs.round) || obs.subround != 0 {
+            return None;
+        }
+        self.acted_rounds += 1;
+        match self.kind {
+            AdversaryKind::Squatter | AdversaryKind::FakeSettler => {
+                Some(Msg::State { state: DumState::Settled, flag: false })
+            }
+            AdversaryKind::Silent | AdversaryKind::CrashMidway => None,
+            AdversaryKind::Wanderer => Some(Msg::State {
+                state: DumState::ToBeSettled,
+                flag: self.rng.gen_bool(0.5),
+            }),
+            AdversaryKind::LiarFlags | AdversaryKind::Crowd => {
+                Some(Msg::State { state: DumState::ToBeSettled, flag: true })
+            }
+            AdversaryKind::TokenHijacker => Some(Msg::TokenGo {
+                port: self.rng.gen_range(0..obs.degree.max(1)),
+                step: self.rng.gen_range(0..4),
+            }),
+            AdversaryKind::MapLiar => Some(Msg::MapVote { form: self.garbage.clone() }),
+            // The coalition votes its identical garbage form every round:
+            // forging the map quorum is the decisive attack on §4 (forged
+            // TokenGo instructions are blocked by the same counting rule).
+            AdversaryKind::StrongSpoofer => Some(Msg::MapVote { form: self.garbage.clone() }),
+        }
+    }
+
+    fn decide_move(&mut self, obs: &Observation<'_, Msg>) -> MoveChoice {
+        self.round_seen = obs.round;
+        if let Some(p) = self.gather_script.pop_front() {
+            return MoveChoice::Move(p);
+        }
+        if !self.active(obs.round) || obs.degree == 0 {
+            return MoveChoice::Stay;
+        }
+        let roam = match self.kind {
+            AdversaryKind::Squatter
+            | AdversaryKind::LiarFlags
+            | AdversaryKind::Crowd
+            | AdversaryKind::MapLiar => false,
+            AdversaryKind::FakeSettler => self.round_seen % 3 == 0,
+            AdversaryKind::Silent | AdversaryKind::Wanderer => true,
+            AdversaryKind::CrashMidway => false,
+            AdversaryKind::TokenHijacker => self.round_seen % 2 == 0,
+            // The spoofing coalition camps at the gathering node: its votes
+            // must land on the bulletin everyone reads.
+            AdversaryKind::StrongSpoofer => false,
+        };
+        if roam {
+            MoveChoice::Move(self.rng.gen_range(0..obs.degree))
+        } else {
+            MoveChoice::Stay
+        }
+    }
+
+    fn idle_until(&self) -> Option<u64> {
+        if self.gather_script.is_empty() && self.round_seen < self.active_from {
+            Some(self.active_from)
+        } else {
+            None
+        }
+    }
+}
+
+/// Replays a recorded move script verbatim — the Theorem 8 adversary: a
+/// Byzantine robot indistinguishable from an honest robot of a previous
+/// execution.
+pub struct ReplayController {
+    id: RobotId,
+    script: VecDeque<Option<Port>>,
+}
+
+impl ReplayController {
+    /// `script` as extracted by [`bd_runtime::trace::Trace::move_script`].
+    pub fn new(id: RobotId, script: Vec<Option<Port>>) -> Self {
+        ReplayController { id, script: script.into() }
+    }
+}
+
+impl Controller<Msg> for ReplayController {
+    fn id(&self) -> RobotId {
+        self.id
+    }
+
+    fn act(&mut self, _obs: &Observation<'_, Msg>) -> Option<Msg> {
+        None
+    }
+
+    fn decide_move(&mut self, _obs: &Observation<'_, Msg>) -> MoveChoice {
+        match self.script.pop_front() {
+            Some(Some(p)) => MoveChoice::Move(p),
+            _ => MoveChoice::Stay,
+        }
+    }
+}
+
+/// Wraps an honest controller and halts it at a fixed round — the
+/// crash-fault model of \[38\]: faithful protocol execution, then eternal
+/// silence and immobility. The engine registers the robot as Byzantine so
+/// honest termination never waits for it.
+pub struct CrashWrapper {
+    inner: Box<dyn Controller<Msg>>,
+    crash_at: u64,
+    round_seen: u64,
+}
+
+impl CrashWrapper {
+    /// Crash `inner` at absolute round `crash_at`.
+    pub fn new(inner: Box<dyn Controller<Msg>>, crash_at: u64) -> Self {
+        CrashWrapper { inner, crash_at, round_seen: 0 }
+    }
+
+    fn crashed(&self) -> bool {
+        self.round_seen >= self.crash_at
+    }
+}
+
+impl Controller<Msg> for CrashWrapper {
+    fn id(&self) -> RobotId {
+        self.inner.id()
+    }
+
+    fn subrounds_wanted(&self) -> usize {
+        if self.crashed() {
+            1
+        } else {
+            self.inner.subrounds_wanted()
+        }
+    }
+
+    fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
+        self.round_seen = obs.round;
+        if self.crashed() {
+            return None;
+        }
+        self.inner.act(obs)
+    }
+
+    fn decide_move(&mut self, obs: &Observation<'_, Msg>) -> MoveChoice {
+        self.round_seen = obs.round;
+        if self.crashed() {
+            return MoveChoice::Stay;
+        }
+        self.inner.decide_move(obs)
+    }
+
+    fn idle_until(&self) -> Option<u64> {
+        if self.crashed() {
+            Some(u64::MAX)
+        } else {
+            self.inner.idle_until()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_enumerated_once() {
+        let all = AdversaryKind::all();
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn spoofer_coalition_claims_distinct_low_ids() {
+        let pool = vec![RobotId(1), RobotId(2), RobotId(3), RobotId(4)];
+        let mk = |idx| {
+            AdversaryController::new(
+                RobotId(90 + idx as u64),
+                AdversaryKind::StrongSpoofer,
+                7,
+                Vec::new(),
+                0,
+                pool.clone(),
+                idx,
+            )
+        };
+        let (a, b) = (mk(0), mk(1));
+        // Distinct coalition members impersonate distinct lower-half IDs,
+        // stable across rounds.
+        assert_eq!(a.claimed_id(), RobotId(1));
+        assert_eq!(b.claimed_id(), RobotId(2));
+    }
+
+    #[test]
+    fn non_spoofer_keeps_true_id() {
+        let a = AdversaryController::new(
+            RobotId(42),
+            AdversaryKind::Squatter,
+            7,
+            Vec::new(),
+            0,
+            vec![RobotId(1)],
+            0,
+        );
+        assert_eq!(a.claimed_id(), RobotId(42));
+    }
+
+    #[test]
+    fn idles_before_activation() {
+        let a = AdversaryController::new(
+            RobotId(42),
+            AdversaryKind::Wanderer,
+            7,
+            Vec::new(),
+            500,
+            Vec::new(),
+            0,
+        );
+        assert_eq!(a.idle_until(), Some(500));
+    }
+
+    #[test]
+    fn replay_follows_script_then_stays() {
+        let mut r = ReplayController::new(RobotId(1), vec![Some(2), None, Some(0)]);
+        let roster = [RobotId(1)];
+        let obs = Observation::<Msg> {
+            round: 0,
+            subround: 0,
+            subrounds: 1,
+            degree: 3,
+            roster: &roster,
+            bulletin: &[],
+            arrival: None,
+        };
+        assert_eq!(r.decide_move(&obs), MoveChoice::Move(2));
+        assert_eq!(r.decide_move(&obs), MoveChoice::Stay);
+        assert_eq!(r.decide_move(&obs), MoveChoice::Move(0));
+        assert_eq!(r.decide_move(&obs), MoveChoice::Stay);
+    }
+}

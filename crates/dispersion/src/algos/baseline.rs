@@ -1,0 +1,147 @@
+//! Non-Byzantine baseline: map-equipped DFS dispersion with per-node
+//! capacity.
+//!
+//! All robots start gathered and hold a map of the graph (oracle-equipped —
+//! this baseline plays the role of "any deterministic algorithm `A`" in the
+//! Theorem 8 construction and the fault-free comparison row in benchmarks).
+//! At round 0 each robot reads the co-located roster; rank `i` (0-based in
+//! sorted ID order) walks to the `⌊i / capacity⌋`-th node in DFS preorder
+//! and settles there. Deterministic, communication-free after the snapshot,
+//! `O(n)` rounds.
+
+use crate::msg::Msg;
+use bd_graphs::navigate::shortest_path_ports;
+use bd_graphs::traversal::dfs_tree;
+use bd_graphs::{NodeId, PortGraph};
+use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
+use std::collections::VecDeque;
+
+/// Controller for the baseline (one per robot).
+pub struct BaselineController {
+    id: RobotId,
+    map: PortGraph,
+    start: NodeId,
+    capacity: usize,
+    /// Remaining port script to the assigned node (computed at round 0).
+    path: Option<VecDeque<usize>>,
+    /// Phase budget: all robots terminate together at this round.
+    budget: u64,
+    round_seen: u64,
+}
+
+impl BaselineController {
+    /// `map` is the graph; `start` the gathered node (map coordinates equal
+    /// world coordinates for this oracle baseline); `capacity` the allowed
+    /// robots per node (`⌈k/n⌉` in Theorem 8 scenarios, 1 otherwise).
+    pub fn new(id: RobotId, map: PortGraph, start: NodeId, capacity: usize) -> Self {
+        let budget = map.n() as u64 + 2;
+        BaselineController {
+            id,
+            map,
+            start,
+            capacity: capacity.max(1),
+            path: None,
+            budget,
+            round_seen: 0,
+        }
+    }
+}
+
+impl Controller<Msg> for BaselineController {
+    fn id(&self) -> RobotId {
+        self.id
+    }
+
+    fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
+        self.round_seen = obs.round;
+        if obs.round == 0 && obs.subround == 0 && self.path.is_none() {
+            // Snapshot: rank among co-located claimed IDs.
+            let ids = crate::algos::common::snapshot_ids(obs.roster);
+            let rank = ids.iter().position(|&r| r == self.id).unwrap_or(0);
+            let order = dfs_tree(&self.map, self.start).order;
+            let target = order[(rank / self.capacity).min(order.len() - 1)];
+            let ports = shortest_path_ports(&self.map, self.start, target)
+                .expect("map is connected");
+            self.path = Some(ports.into());
+        }
+        None
+    }
+
+    fn decide_move(&mut self, _obs: &Observation<'_, Msg>) -> MoveChoice {
+        match self.path.as_mut().and_then(|p| p.pop_front()) {
+            Some(port) => MoveChoice::Move(port),
+            None => MoveChoice::Stay,
+        }
+    }
+
+    fn terminated(&self) -> bool {
+        self.round_seen >= self.budget
+            && self.path.as_ref().is_some_and(|p| p.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_graphs::generators::{erdos_renyi_connected, ring};
+    use bd_runtime::{Engine, EngineConfig, Flavor};
+
+    fn run_baseline(g: &PortGraph, k: usize, capacity: usize) -> Vec<NodeId> {
+        let mut e: Engine<Msg> = Engine::new(g.clone(), EngineConfig::default());
+        for i in 0..k {
+            e.add_robot(
+                Flavor::Honest,
+                0,
+                Box::new(BaselineController::new(
+                    RobotId(10 + i as u64),
+                    g.clone(),
+                    0,
+                    capacity,
+                )),
+            );
+        }
+        e.run().unwrap().final_positions
+    }
+
+    #[test]
+    fn n_robots_disperse_one_per_node() {
+        let g = ring(7).unwrap();
+        let pos = run_baseline(&g, 7, 1);
+        let set: std::collections::HashSet<_> = pos.iter().collect();
+        assert_eq!(set.len(), 7, "positions {pos:?}");
+    }
+
+    #[test]
+    fn respects_capacity_for_k_greater_than_n() {
+        let g = ring(5).unwrap();
+        let pos = run_baseline(&g, 12, 3); // ceil(12/5) = 3
+        let mut counts = vec![0usize; 5];
+        for &p in &pos {
+            counts[p] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 3), "counts {counts:?}");
+    }
+
+    #[test]
+    fn fewer_robots_than_nodes() {
+        let g = erdos_renyi_connected(9, 0.35, 2).unwrap();
+        let pos = run_baseline(&g, 4, 1);
+        let set: std::collections::HashSet<_> = pos.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn terminates_in_linear_rounds() {
+        let g = ring(10).unwrap();
+        let mut e: Engine<Msg> = Engine::new(g.clone(), EngineConfig::default());
+        for i in 0..10 {
+            e.add_robot(
+                Flavor::Honest,
+                0,
+                Box::new(BaselineController::new(RobotId(1 + i), g.clone(), 0, 1)),
+            );
+        }
+        let out = e.run().unwrap();
+        assert!(out.metrics.rounds <= 2 * 10 + 4);
+    }
+}

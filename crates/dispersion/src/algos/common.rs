@@ -1,0 +1,286 @@
+//! Shared pieces of the group-based algorithms (§3.2–§4): roster snapshots,
+//! group partitions, and the [`GroupRun`] driver for one group map-finding
+//! run with quorum thresholds.
+
+use crate::mapvote::quorum_map;
+use crate::msg::Msg;
+use crate::token_roles::{AgentDriver, InstructionSpec, TokenFollower, TokenSpec};
+use bd_graphs::canonical::canonical_form;
+use bd_graphs::CanonicalForm;
+use bd_runtime::{MoveChoice, Observation, RobotId};
+use std::collections::BTreeSet;
+
+/// Sorted, deduplicated roster — the ID snapshot every robot takes of the
+/// gathering ("each robot remembers the IDs of the remaining k − 1 gathered
+/// robots", §3.2/§4). Duplicates collapse: two entities claiming one ID are
+/// indistinguishable in the snapshot.
+pub fn snapshot_ids(roster: &[RobotId]) -> Vec<RobotId> {
+    let set: BTreeSet<RobotId> = roster.iter().copied().collect();
+    set.into_iter().collect()
+}
+
+/// Split sorted ids into the paper's three groups `A`, `B`, `C` (§3.2):
+/// `A` = smallest `⌊k/3⌋`, `B` = next `⌊k/3⌋`, `C` = the rest.
+pub fn partition3(ids: &[RobotId]) -> (Vec<RobotId>, Vec<RobotId>, Vec<RobotId>) {
+    let third = ids.len() / 3;
+    (
+        ids[..third].to_vec(),
+        ids[third..2 * third].to_vec(),
+        ids[2 * third..].to_vec(),
+    )
+}
+
+/// Split sorted ids into two halves (§3.3, §4): `A` = smallest `⌊k/2⌋`.
+pub fn partition2(ids: &[RobotId]) -> (Vec<RobotId>, Vec<RobotId>) {
+    let half = ids.len() / 2;
+    (ids[..half].to_vec(), ids[half..].to_vec())
+}
+
+/// Parameters of one group map-finding run.
+#[derive(Debug, Clone)]
+pub struct GroupRunSpec {
+    /// The agent group (runs the explorer in lockstep).
+    pub agents: BTreeSet<RobotId>,
+    /// The token group.
+    pub token: BTreeSet<RobotId>,
+    /// Distinct agent IDs required for the token to obey an instruction.
+    pub instr_threshold: usize,
+    /// Distinct token IDs required for the agent to sense the token.
+    pub presence_threshold: usize,
+    /// Distinct agent IDs required to accept the voted map.
+    pub vote_threshold: usize,
+    /// Absolute round the run starts.
+    pub start: u64,
+    /// Work budget `B`; the run occupies `[start, start + 2B + 2)`:
+    /// construction, return, one vote round, one slack round.
+    pub work: u64,
+}
+
+impl GroupRunSpec {
+    /// Round at which construction must stop and everyone heads home.
+    pub fn work_deadline(&self) -> u64 {
+        self.start + self.work
+    }
+
+    /// The single round in which map votes are published and read.
+    pub fn vote_round(&self) -> u64 {
+        self.start + 2 * self.work
+    }
+
+    /// First round after the run.
+    pub fn end(&self) -> u64 {
+        self.start + 2 * self.work + 2
+    }
+}
+
+enum RunRole {
+    Agent(AgentDriver),
+    Token(TokenFollower),
+    /// Not a member of either group (possible only for robots outside the
+    /// snapshot; honest robots are always members).
+    Bystander,
+}
+
+/// Drives one robot through one group run. Construct lazily at the run's
+/// first round (the agent needs to see its origin degree).
+pub struct GroupRun {
+    spec: GroupRunSpec,
+    me: RobotId,
+    n: usize,
+    role: Option<RunRole>,
+    deadline_handled: bool,
+    /// The map this robot built (agents only).
+    my_form: Option<CanonicalForm>,
+    /// The map accepted by quorum at the vote round.
+    accepted: Option<CanonicalForm>,
+    vote_done: bool,
+}
+
+impl GroupRun {
+    /// Prepare a run for robot `me` on an `n`-node graph.
+    pub fn new(spec: GroupRunSpec, me: RobotId, n: usize) -> Self {
+        GroupRun {
+            spec,
+            me,
+            n,
+            role: None,
+            deadline_handled: false,
+            my_form: None,
+            accepted: None,
+            vote_done: false,
+        }
+    }
+
+    /// Whether `round` falls inside this run.
+    pub fn active(&self, round: u64) -> bool {
+        round >= self.spec.start && round < self.spec.end()
+    }
+
+    /// The quorum-accepted map, available after the vote round.
+    pub fn accepted(&self) -> Option<&CanonicalForm> {
+        self.accepted.as_ref()
+    }
+
+    /// Sub-round handler; call for every sub-round of every active round.
+    pub fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
+        if !self.active(obs.round) {
+            return None;
+        }
+        // Lazy role construction at the first sub-round of the run.
+        if self.role.is_none() {
+            self.role = Some(if self.spec.agents.contains(&self.me) {
+                RunRole::Agent(AgentDriver::new(
+                    obs.degree,
+                    self.n,
+                    TokenSpec::Group {
+                        members: self.spec.token.clone(),
+                        presence_threshold: self.spec.presence_threshold,
+                    },
+                ))
+            } else if self.spec.token.contains(&self.me) {
+                RunRole::Token(TokenFollower::with_timeout(
+                    InstructionSpec::Group {
+                        members: self.spec.agents.clone(),
+                        threshold: self.spec.instr_threshold,
+                    },
+                    8 * self.n as u64 + 16,
+                ))
+            } else {
+                RunRole::Bystander
+            });
+        }
+        // Deadline: stop constructing, walk home.
+        if obs.round >= self.spec.work_deadline() && !self.deadline_handled {
+            self.deadline_handled = true;
+            match self.role.as_mut().expect("role set") {
+                RunRole::Agent(a) => {
+                    a.abort();
+                }
+                RunRole::Token(t) => t.go_home(),
+                RunRole::Bystander => {}
+            }
+        }
+        // Vote round: agents publish at sub-round 0; everyone reads at 1.
+        if obs.round == self.spec.vote_round() {
+            if obs.subround == 0 {
+                if let RunRole::Agent(a) = self.role.as_mut().expect("role set") {
+                    if self.my_form.is_none() {
+                        self.my_form =
+                            a.take_result().map(|m| canonical_form(&m, 0));
+                    }
+                    return self.my_form.clone().map(|form| Msg::MapVote { form });
+                }
+                return None;
+            }
+            if obs.subround == 1 && !self.vote_done {
+                self.vote_done = true;
+                let votes: Vec<(RobotId, CanonicalForm)> = obs
+                    .bulletin
+                    .iter()
+                    .filter_map(|p| match &p.body {
+                        Msg::MapVote { form } => Some((p.sender, form.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                self.accepted =
+                    quorum_map(&votes, &self.spec.agents, self.spec.vote_threshold);
+            }
+            return None;
+        }
+        // Working / returning rounds.
+        if obs.round < self.spec.vote_round() {
+            match self.role.as_mut().expect("role set") {
+                RunRole::Agent(a) => {
+                    if obs.subround == 0 {
+                        return a.act(obs);
+                    }
+                }
+                RunRole::Token(t) => return t.act(obs),
+                RunRole::Bystander => {}
+            }
+        }
+        None
+    }
+
+    /// Idleness hint: once this robot has nothing left to do in the run,
+    /// it can sleep until the vote round (or the run's end after voting).
+    pub fn idle_until(&self, round: u64) -> Option<u64> {
+        if !self.active(round) {
+            return None;
+        }
+        if self.vote_done {
+            return Some(self.spec.end());
+        }
+        let finished = match &self.role {
+            Some(RunRole::Agent(a)) => a.finished(),
+            Some(RunRole::Token(t)) => t.finished(),
+            Some(RunRole::Bystander) => true,
+            None => false,
+        };
+        if finished && self.spec.vote_round() > round + 1 {
+            return Some(self.spec.vote_round());
+        }
+        None
+    }
+
+    /// End-of-round move for active rounds. `degree` is the physical degree
+    /// of the robot's current node (for divergence detection).
+    pub fn decide_move(&mut self, round: u64, degree: usize) -> MoveChoice {
+        if !self.active(round) || round >= self.spec.vote_round() {
+            return MoveChoice::Stay;
+        }
+        match self.role.as_mut() {
+            Some(RunRole::Agent(a)) => a.decide_move(degree),
+            Some(RunRole::Token(t)) => t.decide_move(),
+            _ => MoveChoice::Stay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<RobotId> {
+        v.iter().map(|&i| RobotId(i)).collect()
+    }
+
+    #[test]
+    fn snapshot_sorts_and_dedups() {
+        let roster = ids(&[5, 2, 9, 2, 5]);
+        assert_eq!(snapshot_ids(&roster), ids(&[2, 5, 9]));
+    }
+
+    #[test]
+    fn partition3_sizes() {
+        let s = ids(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let (a, b, c) = partition3(&s);
+        assert_eq!(a, ids(&[1, 2, 3]));
+        assert_eq!(b, ids(&[4, 5, 6]));
+        assert_eq!(c, ids(&[7, 8, 9, 10]));
+    }
+
+    #[test]
+    fn partition2_sizes() {
+        let s = ids(&[1, 2, 3, 4, 5]);
+        let (a, b) = partition2(&s);
+        assert_eq!(a, ids(&[1, 2]));
+        assert_eq!(b, ids(&[3, 4, 5]));
+    }
+
+    #[test]
+    fn run_spec_boundaries() {
+        let spec = GroupRunSpec {
+            agents: Default::default(),
+            token: Default::default(),
+            instr_threshold: 1,
+            presence_threshold: 1,
+            vote_threshold: 1,
+            start: 100,
+            work: 50,
+        };
+        assert_eq!(spec.work_deadline(), 150);
+        assert_eq!(spec.vote_round(), 200);
+        assert_eq!(spec.end(), 202);
+    }
+}

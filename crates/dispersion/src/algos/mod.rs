@@ -1,0 +1,16 @@
+//! The paper's algorithms, one module per Table 1 family.
+
+pub mod baseline;
+pub mod common;
+pub mod half;
+pub mod quotient;
+pub mod ring_opt;
+pub mod strong;
+pub mod third;
+
+pub use baseline::BaselineController;
+pub use half::HalfController;
+pub use quotient::QuotientController;
+pub use ring_opt::RingOptController;
+pub use strong::StrongController;
+pub use third::GroupController;

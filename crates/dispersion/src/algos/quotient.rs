@@ -1,0 +1,125 @@
+//! Theorem 1: Byzantine dispersion tolerating up to `n − 1` weak Byzantine
+//! robots on graphs whose quotient graph is isomorphic to the graph (§2).
+//!
+//! Phase 1 — `Find-Map`: each robot independently learns the quotient graph.
+//! Our substrate (DESIGN.md, substitution 1): the robot performs the real
+//! shared-seed exploration walk, then receives the exact quotient graph —
+//! the same object \[16\]'s polynomial-time procedure produces. No
+//! information flows between robots, so Byzantine robots are powerless
+//! here.
+//!
+//! Phase 2 — `Dispersion-Using-Map` from wherever the walk ended.
+
+use crate::dum::DumMachine;
+use crate::msg::Msg;
+use crate::timeline::dum_budget;
+use bd_graphs::{NodeId, Port, PortGraph};
+use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
+
+/// Per-robot inputs computed by the runner (deterministic, per-robot walk).
+#[derive(Debug, Clone)]
+pub struct QuotientSetup {
+    /// The robot's exploration walk script (`Find-Map`'s round charge).
+    pub walk: Vec<Port>,
+    /// The map (the quotient graph, isomorphic to the graph by the
+    /// Theorem 1 precondition).
+    pub map: PortGraph,
+    /// The robot's map position after the walk.
+    pub pos_after_walk: NodeId,
+}
+
+/// Controller for Theorem 1.
+pub struct QuotientController {
+    id: RobotId,
+    walk: std::collections::VecDeque<Port>,
+    walk_len: u64,
+    dum_start: u64,
+    dum_end: u64,
+    dum: Option<DumMachine>,
+    setup_map: Option<(PortGraph, NodeId)>,
+    n: usize,
+    round_seen: u64,
+}
+
+impl QuotientController {
+    /// Build the controller; `n` is the graph size.
+    pub fn new(id: RobotId, n: usize, setup: QuotientSetup) -> Self {
+        let walk_len = setup.walk.len() as u64;
+        QuotientController {
+            id,
+            walk: setup.walk.into(),
+            walk_len,
+            dum_start: walk_len,
+            dum_end: walk_len + dum_budget(n),
+            dum: Some(DumMachine::new(id, setup.map.clone(), setup.pos_after_walk)),
+            setup_map: Some((setup.map, setup.pos_after_walk)),
+            n,
+            round_seen: 0,
+        }
+    }
+
+    fn in_dum(&self, round: u64) -> bool {
+        round >= self.dum_start && round < self.dum_end
+    }
+}
+
+impl Controller<Msg> for QuotientController {
+    fn id(&self) -> RobotId {
+        self.id
+    }
+
+    fn subrounds_wanted(&self) -> usize {
+        // `round_seen` lags the engine by one round; request DUM sub-rounds
+        // one round early so the phase's first round is already fully split.
+        if self.in_dum(self.round_seen) || self.in_dum(self.round_seen + 1) {
+            DumMachine::subrounds_needed(self.n)
+        } else {
+            1
+        }
+    }
+
+    fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
+        self.round_seen = obs.round;
+        if self.in_dum(obs.round) {
+            let _ = self.setup_map.take();
+            return self.dum.as_mut().expect("dum machine").act(obs);
+        }
+        None
+    }
+
+    fn decide_move(&mut self, obs: &Observation<'_, Msg>) -> MoveChoice {
+        self.round_seen = obs.round;
+        if obs.round < self.walk_len {
+            return match self.walk.pop_front() {
+                Some(p) => MoveChoice::Move(p),
+                None => MoveChoice::Stay,
+            };
+        }
+        if self.in_dum(obs.round) {
+            return self.dum.as_mut().expect("dum machine").decide_move();
+        }
+        MoveChoice::Stay
+    }
+
+    fn terminated(&self) -> bool {
+        self.round_seen + 1 >= self.dum_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subround_request_tracks_phase() {
+        let map = bd_graphs::generators::ring(5).unwrap();
+        let c = QuotientController::new(
+            RobotId(3),
+            5,
+            QuotientSetup { walk: vec![0, 0], map, pos_after_walk: 2 },
+        );
+        // Before any observation, round_seen = 0 < walk_len: walking phase.
+        assert_eq!(c.subrounds_wanted(), 1);
+        assert!(!c.terminated());
+    }
+}

@@ -1,0 +1,215 @@
+//! Theorems 4 and 5: faster group-based map finding (§3.2, §3.3).
+//!
+//! * **Theorem 4** (`Scheme::Thirds`): gathered start, `f ≤ ⌊n/3 − 1⌋`. The
+//!   `k` gathered robots split into ID-ordered thirds `A`, `B`, `C`; three
+//!   map-finding runs follow, with each group once in the agent seat
+//!   (`A`/`B∪C`, `B`/`A∪C`, `C`/`B∪A`). Trust thresholds: a token obeys
+//!   instructions from `≥ ⌊k/6⌋+1` distinct agent-group IDs; the agent
+//!   senses the token via `≥ ⌊k/3⌋+1` distinct token-group IDs. At most one
+//!   group can be Byzantine-heavy, so at least two runs produce the true
+//!   map, and the per-run quorum votes let every robot take the 2-of-3
+//!   majority. Total `O(n³)` rounds.
+//! * **Theorem 5** (`Scheme::Halves`): arbitrary start, `f = O(√n)`.
+//!   Phase 1 gathers (view-based substrate); then a *single* run with the
+//!   lower ID half as agent suffices, since both halves have honest
+//!   majorities far above the `⌊√n⌋`-scale threshold.
+//!
+//! Both end with `Dispersion-Using-Map` from the gathering node.
+
+use crate::algos::common::{partition2, partition3, snapshot_ids, GroupRun, GroupRunSpec};
+use crate::dum::DumMachine;
+use crate::mapvote::majority_map;
+use crate::msg::Msg;
+use crate::timeline::{dum_budget, group_run_len};
+use bd_graphs::Port;
+use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
+use std::collections::VecDeque;
+
+/// Which group construction to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Three runs over ID-ordered thirds (Theorem 4).
+    Thirds,
+    /// One run over ID-ordered halves with the given quorum threshold for
+    /// instructions, presence, and votes (Theorem 5).
+    Halves { threshold: usize },
+}
+
+/// Controller for Theorems 4 and 5.
+pub struct GroupController {
+    id: RobotId,
+    n: usize,
+    scheme: Scheme,
+    gather_script: VecDeque<Port>,
+    snapshot_round: u64,
+    runs: Vec<GroupRun>,
+    dum_start: u64,
+    dum_end: u64,
+    dum: Option<DumMachine>,
+    round_seen: u64,
+}
+
+impl GroupController {
+    /// `gather_script` empty means gathered start (Theorem 4); otherwise the
+    /// robot's gathering route with its shared budget (Theorem 5).
+    pub fn new(
+        id: RobotId,
+        n: usize,
+        scheme: Scheme,
+        gather_script: Vec<Port>,
+        gather_budget: u64,
+    ) -> Self {
+        let snapshot_round = if gather_script.is_empty() { 0 } else { gather_budget };
+        GroupController {
+            id,
+            n,
+            scheme,
+            gather_script: gather_script.into(),
+            snapshot_round,
+            runs: Vec::new(),
+            dum_start: u64::MAX,
+            dum_end: u64::MAX,
+            dum: None,
+            round_seen: 0,
+        }
+    }
+
+    fn in_dum(&self, round: u64) -> bool {
+        round >= self.dum_start && round < self.dum_end
+    }
+
+    fn build_runs(&mut self, ids: &[RobotId]) {
+        let k = ids.len();
+        let run_len = group_run_len(self.n);
+        let first_start = self.snapshot_round + 1;
+        let mut specs: Vec<GroupRunSpec> = Vec::new();
+        match self.scheme {
+            Scheme::Thirds => {
+                let (a, b, c) = partition3(ids);
+                let instr = k / 6 + 1;
+                let presence = k / 3 + 1;
+                let seats: [(Vec<RobotId>, Vec<RobotId>); 3] = [
+                    (a.clone(), [b.clone(), c.clone()].concat()),
+                    (b.clone(), [a.clone(), c.clone()].concat()),
+                    (c, [b, a].concat()),
+                ];
+                for (i, (agents, token)) in seats.into_iter().enumerate() {
+                    specs.push(GroupRunSpec {
+                        agents: agents.into_iter().collect(),
+                        token: token.into_iter().collect(),
+                        instr_threshold: instr,
+                        presence_threshold: presence,
+                        vote_threshold: instr,
+                        start: first_start + i as u64 * run_len,
+                        work: crate::timeline::t2_work_budget(self.n),
+                    });
+                }
+            }
+            Scheme::Halves { threshold } => {
+                let (a, b) = partition2(ids);
+                specs.push(GroupRunSpec {
+                    agents: a.into_iter().collect(),
+                    token: b.into_iter().collect(),
+                    instr_threshold: threshold,
+                    presence_threshold: threshold,
+                    vote_threshold: threshold,
+                    start: first_start,
+                    work: crate::timeline::t2_work_budget(self.n),
+                });
+            }
+        }
+        self.dum_start = specs.last().map_or(first_start, |s| s.end());
+        self.dum_end = self.dum_start + dum_budget(self.n);
+        self.runs = specs
+            .into_iter()
+            .map(|spec| GroupRun::new(spec, self.id, self.n))
+            .collect();
+    }
+}
+
+impl Controller<Msg> for GroupController {
+    fn id(&self) -> RobotId {
+        self.id
+    }
+
+    fn subrounds_wanted(&self) -> usize {
+        let next = self.round_seen + 1;
+        if self.in_dum(self.round_seen) || self.in_dum(next) {
+            DumMachine::subrounds_needed(self.n)
+        } else if self.round_seen >= self.snapshot_round {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
+        self.round_seen = obs.round;
+        if obs.round == self.snapshot_round && self.runs.is_empty() && obs.subround == 0 {
+            let ids = snapshot_ids(obs.roster);
+            self.build_runs(&ids);
+            return None;
+        }
+        if let Some(run) = self.runs.iter_mut().find(|r| r.active(obs.round)) {
+            return run.act(obs);
+        }
+        if self.in_dum(obs.round) {
+            if self.dum.is_none() {
+                let votes: Vec<_> =
+                    self.runs.iter().map(|r| r.accepted().cloned()).collect();
+                let map = majority_map(&votes).map(|f| f.to_graph()).unwrap_or_else(|| {
+                    bd_graphs::PortGraph::from_adjacency(vec![vec![]])
+                        .expect("trivial map")
+                });
+                self.dum = Some(DumMachine::new(self.id, map, 0));
+            }
+            return self.dum.as_mut().expect("dum set").act(obs);
+        }
+        None
+    }
+
+    fn decide_move(&mut self, obs: &Observation<'_, Msg>) -> MoveChoice {
+        self.round_seen = obs.round;
+        if obs.round < self.snapshot_round {
+            return match self.gather_script.pop_front() {
+                Some(p) => MoveChoice::Move(p),
+                None => MoveChoice::Stay,
+            };
+        }
+        if let Some(run) = self.runs.iter_mut().find(|r| r.active(obs.round)) {
+            return run.decide_move(obs.round, obs.degree);
+        }
+        if self.in_dum(obs.round) {
+            if let Some(d) = self.dum.as_mut() {
+                return d.decide_move();
+            }
+        }
+        MoveChoice::Stay
+    }
+
+    fn terminated(&self) -> bool {
+        self.dum_end != u64::MAX && self.round_seen + 1 >= self.dum_end
+    }
+
+    fn idle_until(&self) -> Option<u64> {
+        if self.round_seen < self.snapshot_round && self.gather_script.is_empty() {
+            return Some(self.snapshot_round);
+        }
+        self.runs
+            .iter()
+            .find(|r| r.active(self.round_seen))
+            .and_then(|r| r.idle_until(self.round_seen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_unset_before_snapshot() {
+        let c = GroupController::new(RobotId(1), 9, Scheme::Thirds, Vec::new(), 0);
+        assert!(!c.terminated());
+        assert!(c.runs.is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Errors surfaced by the dispersion runner.
+
+use bd_runtime::RunError;
+use std::fmt;
+
+/// Why a dispersion run could not be set up or did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispersionError {
+    /// Theorem 1 requires the quotient graph to be isomorphic to the graph.
+    QuotientNotIsomorphic { classes: usize, n: usize },
+    /// Phase 1 gathering is infeasible (no view-singleton node).
+    GatheringInfeasible,
+    /// The requested Byzantine count exceeds the algorithm's tolerance; the
+    /// runner refuses rather than silently producing undefined behavior.
+    /// (Benchmarks probing beyond-tolerance behavior set `allow_overload`.)
+    ToleranceExceeded { f: usize, max: usize },
+    /// Scenario shape is wrong (robot counts, start positions, …).
+    BadScenario(String),
+    /// The simulation itself failed.
+    Run(RunError),
+}
+
+impl fmt::Display for DispersionError {
+    fn fmt(&self, f_: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispersionError::QuotientNotIsomorphic { classes, n } => write!(
+                f_,
+                "quotient graph has {classes} classes != {n} nodes; Theorem 1 precondition fails"
+            ),
+            DispersionError::GatheringInfeasible => {
+                write!(f_, "gathering infeasible: no view-singleton node")
+            }
+            DispersionError::ToleranceExceeded { f, max } => {
+                write!(f_, "f = {f} exceeds the algorithm's tolerance {max}")
+            }
+            DispersionError::BadScenario(msg) => write!(f_, "bad scenario: {msg}"),
+            DispersionError::Run(e) => write!(f_, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DispersionError {}
+
+impl From<RunError> for DispersionError {
+    fn from(e: RunError) -> Self {
+        DispersionError::Run(e)
+    }
+}

@@ -1,0 +1,40 @@
+//! # bd-dispersion
+//!
+//! The paper's contribution: algorithms solving **Byzantine dispersion** —
+//! `n` robots, up to `f` Byzantine, on an anonymous `n`-node port-labeled
+//! graph must reach a configuration with at most one non-Byzantine robot
+//! per node, then terminate (Definition 1).
+//!
+//! | Module | Paper | Result |
+//! |--------|-------|--------|
+//! | [`algos::quotient`] | §2, Thm 1 | `f ≤ n−1` weak, quotient-isomorphic graphs, poly(n) |
+//! | [`algos::half`] | §3.1, Thms 2–3 | `f ≤ ⌊n/2−1⌋` weak, arbitrary/gathered, `Õ(n⁹)` / `O(n⁴)` |
+//! | [`algos::third`] | §3.2, Thm 4 | `f ≤ ⌊n/3−1⌋` weak, gathered, `O(n³)` |
+//! | [`algos::sqrt`] | §3.3, Thm 5 | `f = O(√n)` weak, arbitrary, `Õ(n⁵·⁵)` |
+//! | [`algos::strong`] | §4, Thms 6–7 | `f ≤ ⌊n/4−1⌋` **strong**, gathered/arbitrary |
+//! | [`algos::baseline`] | §1.4 | non-Byzantine map-DFS baseline (k-robot capacity) |
+//! | [`impossibility`] | §5, Thm 8 | replay-adversary construction |
+//!
+//! Shared building blocks: the [`dum`] state machine
+//! (`Dispersion-Using-Map`, §2.2), the all-pairs [`pairing`] schedule
+//! (§3.1), agent/token drivers with quorum thresholds ([`token_roles`],
+//! §3.2–§4), and majority voting over rooted canonical maps ([`mapvote`]).
+//! The [`adversaries`] module implements Byzantine strategies; [`runner`]
+//! is the high-level entry point; [`verify`] checks Definition 1.
+
+pub mod adversaries;
+pub mod algos;
+pub mod dum;
+pub mod error;
+pub mod impossibility;
+pub mod mapvote;
+pub mod msg;
+pub mod pairing;
+pub mod runner;
+pub mod timeline;
+pub mod token_roles;
+pub mod verify;
+
+pub use error::DispersionError;
+pub use msg::{DumState, Msg};
+pub use runner::{run_algorithm, Algorithm, Outcome, ScenarioSpec};

@@ -1,0 +1,78 @@
+//! The protocol message vocabulary shared by all algorithms.
+//!
+//! One enum covers every phase; a Byzantine robot can emit any variant at
+//! any time (that is the point), so honest decision logic is written
+//! defensively against arbitrary `Msg` streams.
+
+use bd_graphs::{CanonicalForm, Port};
+use serde::{Deserialize, Serialize};
+
+/// A robot's settle status in `Dispersion-Using-Map` (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DumState {
+    /// Looking for a node to settle at.
+    ToBeSettled,
+    /// Settled: never moves nor changes state again (if honest).
+    Settled,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Msg {
+    /// DUM sub-round 0: a robot's state and intent flag (§2.2). A settled
+    /// robot keeps announcing every round; silence when an announcement is
+    /// due is itself a blacklisting offence (step 4).
+    State { state: DumState, flag: bool },
+    /// DUM: announced by a robot at its rank sub-round when it settles.
+    Settle,
+    /// DUM: announced when a robot raises its intent flag (step 2b/3b).
+    Flag,
+    /// Map-finding: the agent (or agent group) instructs the token to move
+    /// through `port`. `step` is the token's move counter within the current
+    /// run, preventing stale instructions from being replayed.
+    TokenGo { port: Port, step: u32 },
+    /// Map-finding: the agent announces the run is complete so the token
+    /// can head home immediately instead of waiting out the worst-case
+    /// budget. Purely a liveness accelerant — a forged `RunDone` can only
+    /// make a token give up early, which is within the Byzantine threat
+    /// model anyway and is blocked by the same quorum rule as `TokenGo`.
+    RunDone,
+    /// Map-finding epilogue: a vote for the constructed map, shared so the
+    /// whole gathering can adopt it (§3.2: "pass this information to other
+    /// robots").
+    MapVote { form: CanonicalForm },
+    /// Arbitrary Byzantine noise.
+    Noise(u64),
+}
+
+impl Msg {
+    /// Convenience: is this a `State` announcement?
+    pub fn is_state(&self) -> bool {
+        matches!(self, Msg::State { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip() {
+        let msgs = vec![
+            Msg::State { state: DumState::Settled, flag: true },
+            Msg::Settle,
+            Msg::Flag,
+            Msg::TokenGo { port: 3, step: 17 },
+            Msg::Noise(42),
+        ];
+        let s = serde_json::to_string(&msgs).unwrap();
+        let back: Vec<Msg> = serde_json::from_str(&s).unwrap();
+        assert_eq!(msgs, back);
+    }
+
+    #[test]
+    fn state_predicate() {
+        assert!(Msg::State { state: DumState::ToBeSettled, flag: false }.is_state());
+        assert!(!Msg::Settle.is_state());
+    }
+}

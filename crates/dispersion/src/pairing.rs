@@ -1,0 +1,197 @@
+//! The all-pairs pairing schedule of §3.1.
+//!
+//! Gathered robots must each pair with every other robot to run the token
+//! map-finding algorithm. The paper's schedule proceeds in `⌈log k⌉` stages
+//! of recursive halving: a group splits into halves `G0`/`G1` (padding `G1`
+//! with a dummy if odd), and in window `j` robot `G0[x]` pairs with
+//! `G1[(x + j) mod h]`. Cross-pairs complete in `h` windows; the recursion
+//! then pairs within each half. Total windows `O(k)`, total rounds
+//! `O(k · T₂) = O(n⁴)`.
+//!
+//! Every robot computes the identical schedule from the sorted snapshot
+//! roster — no coordination needed.
+
+use bd_runtime::RobotId;
+use std::collections::BTreeMap;
+
+/// One pairing window in a robot's personal schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairingWindow {
+    /// Window index (global across stages); absolute rounds are
+    /// `phase_start + index * window_len`.
+    pub index: u64,
+    /// The partner for this window; `None` means the robot drew the dummy
+    /// slot and idles out the window.
+    pub partner: Option<RobotId>,
+}
+
+/// The full schedule: per-robot windows plus the global window count.
+#[derive(Debug, Clone)]
+pub struct PairingSchedule {
+    /// Every robot's windows, keyed by robot (only windows with an entry;
+    /// robots idle in windows not listed).
+    pub windows: BTreeMap<RobotId, Vec<PairingWindow>>,
+    /// Total number of windows across all stages.
+    pub total_windows: u64,
+}
+
+impl PairingSchedule {
+    /// Windows of one robot (empty slice if unknown robot).
+    pub fn of(&self, id: RobotId) -> &[PairingWindow] {
+        self.windows.get(&id).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The robot's partner in a given window, if any.
+    pub fn partner_in(&self, id: RobotId, window: u64) -> Option<RobotId> {
+        self.of(id)
+            .iter()
+            .find(|w| w.index == window)
+            .and_then(|w| w.partner)
+    }
+}
+
+/// Compute the schedule for a sorted list of distinct robot IDs.
+///
+/// Panics if `ids` is unsorted or has duplicates — the roster snapshot
+/// guarantees both.
+pub fn pairing_schedule(ids: &[RobotId]) -> PairingSchedule {
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted and distinct");
+    let mut windows: BTreeMap<RobotId, Vec<PairingWindow>> =
+        ids.iter().map(|&id| (id, Vec::new())).collect();
+    let mut next_window = 0u64;
+    // Groups at the current recursion level.
+    let mut level: Vec<Vec<RobotId>> = vec![ids.to_vec()];
+    while level.iter().any(|g| g.len() > 1) {
+        // Every group at this level splits; all halves pair concurrently in
+        // this level's windows. The number of windows at the level is the
+        // largest half size.
+        let mut splits: Vec<(Vec<RobotId>, Vec<RobotId>)> = Vec::new();
+        for g in &level {
+            if g.len() <= 1 {
+                splits.push((g.clone(), Vec::new()));
+                continue;
+            }
+            let h = g.len().div_ceil(2);
+            splits.push((g[..h].to_vec(), g[h..].to_vec()));
+        }
+        let level_windows =
+            splits.iter().map(|(g0, _)| g0.len()).max().unwrap_or(0) as u64;
+        for (g0, g1) in &splits {
+            if g1.is_empty() {
+                continue;
+            }
+            let h = g0.len();
+            for j in 0..h as u64 {
+                for (x, &a) in g0.iter().enumerate() {
+                    let slot = (x + j as usize) % h;
+                    // G1 padded with a dummy when smaller than G0.
+                    let partner = g1.get(slot).copied();
+                    windows.get_mut(&a).expect("id in map").push(PairingWindow {
+                        index: next_window + j,
+                        partner,
+                    });
+                    if let Some(b) = partner {
+                        windows.get_mut(&b).expect("id in map").push(PairingWindow {
+                            index: next_window + j,
+                            partner: Some(a),
+                        });
+                    }
+                }
+            }
+        }
+        next_window += level_windows;
+        level = splits.into_iter().flat_map(|(a, b)| [a, b]).filter(|g| !g.is_empty()).collect();
+    }
+    PairingSchedule { windows, total_windows: next_window }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(k: usize) -> Vec<RobotId> {
+        (1..=k as u64).map(|i| RobotId(i * 10)).collect()
+    }
+
+    /// Every unordered pair appears in at least one window.
+    #[test]
+    fn all_pairs_covered() {
+        for k in 2..=17 {
+            let ids = ids(k);
+            let s = pairing_schedule(&ids);
+            let mut covered =
+                std::collections::HashSet::<(RobotId, RobotId)>::new();
+            for (&a, ws) in &s.windows {
+                for w in ws {
+                    if let Some(b) = w.partner {
+                        covered.insert((a.min(b), a.max(b)));
+                    }
+                }
+            }
+            for i in 0..k {
+                for j in i + 1..k {
+                    assert!(
+                        covered.contains(&(ids[i], ids[j])),
+                        "k={k}: pair ({:?},{:?}) uncovered",
+                        ids[i],
+                        ids[j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// No robot is double-booked within one window.
+    #[test]
+    fn no_double_booking() {
+        for k in 2..=17 {
+            let s = pairing_schedule(&ids(k));
+            for (a, ws) in &s.windows {
+                let mut seen = std::collections::HashSet::new();
+                for w in ws {
+                    assert!(seen.insert(w.index), "robot {a:?} double-booked in window {}", w.index);
+                }
+            }
+        }
+    }
+
+    /// Pairings are symmetric: if a is scheduled with b in window j, then b
+    /// is scheduled with a in window j.
+    #[test]
+    fn symmetry() {
+        let s = pairing_schedule(&ids(11));
+        for (&a, ws) in &s.windows {
+            for w in ws {
+                if let Some(b) = w.partner {
+                    assert_eq!(s.partner_in(b, w.index), Some(a));
+                }
+            }
+        }
+    }
+
+    /// Total window count is O(k): concretely <= 2k for all tested sizes.
+    #[test]
+    fn window_count_linear() {
+        for k in 2..=40 {
+            let s = pairing_schedule(&ids(k));
+            assert!(
+                s.total_windows <= 2 * k as u64,
+                "k={k}: {} windows",
+                s.total_windows
+            );
+        }
+    }
+
+    #[test]
+    fn single_robot_trivial() {
+        let s = pairing_schedule(&[RobotId(5)]);
+        assert_eq!(s.total_windows, 0);
+        assert!(s.of(RobotId(5)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_rejected() {
+        let _ = pairing_schedule(&[RobotId(2), RobotId(1)]);
+    }
+}

@@ -1,0 +1,495 @@
+//! High-level entry point: build a scenario, pick a Table 1 algorithm, run
+//! it, verify Definition 1.
+
+use crate::adversaries::{AdversaryController, AdversaryKind};
+use crate::algos::baseline::BaselineController;
+use crate::algos::half::HalfController;
+use crate::algos::quotient::{QuotientController, QuotientSetup};
+use crate::algos::ring_opt::RingOptController;
+use crate::algos::strong::StrongController;
+use crate::algos::third::{GroupController, Scheme};
+use crate::error::DispersionError;
+use crate::msg::Msg;
+use crate::pairing::pairing_schedule;
+use crate::timeline::{dum_budget, group_run_len, pair_window_len, rank_walk_budget};
+use crate::verify::{verify_dispersion, VerifyReport};
+use bd_exploration::walks::{cover_walk_length, SharedWalk};
+use bd_gathering::route::gather_route;
+use bd_graphs::quotient::quotient_graph;
+use bd_graphs::{NodeId, Port, PortGraph};
+use bd_runtime::ids::generate_ids;
+use bd_runtime::{Engine, EngineConfig, Flavor, RobotId, RunMetrics};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Table 1 algorithms (plus the non-Byzantine baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Theorem 1 — quotient-graph `Find-Map` + DUM; `f ≤ n−1` weak;
+    /// quotient-isomorphic graphs only.
+    QuotientTh1,
+    /// Theorem 2 — gather, all-pairs map finding, DUM; `f ≤ ⌊n/2−1⌋` weak.
+    ArbitraryHalfTh2,
+    /// Theorem 3 — Theorem 2 without the gathering phase (gathered start).
+    GatheredHalfTh3,
+    /// Theorem 4 — 3-group map finding, DUM; gathered; `f ≤ ⌊n/3−1⌋` weak.
+    GatheredThirdTh4,
+    /// Theorem 5 — gather, 2-group map finding, DUM; `f = O(√n)` weak.
+    ArbitrarySqrtTh5,
+    /// Theorem 6 — 2-group with `⌊n/4⌋` thresholds + rank walk; gathered;
+    /// `f ≤ ⌊n/4−1⌋` strong.
+    StrongGatheredTh6,
+    /// Theorem 7 — Theorem 6 with a gathering phase (arbitrary start).
+    StrongArbitraryTh7,
+    /// Non-Byzantine map-DFS baseline (§1.4 comparison row; Theorem 8's
+    /// algorithm `A`).
+    Baseline,
+    /// `Time-Opt-Ring-Dispersion` of \[34, 36\] — the ring-optimal
+    /// predecessor this paper generalizes. Rings only; `f ≤ n−1` weak;
+    /// `O(n)` rounds.
+    RingOptimal,
+}
+
+impl Algorithm {
+    /// Table 1 tolerance for an `n`-node graph.
+    pub fn tolerance(self, n: usize) -> usize {
+        match self {
+            Algorithm::QuotientTh1 | Algorithm::RingOptimal => n.saturating_sub(1),
+            Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => {
+                (n / 2).saturating_sub(1)
+            }
+            Algorithm::GatheredThirdTh4 => (n / 3).saturating_sub(1),
+            Algorithm::ArbitrarySqrtTh5 => ((n as f64).sqrt() as usize / 2).max(1),
+            Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
+                (n / 4).saturating_sub(1)
+            }
+            Algorithm::Baseline => 0,
+        }
+    }
+
+    /// Whether the algorithm needs a gathering phase.
+    pub fn gathers(self) -> bool {
+        matches!(
+            self,
+            Algorithm::ArbitraryHalfTh2
+                | Algorithm::ArbitrarySqrtTh5
+                | Algorithm::StrongArbitraryTh7
+        )
+    }
+
+    /// Whether Byzantine robots run under the strong flavor.
+    pub fn strong(self) -> bool {
+        matches!(self, Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7)
+    }
+
+    /// All Table 1 algorithms.
+    pub fn table1() -> [Algorithm; 7] {
+        [
+            Algorithm::QuotientTh1,
+            Algorithm::ArbitraryHalfTh2,
+            Algorithm::GatheredHalfTh3,
+            Algorithm::GatheredThirdTh4,
+            Algorithm::ArbitrarySqrtTh5,
+            Algorithm::StrongGatheredTh6,
+            Algorithm::StrongArbitraryTh7,
+        ]
+    }
+}
+
+/// Where the Byzantine IDs sit in the sorted ID order — group-based
+/// algorithms are most stressed when the adversary concentrates in one
+/// group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ByzPlacement {
+    /// Uniformly random among the k robots (seeded).
+    #[default]
+    Random,
+    /// The lowest IDs (concentrates in group `A`).
+    LowIds,
+    /// The highest IDs.
+    HighIds,
+}
+
+/// Scenario description.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Robots; defaults to `n`.
+    pub num_robots: usize,
+    /// Byzantine robots among them.
+    pub num_byzantine: usize,
+    /// Adversary strategy for all Byzantine robots.
+    pub adversary: AdversaryKind,
+    /// Where Byzantine IDs sit in the ID order.
+    pub placement: ByzPlacement,
+    /// Gathered at a node, or arbitrary (seeded) starts.
+    pub starts: StartConfig,
+    /// Seed for IDs, starts, and adversary randomness.
+    pub seed: u64,
+    /// Allow `num_byzantine` above the algorithm's tolerance (for
+    /// beyond-tolerance probes); otherwise the runner refuses.
+    pub allow_overload: bool,
+}
+
+/// Initial placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartConfig {
+    /// Everyone on one node.
+    Gathered(NodeId),
+    /// Seeded random nodes.
+    RandomArbitrary,
+    /// Explicit per-robot nodes.
+    Explicit(Vec<NodeId>),
+}
+
+impl ScenarioSpec {
+    /// All robots gathered at `node`, no Byzantine robots.
+    pub fn gathered(g: &PortGraph, node: NodeId) -> Self {
+        ScenarioSpec {
+            num_robots: g.n(),
+            num_byzantine: 0,
+            adversary: AdversaryKind::Squatter,
+            placement: ByzPlacement::Random,
+            starts: StartConfig::Gathered(node),
+            seed: 0,
+            allow_overload: false,
+        }
+    }
+
+    /// Seeded arbitrary starts, no Byzantine robots.
+    pub fn arbitrary(g: &PortGraph) -> Self {
+        ScenarioSpec {
+            starts: StartConfig::RandomArbitrary,
+            ..ScenarioSpec::gathered(g, 0)
+        }
+    }
+
+    /// Set the Byzantine contingent.
+    pub fn with_byzantine(mut self, f: usize, kind: AdversaryKind) -> Self {
+        self.num_byzantine = f;
+        self.adversary = kind;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set Byzantine ID placement.
+    pub fn with_placement(mut self, placement: ByzPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Permit `f` beyond the algorithm tolerance.
+    pub fn overloaded(mut self) -> Self {
+        self.allow_overload = true;
+        self
+    }
+}
+
+/// What came out of a run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Whether Definition 1 holds in the final configuration.
+    pub dispersed: bool,
+    /// Rounds to honest termination — the Table 1 measure.
+    pub rounds: u64,
+    /// Full engine metrics.
+    pub metrics: RunMetrics,
+    /// Verifier details.
+    pub report: VerifyReport,
+    /// Final positions in robot order.
+    pub final_positions: Vec<NodeId>,
+    /// Honest mask in robot order.
+    pub honest: Vec<bool>,
+}
+
+/// Protocol tag for the Theorem 1 `Find-Map` walk.
+const FIND_MAP_TAG: u64 = 0x6d61_7000; // "map"
+
+/// Run `algo` on `graph` under `spec`.
+pub fn run_algorithm(
+    algo: Algorithm,
+    graph: &PortGraph,
+    spec: &ScenarioSpec,
+) -> Result<Outcome, DispersionError> {
+    let n = graph.n();
+    if n < 3 {
+        return Err(DispersionError::BadScenario(format!("graph too small: n = {n}")));
+    }
+    let k = spec.num_robots;
+    if k == 0 {
+        return Err(DispersionError::BadScenario("no robots".into()));
+    }
+    let f = spec.num_byzantine;
+    if f >= k {
+        return Err(DispersionError::BadScenario(format!("f = {f} >= k = {k}")));
+    }
+    if !spec.allow_overload && f > algo.tolerance(n) {
+        return Err(DispersionError::ToleranceExceeded { f, max: algo.tolerance(n) });
+    }
+
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xdead_beef);
+    let ids = generate_ids(k, n, spec.seed);
+
+    // Byzantine subset by placement policy.
+    let byz_idx: std::collections::BTreeSet<usize> = match spec.placement {
+        ByzPlacement::LowIds => (0..f).collect(),
+        ByzPlacement::HighIds => (k - f..k).collect(),
+        ByzPlacement::Random => {
+            let mut set = std::collections::BTreeSet::new();
+            while set.len() < f {
+                set.insert(rng.gen_range(0..k));
+            }
+            set
+        }
+    };
+    let honest: Vec<bool> = (0..k).map(|i| !byz_idx.contains(&i)).collect();
+
+    // Starting positions.
+    let starts: Vec<NodeId> = match &spec.starts {
+        StartConfig::Gathered(node) => {
+            if *node >= n {
+                return Err(DispersionError::BadScenario(format!("start {node} >= n")));
+            }
+            vec![*node; k]
+        }
+        StartConfig::RandomArbitrary => (0..k).map(|_| rng.gen_range(0..n)).collect(),
+        StartConfig::Explicit(v) => {
+            if v.len() != k || v.iter().any(|&s| s >= n) {
+                return Err(DispersionError::BadScenario("bad explicit starts".into()));
+            }
+            v.clone()
+        }
+    };
+
+    // Gathering routes where the algorithm needs them.
+    let gather = if algo.gathers() {
+        let mut routes = Vec::with_capacity(k);
+        let mut budget = 0;
+        for &s in &starts {
+            let r = gather_route(graph, s)
+                .map_err(|_| DispersionError::GatheringInfeasible)?;
+            budget = r.budget_rounds;
+            routes.push(r.ports);
+        }
+        Some((routes, budget))
+    } else {
+        // Gathered-start algorithms require a gathered start.
+        if !matches!(
+            algo,
+            Algorithm::QuotientTh1 | Algorithm::Baseline | Algorithm::RingOptimal
+        ) && !matches!(spec.starts, StartConfig::Gathered(_))
+        {
+            return Err(DispersionError::BadScenario(format!(
+                "{algo:?} requires a gathered start"
+            )));
+        }
+        None
+    };
+    let gather_budget = gather.as_ref().map_or(0, |(_, b)| *b);
+
+    // Nominal timeline end (for the engine's round cap and adversary
+    // activation). All robots present at the snapshot is the nominal case.
+    let interaction_start = match algo {
+        Algorithm::QuotientTh1 => cover_walk_length(n),
+        Algorithm::RingOptimal => n as u64,
+        _ => gather_budget,
+    };
+    let run_end_guess: u64 = match algo {
+        Algorithm::QuotientTh1 => cover_walk_length(n) + dum_budget(n) + 64,
+        Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => {
+            let sched = pairing_schedule(&ids);
+            gather_budget
+                + 1
+                + sched.total_windows * pair_window_len(n)
+                + dum_budget(n)
+                + 64
+        }
+        Algorithm::GatheredThirdTh4 => 1 + 3 * group_run_len(n) + dum_budget(n) + 64,
+        Algorithm::ArbitrarySqrtTh5 => {
+            gather_budget + 1 + group_run_len(n) + dum_budget(n) + 64
+        }
+        Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
+            gather_budget + 1 + group_run_len(n) + rank_walk_budget(n) + 64
+        }
+        Algorithm::Baseline => n as u64 + 64,
+        Algorithm::RingOptimal => n as u64 + dum_budget(n) + 64,
+    };
+
+    if algo == Algorithm::RingOptimal
+        && !(graph.nodes().all(|v| graph.degree(v) == 2) && graph.is_connected())
+    {
+        return Err(DispersionError::BadScenario("RingOptimal requires a ring".into()));
+    }
+
+    let mut engine: Engine<Msg> =
+        Engine::new(graph.clone(), EngineConfig::with_max_rounds(run_end_guess + 1024));
+
+    // Theorem 1 setup: quotient precondition + per-robot walk scripts.
+    let quotient_setup: Option<Vec<QuotientSetup>> = if algo == Algorithm::QuotientTh1 {
+        let q = quotient_graph(graph);
+        if !q.is_isomorphic_to_original() {
+            return Err(DispersionError::QuotientNotIsomorphic {
+                classes: q.num_classes(),
+                n,
+            });
+        }
+        let len = cover_walk_length(n);
+        let setups = starts
+            .iter()
+            .map(|&s| {
+                let mut walk = SharedWalk::for_size(n, FIND_MAP_TAG);
+                let mut ports: Vec<Port> = Vec::with_capacity(len as usize);
+                let mut cur = s;
+                for _ in 0..len {
+                    let p = walk.next_port(graph.degree(cur));
+                    ports.push(p);
+                    cur = graph.neighbor(cur, p).0;
+                }
+                QuotientSetup {
+                    walk: ports,
+                    map: q.graph.clone(),
+                    pos_after_walk: q.class_of[cur],
+                }
+            })
+            .collect();
+        Some(setups)
+    } else {
+        None
+    };
+
+    let honest_ids: Vec<RobotId> =
+        (0..k).filter(|&i| honest[i]).map(|i| ids[i]).collect();
+
+    let mut coalition_index = 0usize;
+    for i in 0..k {
+        let id = ids[i];
+        let start = starts[i];
+        if !honest[i] && spec.adversary != AdversaryKind::CrashMidway {
+            let flavor = if algo.strong() {
+                // Strong algorithms face the strong flavor so the engine
+                // lets the adversary fake IDs if it chooses to.
+                Flavor::StrongByzantine
+            } else {
+                Flavor::WeakByzantine
+            };
+            let script = gather.as_ref().map(|(r, _)| r[i].clone()).unwrap_or_default();
+            engine.add_robot(
+                flavor,
+                start,
+                Box::new(AdversaryController::new(
+                    id,
+                    spec.adversary,
+                    spec.seed,
+                    script,
+                    interaction_start,
+                    honest_ids.clone(),
+                    coalition_index,
+                )),
+            );
+            coalition_index += 1;
+            continue;
+        }
+        let script = gather.as_ref().map(|(r, _)| r[i].clone()).unwrap_or_default();
+        let controller: Box<dyn bd_runtime::Controller<Msg>> = match algo {
+            Algorithm::QuotientTh1 => Box::new(QuotientController::new(
+                id,
+                n,
+                quotient_setup.as_ref().expect("setup built")[i].clone(),
+            )),
+            Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => {
+                Box::new(HalfController::new(id, n, script, gather_budget))
+            }
+            Algorithm::GatheredThirdTh4 => Box::new(GroupController::new(
+                id,
+                n,
+                Scheme::Thirds,
+                script,
+                gather_budget,
+            )),
+            Algorithm::ArbitrarySqrtTh5 => {
+                let threshold = algo.tolerance(n) + 1;
+                Box::new(GroupController::new(
+                    id,
+                    n,
+                    Scheme::Halves { threshold },
+                    script,
+                    gather_budget,
+                ))
+            }
+            Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
+                Box::new(StrongController::new(id, n, script, gather_budget))
+            }
+            Algorithm::Baseline => {
+                Box::new(BaselineController::new(id, graph.clone(), start, 1))
+            }
+            Algorithm::RingOptimal => Box::new(RingOptController::new(id, n)),
+        };
+        if honest[i] {
+            engine.add_robot(Flavor::Honest, start, controller);
+        } else {
+            // CrashMidway: a faithful protocol follower that halts halfway
+            // through the interactive portion of the run.
+            let crash_at = interaction_start + (run_end_guess - interaction_start) / 2;
+            engine.add_robot(
+                Flavor::WeakByzantine,
+                start,
+                Box::new(crate::adversaries::CrashWrapper::new(controller, crash_at)),
+            );
+        }
+    }
+
+    let out = engine.run()?;
+    let report = verify_dispersion(&out.final_positions, &honest, &ids);
+    Ok(Outcome {
+        dispersed: report.ok,
+        rounds: out.metrics.rounds,
+        metrics: out.metrics,
+        report,
+        final_positions: out.final_positions,
+        honest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_graphs::generators::erdos_renyi_connected;
+
+    #[test]
+    fn tolerance_table() {
+        assert_eq!(Algorithm::QuotientTh1.tolerance(16), 15);
+        assert_eq!(Algorithm::GatheredHalfTh3.tolerance(16), 7);
+        assert_eq!(Algorithm::GatheredThirdTh4.tolerance(16), 4);
+        assert_eq!(Algorithm::StrongGatheredTh6.tolerance(16), 3);
+    }
+
+    #[test]
+    fn overload_rejected_without_flag() {
+        let g = erdos_renyi_connected(9, 0.4, 1).unwrap();
+        let spec = ScenarioSpec::gathered(&g, 0)
+            .with_byzantine(5, AdversaryKind::Squatter);
+        let err = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap_err();
+        assert!(matches!(err, DispersionError::ToleranceExceeded { .. }));
+    }
+
+    #[test]
+    fn bad_scenarios_rejected() {
+        let g = erdos_renyi_connected(9, 0.4, 1).unwrap();
+        let mut spec = ScenarioSpec::gathered(&g, 0);
+        spec.num_robots = 0;
+        assert!(matches!(
+            run_algorithm(Algorithm::Baseline, &g, &spec),
+            Err(DispersionError::BadScenario(_))
+        ));
+        let spec = ScenarioSpec::gathered(&g, 42);
+        assert!(matches!(
+            run_algorithm(Algorithm::Baseline, &g, &spec),
+            Err(DispersionError::BadScenario(_))
+        ));
+    }
+}

@@ -1,0 +1,108 @@
+//! Phase timing: every robot derives identical absolute round boundaries
+//! from `n` and the snapshot roster, so phases stay synchronized with zero
+//! communication (the paper's algorithms all rely on this: "all
+//! non-Byzantine robots wait for T₁ rounds", §3.1).
+
+/// Work budget for one token map-finding run: an upper bound on the moves
+/// of the agent+token algorithm on any `n`-node graph, computable from `n`
+/// alone. Construction costs at most `(3n + 5) m + n ≤ 1.6 n³ + O(n²)`
+/// moves, so `4 n³ + 64` is safely above it. This is the paper's `T₂`.
+pub fn t2_work_budget(n: usize) -> u64 {
+    let n = n as u64;
+    4 * n * n * n + 64
+}
+
+/// One all-pairs pairing window (§3.1): both robots map once as agent and
+/// once as token, with a return leg after each run.
+/// Layout (relative rounds): `[0, B)` run 1, `[B, 2B)` return,
+/// `[2B, 3B)` run 2 with roles swapped, `[3B, 4B)` return; `+8` slack.
+pub fn pair_window_len(n: usize) -> u64 {
+    4 * t2_work_budget(n) + 8
+}
+
+/// One group map-finding run (§3.2–§4): `[0, B)` construction,
+/// `[B, 2B)` return home, then 2 rounds of map voting.
+pub fn group_run_len(n: usize) -> u64 {
+    2 * t2_work_budget(n) + 2
+}
+
+/// Budget for the `Dispersion-Using-Map` phase: the Euler tour is
+/// `2(n-1)` moves and every visit resolves within one round; doubled plus
+/// slack for safety.
+pub fn dum_budget(n: usize) -> u64 {
+    4 * n as u64 + 16
+}
+
+/// Budget for the strong-Byzantine rank-walk phase (§4 phase 2): a walk of
+/// at most `n` edges plus slack.
+pub fn rank_walk_budget(n: usize) -> u64 {
+    n as u64 + 4
+}
+
+/// A sequence of named consecutive phases with absolute round boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    phases: Vec<(String, u64, u64)>,
+}
+
+impl Timeline {
+    /// Append a phase of the given length; returns `(start, end)` rounds
+    /// (end exclusive).
+    pub fn push(&mut self, name: &str, len: u64) -> (u64, u64) {
+        let start = self.phases.last().map_or(0, |&(_, _, e)| e);
+        let end = start + len;
+        self.phases.push((name.to_string(), start, end));
+        (start, end)
+    }
+
+    /// Total length.
+    pub fn end(&self) -> u64 {
+        self.phases.last().map_or(0, |&(_, _, e)| e)
+    }
+
+    /// Look up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<(u64, u64)> {
+        self.phases.iter().find(|(n, _, _)| n == name).map(|&(_, s, e)| (s, e))
+    }
+
+    /// All phases in order.
+    pub fn phases(&self) -> &[(String, u64, u64)] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_consecutive() {
+        let mut t = Timeline::default();
+        let (s1, e1) = t.push("gather", 100);
+        let (s2, e2) = t.push("pairing", 50);
+        assert_eq!((s1, e1), (0, 100));
+        assert_eq!((s2, e2), (100, 150));
+        assert_eq!(t.end(), 150);
+        assert_eq!(t.phase("pairing"), Some((100, 150)));
+        assert_eq!(t.phase("nope"), None);
+    }
+
+    #[test]
+    fn budgets_scale() {
+        assert!(t2_work_budget(16) < t2_work_budget(32));
+        assert_eq!(pair_window_len(8), 4 * t2_work_budget(8) + 8);
+        assert!(dum_budget(10) >= 2 * 2 * 9); // two full Euler tours
+    }
+
+    /// The T₂ budget truly dominates the offline-measured construction cost
+    /// on dense graphs.
+    #[test]
+    fn t2_dominates_offline_runs() {
+        use bd_exploration::sim::build_map_offline;
+        for n in [6usize, 10, 14] {
+            let g = bd_graphs::generators::complete(n).unwrap();
+            let out = build_map_offline(&g, 0).unwrap();
+            assert!(out.agent_moves + (n as u64) < t2_work_budget(n));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Checking Definition 1: every node holds at most one non-Byzantine robot
+//! (at most `⌈(k − f)/n⌉` in the k-robot generalization of §5).
+
+use bd_graphs::NodeId;
+use bd_runtime::RobotId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The verifier's verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyReport {
+    /// Whether the configuration satisfies the (capacity-generalized)
+    /// Byzantine dispersion condition.
+    pub ok: bool,
+    /// The allowed number of honest robots per node.
+    pub capacity: usize,
+    /// Largest number of honest robots sharing one node.
+    pub max_honest_per_node: usize,
+    /// Nodes violating the capacity, with the honest robots on them.
+    pub violations: Vec<(NodeId, Vec<RobotId>)>,
+}
+
+/// Verify a final configuration. `positions[i]`/`honest[i]`/`ids[i]`
+/// describe robot `i`.
+pub fn verify_with_capacity(
+    positions: &[NodeId],
+    honest: &[bool],
+    ids: &[RobotId],
+    capacity: usize,
+) -> VerifyReport {
+    assert_eq!(positions.len(), honest.len());
+    assert_eq!(positions.len(), ids.len());
+    let mut per_node: BTreeMap<NodeId, Vec<RobotId>> = BTreeMap::new();
+    for i in 0..positions.len() {
+        if honest[i] {
+            per_node.entry(positions[i]).or_default().push(ids[i]);
+        }
+    }
+    let max_honest_per_node = per_node.values().map(|v| v.len()).max().unwrap_or(0);
+    let violations: Vec<(NodeId, Vec<RobotId>)> = per_node
+        .into_iter()
+        .filter(|(_, v)| v.len() > capacity)
+        .collect();
+    VerifyReport {
+        ok: violations.is_empty(),
+        capacity,
+        max_honest_per_node,
+        violations,
+    }
+}
+
+/// Verify the standard (capacity 1) Byzantine dispersion condition.
+pub fn verify_dispersion(
+    positions: &[NodeId],
+    honest: &[bool],
+    ids: &[RobotId],
+) -> VerifyReport {
+    verify_with_capacity(positions, honest, ids, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_dispersion_passes() {
+        let r = verify_dispersion(
+            &[0, 1, 2],
+            &[true, true, true],
+            &[RobotId(1), RobotId(2), RobotId(3)],
+        );
+        assert!(r.ok);
+        assert_eq!(r.max_honest_per_node, 1);
+    }
+
+    #[test]
+    fn byzantine_sharing_is_fine() {
+        // A Byzantine robot co-located with an honest one is legal.
+        let r = verify_dispersion(
+            &[0, 0, 1],
+            &[true, false, true],
+            &[RobotId(1), RobotId(2), RobotId(3)],
+        );
+        assert!(r.ok);
+    }
+
+    #[test]
+    fn two_honest_on_a_node_fails() {
+        let r = verify_dispersion(
+            &[0, 0],
+            &[true, true],
+            &[RobotId(1), RobotId(2)],
+        );
+        assert!(!r.ok);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].1, vec![RobotId(1), RobotId(2)]);
+    }
+
+    #[test]
+    fn capacity_generalization() {
+        let r = verify_with_capacity(
+            &[0, 0, 0],
+            &[true, true, true],
+            &[RobotId(1), RobotId(2), RobotId(3)],
+            3,
+        );
+        assert!(r.ok);
+        let r = verify_with_capacity(
+            &[0, 0, 0],
+            &[true, true, true],
+            &[RobotId(1), RobotId(2), RobotId(3)],
+            2,
+        );
+        assert!(!r.ok);
+        assert_eq!(r.max_honest_per_node, 3);
+    }
+}

@@ -1,0 +1,200 @@
+//! End-to-end runs of every Table 1 algorithm under the adversary suite.
+
+use bd_dispersion::adversaries::AdversaryKind;
+use bd_dispersion::runner::{
+    run_algorithm, Algorithm, ByzPlacement, ScenarioSpec,
+};
+use bd_graphs::generators::{erdos_renyi_connected, lollipop, random_tree, ring, star};
+use bd_graphs::PortGraph;
+
+fn asymmetric_graph(n: usize, seed: u64) -> PortGraph {
+    // Dense enough to be view-asymmetric w.h.p.; verified by the runner's
+    // Theorem 1 precondition check where needed.
+    erdos_renyi_connected(n, 0.35, seed).unwrap()
+}
+
+fn assert_dispersed(algo: Algorithm, g: &PortGraph, spec: &ScenarioSpec, label: &str) {
+    let out = run_algorithm(algo, g, spec)
+        .unwrap_or_else(|e| panic!("{label}: run failed: {e}"));
+    assert!(
+        out.dispersed,
+        "{label}: not dispersed; violations {:?}",
+        out.report.violations
+    );
+}
+
+// ---------------------------------------------------------------- fault-free
+
+#[test]
+fn baseline_disperses_fault_free() {
+    for n in [5, 9, 14] {
+        let g = asymmetric_graph(n, n as u64);
+        let spec = ScenarioSpec::gathered(&g, 0).with_seed(1);
+        assert_dispersed(Algorithm::Baseline, &g, &spec, "baseline");
+    }
+}
+
+#[test]
+fn quotient_th1_fault_free_various_graphs() {
+    for (g, label) in [
+        (ring(8).unwrap(), "ring"),
+        (star(7).unwrap(), "star"),
+        (asymmetric_graph(10, 3), "gnp"),
+        (random_tree(9, 5).unwrap(), "tree"),
+        (lollipop(4, 3).unwrap(), "lollipop"),
+    ] {
+        let spec = ScenarioSpec::arbitrary(&g).with_seed(7);
+        assert_dispersed(Algorithm::QuotientTh1, &g, &spec, label);
+    }
+}
+
+#[test]
+fn gathered_half_th3_fault_free() {
+    let g = asymmetric_graph(8, 2);
+    let spec = ScenarioSpec::gathered(&g, 0).with_seed(3);
+    assert_dispersed(Algorithm::GatheredHalfTh3, &g, &spec, "th3 fault-free");
+}
+
+#[test]
+fn gathered_third_th4_fault_free() {
+    let g = asymmetric_graph(9, 4);
+    let spec = ScenarioSpec::gathered(&g, 0).with_seed(4);
+    assert_dispersed(Algorithm::GatheredThirdTh4, &g, &spec, "th4 fault-free");
+}
+
+#[test]
+fn strong_th6_fault_free() {
+    let g = asymmetric_graph(8, 5);
+    let spec = ScenarioSpec::gathered(&g, 0).with_seed(5);
+    assert_dispersed(Algorithm::StrongGatheredTh6, &g, &spec, "th6 fault-free");
+}
+
+// ------------------------------------------------------------- max tolerance
+
+#[test]
+fn quotient_th1_max_byzantine() {
+    let g = asymmetric_graph(9, 11);
+    for kind in [
+        AdversaryKind::Squatter,
+        AdversaryKind::FakeSettler,
+        AdversaryKind::Silent,
+        AdversaryKind::Wanderer,
+        AdversaryKind::LiarFlags,
+        AdversaryKind::Crowd,
+    ] {
+        let f = Algorithm::QuotientTh1.tolerance(9); // 8 of 9!
+        let spec = ScenarioSpec::arbitrary(&g).with_byzantine(f, kind).with_seed(13);
+        assert_dispersed(Algorithm::QuotientTh1, &g, &spec, &format!("th1 {kind:?}"));
+    }
+}
+
+#[test]
+fn gathered_half_th3_max_byzantine_all_adversaries() {
+    let g = asymmetric_graph(8, 21);
+    let f = Algorithm::GatheredHalfTh3.tolerance(8); // 3
+    for kind in [
+        AdversaryKind::Squatter,
+        AdversaryKind::Silent,
+        AdversaryKind::Wanderer,
+        AdversaryKind::TokenHijacker,
+        AdversaryKind::MapLiar,
+        AdversaryKind::Crowd,
+    ] {
+        let spec = ScenarioSpec::gathered(&g, 0).with_byzantine(f, kind).with_seed(17);
+        assert_dispersed(
+            Algorithm::GatheredHalfTh3,
+            &g,
+            &spec,
+            &format!("th3 {kind:?}"),
+        );
+    }
+}
+
+#[test]
+fn gathered_third_th4_max_byzantine() {
+    let g = asymmetric_graph(10, 31);
+    let f = Algorithm::GatheredThirdTh4.tolerance(10); // 2
+    for placement in [ByzPlacement::LowIds, ByzPlacement::HighIds, ByzPlacement::Random] {
+        for kind in [
+            AdversaryKind::TokenHijacker,
+            AdversaryKind::MapLiar,
+            AdversaryKind::Wanderer,
+        ] {
+            let spec = ScenarioSpec::gathered(&g, 0)
+                .with_byzantine(f, kind)
+                .with_placement(placement)
+                .with_seed(19);
+            assert_dispersed(
+                Algorithm::GatheredThirdTh4,
+                &g,
+                &spec,
+                &format!("th4 {kind:?} {placement:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sqrt_th5_arbitrary_start() {
+    let g = asymmetric_graph(9, 41);
+    let f = Algorithm::ArbitrarySqrtTh5.tolerance(9); // 1
+    let spec = ScenarioSpec::arbitrary(&g)
+        .with_byzantine(f, AdversaryKind::TokenHijacker)
+        .with_seed(23);
+    assert_dispersed(Algorithm::ArbitrarySqrtTh5, &g, &spec, "th5");
+}
+
+#[test]
+fn strong_th6_spoofer_at_tolerance() {
+    let g = asymmetric_graph(12, 51);
+    let f = Algorithm::StrongGatheredTh6.tolerance(12); // 2
+    for placement in [ByzPlacement::LowIds, ByzPlacement::HighIds] {
+        let spec = ScenarioSpec::gathered(&g, 0)
+            .with_byzantine(f, AdversaryKind::StrongSpoofer)
+            .with_placement(placement)
+            .with_seed(29);
+        assert_dispersed(
+            Algorithm::StrongGatheredTh6,
+            &g,
+            &spec,
+            &format!("th6 spoofer {placement:?}"),
+        );
+    }
+}
+
+#[test]
+fn strong_th7_arbitrary_start() {
+    let g = asymmetric_graph(8, 61);
+    let f = Algorithm::StrongArbitraryTh7.tolerance(8); // 1
+    let spec = ScenarioSpec::arbitrary(&g)
+        .with_byzantine(f, AdversaryKind::StrongSpoofer)
+        .with_seed(31);
+    assert_dispersed(Algorithm::StrongArbitraryTh7, &g, &spec, "th7");
+}
+
+// ------------------------------------------------------------ arbitrary half
+
+#[test]
+fn arbitrary_half_th2_with_byzantine() {
+    // The heavyweight row: gathering + all-pairs pairing. Small n.
+    let g = asymmetric_graph(6, 71);
+    let f = 2; // tolerance at n=6 is 2
+    let spec = ScenarioSpec::arbitrary(&g)
+        .with_byzantine(f, AdversaryKind::Wanderer)
+        .with_seed(37);
+    assert_dispersed(Algorithm::ArbitraryHalfTh2, &g, &spec, "th2");
+}
+
+// --------------------------------------------------------------- determinism
+
+#[test]
+fn runs_are_deterministic() {
+    let g = asymmetric_graph(10, 81);
+    let spec = ScenarioSpec::gathered(&g, 0)
+        .with_byzantine(2, AdversaryKind::Squatter)
+        .with_seed(43);
+    let a = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap();
+    let b = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap();
+    assert_eq!(a.final_positions, b.final_positions);
+    assert_eq!(a.rounds, b.rounds);
+}

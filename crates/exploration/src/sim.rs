@@ -1,0 +1,169 @@
+//! Offline driver for the token map explorer: runs agent and token directly
+//! against a [`PortGraph`] with no engine in between. Used by unit tests,
+//! calibration, and anywhere a trusted map build is acceptable.
+
+use crate::token_map::{AgentCmd, MapError, Percept, TokenMapExplorer};
+use bd_graphs::{NodeId, PortGraph};
+
+/// Result of an offline map construction.
+#[derive(Debug, Clone)]
+pub struct OfflineMap {
+    /// The constructed map; node 0 corresponds to `origin`.
+    pub map: PortGraph,
+    /// Number of agent moves performed (each is one synchronous round when
+    /// driven through the engine — the empirical `T₂`).
+    pub agent_moves: u64,
+    /// Number of token moves performed.
+    pub token_moves: u64,
+}
+
+/// Build a map of `g` starting from `origin` with an honest agent + token
+/// pair. Deterministic.
+pub fn build_map_offline(g: &PortGraph, origin: NodeId) -> Result<OfflineMap, MapError> {
+    let mut explorer = TokenMapExplorer::new(g.degree(origin), g.n());
+    let mut agent = origin;
+    let mut token = origin;
+    let mut entry_port = None;
+    let mut agent_moves = 0u64;
+    let mut token_moves = 0u64;
+    // Generous hard cap so a machine bug cannot loop forever in tests:
+    // each of the <= n*max_deg edge slots costs O(n) moves.
+    let cap = 16 * (g.n() as u64 + 1) * (g.m() as u64 + 1) + 64;
+    loop {
+        if agent_moves + token_moves > cap {
+            return Err(MapError::Inconsistent("move budget exceeded"));
+        }
+        let percept = Percept {
+            degree: g.degree(agent),
+            token_here: agent == token,
+            entry_port,
+        };
+        match explorer.next(percept) {
+            AgentCmd::Move(p) => {
+                let (to, q) = g.neighbor(agent, p);
+                agent = to;
+                entry_port = Some(q);
+                agent_moves += 1;
+            }
+            AgentCmd::MoveWithToken(p) => {
+                let (to, q) = g.neighbor(agent, p);
+                agent = to;
+                token = to;
+                entry_port = Some(q);
+                agent_moves += 1;
+                token_moves += 1;
+            }
+            AgentCmd::Done => {
+                if let Some(e) = explorer.error() {
+                    return Err(e.clone());
+                }
+                let (map, _) = explorer.into_map()?;
+                return Ok(OfflineMap { map, agent_moves, token_moves });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_graphs::generators::{
+        binary_tree, complete, erdos_renyi_connected, grid, hypercube, lollipop,
+        oriented_ring, path, petersen, random_regular, random_tree, ring, star, torus,
+    };
+    use bd_graphs::iso::are_isomorphic_rooted;
+
+    fn check_map(g: &PortGraph, origin: usize) -> OfflineMap {
+        let out = build_map_offline(g, origin).expect("map construction succeeds");
+        assert_eq!(out.map.n(), g.n(), "map has all nodes");
+        assert_eq!(out.map.m(), g.m(), "map has all edges");
+        assert!(
+            are_isomorphic_rooted(&out.map, 0, g, origin),
+            "map rooted-isomorphic to the graph"
+        );
+        out
+    }
+
+    #[test]
+    fn maps_all_generator_families() {
+        for g in [
+            path(6).unwrap(),
+            ring(8).unwrap(),
+            oriented_ring(7).unwrap(),
+            star(6).unwrap(),
+            complete(6).unwrap(),
+            grid(3, 4).unwrap(),
+            torus(3, 3).unwrap(),
+            hypercube(3).unwrap(),
+            binary_tree(3).unwrap(),
+            petersen().unwrap(),
+            lollipop(4, 3).unwrap(),
+            random_tree(11, 3).unwrap(),
+            random_regular(10, 3, 5).unwrap(),
+            erdos_renyi_connected(12, 0.3, 9).unwrap(),
+        ] {
+            for origin in [0, g.n() / 2, g.n() - 1] {
+                check_map(&g, origin);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        // One node, no edges: trivially done with zero moves.
+        let g = PortGraph::from_adjacency(vec![vec![]]).unwrap();
+        let out = build_map_offline(&g, 0).unwrap();
+        assert_eq!(out.map.n(), 1);
+        assert_eq!(out.agent_moves, 0);
+    }
+
+    #[test]
+    fn graph_with_self_loop_and_multi_edge() {
+        // Node 0 has a self-loop (ports 1,2); double edge between 0 and 1.
+        let g = PortGraph::from_adjacency(vec![
+            vec![(1, 0), (0, 2), (0, 1), (1, 1)],
+            vec![(0, 0), (0, 3)],
+        ])
+        .unwrap();
+        let out = build_map_offline(&g, 0).unwrap();
+        assert_eq!(out.map.n(), 2);
+        assert_eq!(out.map.m(), 3);
+        assert!(are_isomorphic_rooted(&out.map, 0, &g, 0));
+    }
+
+    #[test]
+    fn move_count_within_t2_bound() {
+        // T2 = O(n * m): assert a concrete constant holds across families.
+        for (g, label) in [
+            (ring(16).unwrap(), "ring"),
+            (complete(10).unwrap(), "complete"),
+            (erdos_renyi_connected(20, 0.2, 4).unwrap(), "gnp"),
+            (lollipop(8, 8).unwrap(), "lollipop"),
+        ] {
+            let out = build_map_offline(&g, 0).unwrap();
+            let bound = 8 * (g.n() as u64) * (g.m() as u64) + 64;
+            assert!(
+                out.agent_moves <= bound,
+                "{label}: {} moves exceeds 8*n*m bound {bound}",
+                out.agent_moves
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = erdos_renyi_connected(14, 0.25, 2).unwrap();
+        let a = build_map_offline(&g, 3).unwrap();
+        let b = build_map_offline(&g, 3).unwrap();
+        assert_eq!(a.map, b.map);
+        assert_eq!(a.agent_moves, b.agent_moves);
+    }
+
+    #[test]
+    fn different_origins_give_isomorphic_maps() {
+        let g = erdos_renyi_connected(10, 0.35, 6).unwrap();
+        let a = build_map_offline(&g, 0).unwrap();
+        let b = build_map_offline(&g, 5).unwrap();
+        assert!(bd_graphs::iso::are_isomorphic(&a.map, &b.map));
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared-seed pseudorandom exploration walks.
+//!
+//! Robots know `n`, so all of them can derive the *same* infinite sequence
+//! of pseudorandom draws from a seed that depends only on `n` (and an
+//! agreed-on protocol constant). Following `port = draw_i mod degree` yields
+//! a random walk; by the Aleliunas et al. cover-time bound, a walk of length
+//! `O(n³ log n)` covers every `n`-node graph from every start with high
+//! probability. This is the substrate standing in for the deterministic
+//! universal exploration sequences the paper cites for `X(n)` (DESIGN.md,
+//! substitution 3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default multiplier in the cover-walk length `c * n^3 * ceil(log2 n)`.
+///
+/// Cover time of a random walk on any connected `n`-node graph is at most
+/// `~ (4/27) n^3` in the worst case (lollipop); the logarithmic factor boosts
+/// the success probability to `1 - n^{-Θ(c)}` for covering from every start.
+pub const DEFAULT_COVER_MULTIPLIER: u64 = 4;
+
+/// Length of the shared exploration walk used for an `n`-node graph.
+pub fn cover_walk_length(n: usize) -> u64 {
+    let n = n as u64;
+    let log = (usize::BITS - n.leading_zeros() as u32).max(1) as u64;
+    DEFAULT_COVER_MULTIPLIER * n * n * n * log
+}
+
+/// An infinite pseudorandom port chooser, identical for every robot that
+/// constructs it with the same `n` and protocol tag.
+#[derive(Debug, Clone)]
+pub struct SharedWalk {
+    rng: StdRng,
+    steps_taken: u64,
+}
+
+impl SharedWalk {
+    /// Derive the walk for graph size `n` and a protocol tag (different
+    /// phases of an algorithm use different tags so their walks are
+    /// independent).
+    pub fn for_size(n: usize, tag: u64) -> Self {
+        let seed = (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tag;
+        SharedWalk { rng: StdRng::seed_from_u64(seed), steps_taken: 0 }
+    }
+
+    /// The next port to take from a node of the given degree.
+    ///
+    /// Draws are consumed one per step regardless of degree, so two robots
+    /// in lockstep consume the sequence identically.
+    pub fn next_port(&mut self, degree: usize) -> usize {
+        self.steps_taken += 1;
+        let draw: u64 = self.rng.gen();
+        (draw % degree.max(1) as u64) as usize
+    }
+
+    /// Number of steps drawn so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_graphs::generators::{erdos_renyi_connected, lollipop, ring};
+
+    #[test]
+    fn same_seed_same_walk() {
+        let mut a = SharedWalk::for_size(16, 7);
+        let mut b = SharedWalk::for_size(16, 7);
+        for d in [2usize, 3, 5, 2, 7, 1] {
+            assert_eq!(a.next_port(d), b.next_port(d));
+        }
+    }
+
+    #[test]
+    fn different_tags_differ() {
+        let mut a = SharedWalk::for_size(16, 1);
+        let mut b = SharedWalk::for_size(16, 2);
+        let draws_a: Vec<usize> = (0..32).map(|_| a.next_port(10)).collect();
+        let draws_b: Vec<usize> = (0..32).map(|_| b.next_port(10)).collect();
+        assert_ne!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn cover_length_monotone() {
+        assert!(cover_walk_length(8) < cover_walk_length(16));
+        assert!(cover_walk_length(16) < cover_walk_length(64));
+    }
+
+    #[test]
+    fn walk_covers_small_graphs() {
+        for (g, tag) in [
+            (ring(10).unwrap(), 3u64),
+            (lollipop(5, 4).unwrap(), 3),
+            (erdos_renyi_connected(12, 0.25, 5).unwrap(), 3),
+        ] {
+            let mut walk = SharedWalk::for_size(g.n(), tag);
+            let mut seen = vec![false; g.n()];
+            let mut cur = 0usize;
+            seen[0] = true;
+            let budget = cover_walk_length(g.n());
+            for _ in 0..budget {
+                let p = walk.next_port(g.degree(cur));
+                cur = g.neighbor(cur, p).0;
+                seen[cur] = true;
+                if seen.iter().all(|&b| b) {
+                    break;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "walk failed to cover {}-node graph", g.n());
+        }
+    }
+
+    #[test]
+    fn ports_always_in_range() {
+        let mut w = SharedWalk::for_size(9, 0);
+        for d in 1..20 {
+            for _ in 0..50 {
+                assert!(w.next_port(d) < d);
+            }
+        }
+    }
+}

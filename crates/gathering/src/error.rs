@@ -1,0 +1,25 @@
+//! Gathering failures.
+
+use std::fmt;
+
+/// Why gathering cannot proceed on a given graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatherError {
+    /// The graph has no view-singleton node: every node's view is shared by
+    /// at least one other node, so no deterministic rendezvous point exists
+    /// (vertex-transitive presentations). Consistent with classical
+    /// rendezvous impossibility results.
+    NoSingletonClass,
+}
+
+impl fmt::Display for GatherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatherError::NoSingletonClass => {
+                write!(f, "graph has no view-singleton node; deterministic gathering impossible")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GatherError {}

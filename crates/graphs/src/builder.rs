@@ -1,0 +1,134 @@
+//! Incremental construction of port-labeled graphs.
+
+use crate::error::GraphError;
+use crate::portgraph::{NodeId, Port, PortGraph};
+
+/// Builds a [`PortGraph`] edge by edge.
+///
+/// Ports are assigned in insertion order unless explicit ports are given:
+/// the first edge added at a node gets port 0, the next port 1, and so on.
+/// This matches how most constructions in the dispersion literature present
+/// graphs, and [`crate::scramble::scramble_ports`] can randomize the
+/// assignment afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct PortGraphBuilder {
+    adj: Vec<Vec<(NodeId, Port)>>,
+}
+
+impl PortGraphBuilder {
+    /// Start a builder with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        PortGraphBuilder { adj: vec![Vec::new(); n] }
+    }
+
+    /// Current number of nodes.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a new isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Add an undirected edge between `u` and `v`, assigning the next free
+    /// port on each side. Returns the `(port_at_u, port_at_v)` pair.
+    ///
+    /// `u == v` creates a self-loop occupying two ports of `u`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(Port, Port), GraphError> {
+        let n = self.adj.len();
+        if u >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            let p = self.adj[u].len();
+            let q = p + 1;
+            self.adj[u].push((u, q));
+            self.adj[u].push((u, p));
+            Ok((p, q))
+        } else {
+            let p = self.adj[u].len();
+            let q = self.adj[v].len();
+            self.adj[u].push((v, q));
+            self.adj[v].push((u, p));
+            Ok((p, q))
+        }
+    }
+
+    /// True if an edge between `u` and `v` already exists (any ports).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj.get(u).is_some_and(|a| a.iter().any(|&(w, _)| w == v))
+    }
+
+    /// Degree of `u` so far.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj.get(u).map_or(0, |a| a.len())
+    }
+
+    /// Finish building, validating the port invariants.
+    pub fn build(self) -> Result<PortGraph, GraphError> {
+        PortGraph::from_adjacency(self.adj)
+    }
+
+    /// Finish building and additionally require connectivity.
+    pub fn build_connected(self) -> Result<PortGraph, GraphError> {
+        let g = PortGraph::from_adjacency(self.adj)?;
+        g.validate_connected()?;
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_assigned_in_order() {
+        let mut b = PortGraphBuilder::with_nodes(3);
+        assert_eq!(b.add_edge(0, 1).unwrap(), (0, 0));
+        assert_eq!(b.add_edge(0, 2).unwrap(), (1, 0));
+        assert_eq!(b.add_edge(1, 2).unwrap(), (1, 1));
+        let g = b.build_connected().unwrap();
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.neighbor(0, 1), (2, 0));
+    }
+
+    #[test]
+    fn self_loop_takes_two_ports() {
+        let mut b = PortGraphBuilder::with_nodes(1);
+        assert_eq!(b.add_edge(0, 0).unwrap(), (0, 1));
+        let g = b.build().unwrap();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbor(0, 0), (0, 1));
+        assert_eq!(g.neighbor(0, 1), (0, 0));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut b = PortGraphBuilder::with_nodes(2);
+        assert!(b.add_edge(0, 5).is_err());
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut b = PortGraphBuilder::default();
+        let a = b.add_node();
+        let c = b.add_node();
+        b.add_edge(a, c).unwrap();
+        assert!(b.has_edge(a, c));
+        assert!(b.has_edge(c, a));
+        assert_eq!(b.degree(a), 1);
+        let g = b.build_connected().unwrap();
+        assert_eq!(g.n(), 2);
+    }
+
+    #[test]
+    fn disconnected_build_fails() {
+        let b = PortGraphBuilder::with_nodes(2);
+        assert!(matches!(b.build_connected(), Err(GraphError::Disconnected)));
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type shared across the graph substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating port-labeled graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was out of range.
+    NodeOutOfRange { node: usize, n: usize },
+    /// A port index was out of range for the node's degree.
+    PortOutOfRange { node: usize, port: usize, degree: usize },
+    /// The port structure is not symmetric: following `(node, port)` and
+    /// coming back does not return to the same `(node, port)`.
+    AsymmetricPorts { node: usize, port: usize },
+    /// The graph is not connected (dispersion is only defined on connected
+    /// graphs: robots must be able to reach every node).
+    Disconnected,
+    /// A generator was asked for parameters that admit no graph
+    /// (e.g. a 3-regular graph on 5 nodes).
+    InvalidParameters(String),
+    /// A port sequence walked off the graph (port >= degree of current node).
+    BadWalk { step: usize, node: usize, port: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::PortOutOfRange { node, port, degree } => {
+                write!(f, "port {port} out of range at node {node} (degree {degree})")
+            }
+            GraphError::AsymmetricPorts { node, port } => {
+                write!(f, "asymmetric port structure at node {node}, port {port}")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            GraphError::BadWalk { step, node, port } => {
+                write!(f, "walk step {step}: port {port} invalid at node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

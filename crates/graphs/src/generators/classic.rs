@@ -1,0 +1,132 @@
+//! Rings, paths, stars and complete graphs.
+
+use crate::builder::PortGraphBuilder;
+use crate::error::GraphError;
+use crate::portgraph::PortGraph;
+
+/// A ring on `n >= 3` nodes with ports assigned in edge-insertion order
+/// (node 0 connects to 1 then to n-1, so its ports differ from inner nodes').
+///
+/// The previous work on Byzantine dispersion (Molla et al., ALGOSENSORS'20)
+/// was confined to rings; rings are our bridge back to that baseline.
+pub fn ring(n: usize) -> Result<PortGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameters(format!("ring needs n >= 3, got {n}")));
+    }
+    let mut b = PortGraphBuilder::with_nodes(n);
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n)?;
+    }
+    b.build_connected()
+}
+
+/// A ring on `n >= 3` nodes where every node uses port 0 for its clockwise
+/// neighbor and port 1 for its counter-clockwise neighbor.
+///
+/// This *oriented* ring is vertex-transitive: all views are equal, the
+/// quotient graph is a single node, and view-based symmetry breaking is
+/// impossible — a useful negative fixture for gathering feasibility tests.
+pub fn oriented_ring(n: usize) -> Result<PortGraph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameters(format!(
+            "oriented_ring needs n >= 3, got {n}"
+        )));
+    }
+    let adj = (0..n)
+        .map(|v| vec![((v + 1) % n, 1), ((v + n - 1) % n, 0)])
+        .collect();
+    PortGraph::from_adjacency(adj)
+}
+
+/// A path on `n >= 2` nodes: `0 - 1 - ... - n-1`.
+pub fn path(n: usize) -> Result<PortGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(format!("path needs n >= 2, got {n}")));
+    }
+    let mut b = PortGraphBuilder::with_nodes(n);
+    for v in 0..n - 1 {
+        b.add_edge(v, v + 1)?;
+    }
+    b.build_connected()
+}
+
+/// A star with `n - 1` leaves around center node 0 (`n >= 2`).
+pub fn star(n: usize) -> Result<PortGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(format!("star needs n >= 2, got {n}")));
+    }
+    let mut b = PortGraphBuilder::with_nodes(n);
+    for v in 1..n {
+        b.add_edge(0, v)?;
+    }
+    b.build_connected()
+}
+
+/// The complete graph `K_n` (`n >= 2`).
+pub fn complete(n: usize) -> Result<PortGraph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameters(format!("complete needs n >= 2, got {n}")));
+    }
+    let mut b = PortGraphBuilder::with_nodes(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            b.add_edge(u, v)?;
+        }
+    }
+    b.build_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(7).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 7);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn oriented_ring_uniform_ports() {
+        let g = oriented_ring(6).unwrap();
+        for v in g.nodes() {
+            let (cw, back) = g.neighbor(v, 0);
+            assert_eq!(cw, (v + 1) % 6);
+            assert_eq!(back, 1);
+        }
+    }
+
+    #[test]
+    fn path_endpoints_have_degree_one() {
+        let g = path(5).unwrap();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.m(), 4);
+    }
+
+    #[test]
+    fn star_center_degree() {
+        let g = star(9).unwrap();
+        assert_eq!(g.degree(0), 8);
+        assert!((1..9).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.m(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn tiny_parameters_rejected() {
+        assert!(ring(2).is_err());
+        assert!(oriented_ring(1).is_err());
+        assert!(path(1).is_err());
+        assert!(star(1).is_err());
+        assert!(complete(1).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Compound and named graphs: lollipops, barbells, binary trees, Petersen.
+
+use crate::builder::PortGraphBuilder;
+use crate::error::GraphError;
+use crate::portgraph::PortGraph;
+
+/// A lollipop: a clique on `clique` nodes with a path of `tail` extra nodes
+/// attached to clique node 0. Lollipops are the classic worst case for
+/// random-walk cover time — a stress fixture for the exploration substrate.
+pub fn lollipop(clique: usize, tail: usize) -> Result<PortGraph, GraphError> {
+    if clique < 3 || tail < 1 {
+        return Err(GraphError::InvalidParameters(format!(
+            "lollipop needs clique >= 3 and tail >= 1, got {clique}, {tail}"
+        )));
+    }
+    let n = clique + tail;
+    let mut b = PortGraphBuilder::with_nodes(n);
+    for u in 0..clique {
+        for v in u + 1..clique {
+            b.add_edge(u, v)?;
+        }
+    }
+    b.add_edge(0, clique)?;
+    for v in clique..n - 1 {
+        b.add_edge(v, v + 1)?;
+    }
+    b.build_connected()
+}
+
+/// A barbell: two cliques of size `clique` joined by a path of `bridge`
+/// intermediate nodes (`bridge >= 1`).
+pub fn barbell(clique: usize, bridge: usize) -> Result<PortGraph, GraphError> {
+    if clique < 3 || bridge < 1 {
+        return Err(GraphError::InvalidParameters(format!(
+            "barbell needs clique >= 3 and bridge >= 1, got {clique}, {bridge}"
+        )));
+    }
+    let n = 2 * clique + bridge;
+    let mut b = PortGraphBuilder::with_nodes(n);
+    for base in [0, clique] {
+        for u in base..base + clique {
+            for v in u + 1..base + clique {
+                b.add_edge(u, v)?;
+            }
+        }
+    }
+    // Bridge nodes occupy the tail of the id range.
+    let first_bridge = 2 * clique;
+    b.add_edge(0, first_bridge)?;
+    for v in first_bridge..n - 1 {
+        b.add_edge(v, v + 1)?;
+    }
+    b.add_edge(n - 1, clique)?;
+    b.build_connected()
+}
+
+/// A complete binary tree with `levels >= 2` levels (`2^levels - 1` nodes).
+pub fn binary_tree(levels: usize) -> Result<PortGraph, GraphError> {
+    if !(2..=20).contains(&levels) {
+        return Err(GraphError::InvalidParameters(format!(
+            "binary_tree needs 2 <= levels <= 20, got {levels}"
+        )));
+    }
+    let n = (1usize << levels) - 1;
+    let mut b = PortGraphBuilder::with_nodes(n);
+    for v in 1..n {
+        b.add_edge((v - 1) / 2, v)?;
+    }
+    b.build_connected()
+}
+
+/// The Petersen graph (10 nodes, 3-regular, vertex-transitive).
+///
+/// Being vertex-transitive, all its views coincide under the canonical port
+/// assignment below — a fixture for the "quotient graph not isomorphic to G"
+/// branch of Theorem 1 and for gathering infeasibility.
+pub fn petersen() -> Result<PortGraph, GraphError> {
+    // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i <-> i+5. Explicit
+    // rotation-invariant port pattern: port 0 = "next" in own cycle (+1
+    // outer, +2 inner), port 1 = "previous", port 2 = spoke. The outer
+    // rotation i -> i+1 (mod 5) on both cycles is then a port-preserving
+    // automorphism, so views collapse along each 5-orbit.
+    let mut adj: Vec<Vec<(usize, usize)>> = Vec::with_capacity(10);
+    for i in 0..5 {
+        adj.push(vec![((i + 1) % 5, 1), ((i + 4) % 5, 0), (i + 5, 2)]);
+    }
+    for i in 0..5 {
+        adj.push(vec![(5 + (i + 2) % 5, 1), (5 + (i + 3) % 5, 0), (i, 2)]);
+    }
+    PortGraph::from_adjacency(adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(5, 3).unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 10 + 3);
+        assert_eq!(g.degree(0), 5); // clique + tail attachment
+        assert_eq!(g.degree(7), 1); // tail tip
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4, 2).unwrap();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 6 + 6 + 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(4).unwrap();
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(14), 1);
+    }
+
+    #[test]
+    fn petersen_is_3_regular() {
+        let g = petersen().unwrap();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert!(lollipop(2, 1).is_err());
+        assert!(barbell(3, 0).is_err());
+        assert!(binary_tree(1).is_err());
+    }
+}

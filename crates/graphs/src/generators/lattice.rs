@@ -1,0 +1,111 @@
+//! Grid, torus and hypercube lattices.
+
+use crate::builder::PortGraphBuilder;
+use crate::error::GraphError;
+use crate::portgraph::PortGraph;
+
+/// An `r x c` grid (`r, c >= 1`, at least 2 nodes total). Node `(i, j)` is
+/// `i * c + j`; edges go to the right neighbor then the down neighbor, so
+/// ports follow insertion order.
+pub fn grid(r: usize, c: usize) -> Result<PortGraph, GraphError> {
+    if r * c < 2 {
+        return Err(GraphError::InvalidParameters(format!("grid needs >= 2 nodes, got {r}x{c}")));
+    }
+    let mut b = PortGraphBuilder::with_nodes(r * c);
+    for i in 0..r {
+        for j in 0..c {
+            let v = i * c + j;
+            if j + 1 < c {
+                b.add_edge(v, v + 1)?;
+            }
+            if i + 1 < r {
+                b.add_edge(v, v + c)?;
+            }
+        }
+    }
+    b.build_connected()
+}
+
+/// An `r x c` torus (`r, c >= 3` so the graph stays simple).
+pub fn torus(r: usize, c: usize) -> Result<PortGraph, GraphError> {
+    if r < 3 || c < 3 {
+        return Err(GraphError::InvalidParameters(format!(
+            "torus needs r, c >= 3, got {r}x{c}"
+        )));
+    }
+    let mut b = PortGraphBuilder::with_nodes(r * c);
+    for i in 0..r {
+        for j in 0..c {
+            let v = i * c + j;
+            let right = i * c + (j + 1) % c;
+            let down = ((i + 1) % r) * c + j;
+            if !b.has_edge(v, right) {
+                b.add_edge(v, right)?;
+            }
+            if !b.has_edge(v, down) {
+                b.add_edge(v, down)?;
+            }
+        }
+    }
+    b.build_connected()
+}
+
+/// The `d`-dimensional hypercube on `2^d` nodes (`1 <= d <= 20`). Node `v`
+/// uses port `i` for the neighbor differing in bit `i` — the canonical
+/// dimension-labeled port assignment.
+pub fn hypercube(d: usize) -> Result<PortGraph, GraphError> {
+    if d == 0 || d > 20 {
+        return Err(GraphError::InvalidParameters(format!(
+            "hypercube needs 1 <= d <= 20, got {d}"
+        )));
+    }
+    let n = 1usize << d;
+    let adj = (0..n)
+        .map(|v| (0..d).map(|i| (v ^ (1 << i), i)).collect())
+        .collect();
+    PortGraph::from_adjacency(adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical = 17
+        assert_eq!(g.m(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(3, 5).unwrap();
+        assert_eq!(g.n(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 30);
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn hypercube_ports_are_dimensions() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        for v in g.nodes() {
+            for i in 0..4 {
+                assert_eq!(g.neighbor(v, i), (v ^ (1 << i), i));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert!(grid(1, 1).is_err());
+        assert!(torus(2, 5).is_err());
+        assert!(hypercube(0).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Graph families used throughout the paper's setting and our benchmarks.
+//!
+//! Every generator returns a connected [`crate::PortGraph`] with a
+//! deterministic port assignment; compose with
+//! [`crate::scramble::scramble_ports`] / [`crate::scramble::relabel_nodes`]
+//! to obtain other presentations of the same anonymous graph.
+
+mod classic;
+mod compound;
+mod lattice;
+mod random;
+
+pub use classic::{complete, oriented_ring, path, ring, star};
+pub use compound::{barbell, binary_tree, lollipop, petersen};
+pub use lattice::{grid, hypercube, torus};
+pub use random::{erdos_renyi_connected, random_regular, random_tree};

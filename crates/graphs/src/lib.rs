@@ -1,0 +1,46 @@
+//! # bd-graphs
+//!
+//! Anonymous, port-labeled graphs — the terrain on which Byzantine dispersion
+//! is played out (Molla–Mondal–Moses Jr., *Byzantine Dispersion on Graphs*,
+//! IPDPS 2021, §1.1).
+//!
+//! Nodes are unlabeled; every node `v` numbers its incident edges with local
+//! **ports** `0..deg(v)`. The two endpoints of an edge may assign different
+//! port numbers. A robot standing on a node sees only the node's degree; a
+//! robot crossing an edge learns the port numbers on both sides.
+//!
+//! This crate provides:
+//!
+//! * [`PortGraph`] — the core graph type with the port invariants enforced;
+//! * [`builder::PortGraphBuilder`] — incremental construction;
+//! * [`generators`] — rings, paths, grids, tori, hypercubes, complete graphs,
+//!   random regular graphs, Erdős–Rényi graphs, trees, lollipops, …;
+//! * [`view`] — truncated view trees (Yamashita–Kameda);
+//! * [`quotient`] — the quotient graph via partition refinement (§2.1 of the
+//!   paper, after Czyzowicz–Kosowski–Pelc \[16\] and Yamashita–Kameda \[47\]);
+//! * [`canonical`] — canonical forms of *rooted* port-labeled graphs (used for
+//!   majority voting over maps in the paper's §3);
+//! * [`iso`] — isomorphism tests;
+//! * [`traversal`] — BFS/DFS trees, Euler tours as port sequences;
+//! * [`navigate`] — following port sequences, shortest port paths;
+//! * [`scramble`] — node relabeling and port scrambling (for generating
+//!   distinct-but-isomorphic presentations of the same anonymous graph).
+
+pub mod builder;
+pub mod canonical;
+pub mod error;
+pub mod generators;
+pub mod iso;
+pub mod navigate;
+pub mod portgraph;
+pub mod quotient;
+pub mod scramble;
+pub mod traversal;
+pub mod view;
+
+pub use builder::PortGraphBuilder;
+pub use canonical::{canonical_form, CanonicalForm};
+pub use error::GraphError;
+pub use portgraph::{NodeId, Port, PortGraph};
+pub use quotient::{quotient_graph, QuotientGraph};
+pub use traversal::{bfs_tree, dfs_tree, euler_tour_ports, SpanningTree};

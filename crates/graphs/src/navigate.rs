@@ -1,0 +1,175 @@
+//! Walking port sequences and computing port paths.
+//!
+//! Everything a robot does physically reduces to "follow this sequence of
+//! ports". These helpers execute such walks on a graph (for the simulator
+//! and for robots' local planning on their private maps) and compute port
+//! paths between nodes.
+
+use crate::error::GraphError;
+use crate::portgraph::{NodeId, Port, PortGraph};
+use std::collections::VecDeque;
+
+/// The full trace of a walk: nodes visited (`len = ports.len() + 1`) and the
+/// entry back-port recorded at each step (what a robot remembers so it can
+/// reverse its walk).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    /// Visited nodes, starting node first.
+    pub nodes: Vec<NodeId>,
+    /// `back_ports[i]` = the far-side port of the `i`-th edge crossed, i.e.
+    /// the port to follow from `nodes[i + 1]` to return to `nodes[i]`.
+    pub back_ports: Vec<Port>,
+}
+
+impl Walk {
+    /// Final node of the walk.
+    pub fn end(&self) -> NodeId {
+        *self.nodes.last().expect("walk has at least the start node")
+    }
+
+    /// The port sequence that retraces this walk backwards (end to start).
+    pub fn reverse_ports(&self) -> Vec<Port> {
+        self.back_ports.iter().rev().copied().collect()
+    }
+}
+
+/// Execute a port sequence from `start`, returning the full [`Walk`].
+pub fn trace_walk(g: &PortGraph, start: NodeId, ports: &[Port]) -> Result<Walk, GraphError> {
+    let mut nodes = Vec::with_capacity(ports.len() + 1);
+    let mut back_ports = Vec::with_capacity(ports.len());
+    let mut cur = start;
+    nodes.push(cur);
+    for (i, &p) in ports.iter().enumerate() {
+        if p >= g.degree(cur) {
+            return Err(GraphError::BadWalk { step: i, node: cur, port: p });
+        }
+        let (u, q) = g.neighbor(cur, p);
+        cur = u;
+        nodes.push(cur);
+        back_ports.push(q);
+    }
+    Ok(Walk { nodes, back_ports })
+}
+
+/// Execute a port sequence from `start`, returning only the final node.
+pub fn follow_ports(g: &PortGraph, start: NodeId, ports: &[Port]) -> Result<NodeId, GraphError> {
+    let mut cur = start;
+    for (i, &p) in ports.iter().enumerate() {
+        if p >= g.degree(cur) {
+            return Err(GraphError::BadWalk { step: i, node: cur, port: p });
+        }
+        cur = g.neighbor(cur, p).0;
+    }
+    Ok(cur)
+}
+
+/// Shortest port path from `from` to `to` (BFS over ports in increasing
+/// order, so the result is deterministic). Returns `None` if unreachable.
+pub fn shortest_path_ports(g: &PortGraph, from: NodeId, to: NodeId) -> Option<Vec<Port>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let mut pred: Vec<Option<(NodeId, Port)>> = vec![None; g.n()];
+    let mut seen = vec![false; g.n()];
+    let mut queue = VecDeque::new();
+    seen[from] = true;
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        for p in 0..g.degree(v) {
+            let (u, _) = g.neighbor(v, p);
+            if !seen[u] {
+                seen[u] = true;
+                pred[u] = Some((v, p));
+                if u == to {
+                    let mut rev = Vec::new();
+                    let mut cur = to;
+                    while let Some((w, port)) = pred[cur] {
+                        rev.push(port);
+                        cur = w;
+                    }
+                    rev.reverse();
+                    return Some(rev);
+                }
+                queue.push_back(u);
+            }
+        }
+    }
+    None
+}
+
+/// All-pairs hop distances (BFS from every node). `usize::MAX` marks
+/// unreachable pairs.
+pub fn distances(g: &PortGraph) -> Vec<Vec<usize>> {
+    let n = g.n();
+    let mut dist = vec![vec![usize::MAX; n]; n];
+    for s in 0..n {
+        dist[s][s] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for p in 0..g.degree(v) {
+                let (u, _) = g.neighbor(v, p);
+                if dist[s][u] == usize::MAX {
+                    dist[s][u] = dist[s][v] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi_connected, path, ring};
+
+    #[test]
+    fn walk_and_reverse_roundtrip() {
+        let g = ring(6).unwrap();
+        let ports = vec![0, 0, 0];
+        let walk = trace_walk(&g, 0, &ports).unwrap();
+        let end = walk.end();
+        assert_ne!(end, 0);
+        let back = walk.reverse_ports();
+        assert_eq!(follow_ports(&g, end, &back).unwrap(), 0);
+    }
+
+    #[test]
+    fn bad_port_detected() {
+        let g = path(3).unwrap();
+        // Node 0 has degree 1; port 1 is invalid.
+        let err = follow_ports(&g, 0, &[1]);
+        assert!(matches!(err, Err(GraphError::BadWalk { step: 0, node: 0, port: 1 })));
+    }
+
+    #[test]
+    fn shortest_path_found_and_minimal() {
+        let g = ring(8).unwrap();
+        let d = distances(&g);
+        for from in g.nodes() {
+            for to in g.nodes() {
+                let sp = shortest_path_ports(&g, from, to).unwrap();
+                assert_eq!(sp.len(), d[from][to], "({from},{to})");
+                assert_eq!(follow_ports(&g, from, &sp).unwrap(), to);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_symmetric_on_undirected() {
+        let g = erdos_renyi_connected(10, 0.3, 6).unwrap();
+        let d = distances(&g);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(d[a][b], d[b][a]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_path_for_same_node() {
+        let g = path(4).unwrap();
+        assert_eq!(shortest_path_ports(&g, 2, 2).unwrap(), Vec::<usize>::new());
+    }
+}

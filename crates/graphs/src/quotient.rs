@@ -1,0 +1,253 @@
+//! Quotient graphs via partition refinement (paper §2.1).
+//!
+//! The quotient graph `Q_G` of an anonymous port-labeled graph `G` has one
+//! node per class of view-equivalent nodes of `G`; class `X` has an edge
+//! through port `p` to class `Y` with far port `q` iff the members of `X`
+//! reach members of `Y` through `(p, q)` (this is well-defined at the
+//! refinement fixpoint). `Q_G` contains everything a single deterministic
+//! robot can learn about `G` (Czyzowicz–Kosowski–Pelc \[16\],
+//! Yamashita–Kameda \[47\]).
+//!
+//! The partition refinement below is the standard 1-dimensional
+//! color-refinement specialised to port-labeled graphs: start from the
+//! degree partition and refine by the per-port `(far class, far port)`
+//! signature until stable. At the fixpoint the classes are exactly the view
+//! equivalence classes.
+
+use crate::portgraph::{NodeId, Port, PortGraph};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The quotient graph of a port-labeled graph, plus the projection maps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuotientGraph {
+    /// The class-level graph. May contain self-loops and parallel edges even
+    /// when the underlying graph is simple.
+    pub graph: PortGraph,
+    /// `class_of[v]` = quotient node that `v` projects to.
+    pub class_of: Vec<usize>,
+    /// Members of each class, sorted ascending.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl QuotientGraph {
+    /// Number of view classes.
+    pub fn num_classes(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Whether the quotient graph is isomorphic to the original graph — the
+    /// precondition of Theorem 1. Because classes partition the `n` nodes,
+    /// this holds iff every class is a singleton.
+    pub fn is_isomorphic_to_original(&self) -> bool {
+        self.members.iter().all(|m| m.len() == 1)
+    }
+
+    /// Classes with exactly one member (nodes uniquely identifiable by view).
+    pub fn singleton_classes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_classes()).filter(|&c| self.members[c].len() == 1)
+    }
+
+    /// A representative member of class `c` (the smallest node id).
+    pub fn representative(&self, c: usize) -> NodeId {
+        self.members[c][0]
+    }
+}
+
+/// Compute the quotient graph of `g` by partition refinement.
+///
+/// Runs in `O(n * m)` time worst case (at most `n` refinement sweeps, each
+/// `O(m)`), well inside the polynomial budget of the paper's Lemma 1.
+pub fn quotient_graph(g: &PortGraph) -> QuotientGraph {
+    let n = g.n();
+    assert!(n > 0, "quotient of the empty graph is undefined");
+
+    // Initial partition: by degree.
+    let mut class_of: Vec<usize> = vec![0; n];
+    {
+        let mut ids: HashMap<usize, usize> = HashMap::new();
+        for v in 0..n {
+            let next = ids.len();
+            let c = *ids.entry(g.degree(v)).or_insert(next);
+            class_of[v] = c;
+        }
+    }
+
+    // Refine until the number of classes stabilizes. Signature of v:
+    // (own class, [(far class, far port) per port in order]).
+    loop {
+        let mut ids: HashMap<(usize, Vec<(usize, Port)>), usize> = HashMap::new();
+        let mut next_of = vec![0usize; n];
+        for v in 0..n {
+            let sig: Vec<(usize, Port)> = (0..g.degree(v))
+                .map(|p| {
+                    let (u, q) = g.neighbor(v, p);
+                    (class_of[u], q)
+                })
+                .collect();
+            let key = (class_of[v], sig);
+            let fresh = ids.len();
+            next_of[v] = *ids.entry(key).or_insert(fresh);
+        }
+        let stable = ids.len() == class_count(&class_of);
+        class_of = next_of;
+        if stable {
+            break;
+        }
+    }
+
+    // Renumber classes by smallest member for determinism.
+    let k = class_count(&class_of);
+    let mut first_member = vec![usize::MAX; k];
+    for v in 0..n {
+        first_member[class_of[v]] = first_member[class_of[v]].min(v);
+    }
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&c| first_member[c]);
+    let mut renum = vec![0usize; k];
+    for (newc, &oldc) in order.iter().enumerate() {
+        renum[oldc] = newc;
+    }
+    for c in class_of.iter_mut() {
+        *c = renum[*c];
+    }
+
+    let mut members = vec![Vec::new(); k];
+    for v in 0..n {
+        members[class_of[v]].push(v);
+    }
+
+    // Build the class-level graph from representatives. Well-defined at the
+    // fixpoint: all members of a class agree on (far class, far port) per
+    // port.
+    let adj: Vec<Vec<(usize, Port)>> = (0..k)
+        .map(|c| {
+            let rep = members[c][0];
+            (0..g.degree(rep))
+                .map(|p| {
+                    let (u, q) = g.neighbor(rep, p);
+                    (class_of[u], q)
+                })
+                .collect()
+        })
+        .collect();
+    let graph = PortGraph::from_adjacency(adj).expect(
+        "quotient adjacency is symmetric at the refinement fixpoint",
+    );
+
+    QuotientGraph { graph, class_of, members }
+}
+
+fn class_count(class_of: &[usize]) -> usize {
+    class_of.iter().copied().max().map_or(0, |c| c + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{
+        erdos_renyi_connected, hypercube, oriented_ring, path, petersen, ring, star,
+    };
+    use crate::view::view_hashes_at_depth;
+
+    #[test]
+    fn oriented_ring_collapses_to_one_class() {
+        let g = oriented_ring(8).unwrap();
+        let q = quotient_graph(&g);
+        assert_eq!(q.num_classes(), 1);
+        assert!(!q.is_isomorphic_to_original());
+        // Class graph: one node with ports 0 and 1 joined as a loop.
+        assert_eq!(q.graph.degree(0), 2);
+    }
+
+    #[test]
+    fn insertion_order_ring_is_asymmetric_enough() {
+        // ring() gives node 0 a different port pattern than the rest, which
+        // propagates and separates all views.
+        let g = ring(7).unwrap();
+        let q = quotient_graph(&g);
+        assert!(q.is_isomorphic_to_original(), "classes: {:?}", q.members);
+    }
+
+    #[test]
+    fn insertion_order_path_does_not_fold() {
+        // Insertion-order ports break the mirror symmetry of a path.
+        let g = path(5).unwrap();
+        let q = quotient_graph(&g);
+        assert!(q.is_isomorphic_to_original());
+    }
+
+    #[test]
+    fn mirror_symmetric_path_folds_halves() {
+        // 4-path with mirror-symmetric port labels: classes {0,3}, {1,2}.
+        let g = crate::PortGraph::from_adjacency(vec![
+            vec![(1, 1)],
+            vec![(2, 0), (0, 0)],
+            vec![(1, 0), (3, 0)],
+            vec![(2, 1)],
+        ])
+        .unwrap();
+        let q = quotient_graph(&g);
+        assert_eq!(q.num_classes(), 2);
+        assert_eq!(q.members[q.class_of[0]], vec![0, 3]);
+        assert_eq!(q.members[q.class_of[1]], vec![1, 2]);
+        assert!(!q.is_isomorphic_to_original());
+    }
+
+    #[test]
+    fn hypercube_dimension_ports_collapse() {
+        // With dimension-labeled ports the hypercube is vertex-transitive.
+        let g = hypercube(3).unwrap();
+        let q = quotient_graph(&g);
+        assert_eq!(q.num_classes(), 1);
+    }
+
+    #[test]
+    fn petersen_collapses() {
+        let g = petersen().unwrap();
+        let q = quotient_graph(&g);
+        assert!(q.num_classes() < 10, "vertex-transitive presentation should fold");
+    }
+
+    #[test]
+    fn star_insertion_ports_fully_separate() {
+        let g = star(6).unwrap();
+        let q = quotient_graph(&g);
+        // Each leaf has a distinct back-port at the center, so all views differ.
+        assert!(q.is_isomorphic_to_original());
+    }
+
+    #[test]
+    fn refinement_matches_norris_depth_view_hashes() {
+        for seed in 0..6 {
+            let g = erdos_renyi_connected(12, 0.3, seed).unwrap();
+            let q = quotient_graph(&g);
+            let h = view_hashes_at_depth(&g, g.n() - 1);
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    assert_eq!(
+                        q.class_of[a] == q.class_of[b],
+                        h[a] == h[b],
+                        "seed {seed}, nodes {a},{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_graph_projection_commutes() {
+        // Following port p from v and projecting equals following port p
+        // from class_of[v] in the quotient graph.
+        let g = path(6).unwrap();
+        let q = quotient_graph(&g);
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                let (u, fq) = g.neighbor(v, p);
+                let (cu, cq) = q.graph.neighbor(q.class_of[v], p);
+                assert_eq!(cu, q.class_of[u]);
+                assert_eq!(cq, fq);
+            }
+        }
+    }
+}

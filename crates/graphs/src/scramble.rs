@@ -1,0 +1,125 @@
+//! Alternative presentations of the same anonymous graph: node relabelings
+//! and port scramblings.
+//!
+//! Because nodes are anonymous and ports are local, the "same" graph has many
+//! concrete presentations. Robots must behave identically on all of them;
+//! tests use these transforms to check exactly that.
+
+use crate::portgraph::{NodeId, Port, PortGraph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Relabel nodes by `perm` (`perm[v]` = new id of `v`). Ports are untouched.
+pub fn relabel_nodes(g: &PortGraph, perm: &[NodeId]) -> PortGraph {
+    assert_eq!(perm.len(), g.n(), "permutation length must equal n");
+    let mut adj: Vec<Vec<(NodeId, Port)>> = vec![Vec::new(); g.n()];
+    for v in g.nodes() {
+        adj[perm[v]] = (0..g.degree(v))
+            .map(|p| {
+                let (u, q) = g.neighbor(v, p);
+                (perm[u], q)
+            })
+            .collect();
+    }
+    PortGraph::from_adjacency(adj).expect("relabeling preserves validity")
+}
+
+/// Randomly permute every node's port numbering (seeded). Node ids are
+/// untouched. The underlying topology is unchanged, but the result is a
+/// *different problem instance*: robots observe ports, so port-labeled
+/// isomorphism is not preserved. Use this to generate varied instances of
+/// one topology, not isomorphic copies.
+pub fn scramble_ports(g: &PortGraph, seed: u64) -> PortGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // new_port[v][old_port] = new port at v
+    let new_port: Vec<Vec<Port>> = g
+        .nodes()
+        .map(|v| {
+            let mut p: Vec<Port> = (0..g.degree(v)).collect();
+            p.shuffle(&mut rng);
+            p
+        })
+        .collect();
+    let mut adj: Vec<Vec<(NodeId, Port)>> = g
+        .nodes()
+        .map(|v| vec![(usize::MAX, usize::MAX); g.degree(v)])
+        .collect();
+    for v in g.nodes() {
+        for p in 0..g.degree(v) {
+            let (u, q) = g.neighbor(v, p);
+            adj[v][new_port[v][p]] = (u, new_port[u][q]);
+        }
+    }
+    PortGraph::from_adjacency(adj).expect("port scrambling preserves validity")
+}
+
+/// A random isomorphic presentation: relabel nodes with a random
+/// permutation. Returns the new graph and the permutation used
+/// (`perm[v]` = id of `v` in the new presentation).
+///
+/// Note: only node ids are permuted. Scrambling *ports* would change the
+/// port-labeled isomorphism class (robots observe ports, so two port
+/// assignments of the same topology are genuinely different instances).
+pub fn random_presentation(g: &PortGraph, seed: u64) -> (PortGraph, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut perm: Vec<usize> = (0..g.n()).collect();
+    perm.shuffle(&mut rng);
+    (relabel_nodes(g, &perm), perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi_connected, ring};
+    use crate::iso::are_isomorphic;
+
+    #[test]
+    fn relabel_identity_is_noop() {
+        let g = ring(5).unwrap();
+        let id: Vec<usize> = (0..5).collect();
+        assert_eq!(relabel_nodes(&g, &id), g);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = erdos_renyi_connected(9, 0.4, 3).unwrap();
+        let perm: Vec<usize> = (0..9).map(|v| (v + 4) % 9).collect();
+        let h = relabel_nodes(&g, &perm);
+        assert_eq!(h.m(), g.m());
+        for v in g.nodes() {
+            assert_eq!(h.degree(perm[v]), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn scramble_ports_preserves_anonymous_graph() {
+        let g = erdos_renyi_connected(10, 0.35, 5).unwrap();
+        let h = scramble_ports(&g, 42);
+        assert_eq!(h.n(), g.n());
+        assert_eq!(h.m(), g.m());
+        for v in g.nodes() {
+            assert_eq!(h.degree(v), g.degree(v));
+            // Same multiset of neighbors at each node.
+            let mut n1: Vec<usize> = (0..g.degree(v)).map(|p| g.neighbor(v, p).0).collect();
+            let mut n2: Vec<usize> = (0..h.degree(v)).map(|p| h.neighbor(v, p).0).collect();
+            n1.sort_unstable();
+            n2.sort_unstable();
+            assert_eq!(n1, n2);
+        }
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn random_presentation_is_isomorphic() {
+        let g = erdos_renyi_connected(8, 0.4, 11).unwrap();
+        let (h, _) = random_presentation(&g, 77);
+        assert!(are_isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn scramble_deterministic_in_seed() {
+        let g = ring(7).unwrap();
+        assert_eq!(scramble_ports(&g, 5), scramble_ports(&g, 5));
+    }
+}

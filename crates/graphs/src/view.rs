@@ -1,0 +1,150 @@
+//! Truncated views of nodes in an anonymous port-labeled graph.
+//!
+//! The *view* of a node `v` (Yamashita–Kameda \[47\]) is the infinite rooted
+//! tree of all walks leaving `v`, labeled by port numbers and degrees. Two
+//! nodes with equal views are indistinguishable to any deterministic robot.
+//! Norris' theorem: views are equal iff their truncations to depth `n - 1`
+//! are equal, so finite comparison suffices.
+//!
+//! This module offers both an explicit [`ViewTree`] (exponential in depth —
+//! test-scale only) and an iterated hash refinement
+//! ([`view_hashes_at_depth`]) that runs in `O(depth * m)` and is what the
+//! production code uses.
+
+use crate::portgraph::{NodeId, Port, PortGraph};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// An explicitly materialized view tree of bounded depth.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ViewTree {
+    /// Degree of the node at this position in the tree.
+    pub degree: usize,
+    /// One child per port `0..degree` (in port order): the port number on the
+    /// far side of the edge and the subtree there. Empty at the depth cutoff.
+    pub children: Vec<(Port, Box<ViewTree>)>,
+}
+
+/// Build the view tree of `v` truncated at `depth` edges.
+///
+/// Cost is `O(max_degree^depth)` — use only for small graphs/tests.
+pub fn view_tree(g: &PortGraph, v: NodeId, depth: usize) -> ViewTree {
+    if depth == 0 {
+        return ViewTree { degree: g.degree(v), children: Vec::new() };
+    }
+    let children = (0..g.degree(v))
+        .map(|p| {
+            let (u, q) = g.neighbor(v, p);
+            (q, Box::new(view_tree(g, u, depth - 1)))
+        })
+        .collect();
+    ViewTree { degree: g.degree(v), children }
+}
+
+/// Iterated view hashing: returns one `u64` per node such that two nodes get
+/// equal hashes iff their depth-`depth` views agree (up to hash collisions,
+/// which are negligible for the graph sizes dispersion operates at and are
+/// cross-checked against exact partition refinement in tests).
+pub fn view_hashes_at_depth(g: &PortGraph, depth: usize) -> Vec<u64> {
+    let mut h: Vec<u64> = g
+        .nodes()
+        .map(|v| {
+            let mut s = DefaultHasher::new();
+            ("deg", g.degree(v)).hash(&mut s);
+            s.finish()
+        })
+        .collect();
+    let mut next = vec![0u64; g.n()];
+    for _ in 0..depth {
+        for v in g.nodes() {
+            let mut s = DefaultHasher::new();
+            ("node", g.degree(v)).hash(&mut s);
+            for p in 0..g.degree(v) {
+                let (u, q) = g.neighbor(v, p);
+                (p, q, h[u]).hash(&mut s);
+            }
+            next[v] = s.finish();
+        }
+        std::mem::swap(&mut h, &mut next);
+    }
+    h
+}
+
+/// True if nodes `a` and `b` have equal views (hash refinement at Norris
+/// depth `n - 1`).
+pub fn views_equal(g: &PortGraph, a: NodeId, b: NodeId) -> bool {
+    let h = view_hashes_at_depth(g, g.n().saturating_sub(1));
+    h[a] == h[b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{oriented_ring, path, star};
+
+    #[test]
+    fn oriented_ring_views_all_equal() {
+        let g = oriented_ring(6).unwrap();
+        let h = view_hashes_at_depth(&g, 5);
+        assert!(h.iter().all(|&x| x == h[0]));
+        assert!(views_equal(&g, 0, 3));
+    }
+
+    #[test]
+    fn insertion_order_path_is_fully_asymmetric() {
+        // With insertion-order ports the two halves of a path get different
+        // back-ports, so every view is distinct.
+        let g = path(5).unwrap();
+        for a in g.nodes() {
+            for b in g.nodes() {
+                assert_eq!(views_equal(&g, a, b), a == b, "nodes {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_symmetric_path_folds() {
+        // A 4-path with mirror-symmetric port labels: 0 <-> 3, 1 <-> 2.
+        let g = crate::PortGraph::from_adjacency(vec![
+            vec![(1, 1)],
+            vec![(2, 0), (0, 0)],
+            vec![(1, 0), (3, 0)],
+            vec![(2, 1)],
+        ])
+        .unwrap();
+        assert!(views_equal(&g, 0, 3));
+        assert!(views_equal(&g, 1, 2));
+        assert!(!views_equal(&g, 0, 1));
+    }
+
+    #[test]
+    fn star_center_distinct_from_leaves() {
+        let g = star(5).unwrap();
+        assert!(!views_equal(&g, 0, 1));
+        // Leaves are pairwise equivalent only if their back-ports agree;
+        // with insertion-order ports every leaf sees back-port = its index,
+        // i.e. distinct views.
+        assert!(!views_equal(&g, 1, 2));
+    }
+
+    #[test]
+    fn explicit_tree_matches_hashes_on_small_graph() {
+        let g = path(4).unwrap();
+        let depth = 3;
+        let hashes = view_hashes_at_depth(&g, depth);
+        for a in g.nodes() {
+            for b in g.nodes() {
+                let trees_eq = view_tree(&g, a, depth) == view_tree(&g, b, depth);
+                assert_eq!(trees_eq, hashes[a] == hashes[b], "nodes {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_zero_views_are_degrees() {
+        let g = star(4).unwrap();
+        let h = view_hashes_at_depth(&g, 0);
+        assert_eq!(h[1], h[2]);
+        assert_ne!(h[0], h[1]);
+    }
+}

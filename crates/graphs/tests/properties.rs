@@ -1,0 +1,147 @@
+//! Property-based tests for the graph substrate.
+
+use bd_graphs::canonical::canonical_form;
+use bd_graphs::generators::{
+    erdos_renyi_connected, lollipop, random_regular, random_tree, ring, torus,
+};
+use bd_graphs::navigate::{follow_ports, shortest_path_ports, trace_walk};
+use bd_graphs::quotient::quotient_graph;
+use bd_graphs::scramble::{random_presentation, scramble_ports};
+use bd_graphs::traversal::{dfs_tree, euler_tour_ports};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generator output satisfies the port invariants and is connected.
+    #[test]
+    fn generators_produce_valid_connected_graphs(
+        n in 4usize..24, seed in 0u64..1000, p in 0.1f64..0.6
+    ) {
+        for g in [
+            ring(n.max(3)).unwrap(),
+            random_tree(n, seed).unwrap(),
+            erdos_renyi_connected(n, p, seed).unwrap(),
+        ] {
+            prop_assert!(g.validate_connected().is_ok());
+        }
+    }
+
+    /// Random regular graphs really are regular.
+    #[test]
+    fn regular_graphs_are_regular(k in 3usize..9, seed in 0u64..200) {
+        let n = 2 * k + 2; // even n*d for d=3
+        let g = random_regular(n, 3, seed).unwrap();
+        prop_assert!(g.nodes().all(|v| g.degree(v) == 3));
+        prop_assert!(g.is_connected());
+    }
+
+    /// Port scrambling preserves degrees and edge multiset.
+    #[test]
+    fn scramble_preserves_topology(n in 4usize..20, seed in 0u64..500) {
+        let g = erdos_renyi_connected(n, 0.3, seed).unwrap();
+        let h = scramble_ports(&g, seed ^ 0xabcd);
+        prop_assert!(h.validate().is_ok());
+        prop_assert_eq!(g.m(), h.m());
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), h.degree(v));
+        }
+    }
+
+    /// Canonical forms are invariant under node relabeling.
+    #[test]
+    fn canonical_form_relabel_invariant(n in 4usize..18, seed in 0u64..500) {
+        let g = erdos_renyi_connected(n, 0.35, seed).unwrap();
+        let (h, perm) = random_presentation(&g, seed + 1);
+        for root in 0..n {
+            prop_assert_eq!(
+                canonical_form(&g, root),
+                canonical_form(&h, perm[root])
+            );
+        }
+    }
+
+    /// The quotient projection commutes with taking ports.
+    #[test]
+    fn quotient_projection_commutes(n in 4usize..20, seed in 0u64..500) {
+        let g = erdos_renyi_connected(n, 0.3, seed).unwrap();
+        let q = quotient_graph(&g);
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                let (u, fq) = g.neighbor(v, p);
+                let (cu, cq) = q.graph.neighbor(q.class_of[v], p);
+                prop_assert_eq!(cu, q.class_of[u]);
+                prop_assert_eq!(cq, fq);
+            }
+        }
+    }
+
+    /// Quotient construction is idempotent: the quotient graph's own
+    /// quotient is itself (all its views are already distinct).
+    #[test]
+    fn quotient_is_idempotent(n in 4usize..20, seed in 0u64..500) {
+        let g = erdos_renyi_connected(n, 0.3, seed).unwrap();
+        let q = quotient_graph(&g);
+        let qq = quotient_graph(&q.graph);
+        prop_assert!(qq.is_isomorphic_to_original());
+        prop_assert_eq!(qq.graph, q.graph);
+    }
+
+    /// Euler tours close at the root and visit every node.
+    #[test]
+    fn euler_tour_closes_and_covers(n in 4usize..24, seed in 0u64..500, root in 0usize..24) {
+        let g = random_tree(n, seed).unwrap();
+        let root = root % n;
+        let t = dfs_tree(&g, root);
+        let tour = euler_tour_ports(&t);
+        prop_assert_eq!(tour.len(), 2 * (n - 1));
+        let walk = trace_walk(&g, root, &tour).unwrap();
+        prop_assert_eq!(walk.end(), root);
+        let mut seen = vec![false; n];
+        for &v in &walk.nodes { seen[v] = true; }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Reversing a recorded walk returns to the start.
+    #[test]
+    fn walk_reversal_roundtrips(n in 4usize..20, seed in 0u64..500, len in 0usize..40) {
+        let g = erdos_renyi_connected(n, 0.3, seed).unwrap();
+        // Build a deterministic pseudo-walk: port = step % degree.
+        let mut ports = Vec::new();
+        let mut cur = 0usize;
+        for i in 0..len {
+            let p = i % g.degree(cur);
+            ports.push(p);
+            cur = g.neighbor(cur, p).0;
+        }
+        let walk = trace_walk(&g, 0, &ports).unwrap();
+        prop_assert_eq!(walk.end(), cur);
+        prop_assert_eq!(follow_ports(&g, cur, &walk.reverse_ports()).unwrap(), 0);
+    }
+
+    /// Shortest paths have minimal length along both directions.
+    #[test]
+    fn shortest_paths_symmetric_length(n in 4usize..18, seed in 0u64..500) {
+        let g = lollipop(4, n % 6 + 1).unwrap();
+        let _ = seed;
+        for a in g.nodes() {
+            for b in g.nodes() {
+                let ab = shortest_path_ports(&g, a, b).unwrap();
+                let ba = shortest_path_ports(&g, b, a).unwrap();
+                prop_assert_eq!(ab.len(), ba.len());
+                prop_assert_eq!(follow_ports(&g, a, &ab).unwrap(), b);
+            }
+        }
+    }
+
+    /// Torus views under insertion-order ports: the quotient never has more
+    /// classes than nodes and projection stays consistent.
+    #[test]
+    fn torus_quotient_well_formed(r in 3usize..6, c in 3usize..6) {
+        let g = torus(r, c).unwrap();
+        let q = quotient_graph(&g);
+        prop_assert!(q.num_classes() <= g.n());
+        let total: usize = q.members.iter().map(|m| m.len()).sum();
+        prop_assert_eq!(total, g.n());
+    }
+}

@@ -1,0 +1,43 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs for a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Hard cap on rounds; exceeded means [`crate::RunError::RoundLimit`].
+    pub max_rounds: u64,
+    /// Record a full event trace (costs memory; off for benchmarks).
+    pub record_trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { max_rounds: 50_000_000, record_trace: false }
+    }
+}
+
+impl EngineConfig {
+    /// A config with a specific round cap.
+    pub fn with_max_rounds(max_rounds: u64) -> Self {
+        EngineConfig { max_rounds, ..Default::default() }
+    }
+
+    /// Enable trace recording.
+    pub fn traced(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods() {
+        let c = EngineConfig::with_max_rounds(10).traced();
+        assert_eq!(c.max_rounds, 10);
+        assert!(c.record_trace);
+    }
+}

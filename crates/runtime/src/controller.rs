@@ -1,0 +1,109 @@
+//! The controller interface implemented by every robot — honest or
+//! Byzantine.
+
+use crate::ids::RobotId;
+use crate::observation::Observation;
+use bd_graphs::Port;
+
+/// A robot's movement decision at the end of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveChoice {
+    /// Remain at the current node.
+    Stay,
+    /// Leave through the given local port.
+    Move(Port),
+}
+
+/// A robot's behavior. The engine drives one controller per robot.
+///
+/// The same trait serves honest and Byzantine robots: Byzantine behavior is
+/// just a controller that deviates. What a Byzantine robot *cannot* do —
+/// fake its ID when weak — is enforced by the engine, not trusted to the
+/// controller.
+pub trait Controller<M> {
+    /// The robot's true ID (assigned at setup, immutable).
+    fn id(&self) -> RobotId;
+
+    /// The ID this robot claims this round. The engine ignores the result
+    /// unless the robot is registered [`crate::Flavor::StrongByzantine`].
+    fn claimed_id(&self) -> RobotId {
+        self.id()
+    }
+
+    /// How many communication sub-rounds this robot wants this round.
+    /// The engine runs the maximum requested over all robots (the paper
+    /// fixes `n` sub-rounds where needed; phases that only walk request 1
+    /// so simulation stays cheap).
+    fn subrounds_wanted(&self) -> usize {
+        1
+    }
+
+    /// Called once per sub-round. May publish one message onto the node's
+    /// bulletin, visible to co-located robots in later sub-rounds.
+    fn act(&mut self, obs: &Observation<'_, M>) -> Option<M>;
+
+    /// Called after the final sub-round: choose where to move.
+    fn decide_move(&mut self, obs: &Observation<'_, M>) -> MoveChoice;
+
+    /// Whether this robot has terminated (stays put and goes silent
+    /// forever). The engine stops once every *honest* robot terminates.
+    fn terminated(&self) -> bool {
+        false
+    }
+
+    /// If the robot is guaranteed to neither move, publish, nor read until
+    /// the given absolute round (exclusive), it may say so; when *every*
+    /// active robot is idle the engine fast-forwards the round counter.
+    /// Declaring idleness while actually wanting to act is a controller bug.
+    fn idle_until(&self) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Publication;
+
+    struct Echo {
+        id: RobotId,
+    }
+
+    impl Controller<u32> for Echo {
+        fn id(&self) -> RobotId {
+            self.id
+        }
+        fn act(&mut self, obs: &Observation<'_, u32>) -> Option<u32> {
+            Some(obs.bulletin.len() as u32)
+        }
+        fn decide_move(&mut self, _obs: &Observation<'_, u32>) -> MoveChoice {
+            MoveChoice::Stay
+        }
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let e = Echo { id: RobotId(9) };
+        assert_eq!(e.claimed_id(), RobotId(9));
+        assert_eq!(e.subrounds_wanted(), 1);
+        assert!(!e.terminated());
+    }
+
+    #[test]
+    fn act_sees_bulletin() {
+        let mut e = Echo { id: RobotId(1) };
+        let bulletin =
+            vec![Publication { sender: RobotId(2), subround: 0, body: 7u32 }];
+        let roster = vec![RobotId(1), RobotId(2)];
+        let obs = Observation {
+            round: 3,
+            subround: 1,
+            subrounds: 2,
+            degree: 2,
+            roster: &roster,
+            bulletin: &bulletin,
+            arrival: None,
+        };
+        assert_eq!(e.act(&obs), Some(1));
+    }
+}

@@ -1,0 +1,570 @@
+//! The synchronous round engine.
+
+use crate::config::EngineConfig;
+use crate::controller::{Controller, MoveChoice};
+use crate::error::RunError;
+use crate::ids::{Flavor, RobotId};
+use crate::metrics::RunMetrics;
+use crate::observation::{ArrivalInfo, Observation, Publication};
+use crate::trace::{Event, Trace};
+use crate::world::World;
+use bd_graphs::{NodeId, PortGraph};
+
+/// Drives one simulation: owns the [`World`], the controllers, and the
+/// bookkeeping. Generic over the protocol message type `M`.
+pub struct Engine<M> {
+    world: World,
+    controllers: Vec<Box<dyn Controller<M>>>,
+    config: EngineConfig,
+    round: u64,
+    arrivals: Vec<Option<ArrivalInfo>>,
+    terminated_logged: Vec<bool>,
+    metrics: RunMetrics,
+    trace: Trace,
+}
+
+/// The result of driving a run to honest termination.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Aggregate measurements.
+    pub metrics: RunMetrics,
+    /// Final robot positions in setup order.
+    pub final_positions: Vec<NodeId>,
+    /// Recorded trace (empty unless [`EngineConfig::record_trace`]).
+    pub trace: Trace,
+}
+
+impl<M: Clone> Engine<M> {
+    /// Create an engine over `graph` with no robots yet.
+    pub fn new(graph: PortGraph, config: EngineConfig) -> Self {
+        Engine {
+            world: World::new(graph, Vec::new()),
+            controllers: Vec::new(),
+            config,
+            round: 0,
+            arrivals: Vec::new(),
+            terminated_logged: Vec::new(),
+            metrics: RunMetrics::default(),
+            trace: Trace::default(),
+        }
+    }
+
+    /// Register a robot. Its true ID is taken from the controller.
+    pub fn add_robot(
+        &mut self,
+        flavor: Flavor,
+        start: NodeId,
+        controller: Box<dyn Controller<M>>,
+    ) {
+        let id = controller.id();
+        // Rebuild the world with the extra robot; placements are small.
+        let mut placements: Vec<(RobotId, Flavor, NodeId)> = self
+            .world
+            .robots()
+            .iter()
+            .map(|r| (r.id, r.flavor, r.position))
+            .collect();
+        placements.push((id, flavor, start));
+        self.world = World::new(self.world.graph().clone(), placements);
+        self.controllers.push(controller);
+        self.arrivals.push(None);
+        self.terminated_logged.push(false);
+    }
+
+    /// Read-only world access (for verifiers and tests).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Rounds elapsed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The claimed ID of robot `i` right now (strong Byzantine robots may
+    /// change it every round).
+    fn claimed_id(&self, i: usize) -> RobotId {
+        if self.world.robot(i).flavor.can_fake_id() {
+            self.controllers[i].claimed_id()
+        } else {
+            self.world.robot(i).id
+        }
+    }
+
+    /// Whether every honest robot has terminated.
+    fn all_honest_terminated(&self) -> bool {
+        self.world
+            .robots()
+            .iter()
+            .zip(&self.controllers)
+            .all(|(slot, c)| slot.flavor != Flavor::Honest || c.terminated())
+    }
+
+    /// Execute rounds until every honest robot terminates or the round cap
+    /// is hit.
+    pub fn run(mut self) -> Result<RunOutcome, RunError> {
+        if self.world.num_robots() == 0 {
+            return Err(RunError::BadScenario("no robots registered".into()));
+        }
+        while !self.all_honest_terminated() {
+            if self.round >= self.config.max_rounds {
+                return Err(RunError::RoundLimit { limit: self.config.max_rounds });
+            }
+            // Fast-forward: if every active robot is provably idle until
+            // some future round, skip to the earliest such round at once.
+            // Semantics are unchanged — idle robots neither move, publish,
+            // nor read.
+            let skip_to = self
+                .controllers
+                .iter()
+                .filter(|c| !c.terminated())
+                .map(|c| c.idle_until())
+                .try_fold(u64::MAX, |acc, u| u.map(|r| acc.min(r)));
+            if let Some(target) = skip_to {
+                if target > self.round + 1 {
+                    self.round = target.min(self.config.max_rounds).max(self.round);
+                    continue;
+                }
+            }
+            self.step()?;
+        }
+        let per_robot: Vec<u64> = self.world.robots().iter().map(|r| r.moves).collect();
+        self.metrics.rounds = self.round;
+        self.metrics.record_moves(&per_robot);
+        Ok(RunOutcome {
+            metrics: self.metrics,
+            final_positions: self.world.positions(),
+            trace: self.trace,
+        })
+    }
+
+    /// Execute a single round: sub-round communication, then simultaneous
+    /// movement.
+    pub fn step(&mut self) -> Result<(), RunError> {
+        let nrobots = self.world.num_robots();
+
+        // Active = not terminated. Terminated robots stay put silently but
+        // are *physically* present (they appear in rosters).
+        let active: Vec<bool> = self.controllers.iter().map(|c| !c.terminated()).collect();
+
+        // Group robots by node and compute per-node rosters of claimed IDs.
+        let mut at_node: std::collections::BTreeMap<NodeId, Vec<usize>> = Default::default();
+        for i in 0..nrobots {
+            at_node.entry(self.world.robot(i).position).or_default().push(i);
+        }
+        let mut roster_of: std::collections::BTreeMap<NodeId, Vec<RobotId>> = Default::default();
+        for (&node, idxs) in &at_node {
+            let mut roster: Vec<RobotId> = idxs.iter().map(|&i| self.claimed_id(i)).collect();
+            roster.sort_unstable();
+            roster_of.insert(node, roster);
+        }
+
+        // Sub-round communication. Run as many sub-rounds as any active
+        // robot requests (walking phases request 1, so this stays cheap).
+        let subrounds = self
+            .controllers
+            .iter()
+            .zip(&active)
+            .filter(|&(_, &a)| a)
+            .map(|(c, _)| c.subrounds_wanted())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut bulletins: std::collections::BTreeMap<NodeId, Vec<Publication<M>>> =
+            Default::default();
+        for sub in 0..subrounds {
+            let mut pending: Vec<(NodeId, Publication<M>)> = Vec::new();
+            for i in 0..nrobots {
+                if !active[i] {
+                    continue;
+                }
+                let node = self.world.robot(i).position;
+                let empty = Vec::new();
+                let obs = Observation {
+                    round: self.round,
+                    subround: sub,
+                    subrounds,
+                    degree: self.world.graph().degree(node),
+                    roster: &roster_of[&node],
+                    bulletin: bulletins.get(&node).unwrap_or(&empty),
+                    arrival: if sub == 0 { self.arrivals[i] } else { None },
+                };
+                if let Some(body) = self.controllers[i].act(&obs) {
+                    pending.push((
+                        node,
+                        Publication { sender: self.claimed_id(i), subround: sub, body },
+                    ));
+                }
+            }
+            self.metrics.messages += pending.len() as u64;
+            self.metrics.subrounds_executed += 1;
+            for (node, publication) in pending {
+                bulletins.entry(node).or_default().push(publication);
+            }
+            // Skip remaining sub-rounds if the round has gone silent and no
+            // robot asked for more than one sub-round anyway.
+            if subrounds == 1 {
+                break;
+            }
+        }
+
+        // Movement decisions, then simultaneous application.
+        let mut choices: Vec<MoveChoice> = Vec::with_capacity(nrobots);
+        for i in 0..nrobots {
+            if !active[i] {
+                choices.push(MoveChoice::Stay);
+                continue;
+            }
+            let node = self.world.robot(i).position;
+            let empty = Vec::new();
+            let obs = Observation {
+                round: self.round,
+                subround: subrounds.saturating_sub(1),
+                subrounds,
+                degree: self.world.graph().degree(node),
+                roster: &roster_of[&node],
+                bulletin: bulletins.get(&node).unwrap_or(&empty),
+                arrival: None,
+            };
+            choices.push(self.controllers[i].decide_move(&obs));
+        }
+
+        for i in 0..nrobots {
+            let node = self.world.robot(i).position;
+            let degree = self.world.graph().degree(node);
+            match choices[i] {
+                MoveChoice::Stay => {
+                    self.arrivals[i] = None;
+                    if self.config.record_trace && active[i] {
+                        self.trace.events.push(Event::Stayed {
+                            round: self.round,
+                            robot: self.world.robot(i).id,
+                            at: node,
+                        });
+                    }
+                }
+                MoveChoice::Move(port) => {
+                    if port >= degree {
+                        if self.world.robot(i).flavor == Flavor::Honest {
+                            return Err(RunError::InvalidMove {
+                                robot: self.world.robot(i).id,
+                                node,
+                                port,
+                                degree,
+                            });
+                        }
+                        // Byzantine robots cannot teleport; clamp to Stay.
+                        self.arrivals[i] = None;
+                        continue;
+                    }
+                    let (exit_port, entry_port) = self.world.apply_move(i, port);
+                    self.arrivals[i] = Some(ArrivalInfo { exit_port, entry_port });
+                    if self.config.record_trace {
+                        self.trace.events.push(Event::Moved {
+                            round: self.round,
+                            robot: self.world.robot(i).id,
+                            from: node,
+                            port,
+                            to: self.world.robot(i).position,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Log first terminations.
+        for i in 0..nrobots {
+            if !self.terminated_logged[i] && self.controllers[i].terminated() {
+                self.terminated_logged[i] = true;
+                if self.config.record_trace {
+                    self.trace.events.push(Event::Terminated {
+                        round: self.round,
+                        robot: self.world.robot(i).id,
+                        at: self.world.robot(i).position,
+                    });
+                }
+            }
+        }
+
+        self.round += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_graphs::generators::{oriented_ring, ring};
+    use bd_graphs::Port;
+
+    /// Walks a fixed port script, then terminates.
+    struct Walker {
+        id: RobotId,
+        script: Vec<Port>,
+        step: usize,
+    }
+
+    impl Controller<String> for Walker {
+        fn id(&self) -> RobotId {
+            self.id
+        }
+        fn act(&mut self, _obs: &Observation<'_, String>) -> Option<String> {
+            None
+        }
+        fn decide_move(&mut self, _obs: &Observation<'_, String>) -> MoveChoice {
+            if self.step < self.script.len() {
+                let p = self.script[self.step];
+                self.step += 1;
+                MoveChoice::Move(p)
+            } else {
+                MoveChoice::Stay
+            }
+        }
+        fn terminated(&self) -> bool {
+            self.step >= self.script.len()
+        }
+    }
+
+    /// Publishes its observation of the roster; used to test ID stamping.
+    struct Gossip {
+        id: RobotId,
+        fake: RobotId,
+        seen: std::rc::Rc<std::cell::RefCell<Vec<RobotId>>>,
+        rounds: u64,
+    }
+
+    impl Controller<String> for Gossip {
+        fn id(&self) -> RobotId {
+            self.id
+        }
+        fn claimed_id(&self) -> RobotId {
+            self.fake
+        }
+        fn act(&mut self, obs: &Observation<'_, String>) -> Option<String> {
+            if obs.subround == 0 {
+                self.seen.borrow_mut().extend(obs.roster.iter().copied());
+                Some("hello".into())
+            } else {
+                None
+            }
+        }
+        fn decide_move(&mut self, _obs: &Observation<'_, String>) -> MoveChoice {
+            self.rounds += 1;
+            MoveChoice::Stay
+        }
+        fn terminated(&self) -> bool {
+            self.rounds >= 1
+        }
+    }
+
+    #[test]
+    fn walker_reaches_destination_and_run_ends() {
+        // Oriented ring: port 0 is always the clockwise neighbor.
+        let g = oriented_ring(6).unwrap();
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default());
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Walker { id: RobotId(1), script: vec![0, 0, 0], step: 0 }),
+        );
+        let out = e.run().unwrap();
+        assert_eq!(out.final_positions, vec![3]);
+        assert_eq!(out.metrics.rounds, 3);
+        assert_eq!(out.metrics.total_moves, 3);
+    }
+
+    #[test]
+    fn weak_byzantine_cannot_fake_id() {
+        let g = ring(4).unwrap();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default());
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Gossip {
+                id: RobotId(1),
+                fake: RobotId(1),
+                seen: seen.clone(),
+                rounds: 0,
+            }),
+        );
+        // Weak Byzantine claims 99 but the roster must show its true ID 2.
+        e.add_robot(
+            Flavor::WeakByzantine,
+            0,
+            Box::new(Gossip {
+                id: RobotId(2),
+                fake: RobotId(99),
+                seen: seen.clone(),
+                rounds: 0,
+            }),
+        );
+        let _ = e.run().unwrap();
+        let roster = seen.borrow();
+        assert!(roster.contains(&RobotId(2)));
+        assert!(!roster.contains(&RobotId(99)));
+    }
+
+    #[test]
+    fn strong_byzantine_can_fake_id() {
+        let g = ring(4).unwrap();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default());
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Gossip {
+                id: RobotId(1),
+                fake: RobotId(1),
+                seen: seen.clone(),
+                rounds: 0,
+            }),
+        );
+        e.add_robot(
+            Flavor::StrongByzantine,
+            0,
+            Box::new(Gossip {
+                id: RobotId(2),
+                fake: RobotId(1), // impersonates the honest robot
+                seen: seen.clone(),
+                rounds: 0,
+            }),
+        );
+        let _ = e.run().unwrap();
+        let roster = seen.borrow();
+        // Both entities claim ID 1: the roster shows a duplicate.
+        let ones = roster.iter().filter(|&&r| r == RobotId(1)).count();
+        assert!(ones >= 2, "expected duplicated claimed ID, got {roster:?}");
+    }
+
+    #[test]
+    fn honest_invalid_move_is_an_error() {
+        let g = ring(4).unwrap();
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default());
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Walker { id: RobotId(1), script: vec![7], step: 0 }),
+        );
+        assert!(matches!(e.run(), Err(RunError::InvalidMove { .. })));
+    }
+
+    #[test]
+    fn byzantine_invalid_move_is_clamped() {
+        let g = ring(4).unwrap();
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default());
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Walker { id: RobotId(1), script: vec![0], step: 0 }),
+        );
+        e.add_robot(
+            Flavor::WeakByzantine,
+            1,
+            Box::new(Walker { id: RobotId(2), script: vec![9, 9], step: 0 }),
+        );
+        let out = e.run().unwrap();
+        // Byzantine stayed at node 1 (clamped), honest moved to 1.
+        assert_eq!(out.final_positions[1], 1);
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        struct Forever(RobotId);
+        impl Controller<String> for Forever {
+            fn id(&self) -> RobotId {
+                self.0
+            }
+            fn act(&mut self, _o: &Observation<'_, String>) -> Option<String> {
+                None
+            }
+            fn decide_move(&mut self, _o: &Observation<'_, String>) -> MoveChoice {
+                MoveChoice::Stay
+            }
+        }
+        let g = ring(4).unwrap();
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::with_max_rounds(10));
+        e.add_robot(Flavor::Honest, 0, Box::new(Forever(RobotId(1))));
+        assert!(matches!(e.run(), Err(RunError::RoundLimit { limit: 10 })));
+    }
+
+    #[test]
+    fn empty_scenario_rejected() {
+        let g = ring(4).unwrap();
+        let e: Engine<String> = Engine::new(g, EngineConfig::default());
+        assert!(matches!(e.run(), Err(RunError::BadScenario(_))));
+    }
+
+    #[test]
+    fn trace_records_moves_and_termination() {
+        let g = ring(5).unwrap();
+        let mut e: Engine<String> =
+            Engine::new(g, EngineConfig::default().traced());
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Walker { id: RobotId(4), script: vec![0, 0], step: 0 }),
+        );
+        let out = e.run().unwrap();
+        let script = out.trace.move_script(RobotId(4));
+        assert_eq!(script, vec![Some(0), Some(0)]);
+        assert!(out
+            .trace
+            .events
+            .iter()
+            .any(|ev| matches!(ev, Event::Terminated { robot: RobotId(4), .. })));
+    }
+
+    #[test]
+    fn bulletin_visible_next_subround_only() {
+        /// Robot A publishes in sub-round 0; robot B records what it saw in
+        /// sub-rounds 0 and 1.
+        struct Observer {
+            id: RobotId,
+            saw: std::rc::Rc<std::cell::RefCell<Vec<(usize, usize)>>>,
+            done: bool,
+        }
+        impl Controller<String> for Observer {
+            fn id(&self) -> RobotId {
+                self.id
+            }
+            fn subrounds_wanted(&self) -> usize {
+                2
+            }
+            fn act(&mut self, obs: &Observation<'_, String>) -> Option<String> {
+                self.saw.borrow_mut().push((obs.subround, obs.bulletin.len()));
+                if obs.subround == 0 {
+                    Some("x".into())
+                } else {
+                    None
+                }
+            }
+            fn decide_move(&mut self, _o: &Observation<'_, String>) -> MoveChoice {
+                self.done = true;
+                MoveChoice::Stay
+            }
+            fn terminated(&self) -> bool {
+                self.done
+            }
+        }
+        let g = ring(4).unwrap();
+        let saw = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default());
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Observer { id: RobotId(1), saw: saw.clone(), done: false }),
+        );
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Observer { id: RobotId(2), saw: saw.clone(), done: false }),
+        );
+        let _ = e.run().unwrap();
+        let log = saw.borrow();
+        // Sub-round 0: bulletin empty for both; sub-round 1: both messages
+        // visible (published in sub-round 0).
+        assert!(log.contains(&(0, 0)));
+        assert!(log.contains(&(1, 2)));
+    }
+}

@@ -1,0 +1,34 @@
+//! Engine-level errors.
+
+use crate::ids::RobotId;
+use std::fmt;
+
+/// Errors terminating a simulation run abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The round limit was reached before every honest robot terminated.
+    RoundLimit { limit: u64 },
+    /// An *honest* robot chose an invalid port — an algorithm bug, reported
+    /// loudly. (Byzantine robots attempting invalid moves are clamped to
+    /// staying put instead: physics does not let anyone teleport.)
+    InvalidMove { robot: RobotId, node: usize, port: usize, degree: usize },
+    /// The scenario was malformed (e.g. no robots).
+    BadScenario(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::RoundLimit { limit } => {
+                write!(f, "round limit {limit} reached before honest termination")
+            }
+            RunError::InvalidMove { robot, node, port, degree } => write!(
+                f,
+                "honest robot {robot} chose invalid port {port} at node {node} (degree {degree})"
+            ),
+            RunError::BadScenario(msg) => write!(f, "bad scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}

@@ -1,0 +1,43 @@
+//! # bd-runtime
+//!
+//! The synchronous multi-robot simulation engine for Byzantine dispersion
+//! (paper §1.1).
+//!
+//! Each **round** consists of:
+//!
+//! 1. a configurable number of **sub-rounds** of local communication —
+//!    co-located robots publish messages onto the node's bulletin and read
+//!    what was published in earlier sub-rounds of the same round (the paper
+//!    breaks rounds into `n` sub-rounds for `Dispersion-Using-Map`, §2.2);
+//! 2. a simultaneous **move** step — each robot may leave through a port; a
+//!    robot that crosses an edge learns the port numbers on both sides.
+//!
+//! Robots are [`controller::Controller`] implementations driven by the
+//! [`engine::Engine`]. The engine enforces the **weak/strong Byzantine
+//! distinction** at the identity layer: publications from honest and weak
+//! Byzantine robots are stamped with their true ID (a weak Byzantine robot
+//! "cannot fake its ID"), while strong Byzantine robots choose any claimed
+//! ID each round (§4).
+//!
+//! Controllers never see the graph; they observe only the local degree, the
+//! co-located roster, the bulletin, and arrival port pairs — exactly the
+//! information the paper's model grants.
+
+pub mod config;
+pub mod controller;
+pub mod engine;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod observation;
+pub mod trace;
+pub mod world;
+
+pub use config::EngineConfig;
+pub use controller::{Controller, MoveChoice};
+pub use engine::Engine;
+pub use error::RunError;
+pub use ids::{Flavor, RobotId};
+pub use metrics::RunMetrics;
+pub use observation::{ArrivalInfo, Observation, Publication};
+pub use world::World;

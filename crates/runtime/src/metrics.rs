@@ -1,0 +1,40 @@
+//! Run metrics: the quantities the paper's Table 1 is about.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate measurements from one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Synchronous rounds elapsed (the paper's complexity measure).
+    pub rounds: u64,
+    /// Total edge traversals across all robots.
+    pub total_moves: u64,
+    /// Maximum edge traversals by any single robot.
+    pub max_moves_per_robot: u64,
+    /// Total messages published.
+    pub messages: u64,
+    /// Sub-rounds actually executed (the engine collapses rounds where no
+    /// robot requested communication).
+    pub subrounds_executed: u64,
+}
+
+impl RunMetrics {
+    /// Merge a per-robot move count into the aggregates.
+    pub(crate) fn record_moves(&mut self, per_robot: &[u64]) {
+        self.total_moves = per_robot.iter().sum();
+        self.max_moves_per_robot = per_robot.iter().copied().max().unwrap_or(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_moves_aggregates() {
+        let mut m = RunMetrics::default();
+        m.record_moves(&[3, 7, 5]);
+        assert_eq!(m.total_moves, 15);
+        assert_eq!(m.max_moves_per_robot, 7);
+    }
+}

@@ -1,0 +1,94 @@
+//! Optional event traces, used by the Theorem 8 replay adversary and for
+//! debugging protocol runs.
+
+use crate::ids::RobotId;
+use bd_graphs::{NodeId, Port};
+use serde::{Deserialize, Serialize};
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A robot moved along an edge.
+    Moved { round: u64, robot: RobotId, from: NodeId, port: Port, to: NodeId },
+    /// A robot stayed put this round.
+    Stayed { round: u64, robot: RobotId, at: NodeId },
+    /// A robot terminated (first round in which it reported terminated).
+    Terminated { round: u64, robot: RobotId, at: NodeId },
+}
+
+impl Event {
+    /// The robot the event belongs to.
+    pub fn robot(&self) -> RobotId {
+        match *self {
+            Event::Moved { robot, .. }
+            | Event::Stayed { robot, .. }
+            | Event::Terminated { robot, .. } => robot,
+        }
+    }
+
+    /// The round the event happened in.
+    pub fn round(&self) -> u64 {
+        match *self {
+            Event::Moved { round, .. }
+            | Event::Stayed { round, .. }
+            | Event::Terminated { round, .. } => round,
+        }
+    }
+}
+
+/// A full run trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in chronological order (within a round: setup order).
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// All events of one robot, in order.
+    pub fn of_robot(&self, id: RobotId) -> impl Iterator<Item = &Event> + '_ {
+        self.events.iter().filter(move |e| e.robot() == id)
+    }
+
+    /// The per-round move decisions of one robot: `Some(port)` when it
+    /// moved, `None` when it stayed. Index 0 is the robot's first recorded
+    /// round. Used by the replay adversary of Theorem 8.
+    pub fn move_script(&self, id: RobotId) -> Vec<Option<Port>> {
+        self.of_robot(id)
+            .filter_map(|e| match *e {
+                Event::Moved { port, .. } => Some(Some(port)),
+                Event::Stayed { .. } => Some(None),
+                Event::Terminated { .. } => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_script_extraction() {
+        let t = Trace {
+            events: vec![
+                Event::Moved { round: 0, robot: RobotId(1), from: 0, port: 2, to: 1 },
+                Event::Stayed { round: 0, robot: RobotId(2), at: 5 },
+                Event::Stayed { round: 1, robot: RobotId(1), at: 1 },
+                Event::Moved { round: 1, robot: RobotId(2), from: 5, port: 0, to: 6 },
+                Event::Terminated { round: 2, robot: RobotId(1), at: 1 },
+            ],
+        };
+        assert_eq!(t.move_script(RobotId(1)), vec![Some(2), None]);
+        assert_eq!(t.move_script(RobotId(2)), vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Trace {
+            events: vec![Event::Stayed { round: 0, robot: RobotId(3), at: 2 }],
+        };
+        let s = serde_json::to_string(&t).unwrap();
+        let t2: Trace = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, t2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Warehouse charging-dock allocation — the resource-sharing story the
+//! paper's introduction motivates ("computational entities must share
+//! resources [where] sharing the same resource is much more expensive than
+//! searching for an unused resource").
+//!
+//! A fleet of robots returns to a warehouse whose dock bays form a grid.
+//! Some robots have corrupted firmware (Byzantine): they squat on docks,
+//! announce themselves charging when they are not, or go silent. Every
+//! functional robot must end up on its own dock.
+//!
+//! Run with: `cargo run --release --example warehouse_swarm`
+
+use byzantine_dispersion::prelude::*;
+use byzantine_dispersion::dispersion::runner::ByzPlacement;
+
+fn main() {
+    // A 4x5 warehouse grid: 20 dock bays, port-labeled aisles.
+    let warehouse = generators::grid(4, 5).expect("grid");
+    let n = warehouse.n();
+
+    // The whole fleet docks at the inbound bay (node 0). Up to
+    // floor(n/3) - 1 = 5 units may be corrupted; we stress-test at the
+    // maximum with dock-squatting firmware.
+    let faulty = Algorithm::GatheredThirdTh4.tolerance(n);
+    println!("fleet of {n}, up to {faulty} corrupted units (squatters)");
+
+    let spec = ScenarioSpec::gathered(&warehouse, 0)
+        .with_byzantine(faulty, AdversaryKind::Squatter)
+        .with_placement(ByzPlacement::LowIds) // corrupted units hog low IDs
+        .with_seed(2026);
+
+    let outcome = run_algorithm(Algorithm::GatheredThirdTh4, &warehouse, &spec)
+        .expect("within tolerance");
+
+    let mut docks = vec![Vec::new(); n];
+    for (i, &pos) in outcome.final_positions.iter().enumerate() {
+        docks[pos].push((i, outcome.honest[i]));
+    }
+    println!("\ndock allocation (grid rows):");
+    for row in 0..4 {
+        let cells: Vec<String> = (0..5)
+            .map(|col| {
+                let bay = row * 5 + col;
+                let honest = docks[bay].iter().filter(|&&(_, h)| h).count();
+                let byz = docks[bay].len() - honest;
+                match (honest, byz) {
+                    (0, 0) => "[    ]".to_string(),
+                    (h, 0) => format!("[ok:{h}]"),
+                    (0, b) => format!("[xx:{b}]"),
+                    (h, b) => format!("[{h}+{b}]"),
+                }
+            })
+            .collect();
+        println!("  {}", cells.join(" "));
+    }
+    println!(
+        "\nevery functional robot on its own dock: {} ({} rounds)",
+        outcome.dispersed, outcome.rounds
+    );
+    assert!(outcome.dispersed);
+}
