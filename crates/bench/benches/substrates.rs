@@ -58,5 +58,10 @@ fn quotient_computation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(substrates, token_map_families, map_grouping, quotient_computation);
+criterion_group!(
+    substrates,
+    token_map_families,
+    map_grouping,
+    quotient_computation
+);
 criterion_main!(substrates);

@@ -11,45 +11,79 @@ use bd_dispersion::adversaries::AdversaryKind;
 use bd_dispersion::runner::{Algorithm, ByzPlacement};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_row(
-    c: &mut Criterion,
-    row: &str,
-    algo: Algorithm,
-    kind: AdversaryKind,
-    ns: &[usize],
-) {
+fn bench_row(c: &mut Criterion, row: &str, algo: Algorithm, kind: AdversaryKind, ns: &[usize]) {
     let mut g = c.benchmark_group(row);
     g.sample_size(10);
     for &n in ns {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                run_cell(algo, n, algo.tolerance(n), kind, ByzPlacement::Random, 42)
-            })
+            b.iter(|| run_cell(algo, n, algo.tolerance(n), kind, ByzPlacement::Random, 42))
         });
     }
     g.finish();
 }
 
 fn row1(c: &mut Criterion) {
-    bench_row(c, "row1_thm1_quotient", Algorithm::QuotientTh1, AdversaryKind::FakeSettler, &[8, 12]);
+    bench_row(
+        c,
+        "row1_thm1_quotient",
+        Algorithm::QuotientTh1,
+        AdversaryKind::FakeSettler,
+        &[8, 12],
+    );
 }
 fn row2(c: &mut Criterion) {
-    bench_row(c, "row2_thm2_arbitrary_half", Algorithm::ArbitraryHalfTh2, AdversaryKind::Wanderer, &[6, 8]);
+    bench_row(
+        c,
+        "row2_thm2_arbitrary_half",
+        Algorithm::ArbitraryHalfTh2,
+        AdversaryKind::Wanderer,
+        &[6, 8],
+    );
 }
 fn row3(c: &mut Criterion) {
-    bench_row(c, "row3_thm5_sqrt", Algorithm::ArbitrarySqrtTh5, AdversaryKind::TokenHijacker, &[9, 12]);
+    bench_row(
+        c,
+        "row3_thm5_sqrt",
+        Algorithm::ArbitrarySqrtTh5,
+        AdversaryKind::TokenHijacker,
+        &[9, 12],
+    );
 }
 fn row4(c: &mut Criterion) {
-    bench_row(c, "row4_thm3_gathered_half", Algorithm::GatheredHalfTh3, AdversaryKind::Wanderer, &[6, 8]);
+    bench_row(
+        c,
+        "row4_thm3_gathered_half",
+        Algorithm::GatheredHalfTh3,
+        AdversaryKind::Wanderer,
+        &[6, 8],
+    );
 }
 fn row5(c: &mut Criterion) {
-    bench_row(c, "row5_thm4_gathered_third", Algorithm::GatheredThirdTh4, AdversaryKind::TokenHijacker, &[9, 12]);
+    bench_row(
+        c,
+        "row5_thm4_gathered_third",
+        Algorithm::GatheredThirdTh4,
+        AdversaryKind::TokenHijacker,
+        &[9, 12],
+    );
 }
 fn row6(c: &mut Criterion) {
-    bench_row(c, "row6_thm7_strong_arbitrary", Algorithm::StrongArbitraryTh7, AdversaryKind::StrongSpoofer, &[8, 12]);
+    bench_row(
+        c,
+        "row6_thm7_strong_arbitrary",
+        Algorithm::StrongArbitraryTh7,
+        AdversaryKind::StrongSpoofer,
+        &[8, 12],
+    );
 }
 fn row7(c: &mut Criterion) {
-    bench_row(c, "row7_thm6_strong_gathered", Algorithm::StrongGatheredTh6, AdversaryKind::StrongSpoofer, &[8, 12]);
+    bench_row(
+        c,
+        "row7_thm6_strong_gathered",
+        Algorithm::StrongGatheredTh6,
+        AdversaryKind::StrongSpoofer,
+        &[8, 12],
+    );
 }
 
 criterion_group!(table1, row1, row2, row3, row4, row5, row6, row7);

@@ -20,16 +20,48 @@ fn main() {
 
     // Series A: rounds vs n.
     let rows: &[(Algorithm, AdversaryKind, &[usize])] = &[
-        (Algorithm::QuotientTh1, AdversaryKind::FakeSettler, &[8, 12, 16, 24]),
-        (Algorithm::ArbitraryHalfTh2, AdversaryKind::Wanderer, &[6, 8, 10]),
-        (Algorithm::ArbitrarySqrtTh5, AdversaryKind::TokenHijacker, &[9, 12, 16]),
-        (Algorithm::GatheredHalfTh3, AdversaryKind::Wanderer, &[6, 8, 12, 16]),
-        (Algorithm::GatheredThirdTh4, AdversaryKind::TokenHijacker, &[9, 12, 16, 24]),
-        (Algorithm::StrongArbitraryTh7, AdversaryKind::StrongSpoofer, &[8, 12, 16]),
-        (Algorithm::StrongGatheredTh6, AdversaryKind::StrongSpoofer, &[8, 12, 16, 24]),
+        (
+            Algorithm::QuotientTh1,
+            AdversaryKind::FakeSettler,
+            &[8, 12, 16, 24],
+        ),
+        (
+            Algorithm::ArbitraryHalfTh2,
+            AdversaryKind::Wanderer,
+            &[6, 8, 10],
+        ),
+        (
+            Algorithm::ArbitrarySqrtTh5,
+            AdversaryKind::TokenHijacker,
+            &[9, 12, 16],
+        ),
+        (
+            Algorithm::GatheredHalfTh3,
+            AdversaryKind::Wanderer,
+            &[6, 8, 12, 16],
+        ),
+        (
+            Algorithm::GatheredThirdTh4,
+            AdversaryKind::TokenHijacker,
+            &[9, 12, 16, 24],
+        ),
+        (
+            Algorithm::StrongArbitraryTh7,
+            AdversaryKind::StrongSpoofer,
+            &[8, 12, 16],
+        ),
+        (
+            Algorithm::StrongGatheredTh6,
+            AdversaryKind::StrongSpoofer,
+            &[8, 12, 16, 24],
+        ),
     ];
     for &(algo, kind, ns) in rows {
-        let ns: Vec<usize> = if quick { ns.iter().take(2).copied().collect() } else { ns.to_vec() };
+        let ns: Vec<usize> = if quick {
+            ns.iter().take(2).copied().collect()
+        } else {
+            ns.to_vec()
+        };
         let cells = sweep_n(algo, &ns, |n| algo.tolerance(n), kind, reps);
         for (n, rounds) in mean_rounds(&cells) {
             println!(

@@ -122,7 +122,7 @@ fn main() {
     println!("Reproducing Table 1 of 'Byzantine Dispersion on Graphs' (IPDPS 2021)");
     println!("graphs: seeded G(n,p); f at each row's maximum tolerance; {reps} seeds per n\n");
     println!(
-        "{:<3} {:<6} {:<20} {:<22} {:<10} {:<16} {:<7} {:<9} {:<8} {}",
+        "{:<3} {:<6} {:<20} {:<22} {:<10} {:<16} {:<7} {:<9} {:<8} measured rounds by n",
         "row",
         "thm",
         "algorithm",
@@ -132,24 +132,14 @@ fn main() {
         "strong",
         "fit n^b",
         "success",
-        "measured rounds by n"
     );
     for row in ROWS {
         let ns = if quick { row.quick_ns } else { row.ns };
-        let cells = sweep_n(
-            row.algo,
-            ns,
-            |n| row.algo.tolerance(n),
-            row.adversary,
-            reps,
-        );
+        let cells = sweep_n(row.algo, ns, |n| row.algo.tolerance(n), row.adversary, reps);
         let means = mean_rounds(&cells);
         let fit = fit_exponent(&means);
         let ok = success_rate(&cells);
-        let series: Vec<String> = means
-            .iter()
-            .map(|(n, r)| format!("{n}:{:.0}", r))
-            .collect();
+        let series: Vec<String> = means.iter().map(|(n, r)| format!("{n}:{:.0}", r)).collect();
         println!(
             "{:<3} {:<6} {:<20} {:<22} {:<10} {:<16} {:<7} {:<9.2} {:<8.2} {}",
             row.serial,
@@ -171,8 +161,13 @@ fn main() {
     );
 
     // Theorem 8 boundary.
-    println!("\nTheorem 8: Byzantine dispersion of k robots impossible iff ceil(k/n) > ceil((k-f)/n)");
-    println!("{:<6} {:<6} {:<6} {:<10} {:<10} {:<9} {}", "k", "f", "n", "ceil(k/n)", "allowed", "violated", "predicted");
+    println!(
+        "\nTheorem 8: Byzantine dispersion of k robots impossible iff ceil(k/n) > ceil((k-f)/n)"
+    );
+    println!(
+        "{:<6} {:<6} {:<6} {:<10} {:<10} {:<9} predicted",
+        "k", "f", "n", "ceil(k/n)", "allowed", "violated"
+    );
     let g = erdos_renyi_connected(6, 0.4, 1).expect("graph");
     let mut agree = true;
     for k in [6usize, 9, 12, 18, 24] {
@@ -181,7 +176,13 @@ fn main() {
                 agree &= r.violated == r.theorem_predicts;
                 println!(
                     "{:<6} {:<6} {:<6} {:<10} {:<10} {:<9} {}",
-                    r.k, r.f, r.n, r.load_faultfree, r.capacity_allowed, r.violated, r.theorem_predicts
+                    r.k,
+                    r.f,
+                    r.n,
+                    r.load_faultfree,
+                    r.capacity_allowed,
+                    r.violated,
+                    r.theorem_predicts
                 );
             }
         }

@@ -134,7 +134,9 @@ pub fn mean_rounds(cells: &[Cell]) -> Vec<(usize, f64)> {
         e.0 += c.rounds as f64;
         e.1 += 1;
     }
-    by_n.into_iter().map(|(n, (sum, k))| (n, sum / k as f64)).collect()
+    by_n.into_iter()
+        .map(|(n, (sum, k))| (n, sum / k as f64))
+        .collect()
 }
 
 /// Fraction of dispersed cells.

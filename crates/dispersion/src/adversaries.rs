@@ -170,26 +170,32 @@ impl Controller<Msg> for AdversaryController {
         }
         self.acted_rounds += 1;
         match self.kind {
-            AdversaryKind::Squatter | AdversaryKind::FakeSettler => {
-                Some(Msg::State { state: DumState::Settled, flag: false })
-            }
+            AdversaryKind::Squatter | AdversaryKind::FakeSettler => Some(Msg::State {
+                state: DumState::Settled,
+                flag: false,
+            }),
             AdversaryKind::Silent | AdversaryKind::CrashMidway => None,
             AdversaryKind::Wanderer => Some(Msg::State {
                 state: DumState::ToBeSettled,
                 flag: self.rng.gen_bool(0.5),
             }),
-            AdversaryKind::LiarFlags | AdversaryKind::Crowd => {
-                Some(Msg::State { state: DumState::ToBeSettled, flag: true })
-            }
+            AdversaryKind::LiarFlags | AdversaryKind::Crowd => Some(Msg::State {
+                state: DumState::ToBeSettled,
+                flag: true,
+            }),
             AdversaryKind::TokenHijacker => Some(Msg::TokenGo {
                 port: self.rng.gen_range(0..obs.degree.max(1)),
                 step: self.rng.gen_range(0..4),
             }),
-            AdversaryKind::MapLiar => Some(Msg::MapVote { form: self.garbage.clone() }),
+            AdversaryKind::MapLiar => Some(Msg::MapVote {
+                form: self.garbage.clone(),
+            }),
             // The coalition votes its identical garbage form every round:
             // forging the map quorum is the decisive attack on §4 (forged
             // TokenGo instructions are blocked by the same counting rule).
-            AdversaryKind::StrongSpoofer => Some(Msg::MapVote { form: self.garbage.clone() }),
+            AdversaryKind::StrongSpoofer => Some(Msg::MapVote {
+                form: self.garbage.clone(),
+            }),
         }
     }
 
@@ -241,7 +247,10 @@ pub struct ReplayController {
 impl ReplayController {
     /// `script` as extracted by [`bd_runtime::trace::Trace::move_script`].
     pub fn new(id: RobotId, script: Vec<Option<Port>>) -> Self {
-        ReplayController { id, script: script.into() }
+        ReplayController {
+            id,
+            script: script.into(),
+        }
     }
 }
 
@@ -275,7 +284,11 @@ pub struct CrashWrapper {
 impl CrashWrapper {
     /// Crash `inner` at absolute round `crash_at`.
     pub fn new(inner: Box<dyn Controller<Msg>>, crash_at: u64) -> Self {
-        CrashWrapper { inner, crash_at, round_seen: 0 }
+        CrashWrapper {
+            inner,
+            crash_at,
+            round_seen: 0,
+        }
     }
 
     fn crashed(&self) -> bool {

@@ -60,8 +60,8 @@ impl Controller<Msg> for BaselineController {
             let rank = ids.iter().position(|&r| r == self.id).unwrap_or(0);
             let order = dfs_tree(&self.map, self.start).order;
             let target = order[(rank / self.capacity).min(order.len() - 1)];
-            let ports = shortest_path_ports(&self.map, self.start, target)
-                .expect("map is connected");
+            let ports =
+                shortest_path_ports(&self.map, self.start, target).expect("map is connected");
             self.path = Some(ports.into());
         }
         None
@@ -75,8 +75,7 @@ impl Controller<Msg> for BaselineController {
     }
 
     fn terminated(&self) -> bool {
-        self.round_seen >= self.budget
-            && self.path.as_ref().is_some_and(|p| p.is_empty())
+        self.round_seen >= self.budget && self.path.as_ref().is_some_and(|p| p.is_empty())
     }
 }
 

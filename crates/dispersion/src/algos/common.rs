@@ -165,8 +165,7 @@ impl GroupRun {
             if obs.subround == 0 {
                 if let RunRole::Agent(a) = self.role.as_mut().expect("role set") {
                     if self.my_form.is_none() {
-                        self.my_form =
-                            a.take_result().map(|m| canonical_form(&m, 0));
+                        self.my_form = a.take_result().map(|m| canonical_form(&m, 0));
                     }
                     return self.my_form.clone().map(|form| Msg::MapVote { form });
                 }
@@ -182,8 +181,7 @@ impl GroupRun {
                         _ => None,
                     })
                     .collect();
-                self.accepted =
-                    quorum_map(&votes, &self.spec.agents, self.spec.vote_threshold);
+                self.accepted = quorum_map(&votes, &self.spec.agents, self.spec.vote_threshold);
             }
             return None;
         }

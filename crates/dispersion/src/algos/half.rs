@@ -58,7 +58,11 @@ impl HalfController {
     /// it is the robot's precomputed gathering route and `gather_budget`
     /// the shared phase budget (Theorem 2).
     pub fn new(id: RobotId, n: usize, gather_script: Vec<Port>, gather_budget: u64) -> Self {
-        let snapshot_round = if gather_script.is_empty() { 0 } else { gather_budget };
+        let snapshot_round = if gather_script.is_empty() {
+            0
+        } else {
+            gather_budget
+        };
         HalfController {
             id,
             n,
@@ -99,8 +103,11 @@ impl HalfController {
             // Entering a new window: harvest the previous agent run, reset.
             self.harvest_agent_run();
             self.cur_window = window;
-            self.cur_partner =
-                self.schedule.as_ref().expect("schedule set").partner_in(self.id, window);
+            self.cur_partner = self
+                .schedule
+                .as_ref()
+                .expect("schedule set")
+                .partner_in(self.id, window);
             self.role = WindowRole::Idle;
             self.run_index = 0;
             self.deadline_handled = false;
@@ -197,13 +204,11 @@ impl Controller<Msg> for HalfController {
     fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
         self.round_seen = obs.round;
         // Roster snapshot: derive the schedule and all later boundaries.
-        if obs.round == self.snapshot_round && self.schedule.is_none() && obs.subround == 0
-        {
+        if obs.round == self.snapshot_round && self.schedule.is_none() && obs.subround == 0 {
             let ids = crate::algos::common::snapshot_ids(obs.roster);
             let schedule = pairing_schedule(&ids);
             self.pairing_start = self.snapshot_round + 1;
-            self.pairing_end =
-                self.pairing_start + schedule.total_windows * self.window_len;
+            self.pairing_end = self.pairing_start + schedule.total_windows * self.window_len;
             self.dum_end = self.pairing_end + dum_budget(self.n);
             self.schedule = Some(schedule);
             return None;
@@ -221,8 +226,7 @@ impl Controller<Msg> for HalfController {
                         // degrade to a single-node map; the robot will sit
                         // at the gathering node and the verifier will
                         // report the failure.
-                        bd_graphs::PortGraph::from_adjacency(vec![vec![]])
-                            .expect("trivial map")
+                        bd_graphs::PortGraph::from_adjacency(vec![vec![]]).expect("trivial map")
                     });
                 self.dum = Some(DumMachine::new(self.id, map, 0));
             }
@@ -267,8 +271,7 @@ impl Controller<Msg> for HalfController {
         // robot has nothing left to do in the current one.
         if self.in_pairing(self.round_seen) && self.cur_window != u64::MAX {
             let window_start = self.pairing_start + self.cur_window * self.window_len;
-            let next_window =
-                (window_start + self.window_len).min(self.pairing_end);
+            let next_window = (window_start + self.window_len).min(self.pairing_end);
             if self.cur_partner.is_none() {
                 return Some(next_window);
             }

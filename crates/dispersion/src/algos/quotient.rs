@@ -116,7 +116,11 @@ mod tests {
         let c = QuotientController::new(
             RobotId(3),
             5,
-            QuotientSetup { walk: vec![0, 0], map, pos_after_walk: 2 },
+            QuotientSetup {
+                walk: vec![0, 0],
+                map,
+                pos_after_walk: 2,
+            },
         );
         // Before any observation, round_seen = 0 < walk_len: walking phase.
         assert_eq!(c.subrounds_wanted(), 1);

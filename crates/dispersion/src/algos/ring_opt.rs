@@ -23,7 +23,11 @@ use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
 
 enum Phase {
     /// Walking around the ring, recording `(exit_port, entry_port)` pairs.
-    Mapping { steps_done: usize, first_exit: Port, pairs: Vec<(Port, Port)> },
+    Mapping {
+        steps_done: usize,
+        first_exit: Port,
+        pairs: Vec<(Port, Port)>,
+    },
     /// Running DUM on the learned ring map.
     Dum(Box<DumMachine>),
 }
@@ -90,7 +94,12 @@ impl Controller<Msg> for RingOptController {
     fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
         self.round_seen = obs.round;
         // Record the entry port of the previous step.
-        if let Phase::Mapping { steps_done, first_exit, pairs } = &mut self.phase {
+        if let Phase::Mapping {
+            steps_done,
+            first_exit,
+            pairs,
+        } = &mut self.phase
+        {
             if let Some(a) = obs.arrival {
                 pairs.push((a.exit_port, a.entry_port));
                 if pairs.len() == 1 {
@@ -100,8 +109,7 @@ impl Controller<Msg> for RingOptController {
             if *steps_done == self.n && pairs.len() == self.n {
                 // Back at the start with a complete map; start DUM there.
                 let map = Self::build_map(self.n, pairs);
-                self.phase =
-                    Phase::Dum(Box::new(DumMachine::new(self.id, map, 0)));
+                self.phase = Phase::Dum(Box::new(DumMachine::new(self.id, map, 0)));
             }
         }
         if self.in_dum(obs.round) {
@@ -116,7 +124,9 @@ impl Controller<Msg> for RingOptController {
         self.round_seen = obs.round;
         let dum_active = self.in_dum(obs.round);
         match &mut self.phase {
-            Phase::Mapping { steps_done, pairs, .. } => {
+            Phase::Mapping {
+                steps_done, pairs, ..
+            } => {
                 if *steps_done >= self.n {
                     return MoveChoice::Stay;
                 }

@@ -46,7 +46,11 @@ impl StrongController {
     /// `gather_script` empty = Theorem 6 (gathered start); otherwise the
     /// robot's gathering route and shared budget (Theorem 7).
     pub fn new(id: RobotId, n: usize, gather_script: Vec<Port>, gather_budget: u64) -> Self {
-        let snapshot_round = if gather_script.is_empty() { 0 } else { gather_budget };
+        let snapshot_round = if gather_script.is_empty() {
+            0
+        } else {
+            gather_budget
+        };
         StrongController {
             id,
             n,
@@ -109,7 +113,11 @@ impl Controller<Msg> for StrongController {
         if obs.round >= self.walk_start && self.walk_path.is_none() {
             // Phase 2: rank dispersion. The robot of rank i settles at
             // node v(i) of the agreed map's canonical node ordering.
-            let map = self.run.as_ref().and_then(|r| r.accepted()).map(|f| f.to_graph());
+            let map = self
+                .run
+                .as_ref()
+                .and_then(|r| r.accepted())
+                .map(|f| f.to_graph());
             let path = map
                 .and_then(|map| {
                     let rank = self.ids.iter().position(|&r| r == self.id)?;

@@ -59,7 +59,11 @@ impl GroupController {
         gather_script: Vec<Port>,
         gather_budget: u64,
     ) -> Self {
-        let snapshot_round = if gather_script.is_empty() { 0 } else { gather_budget };
+        let snapshot_round = if gather_script.is_empty() {
+            0
+        } else {
+            gather_budget
+        };
         GroupController {
             id,
             n,
@@ -155,12 +159,12 @@ impl Controller<Msg> for GroupController {
         }
         if self.in_dum(obs.round) {
             if self.dum.is_none() {
-                let votes: Vec<_> =
-                    self.runs.iter().map(|r| r.accepted().cloned()).collect();
-                let map = majority_map(&votes).map(|f| f.to_graph()).unwrap_or_else(|| {
-                    bd_graphs::PortGraph::from_adjacency(vec![vec![]])
-                        .expect("trivial map")
-                });
+                let votes: Vec<_> = self.runs.iter().map(|r| r.accepted().cloned()).collect();
+                let map = majority_map(&votes)
+                    .map(|f| f.to_graph())
+                    .unwrap_or_else(|| {
+                        bd_graphs::PortGraph::from_adjacency(vec![vec![]]).expect("trivial map")
+                    });
                 self.dum = Some(DumMachine::new(self.id, map, 0));
             }
             return self.dum.as_mut().expect("dum set").act(obs);

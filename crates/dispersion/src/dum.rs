@@ -104,7 +104,10 @@ impl DumMachine {
     /// Sub-round handler. Returns the message to publish, if any.
     pub fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
         if obs.subround == 0 {
-            return Some(Msg::State { state: self.state, flag: self.flag });
+            return Some(Msg::State {
+                state: self.state,
+                flag: self.flag,
+            });
         }
         if self.state == DumState::Settled {
             return None;
@@ -248,7 +251,11 @@ mod tests {
     }
 
     fn state_msg(sender: RobotId, state: DumState) -> Publication<Msg> {
-        Publication { sender, subround: 0, body: Msg::State { state, flag: false } }
+        Publication {
+            sender,
+            subround: 0,
+            body: Msg::State { state, flag: false },
+        }
     }
 
     #[test]
@@ -258,7 +265,10 @@ mod tests {
         let roster = [RobotId(5)];
         assert!(matches!(
             m.act(&obs(0, &roster, &[])),
-            Some(Msg::State { state: DumState::ToBeSettled, .. })
+            Some(Msg::State {
+                state: DumState::ToBeSettled,
+                ..
+            })
         ));
         let bulletin = [state_msg(RobotId(5), DumState::ToBeSettled)];
         assert_eq!(m.act(&obs(1, &roster, &bulletin)), Some(Msg::Settle));
@@ -273,7 +283,11 @@ mod tests {
         let bulletin = [
             state_msg(RobotId(3), DumState::ToBeSettled),
             state_msg(RobotId(9), DumState::ToBeSettled),
-            Publication { sender: RobotId(3), subround: 1, body: Msg::Settle },
+            Publication {
+                sender: RobotId(3),
+                subround: 1,
+                body: Msg::Settle,
+            },
         ];
         // Rank of 9 is 2.
         assert_eq!(m.act(&obs(2, &roster, &bulletin)), None);
@@ -349,7 +363,10 @@ mod tests {
         // Next round: still announces Settled, still stays.
         assert!(matches!(
             m.act(&obs(0, &roster, &[])),
-            Some(Msg::State { state: DumState::Settled, .. })
+            Some(Msg::State {
+                state: DumState::Settled,
+                ..
+            })
         ));
         assert_eq!(m.act(&obs(1, &roster, &[])), None);
         assert_eq!(m.decide_move(), MoveChoice::Stay);

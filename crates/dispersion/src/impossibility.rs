@@ -13,8 +13,8 @@
 //! whenever the theorem's inequality holds and enough non-target robots
 //! exist to host the Byzantine replicas.
 
-use crate::algos::baseline::BaselineController;
 use crate::adversaries::ReplayController;
+use crate::algos::baseline::BaselineController;
 use crate::msg::Msg;
 use bd_graphs::PortGraph;
 use bd_runtime::ids::generate_ids;
@@ -62,8 +62,10 @@ pub fn replay_experiment(
     let ids = generate_ids(k, n.max(2), seed);
 
     // Run 1: fault-free, traced.
-    let mut e1: Engine<Msg> =
-        Engine::new(g.clone(), EngineConfig::with_max_rounds(10_000 + 4 * n as u64).traced());
+    let mut e1: Engine<Msg> = Engine::new(
+        g.clone(),
+        EngineConfig::with_max_rounds(10_000 + 4 * n as u64).traced(),
+    );
     for &id in &ids {
         e1.add_robot(
             Flavor::Honest,
@@ -82,18 +84,18 @@ pub fn replay_experiment(
         .into_iter()
         .max_by_key(|(_, v)| v.len())
         .expect("robots exist");
-    let protected: std::collections::BTreeSet<usize> =
-        target_members.into_iter().collect();
+    let protected: std::collections::BTreeSet<usize> = target_members.into_iter().collect();
 
     // Choose f replicas among the non-protected robots.
-    let replicas: Vec<usize> =
-        (0..k).filter(|i| !protected.contains(i)).take(f).collect();
+    let replicas: Vec<usize> = (0..k).filter(|i| !protected.contains(i)).take(f).collect();
     let replica_set: std::collections::BTreeSet<usize> = replicas.into_iter().collect();
 
     // Run 2: replicas replay their recorded scripts as weak Byzantine
     // robots; everyone else runs the algorithm unchanged.
-    let mut e2: Engine<Msg> =
-        Engine::new(g.clone(), EngineConfig::with_max_rounds(10_000 + 4 * n as u64));
+    let mut e2: Engine<Msg> = Engine::new(
+        g.clone(),
+        EngineConfig::with_max_rounds(10_000 + 4 * n as u64),
+    );
     let mut honest_mask = Vec::with_capacity(k);
     for (i, &id) in ids.iter().enumerate() {
         if replica_set.contains(&i) {
@@ -163,7 +165,9 @@ mod tests {
         let g = erdos_renyi_connected(6, 0.4, 1).unwrap();
         for k in [6usize, 9, 12, 18] {
             for f in 0..k.min(10) {
-                let Some(r) = replay_experiment(&g, k, f, 7) else { continue };
+                let Some(r) = replay_experiment(&g, k, f, 7) else {
+                    continue;
+                };
                 assert_eq!(
                     r.violated, r.theorem_predicts,
                     "k={k} f={f}: experiment must match the theorem: {r:?}"

@@ -9,10 +9,10 @@
 //! |--------|-------|--------|
 //! | [`algos::quotient`] | §2, Thm 1 | `f ≤ n−1` weak, quotient-isomorphic graphs, poly(n) |
 //! | [`algos::half`] | §3.1, Thms 2–3 | `f ≤ ⌊n/2−1⌋` weak, arbitrary/gathered, `Õ(n⁹)` / `O(n⁴)` |
-//! | [`algos::third`] | §3.2, Thm 4 | `f ≤ ⌊n/3−1⌋` weak, gathered, `O(n³)` |
-//! | [`algos::sqrt`] | §3.3, Thm 5 | `f = O(√n)` weak, arbitrary, `Õ(n⁵·⁵)` |
+//! | [`algos::third`] | §3.2–3.3, Thms 4–5 | `f ≤ ⌊n/3−1⌋` weak gathered `O(n³)`; Thm 5's `f = O(√n)` arbitrary-start run reuses the same group machinery ([`runner`] maps `ArbitrarySqrtTh5` to a gathered [`algos::third::GroupController`] with a `Halves` quorum — no dedicated `sqrt` module yet) |
 //! | [`algos::strong`] | §4, Thms 6–7 | `f ≤ ⌊n/4−1⌋` **strong**, gathered/arbitrary |
 //! | [`algos::baseline`] | §1.4 | non-Byzantine map-DFS baseline (k-robot capacity) |
+//! | [`algos::ring_opt`] | §2.2's predecessor \[34, 36\] | `Time-Opt-Ring-Dispersion`: `O(n)` on rings, `f ≤ n−1` weak |
 //! | [`impossibility`] | §5, Thm 8 | replay-adversary construction |
 //!
 //! Shared building blocks: the [`dum`] state machine

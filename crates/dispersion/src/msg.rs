@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let msgs = vec![
-            Msg::State { state: DumState::Settled, flag: true },
+            Msg::State {
+                state: DumState::Settled,
+                flag: true,
+            },
             Msg::Settle,
             Msg::Flag,
             Msg::TokenGo { port: 3, step: 17 },
@@ -72,7 +75,11 @@ mod tests {
 
     #[test]
     fn state_predicate() {
-        assert!(Msg::State { state: DumState::ToBeSettled, flag: false }.is_state());
+        assert!(Msg::State {
+            state: DumState::ToBeSettled,
+            flag: false
+        }
+        .is_state());
         assert!(!Msg::Settle.is_state());
     }
 }

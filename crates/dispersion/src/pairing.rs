@@ -55,7 +55,10 @@ impl PairingSchedule {
 /// Panics if `ids` is unsorted or has duplicates — the roster snapshot
 /// guarantees both.
 pub fn pairing_schedule(ids: &[RobotId]) -> PairingSchedule {
-    assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted and distinct");
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "ids must be sorted and distinct"
+    );
     let mut windows: BTreeMap<RobotId, Vec<PairingWindow>> =
         ids.iter().map(|&id| (id, Vec::new())).collect();
     let mut next_window = 0u64;
@@ -74,8 +77,7 @@ pub fn pairing_schedule(ids: &[RobotId]) -> PairingSchedule {
             let h = g.len().div_ceil(2);
             splits.push((g[..h].to_vec(), g[h..].to_vec()));
         }
-        let level_windows =
-            splits.iter().map(|(g0, _)| g0.len()).max().unwrap_or(0) as u64;
+        let level_windows = splits.iter().map(|(g0, _)| g0.len()).max().unwrap_or(0) as u64;
         for (g0, g1) in &splits {
             if g1.is_empty() {
                 continue;
@@ -100,9 +102,16 @@ pub fn pairing_schedule(ids: &[RobotId]) -> PairingSchedule {
             }
         }
         next_window += level_windows;
-        level = splits.into_iter().flat_map(|(a, b)| [a, b]).filter(|g| !g.is_empty()).collect();
+        level = splits
+            .into_iter()
+            .flat_map(|(a, b)| [a, b])
+            .filter(|g| !g.is_empty())
+            .collect();
     }
-    PairingSchedule { windows, total_windows: next_window }
+    PairingSchedule {
+        windows,
+        total_windows: next_window,
+    }
 }
 
 #[cfg(test)]
@@ -119,8 +128,7 @@ mod tests {
         for k in 2..=17 {
             let ids = ids(k);
             let s = pairing_schedule(&ids);
-            let mut covered =
-                std::collections::HashSet::<(RobotId, RobotId)>::new();
+            let mut covered = std::collections::HashSet::<(RobotId, RobotId)>::new();
             for (&a, ws) in &s.windows {
                 for w in ws {
                     if let Some(b) = w.partner {
@@ -149,7 +157,11 @@ mod tests {
             for (a, ws) in &s.windows {
                 let mut seen = std::collections::HashSet::new();
                 for w in ws {
-                    assert!(seen.insert(w.index), "robot {a:?} double-booked in window {}", w.index);
+                    assert!(
+                        seen.insert(w.index),
+                        "robot {a:?} double-booked in window {}",
+                        w.index
+                    );
                 }
             }
         }

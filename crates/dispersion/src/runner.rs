@@ -56,9 +56,7 @@ impl Algorithm {
     pub fn tolerance(self, n: usize) -> usize {
         match self {
             Algorithm::QuotientTh1 | Algorithm::RingOptimal => n.saturating_sub(1),
-            Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => {
-                (n / 2).saturating_sub(1)
-            }
+            Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => (n / 2).saturating_sub(1),
             Algorithm::GatheredThirdTh4 => (n / 3).saturating_sub(1),
             Algorithm::ArbitrarySqrtTh5 => ((n as f64).sqrt() as usize / 2).max(1),
             Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
@@ -80,7 +78,10 @@ impl Algorithm {
 
     /// Whether Byzantine robots run under the strong flavor.
     pub fn strong(self) -> bool {
-        matches!(self, Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7)
+        matches!(
+            self,
+            Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7
+        )
     }
 
     /// All Table 1 algorithms.
@@ -218,7 +219,9 @@ pub fn run_algorithm(
 ) -> Result<Outcome, DispersionError> {
     let n = graph.n();
     if n < 3 {
-        return Err(DispersionError::BadScenario(format!("graph too small: n = {n}")));
+        return Err(DispersionError::BadScenario(format!(
+            "graph too small: n = {n}"
+        )));
     }
     let k = spec.num_robots;
     if k == 0 {
@@ -229,7 +232,10 @@ pub fn run_algorithm(
         return Err(DispersionError::BadScenario(format!("f = {f} >= k = {k}")));
     }
     if !spec.allow_overload && f > algo.tolerance(n) {
-        return Err(DispersionError::ToleranceExceeded { f, max: algo.tolerance(n) });
+        return Err(DispersionError::ToleranceExceeded {
+            f,
+            max: algo.tolerance(n),
+        });
     }
 
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xdead_beef);
@@ -271,8 +277,7 @@ pub fn run_algorithm(
         let mut routes = Vec::with_capacity(k);
         let mut budget = 0;
         for &s in &starts {
-            let r = gather_route(graph, s)
-                .map_err(|_| DispersionError::GatheringInfeasible)?;
+            let r = gather_route(graph, s).map_err(|_| DispersionError::GatheringInfeasible)?;
             budget = r.budget_rounds;
             routes.push(r.ports);
         }
@@ -303,16 +308,10 @@ pub fn run_algorithm(
         Algorithm::QuotientTh1 => cover_walk_length(n) + dum_budget(n) + 64,
         Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => {
             let sched = pairing_schedule(&ids);
-            gather_budget
-                + 1
-                + sched.total_windows * pair_window_len(n)
-                + dum_budget(n)
-                + 64
+            gather_budget + 1 + sched.total_windows * pair_window_len(n) + dum_budget(n) + 64
         }
         Algorithm::GatheredThirdTh4 => 1 + 3 * group_run_len(n) + dum_budget(n) + 64,
-        Algorithm::ArbitrarySqrtTh5 => {
-            gather_budget + 1 + group_run_len(n) + dum_budget(n) + 64
-        }
+        Algorithm::ArbitrarySqrtTh5 => gather_budget + 1 + group_run_len(n) + dum_budget(n) + 64,
         Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
             gather_budget + 1 + group_run_len(n) + rank_walk_budget(n) + 64
         }
@@ -323,11 +322,15 @@ pub fn run_algorithm(
     if algo == Algorithm::RingOptimal
         && !(graph.nodes().all(|v| graph.degree(v) == 2) && graph.is_connected())
     {
-        return Err(DispersionError::BadScenario("RingOptimal requires a ring".into()));
+        return Err(DispersionError::BadScenario(
+            "RingOptimal requires a ring".into(),
+        ));
     }
 
-    let mut engine: Engine<Msg> =
-        Engine::new(graph.clone(), EngineConfig::with_max_rounds(run_end_guess + 1024));
+    let mut engine: Engine<Msg> = Engine::new(
+        graph.clone(),
+        EngineConfig::with_max_rounds(run_end_guess + 1024),
+    );
 
     // Theorem 1 setup: quotient precondition + per-robot walk scripts.
     let quotient_setup: Option<Vec<QuotientSetup>> = if algo == Algorithm::QuotientTh1 {
@@ -362,8 +365,7 @@ pub fn run_algorithm(
         None
     };
 
-    let honest_ids: Vec<RobotId> =
-        (0..k).filter(|&i| honest[i]).map(|i| ids[i]).collect();
+    let honest_ids: Vec<RobotId> = (0..k).filter(|&i| honest[i]).map(|i| ids[i]).collect();
 
     let mut coalition_index = 0usize;
     for i in 0..k {
@@ -377,7 +379,10 @@ pub fn run_algorithm(
             } else {
                 Flavor::WeakByzantine
             };
-            let script = gather.as_ref().map(|(r, _)| r[i].clone()).unwrap_or_default();
+            let script = gather
+                .as_ref()
+                .map(|(r, _)| r[i].clone())
+                .unwrap_or_default();
             engine.add_robot(
                 flavor,
                 start,
@@ -394,7 +399,10 @@ pub fn run_algorithm(
             coalition_index += 1;
             continue;
         }
-        let script = gather.as_ref().map(|(r, _)| r[i].clone()).unwrap_or_default();
+        let script = gather
+            .as_ref()
+            .map(|(r, _)| r[i].clone())
+            .unwrap_or_default();
         let controller: Box<dyn bd_runtime::Controller<Msg>> = match algo {
             Algorithm::QuotientTh1 => Box::new(QuotientController::new(
                 id,
@@ -424,9 +432,7 @@ pub fn run_algorithm(
             Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
                 Box::new(StrongController::new(id, n, script, gather_budget))
             }
-            Algorithm::Baseline => {
-                Box::new(BaselineController::new(id, graph.clone(), start, 1))
-            }
+            Algorithm::Baseline => Box::new(BaselineController::new(id, graph.clone(), start, 1)),
             Algorithm::RingOptimal => Box::new(RingOptController::new(id, n)),
         };
         if honest[i] {
@@ -471,8 +477,7 @@ mod tests {
     #[test]
     fn overload_rejected_without_flag() {
         let g = erdos_renyi_connected(9, 0.4, 1).unwrap();
-        let spec = ScenarioSpec::gathered(&g, 0)
-            .with_byzantine(5, AdversaryKind::Squatter);
+        let spec = ScenarioSpec::gathered(&g, 0).with_byzantine(5, AdversaryKind::Squatter);
         let err = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap_err();
         assert!(matches!(err, DispersionError::ToleranceExceeded { .. }));
     }

@@ -62,7 +62,10 @@ impl Timeline {
 
     /// Look up a phase by name.
     pub fn phase(&self, name: &str) -> Option<(u64, u64)> {
-        self.phases.iter().find(|(n, _, _)| n == name).map(|&(_, s, e)| (s, e))
+        self.phases
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, s, e)| (s, e))
     }
 
     /// All phases in order.

@@ -26,16 +26,25 @@ pub enum TokenSpec {
     Partner(RobotId),
     /// A group: the token "is present" iff at least `presence_threshold`
     /// distinct members are co-located (§3.2, §4).
-    Group { members: BTreeSet<RobotId>, presence_threshold: usize },
+    Group {
+        members: BTreeSet<RobotId>,
+        presence_threshold: usize,
+    },
 }
 
 impl TokenSpec {
     fn present(&self, roster: &[RobotId]) -> bool {
         match self {
             TokenSpec::Partner(p) => roster.contains(p),
-            TokenSpec::Group { members, presence_threshold } => {
-                let distinct: BTreeSet<RobotId> =
-                    roster.iter().copied().filter(|r| members.contains(r)).collect();
+            TokenSpec::Group {
+                members,
+                presence_threshold,
+            } => {
+                let distinct: BTreeSet<RobotId> = roster
+                    .iter()
+                    .copied()
+                    .filter(|r| members.contains(r))
+                    .collect();
                 distinct.len() >= *presence_threshold
             }
         }
@@ -49,7 +58,10 @@ pub enum InstructionSpec {
     Partner(RobotId),
     /// Obey instructions supported by at least `threshold` distinct members
     /// of the agent group.
-    Group { members: BTreeSet<RobotId>, threshold: usize },
+    Group {
+        members: BTreeSet<RobotId>,
+        threshold: usize,
+    },
 }
 
 /// The agent side of a run.
@@ -93,7 +105,11 @@ impl AgentDriver {
     /// Sub-round 0 handler: feed percepts, emit the instruction if the
     /// token must move this round.
     pub fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
-        let arrival = if self.first_call_done { obs.arrival } else { None };
+        let arrival = if self.first_call_done {
+            obs.arrival
+        } else {
+            None
+        };
         self.first_call_done = true;
         if let Some(info) = arrival {
             self.entry_log.push(info.entry_port);
@@ -101,7 +117,10 @@ impl AgentDriver {
         if self.returning.is_some() || self.done_exploring {
             return None;
         }
-        let explorer = self.explorer.as_mut().expect("explorer present while exploring");
+        let explorer = self
+            .explorer
+            .as_mut()
+            .expect("explorer present while exploring");
         let percept = Percept {
             degree: obs.degree,
             token_here: self.token.present(obs.roster),
@@ -122,7 +141,10 @@ impl AgentDriver {
             }
             AgentCmd::MoveWithToken(p) => {
                 self.planned = Some(p);
-                let msg = Msg::TokenGo { port: p, step: self.step };
+                let msg = Msg::TokenGo {
+                    port: p,
+                    step: self.step,
+                };
                 self.step += 1;
                 Some(msg)
             }
@@ -197,7 +219,7 @@ impl AgentDriver {
     pub fn finished(&self) -> bool {
         self.done_exploring
             && self.planned.is_none()
-            && self.returning.as_ref().is_none_or(|r| r.is_empty())
+            && self.returning.as_ref().map_or(true, |r| r.is_empty())
     }
 
     /// The constructed map, if the run succeeded.
@@ -267,8 +289,7 @@ impl TokenFollower {
         }
         // Collect support per proposed port for the current step, plus
         // release announcements.
-        let mut support: std::collections::BTreeMap<Port, BTreeSet<RobotId>> =
-            Default::default();
+        let mut support: std::collections::BTreeMap<Port, BTreeSet<RobotId>> = Default::default();
         let mut done_support: BTreeSet<RobotId> = BTreeSet::new();
         for p in obs.bulletin {
             match p.body {
@@ -291,7 +312,10 @@ impl TokenFollower {
             self.go_home();
             return None;
         }
-        let chosen = support.iter().find(|(_, s)| accepted(s)).map(|(&port, _)| port);
+        let chosen = support
+            .iter()
+            .find(|(_, s)| accepted(s))
+            .map(|(&port, _)| port);
         if let Some(port) = chosen {
             self.planned = Some(port);
             self.step += 1;

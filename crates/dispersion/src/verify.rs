@@ -50,11 +50,7 @@ pub fn verify_with_capacity(
 }
 
 /// Verify the standard (capacity 1) Byzantine dispersion condition.
-pub fn verify_dispersion(
-    positions: &[NodeId],
-    honest: &[bool],
-    ids: &[RobotId],
-) -> VerifyReport {
+pub fn verify_dispersion(positions: &[NodeId], honest: &[bool], ids: &[RobotId]) -> VerifyReport {
     verify_with_capacity(positions, honest, ids, 1)
 }
 
@@ -86,11 +82,7 @@ mod tests {
 
     #[test]
     fn two_honest_on_a_node_fails() {
-        let r = verify_dispersion(
-            &[0, 0],
-            &[true, true],
-            &[RobotId(1), RobotId(2)],
-        );
+        let r = verify_dispersion(&[0, 0], &[true, true], &[RobotId(1), RobotId(2)]);
         assert!(!r.ok);
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.violations[0].1, vec![RobotId(1), RobotId(2)]);

@@ -1,9 +1,7 @@
 //! End-to-end runs of every Table 1 algorithm under the adversary suite.
 
 use bd_dispersion::adversaries::AdversaryKind;
-use bd_dispersion::runner::{
-    run_algorithm, Algorithm, ByzPlacement, ScenarioSpec,
-};
+use bd_dispersion::runner::{run_algorithm, Algorithm, ByzPlacement, ScenarioSpec};
 use bd_graphs::generators::{erdos_renyi_connected, lollipop, random_tree, ring, star};
 use bd_graphs::PortGraph;
 
@@ -14,8 +12,7 @@ fn asymmetric_graph(n: usize, seed: u64) -> PortGraph {
 }
 
 fn assert_dispersed(algo: Algorithm, g: &PortGraph, spec: &ScenarioSpec, label: &str) {
-    let out = run_algorithm(algo, g, spec)
-        .unwrap_or_else(|e| panic!("{label}: run failed: {e}"));
+    let out = run_algorithm(algo, g, spec).unwrap_or_else(|e| panic!("{label}: run failed: {e}"));
     assert!(
         out.dispersed,
         "{label}: not dispersed; violations {:?}",
@@ -83,7 +80,9 @@ fn quotient_th1_max_byzantine() {
         AdversaryKind::Crowd,
     ] {
         let f = Algorithm::QuotientTh1.tolerance(9); // 8 of 9!
-        let spec = ScenarioSpec::arbitrary(&g).with_byzantine(f, kind).with_seed(13);
+        let spec = ScenarioSpec::arbitrary(&g)
+            .with_byzantine(f, kind)
+            .with_seed(13);
         assert_dispersed(Algorithm::QuotientTh1, &g, &spec, &format!("th1 {kind:?}"));
     }
 }
@@ -100,7 +99,9 @@ fn gathered_half_th3_max_byzantine_all_adversaries() {
         AdversaryKind::MapLiar,
         AdversaryKind::Crowd,
     ] {
-        let spec = ScenarioSpec::gathered(&g, 0).with_byzantine(f, kind).with_seed(17);
+        let spec = ScenarioSpec::gathered(&g, 0)
+            .with_byzantine(f, kind)
+            .with_seed(17);
         assert_dispersed(
             Algorithm::GatheredHalfTh3,
             &g,
@@ -114,7 +115,11 @@ fn gathered_half_th3_max_byzantine_all_adversaries() {
 fn gathered_third_th4_max_byzantine() {
     let g = asymmetric_graph(10, 31);
     let f = Algorithm::GatheredThirdTh4.tolerance(10); // 2
-    for placement in [ByzPlacement::LowIds, ByzPlacement::HighIds, ByzPlacement::Random] {
+    for placement in [
+        ByzPlacement::LowIds,
+        ByzPlacement::HighIds,
+        ByzPlacement::Random,
+    ] {
         for kind in [
             AdversaryKind::TokenHijacker,
             AdversaryKind::MapLiar,

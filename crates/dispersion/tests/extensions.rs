@@ -28,7 +28,9 @@ fn ring_optimal_tolerates_n_minus_1_byzantine() {
         AdversaryKind::Silent,
         AdversaryKind::Crowd,
     ] {
-        let spec = ScenarioSpec::arbitrary(&g).with_byzantine(7, kind).with_seed(9);
+        let spec = ScenarioSpec::arbitrary(&g)
+            .with_byzantine(7, kind)
+            .with_seed(9);
         let out = run_algorithm(Algorithm::RingOptimal, &g, &spec).unwrap();
         assert!(out.dispersed, "{kind:?}: {:?}", out.report.violations);
     }
@@ -41,7 +43,11 @@ fn ring_optimal_is_linear_and_beats_theorem1_on_rings() {
     let fast = run_algorithm(Algorithm::RingOptimal, &g, &spec).unwrap();
     let slow = run_algorithm(Algorithm::QuotientTh1, &g, &spec).unwrap();
     assert!(fast.dispersed && slow.dispersed);
-    assert!(fast.rounds <= 10 + 4 * 10 + 16 + 2, "O(n): got {}", fast.rounds);
+    assert!(
+        fast.rounds <= 10 + 4 * 10 + 16 + 2,
+        "O(n): got {}",
+        fast.rounds
+    );
     assert!(
         fast.rounds * 50 < slow.rounds,
         "ring-optimal ({}) must beat Find-Map ({}) decisively",
@@ -72,8 +78,7 @@ fn crash_faults_absorbed_by_every_gathered_algorithm() {
         let spec = ScenarioSpec::gathered(&g, 0)
             .with_byzantine(f, AdversaryKind::CrashMidway)
             .with_seed(21);
-        let out = run_algorithm(algo, &g, &spec)
-            .unwrap_or_else(|e| panic!("{algo:?}: {e}"));
+        let out = run_algorithm(algo, &g, &spec).unwrap_or_else(|e| panic!("{algo:?}: {e}"));
         assert!(out.dispersed, "{algo:?}: {:?}", out.report.violations);
     }
 }

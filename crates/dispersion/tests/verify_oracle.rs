@@ -1,0 +1,163 @@
+//! Oracle-differential tests for the Definition 1 verifier.
+//!
+//! Two layers, after the oracle-differential discipline in the formal
+//! verification guide: (1) `verify_with_capacity` against a brute-force
+//! recount on random synthetic configurations, and (2) the runner's
+//! `Outcome.report` against an independent recount of the actual final
+//! placements for every `Algorithm` × `AdversaryKind` smoke scenario — so
+//! the optimized verifier can never silently drift from the definition.
+
+use bd_dispersion::adversaries::AdversaryKind;
+use bd_dispersion::runner::{run_algorithm, Algorithm, ScenarioSpec};
+use bd_dispersion::verify::{verify_with_capacity, VerifyReport};
+use bd_graphs::{generators, NodeId, PortGraph};
+use bd_runtime::RobotId;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// The definition, transcribed as naively as possible: count honest robots
+/// per node; a node violates if its count exceeds the capacity.
+fn brute_force_recount(
+    positions: &[NodeId],
+    honest: &[bool],
+    capacity: usize,
+) -> (bool, usize, Vec<(NodeId, usize)>) {
+    let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for (i, &pos) in positions.iter().enumerate() {
+        if honest[i] {
+            *counts.entry(pos).or_insert(0) += 1;
+        }
+    }
+    let max = counts.values().copied().max().unwrap_or(0);
+    let violations: Vec<(NodeId, usize)> =
+        counts.into_iter().filter(|&(_, c)| c > capacity).collect();
+    (violations.is_empty(), max, violations)
+}
+
+fn assert_report_matches(
+    report: &VerifyReport,
+    positions: &[NodeId],
+    honest: &[bool],
+    capacity: usize,
+    context: &str,
+) {
+    let (ok, max, violations) = brute_force_recount(positions, honest, capacity);
+    assert_eq!(report.ok, ok, "{context}: ok diverges from recount");
+    assert_eq!(
+        report.max_honest_per_node, max,
+        "{context}: max_honest_per_node diverges"
+    );
+    assert_eq!(
+        report.violations.len(),
+        violations.len(),
+        "{context}: violation count diverges"
+    );
+    for ((node, robots), (expect_node, expect_count)) in report.violations.iter().zip(&violations) {
+        assert_eq!(node, expect_node, "{context}: violating node differs");
+        assert_eq!(
+            robots.len(),
+            *expect_count,
+            "{context}: honest count on node {node} differs"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Synthetic layer: the optimized verifier equals the brute-force
+    /// recount on arbitrary configurations.
+    #[test]
+    fn verifier_matches_brute_force_on_random_configs(
+        k in 1usize..40,
+        n in 1usize..12,
+        capacity in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        // Derive positions/honesty deterministically from the seed.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let positions: Vec<NodeId> = (0..k).map(|_| (next() as usize) % n).collect();
+        let honest: Vec<bool> = (0..k).map(|_| next() % 3 != 0).collect();
+        let ids: Vec<RobotId> = (1..=k as u64).map(RobotId).collect();
+
+        let report = verify_with_capacity(&positions, &honest, &ids, capacity);
+        let (ok, max, violations) = brute_force_recount(&positions, &honest, capacity);
+        prop_assert_eq!(report.ok, ok);
+        prop_assert_eq!(report.max_honest_per_node, max);
+        prop_assert_eq!(report.violations.len(), violations.len());
+        // Violation entries list exactly the honest robots on that node.
+        for (node, robots) in &report.violations {
+            let expected: Vec<RobotId> = (0..k)
+                .filter(|&i| honest[i] && positions[i] == *node)
+                .map(|i| ids[i])
+                .collect();
+            prop_assert_eq!(robots.clone(), expected);
+        }
+    }
+}
+
+/// A graph satisfying `algo`'s structural precondition at size `n`.
+fn smoke_graph(algo: Algorithm, n: usize) -> PortGraph {
+    match algo {
+        Algorithm::RingOptimal => generators::ring(n).unwrap(),
+        // Resample until the quotient precondition holds (Theorem 1) —
+        // the same instances satisfy every other row's needs too.
+        _ => (0..64)
+            .map(|attempt| generators::erdos_renyi_connected(n, 0.4, 17 + attempt).unwrap())
+            .find(|g| bd_graphs::quotient::quotient_graph(g).is_isomorphic_to_original())
+            .expect("no asymmetric G(n, 0.4) near seed 17"),
+    }
+}
+
+/// Pipeline layer: every algorithm × adversary smoke cell, recounted.
+#[test]
+fn runner_reports_match_recount_for_every_algorithm_adversary_cell() {
+    let n = 9;
+    let mut cells = 0;
+    for algo in Algorithm::table1()
+        .into_iter()
+        .chain([Algorithm::Baseline, Algorithm::RingOptimal])
+    {
+        let g = smoke_graph(algo, n);
+        for kind in AdversaryKind::all() {
+            if kind.needs_strong() && !algo.strong() {
+                continue; // the engine would stamp true IDs anyway
+            }
+            let f = algo.tolerance(n).min(n - 2);
+            let spec = if algo.gathers() || algo == Algorithm::QuotientTh1 {
+                ScenarioSpec::arbitrary(&g)
+            } else {
+                ScenarioSpec::gathered(&g, 0)
+            }
+            .with_byzantine(f, kind)
+            .with_seed(5);
+            let out = run_algorithm(algo, &g, &spec)
+                .unwrap_or_else(|e| panic!("{algo:?} x {kind:?} failed to run: {e}"));
+            let context = format!("{algo:?} x {kind:?} (f={f})");
+            // `dispersed` must agree with the capacity-1 recount…
+            let (ok, _, _) = brute_force_recount(&out.final_positions, &out.honest, 1);
+            assert_eq!(out.dispersed, ok, "{context}: dispersed flag diverges");
+            // …and the attached report must match field by field.
+            assert_report_matches(
+                &out.report,
+                &out.final_positions,
+                &out.honest,
+                out.report.capacity,
+                &context,
+            );
+            assert_eq!(
+                out.report.capacity, 1,
+                "{context}: smoke cells use capacity 1"
+            );
+            cells += 1;
+        }
+    }
+    assert!(
+        cells >= 70,
+        "expected a full smoke matrix, ran only {cells} cells"
+    );
+}

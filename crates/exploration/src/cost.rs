@@ -121,8 +121,7 @@ mod tests {
 
     #[test]
     fn fit_exponent_recovers_cubes() {
-        let pts: Vec<(usize, f64)> =
-            (3..30).map(|n| (n, 7.0 * (n as f64).powi(3))).collect();
+        let pts: Vec<(usize, f64)> = (3..30).map(|n| (n, 7.0 * (n as f64).powi(3))).collect();
         let b = fit_exponent(&pts);
         assert!((b - 3.0).abs() < 1e-6, "got {b}");
     }

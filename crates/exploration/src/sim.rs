@@ -58,7 +58,11 @@ pub fn build_map_offline(g: &PortGraph, origin: NodeId) -> Result<OfflineMap, Ma
                     return Err(e.clone());
                 }
                 let (map, _) = explorer.into_map()?;
-                return Ok(OfflineMap { map, agent_moves, token_moves });
+                return Ok(OfflineMap {
+                    map,
+                    agent_moves,
+                    token_moves,
+                });
             }
         }
     }
@@ -68,8 +72,8 @@ pub fn build_map_offline(g: &PortGraph, origin: NodeId) -> Result<OfflineMap, Ma
 mod tests {
     use super::*;
     use bd_graphs::generators::{
-        binary_tree, complete, erdos_renyi_connected, grid, hypercube, lollipop,
-        oriented_ring, path, petersen, random_regular, random_tree, ring, star, torus,
+        binary_tree, complete, erdos_renyi_connected, grid, hypercube, lollipop, oriented_ring,
+        path, petersen, random_regular, random_tree, ring, star, torus,
     };
     use bd_graphs::iso::are_isomorphic_rooted;
 

@@ -87,12 +87,20 @@ enum Phase {
     /// co-located at `cur`.
     PlanNext,
     /// Walking together towards the node owning the next unresolved slot.
-    CoWalk { queue: VecDeque<Port>, then_cross: Port },
+    CoWalk {
+        queue: VecDeque<Port>,
+        then_cross: Port,
+    },
     /// Issued `MoveWithToken(p)` across the unresolved edge; awaiting the
     /// arrival percept at the unknown endpoint.
     Crossing { u: usize, p: Port },
     /// Issued `Move(q)` back to `u`; awaiting arrival, then tour planning.
-    ReturningToU { u: usize, p: Port, q: Port, v_degree: usize },
+    ReturningToU {
+        u: usize,
+        p: Port,
+        q: Port,
+        v_degree: usize,
+    },
     /// Touring identified nodes looking for the parked token.
     Touring {
         u: usize,
@@ -174,8 +182,8 @@ impl TokenMapExplorer {
             .map(|ports| ports.into_iter().collect::<Option<Vec<_>>>())
             .collect();
         let adj = adj.ok_or(MapError::Inconsistent("unresolved ports at Done"))?;
-        let g = PortGraph::from_adjacency(adj)
-            .map_err(|_| MapError::Inconsistent("asymmetric map"))?;
+        let g =
+            PortGraph::from_adjacency(adj).map_err(|_| MapError::Inconsistent("asymmetric map"))?;
         Ok((g, 0))
     }
 
@@ -207,17 +215,26 @@ impl TokenMapExplorer {
                     };
                     let queue: VecDeque<Port> = self.tree_path(self.cur, u).into();
                     self.cur = u;
-                    self.phase = Phase::CoWalk { queue, then_cross: p };
+                    self.phase = Phase::CoWalk {
+                        queue,
+                        then_cross: p,
+                    };
                     // fall through to CoWalk on the next loop iteration
                     continue;
                 }
-                Phase::CoWalk { mut queue, then_cross } => {
+                Phase::CoWalk {
+                    mut queue,
+                    then_cross,
+                } => {
                     if let Some(port) = queue.pop_front() {
                         self.phase = Phase::CoWalk { queue, then_cross };
                         return Ok(AgentCmd::MoveWithToken(port));
                     }
                     // Arrived at u; cross the unresolved edge together.
-                    self.phase = Phase::Crossing { u: self.cur, p: then_cross };
+                    self.phase = Phase::Crossing {
+                        u: self.cur,
+                        p: then_cross,
+                    };
                     return Ok(AgentCmd::MoveWithToken(then_cross));
                 }
                 Phase::Crossing { u, p } => {
@@ -229,8 +246,12 @@ impl TokenMapExplorer {
                         return Err(MapError::Inconsistent("token lost while crossing"));
                     }
                     // Park token at v; step back to u alone.
-                    self.phase =
-                        Phase::ReturningToU { u, p, q, v_degree: percept.degree };
+                    self.phase = Phase::ReturningToU {
+                        u,
+                        p,
+                        q,
+                        v_degree: percept.degree,
+                    };
                     return Ok(AgentCmd::Move(q));
                 }
                 Phase::ReturningToU { u, p, q, v_degree } => {
@@ -253,7 +274,14 @@ impl TokenMapExplorer {
                     };
                     continue;
                 }
-                Phase::Touring { u, p, q, v_degree, mut tour_ports, mut tour_nodes } => {
+                Phase::Touring {
+                    u,
+                    p,
+                    q,
+                    v_degree,
+                    mut tour_ports,
+                    mut tour_nodes,
+                } => {
                     // Have we just arrived at an identified node with the
                     // token in sight? (The tour's first command has not yet
                     // been issued when tour_nodes.len() == tour_ports.len().)
@@ -267,12 +295,17 @@ impl TokenMapExplorer {
                     }
                     match tour_ports.pop_front() {
                         Some(port) => {
-                            let next_node = tour_nodes
-                                .pop_front()
-                                .expect("tour nodes track tour ports");
+                            let next_node =
+                                tour_nodes.pop_front().expect("tour nodes track tour ports");
                             self.cur = next_node;
-                            self.phase =
-                                Phase::Touring { u, p, q, v_degree, tour_ports, tour_nodes };
+                            self.phase = Phase::Touring {
+                                u,
+                                p,
+                                q,
+                                v_degree,
+                                tour_ports,
+                                tour_nodes,
+                            };
                             return Ok(AgentCmd::Move(port));
                         }
                         None => {
@@ -280,7 +313,9 @@ impl TokenMapExplorer {
                             debug_assert_eq!(self.cur, u, "Euler tour closes at u");
                             let new_node = self.adj.len();
                             if new_node >= self.n_limit {
-                                return Err(MapError::TooManyNodes { limit: self.n_limit });
+                                return Err(MapError::TooManyNodes {
+                                    limit: self.n_limit,
+                                });
                             }
                             self.adj.push(vec![None; v_degree]);
                             self.parent.push(Some((u, p, q)));
@@ -360,7 +395,10 @@ impl TokenMapExplorer {
         let cb = chain(to);
         // Find lowest common ancestor: deepest node present in both chains.
         let in_cb: std::collections::HashSet<usize> = cb.iter().copied().collect();
-        let lca = *ca.iter().find(|v| in_cb.contains(v)).expect("tree is connected");
+        let lca = *ca
+            .iter()
+            .find(|v| in_cb.contains(v))
+            .expect("tree is connected");
         let mut path = Vec::new();
         // Up from `from` to LCA.
         let mut v = from;
@@ -427,7 +465,15 @@ impl TokenMapExplorer {
                 nodes.push(pv);
             }
         }
-        dfs(start, &nbrs, &mut visited, None, &mut ports, &mut nodes, None);
+        dfs(
+            start,
+            &nbrs,
+            &mut visited,
+            None,
+            &mut ports,
+            &mut nodes,
+            None,
+        );
         (ports, nodes)
     }
 }
@@ -443,7 +489,11 @@ mod tests {
     fn starts_planning_from_origin() {
         let mut x = TokenMapExplorer::new(2, 5);
         // First percept: at origin, token co-located, no arrival info.
-        let cmd = x.next(Percept { degree: 2, token_here: true, entry_port: None });
+        let cmd = x.next(Percept {
+            degree: 2,
+            token_here: true,
+            entry_port: None,
+        });
         // Must cross the first unresolved port (0) together.
         assert_eq!(cmd, AgentCmd::MoveWithToken(0));
         assert_eq!(x.nodes_identified(), 1);
@@ -455,16 +505,32 @@ mod tests {
         // trivial (only origin identified), new node, rejoin, then resolve
         // the far side (which is the same edge -> immediately resolved).
         let mut x = TokenMapExplorer::new(1, 2);
-        let cmd = x.next(Percept { degree: 1, token_here: true, entry_port: None });
+        let cmd = x.next(Percept {
+            degree: 1,
+            token_here: true,
+            entry_port: None,
+        });
         assert_eq!(cmd, AgentCmd::MoveWithToken(0));
         // Arrive at v: degree 1, entry port 0, token here.
-        let cmd = x.next(Percept { degree: 1, token_here: true, entry_port: Some(0) });
+        let cmd = x.next(Percept {
+            degree: 1,
+            token_here: true,
+            entry_port: Some(0),
+        });
         assert_eq!(cmd, AgentCmd::Move(0)); // back to u
-        // At u, token absent, tour empty -> new node; rejoin via port 0.
-        let cmd = x.next(Percept { degree: 1, token_here: false, entry_port: Some(0) });
+                                            // At u, token absent, tour empty -> new node; rejoin via port 0.
+        let cmd = x.next(Percept {
+            degree: 1,
+            token_here: false,
+            entry_port: Some(0),
+        });
         assert_eq!(cmd, AgentCmd::Move(0));
         // At v with token: both slots resolved -> Done.
-        let cmd = x.next(Percept { degree: 1, token_here: true, entry_port: Some(0) });
+        let cmd = x.next(Percept {
+            degree: 1,
+            token_here: true,
+            entry_port: Some(0),
+        });
         assert_eq!(cmd, AgentCmd::Done);
         let (map, origin) = x.into_map().unwrap();
         assert_eq!(map.n(), 2);
@@ -475,9 +541,17 @@ mod tests {
     #[test]
     fn token_lost_is_an_error_not_a_hang() {
         let mut x = TokenMapExplorer::new(1, 2);
-        let _ = x.next(Percept { degree: 1, token_here: true, entry_port: None });
+        let _ = x.next(Percept {
+            degree: 1,
+            token_here: true,
+            entry_port: None,
+        });
         // Token vanished mid-crossing (Byzantine partner).
-        let cmd = x.next(Percept { degree: 1, token_here: false, entry_port: Some(0) });
+        let cmd = x.next(Percept {
+            degree: 1,
+            token_here: false,
+            entry_port: Some(0),
+        });
         assert_eq!(cmd, AgentCmd::Done);
         assert!(matches!(x.error(), Some(MapError::Inconsistent(_))));
         assert!(x.into_map().is_err());
@@ -487,10 +561,25 @@ mod tests {
     fn node_limit_enforced() {
         // Claim the graph has 1 node; discovering a second must error.
         let mut x = TokenMapExplorer::new(1, 1);
-        let _ = x.next(Percept { degree: 1, token_here: true, entry_port: None });
-        let _ = x.next(Percept { degree: 1, token_here: true, entry_port: Some(0) });
-        let cmd = x.next(Percept { degree: 1, token_here: false, entry_port: Some(0) });
+        let _ = x.next(Percept {
+            degree: 1,
+            token_here: true,
+            entry_port: None,
+        });
+        let _ = x.next(Percept {
+            degree: 1,
+            token_here: true,
+            entry_port: Some(0),
+        });
+        let cmd = x.next(Percept {
+            degree: 1,
+            token_here: false,
+            entry_port: Some(0),
+        });
         assert_eq!(cmd, AgentCmd::Done);
-        assert!(matches!(x.error(), Some(MapError::TooManyNodes { limit: 1 })));
+        assert!(matches!(
+            x.error(),
+            Some(MapError::TooManyNodes { limit: 1 })
+        ));
     }
 }

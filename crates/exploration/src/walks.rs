@@ -22,7 +22,7 @@ pub const DEFAULT_COVER_MULTIPLIER: u64 = 4;
 /// Length of the shared exploration walk used for an `n`-node graph.
 pub fn cover_walk_length(n: usize) -> u64 {
     let n = n as u64;
-    let log = (usize::BITS - n.leading_zeros() as u32).max(1) as u64;
+    let log = (u64::BITS - n.leading_zeros()).max(1) as u64;
     DEFAULT_COVER_MULTIPLIER * n * n * n * log
 }
 
@@ -40,7 +40,10 @@ impl SharedWalk {
     /// independent).
     pub fn for_size(n: usize, tag: u64) -> Self {
         let seed = (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tag;
-        SharedWalk { rng: StdRng::seed_from_u64(seed), steps_taken: 0 }
+        SharedWalk {
+            rng: StdRng::seed_from_u64(seed),
+            steps_taken: 0,
+        }
     }
 
     /// The next port to take from a node of the given degree.
@@ -108,7 +111,11 @@ mod tests {
                     break;
                 }
             }
-            assert!(seen.iter().all(|&b| b), "walk failed to cover {}-node graph", g.n());
+            assert!(
+                seen.iter().all(|&b| b),
+                "walk failed to cover {}-node graph",
+                g.n()
+            );
         }
     }
 

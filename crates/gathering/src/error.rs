@@ -16,7 +16,10 @@ impl fmt::Display for GatherError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GatherError::NoSingletonClass => {
-                write!(f, "graph has no view-singleton node; deterministic gathering impossible")
+                write!(
+                    f,
+                    "graph has no view-singleton node; deterministic gathering impossible"
+                )
             }
         }
     }

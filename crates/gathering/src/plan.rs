@@ -1,10 +1,10 @@
 //! Selecting the gathering target and the shared round budget.
 
 use crate::error::GatherError;
+use bd_exploration::walks::cover_walk_length;
 use bd_graphs::canonical::canonical_form;
 use bd_graphs::quotient::{quotient_graph, QuotientGraph};
 use bd_graphs::{NodeId, PortGraph};
-use bd_exploration::walks::cover_walk_length;
 
 /// The plan every robot derives independently: which view class to walk to
 /// and how many rounds the phase lasts.
@@ -40,15 +40,18 @@ pub fn gathering_target(g: &PortGraph) -> Result<GatherPlan, GatherError> {
     let n = g.n();
     // Walk + navigate (quotient paths have < n edges) + one round of slack.
     let budget_rounds = cover_walk_length(n) + n as u64 + 1;
-    Ok(GatherPlan { quotient, target_class, target_node, budget_rounds })
+    Ok(GatherPlan {
+        quotient,
+        target_class,
+        target_node,
+        budget_rounds,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bd_graphs::generators::{
-        erdos_renyi_connected, hypercube, oriented_ring, ring, star,
-    };
+    use bd_graphs::generators::{erdos_renyi_connected, hypercube, oriented_ring, ring, star};
     use bd_graphs::scramble::scramble_ports;
 
     #[test]
@@ -60,7 +63,10 @@ mod tests {
         ] {
             let plan = gathering_target(&g).unwrap();
             assert_eq!(plan.quotient.members[plan.target_class].len(), 1);
-            assert_eq!(plan.quotient.members[plan.target_class][0], plan.target_node);
+            assert_eq!(
+                plan.quotient.members[plan.target_class][0],
+                plan.target_node
+            );
         }
     }
 

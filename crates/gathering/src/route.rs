@@ -53,7 +53,11 @@ pub fn gather_route(g: &PortGraph, start: NodeId) -> Result<GatherRoute, GatherE
         cur = g.neighbor(cur, p).0;
     }
     debug_assert_eq!(cur, plan.target_node, "projection lands on the singleton");
-    Ok(GatherRoute { ports, end: cur, budget_rounds: plan.budget_rounds })
+    Ok(GatherRoute {
+        ports,
+        end: cur,
+        budget_rounds: plan.budget_rounds,
+    })
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@ pub struct PortGraphBuilder {
 impl PortGraphBuilder {
     /// Start a builder with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
-        PortGraphBuilder { adj: vec![Vec::new(); n] }
+        PortGraphBuilder {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Current number of nodes.
@@ -61,7 +63,9 @@ impl PortGraphBuilder {
 
     /// True if an edge between `u` and `v` already exists (any ports).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj.get(u).is_some_and(|a| a.iter().any(|&(w, _)| w == v))
+        self.adj
+            .get(u)
+            .is_some_and(|a| a.iter().any(|&(w, _)| w == v))
     }
 
     /// Degree of `u` so far.

@@ -33,8 +33,7 @@ impl CanonicalForm {
 
     /// Reconstruct a [`PortGraph`] from the canonical adjacency.
     pub fn to_graph(&self) -> PortGraph {
-        PortGraph::from_adjacency(self.adj.clone())
-            .expect("canonical forms are valid port graphs")
+        PortGraph::from_adjacency(self.adj.clone()).expect("canonical forms are valid port graphs")
     }
 }
 
@@ -140,13 +139,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "connected")]
     fn disconnected_panics() {
-        let g = PortGraph::from_adjacency(vec![
-            vec![(1, 0)],
-            vec![(0, 0)],
-            vec![(3, 0)],
-            vec![(2, 0)],
-        ])
-        .unwrap();
+        let g =
+            PortGraph::from_adjacency(vec![vec![(1, 0)], vec![(0, 0)], vec![(3, 0)], vec![(2, 0)]])
+                .unwrap();
         let _ = canonical_form(&g, 0);
     }
 }

@@ -8,7 +8,11 @@ pub enum GraphError {
     /// A node index was out of range.
     NodeOutOfRange { node: usize, n: usize },
     /// A port index was out of range for the node's degree.
-    PortOutOfRange { node: usize, port: usize, degree: usize },
+    PortOutOfRange {
+        node: usize,
+        port: usize,
+        degree: usize,
+    },
     /// The port structure is not symmetric: following `(node, port)` and
     /// coming back does not return to the same `(node, port)`.
     AsymmetricPorts { node: usize, port: usize },
@@ -19,7 +23,11 @@ pub enum GraphError {
     /// (e.g. a 3-regular graph on 5 nodes).
     InvalidParameters(String),
     /// A port sequence walked off the graph (port >= degree of current node).
-    BadWalk { step: usize, node: usize, port: usize },
+    BadWalk {
+        step: usize,
+        node: usize,
+        port: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -29,7 +37,10 @@ impl fmt::Display for GraphError {
                 write!(f, "node {node} out of range for graph with {n} nodes")
             }
             GraphError::PortOutOfRange { node, port, degree } => {
-                write!(f, "port {port} out of range at node {node} (degree {degree})")
+                write!(
+                    f,
+                    "port {port} out of range at node {node} (degree {degree})"
+                )
             }
             GraphError::AsymmetricPorts { node, port } => {
                 write!(f, "asymmetric port structure at node {node}, port {port}")

@@ -11,7 +11,9 @@ use crate::portgraph::PortGraph;
 /// was confined to rings; rings are our bridge back to that baseline.
 pub fn ring(n: usize) -> Result<PortGraph, GraphError> {
     if n < 3 {
-        return Err(GraphError::InvalidParameters(format!("ring needs n >= 3, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "ring needs n >= 3, got {n}"
+        )));
     }
     let mut b = PortGraphBuilder::with_nodes(n);
     for v in 0..n {
@@ -41,7 +43,9 @@ pub fn oriented_ring(n: usize) -> Result<PortGraph, GraphError> {
 /// A path on `n >= 2` nodes: `0 - 1 - ... - n-1`.
 pub fn path(n: usize) -> Result<PortGraph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters(format!("path needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "path needs n >= 2, got {n}"
+        )));
     }
     let mut b = PortGraphBuilder::with_nodes(n);
     for v in 0..n - 1 {
@@ -53,7 +57,9 @@ pub fn path(n: usize) -> Result<PortGraph, GraphError> {
 /// A star with `n - 1` leaves around center node 0 (`n >= 2`).
 pub fn star(n: usize) -> Result<PortGraph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters(format!("star needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "star needs n >= 2, got {n}"
+        )));
     }
     let mut b = PortGraphBuilder::with_nodes(n);
     for v in 1..n {
@@ -65,7 +71,9 @@ pub fn star(n: usize) -> Result<PortGraph, GraphError> {
 /// The complete graph `K_n` (`n >= 2`).
 pub fn complete(n: usize) -> Result<PortGraph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters(format!("complete needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "complete needs n >= 2, got {n}"
+        )));
     }
     let mut b = PortGraphBuilder::with_nodes(n);
     for u in 0..n {

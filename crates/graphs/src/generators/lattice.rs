@@ -9,7 +9,9 @@ use crate::portgraph::PortGraph;
 /// ports follow insertion order.
 pub fn grid(r: usize, c: usize) -> Result<PortGraph, GraphError> {
     if r * c < 2 {
-        return Err(GraphError::InvalidParameters(format!("grid needs >= 2 nodes, got {r}x{c}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "grid needs >= 2 nodes, got {r}x{c}"
+        )));
     }
     let mut b = PortGraphBuilder::with_nodes(r * c);
     for i in 0..r {

@@ -14,7 +14,9 @@ use rand::{Rng, SeedableRng};
 /// sequence.
 pub fn random_tree(n: usize, seed: u64) -> Result<PortGraph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters(format!("tree needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "tree needs n >= 2, got {n}"
+        )));
     }
     let mut b = PortGraphBuilder::with_nodes(n);
     if n == 2 {
@@ -31,7 +33,10 @@ pub fn random_tree(n: usize, seed: u64) -> Result<PortGraph, GraphError> {
     let mut leaves: std::collections::BTreeSet<usize> =
         (0..n).filter(|&v| degree[v] == 1).collect();
     for &v in &prufer {
-        let leaf = *leaves.iter().next().expect("prufer decoding always has a leaf");
+        let leaf = *leaves
+            .iter()
+            .next()
+            .expect("prufer decoding always has a leaf");
         leaves.remove(&leaf);
         b.add_edge(leaf, v)?;
         degree[v] -= 1;
@@ -50,10 +55,14 @@ pub fn random_tree(n: usize, seed: u64) -> Result<PortGraph, GraphError> {
 /// `p >= 2 ln n / n` the patching step is rarely needed.
 pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Result<PortGraph, GraphError> {
     if n < 2 {
-        return Err(GraphError::InvalidParameters(format!("G(n,p) needs n >= 2, got {n}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "G(n,p) needs n >= 2, got {n}"
+        )));
     }
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidParameters(format!("p must be in [0,1], got {p}")));
+        return Err(GraphError::InvalidParameters(format!(
+            "p must be in [0,1], got {p}"
+        )));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = PortGraphBuilder::with_nodes(n);
@@ -67,7 +76,7 @@ pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Result<PortGraph, G
     // Patch connectivity: union-find over the sampled edges, then link
     // component representatives in a random chain.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

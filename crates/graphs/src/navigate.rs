@@ -41,7 +41,11 @@ pub fn trace_walk(g: &PortGraph, start: NodeId, ports: &[Port]) -> Result<Walk, 
     nodes.push(cur);
     for (i, &p) in ports.iter().enumerate() {
         if p >= g.degree(cur) {
-            return Err(GraphError::BadWalk { step: i, node: cur, port: p });
+            return Err(GraphError::BadWalk {
+                step: i,
+                node: cur,
+                port: p,
+            });
         }
         let (u, q) = g.neighbor(cur, p);
         cur = u;
@@ -56,7 +60,11 @@ pub fn follow_ports(g: &PortGraph, start: NodeId, ports: &[Port]) -> Result<Node
     let mut cur = start;
     for (i, &p) in ports.iter().enumerate() {
         if p >= g.degree(cur) {
-            return Err(GraphError::BadWalk { step: i, node: cur, port: p });
+            return Err(GraphError::BadWalk {
+                step: i,
+                node: cur,
+                port: p,
+            });
         }
         cur = g.neighbor(cur, p).0;
     }
@@ -140,7 +148,14 @@ mod tests {
         let g = path(3).unwrap();
         // Node 0 has degree 1; port 1 is invalid.
         let err = follow_ports(&g, 0, &[1]);
-        assert!(matches!(err, Err(GraphError::BadWalk { step: 0, node: 0, port: 1 })));
+        assert!(matches!(
+            err,
+            Err(GraphError::BadWalk {
+                step: 0,
+                node: 0,
+                port: 1
+            })
+        ));
     }
 
     #[test]

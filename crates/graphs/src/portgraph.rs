@@ -78,12 +78,19 @@ impl PortGraph {
     /// Checked variant of [`PortGraph::neighbor`].
     pub fn try_neighbor(&self, v: NodeId, p: Port) -> Result<(NodeId, Port), GraphError> {
         if v >= self.n() {
-            return Err(GraphError::NodeOutOfRange { node: v, n: self.n() });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                n: self.n(),
+            });
         }
         self.adj[v]
             .get(p)
             .copied()
-            .ok_or(GraphError::PortOutOfRange { node: v, port: p, degree: self.adj[v].len() })
+            .ok_or(GraphError::PortOutOfRange {
+                node: v,
+                port: p,
+                degree: self.adj[v].len(),
+            })
     }
 
     /// Iterate over all nodes.
@@ -110,7 +117,10 @@ impl PortGraph {
         for (v, ports) in self.adj.iter().enumerate() {
             for (p, &(u, q)) in ports.iter().enumerate() {
                 if u >= self.n() {
-                    return Err(GraphError::NodeOutOfRange { node: u, n: self.n() });
+                    return Err(GraphError::NodeOutOfRange {
+                        node: u,
+                        n: self.n(),
+                    });
                 }
                 if q >= self.adj[u].len() {
                     return Err(GraphError::PortOutOfRange {
@@ -219,10 +229,7 @@ mod tests {
     fn asymmetric_ports_rejected() {
         let bad = PortGraph::from_adjacency(vec![vec![(1, 5)], vec![(0, 0)]]);
         assert!(matches!(bad, Err(GraphError::PortOutOfRange { .. })));
-        let bad2 = PortGraph::from_adjacency(vec![
-            vec![(1, 0), (1, 1)],
-            vec![(0, 1), (0, 0)],
-        ]);
+        let bad2 = PortGraph::from_adjacency(vec![vec![(1, 0), (1, 1)], vec![(0, 1), (0, 0)]]);
         assert!(matches!(bad2, Err(GraphError::AsymmetricPorts { .. })));
     }
 
@@ -239,15 +246,14 @@ mod tests {
 
     #[test]
     fn disconnected_detected() {
-        let g = PortGraph::from_adjacency(vec![
-            vec![(1, 0)],
-            vec![(0, 0)],
-            vec![(3, 0)],
-            vec![(2, 0)],
-        ])
-        .unwrap();
+        let g =
+            PortGraph::from_adjacency(vec![vec![(1, 0)], vec![(0, 0)], vec![(3, 0)], vec![(2, 0)]])
+                .unwrap();
         assert!(!g.is_connected());
-        assert!(matches!(g.validate_connected(), Err(GraphError::Disconnected)));
+        assert!(matches!(
+            g.validate_connected(),
+            Err(GraphError::Disconnected)
+        ));
     }
 
     #[test]

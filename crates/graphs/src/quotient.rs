@@ -131,11 +131,14 @@ pub fn quotient_graph(g: &PortGraph) -> QuotientGraph {
                 .collect()
         })
         .collect();
-    let graph = PortGraph::from_adjacency(adj).expect(
-        "quotient adjacency is symmetric at the refinement fixpoint",
-    );
+    let graph = PortGraph::from_adjacency(adj)
+        .expect("quotient adjacency is symmetric at the refinement fixpoint");
 
-    QuotientGraph { graph, class_of, members }
+    QuotientGraph {
+        graph,
+        class_of,
+        members,
+    }
 }
 
 fn class_count(class_of: &[usize]) -> usize {
@@ -206,7 +209,10 @@ mod tests {
     fn petersen_collapses() {
         let g = petersen().unwrap();
         let q = quotient_graph(&g);
-        assert!(q.num_classes() < 10, "vertex-transitive presentation should fold");
+        assert!(
+            q.num_classes() < 10,
+            "vertex-transitive presentation should fold"
+        );
     }
 
     #[test]

@@ -72,7 +72,12 @@ fn tree_from_parents(
     for ch in children.iter_mut() {
         ch.sort_unstable();
     }
-    SpanningTree { root, parent, order, children }
+    SpanningTree {
+        root,
+        parent,
+        order,
+        children,
+    }
 }
 
 /// Breadth-first spanning tree from `root`, scanning ports in increasing

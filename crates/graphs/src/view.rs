@@ -30,7 +30,10 @@ pub struct ViewTree {
 /// Cost is `O(max_degree^depth)` — use only for small graphs/tests.
 pub fn view_tree(g: &PortGraph, v: NodeId, depth: usize) -> ViewTree {
     if depth == 0 {
-        return ViewTree { degree: g.degree(v), children: Vec::new() };
+        return ViewTree {
+            degree: g.degree(v),
+            children: Vec::new(),
+        };
     }
     let children = (0..g.degree(v))
         .map(|p| {
@@ -38,7 +41,10 @@ pub fn view_tree(g: &PortGraph, v: NodeId, depth: usize) -> ViewTree {
             (q, Box::new(view_tree(g, u, depth - 1)))
         })
         .collect();
-    ViewTree { degree: g.degree(v), children }
+    ViewTree {
+        degree: g.degree(v),
+        children,
+    }
 }
 
 /// Iterated view hashing: returns one `u64` per node such that two nodes get

@@ -1,0 +1,119 @@
+//! Property suite for the generator family the dispersion pipelines lean on
+//! (ring / star / random_tree / erdos_renyi_connected): seeded determinism,
+//! connectivity, and port-label consistency — `follow_ports` must round-trip
+//! every edge through the port pair recorded on both sides.
+//!
+//! `n` sweeps the full 2..=32 band (rings clamp to their `n >= 3` minimum)
+//! so the small-graph edge cases the seed suites skip are covered too.
+
+use bd_graphs::generators::{erdos_renyi_connected, random_tree, ring, star};
+use bd_graphs::navigate::follow_ports;
+use bd_graphs::PortGraph;
+use proptest::prelude::*;
+
+/// All four generators at a size drawn from 2..=32 (ring clamps to 3).
+fn family(n: usize, p: f64, seed: u64) -> Vec<(&'static str, PortGraph)> {
+    vec![
+        ("ring", ring(n.max(3)).unwrap()),
+        ("star", star(n).unwrap()),
+        ("random_tree", random_tree(n, seed).unwrap()),
+        (
+            "erdos_renyi_connected",
+            erdos_renyi_connected(n, p, seed).unwrap(),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same (n, p, seed) always produces the identical graph.
+    #[test]
+    fn generators_are_seed_deterministic(
+        n in 2usize..=32,
+        seed in 0u64..1_000,
+        p in 0.1f64..0.6,
+    ) {
+        let a = family(n, p, seed);
+        let b = family(n, p, seed);
+        for ((label, ga), (_, gb)) in a.iter().zip(&b) {
+            prop_assert_eq!(ga, gb, "{} not deterministic at n={} seed={}", label, n, seed);
+        }
+    }
+
+    /// Distinct seeds actually change the random generators (on graphs big
+    /// enough that a collision would signal a constant-output bug, not luck).
+    #[test]
+    fn random_generators_vary_with_seed(n in 12usize..=32, seed in 0u64..1_000) {
+        let t1 = random_tree(n, seed).unwrap();
+        let t2 = random_tree(n, seed + 1).unwrap();
+        let g1 = erdos_renyi_connected(n, 0.3, seed).unwrap();
+        let g2 = erdos_renyi_connected(n, 0.3, seed + 1).unwrap();
+        prop_assert!(
+            t1 != t2 || g1 != g2,
+            "seed {} and {} gave identical trees AND identical G(n,p) at n={}",
+            seed, seed + 1, n
+        );
+    }
+
+    /// Every generated graph satisfies the port invariants and is connected.
+    #[test]
+    fn generators_produce_valid_connected_graphs(
+        n in 2usize..=32,
+        seed in 0u64..1_000,
+        p in 0.1f64..0.6,
+    ) {
+        for (label, g) in family(n, p, seed) {
+            prop_assert!(
+                g.validate_connected().is_ok(),
+                "{label} invalid at n={n} seed={seed}"
+            );
+        }
+    }
+
+    /// Port-label consistency: leaving `v` by port `p` and coming back by the
+    /// far-side port returns to `v` — `follow_ports` round-trips every edge,
+    /// in both directions.
+    #[test]
+    fn follow_ports_roundtrips_every_edge(
+        n in 2usize..=32,
+        seed in 0u64..1_000,
+        p in 0.1f64..0.6,
+    ) {
+        for (label, g) in family(n, p, seed) {
+            for v in g.nodes() {
+                for port in 0..g.degree(v) {
+                    let (u, back) = g.neighbor(v, port);
+                    prop_assert_eq!(
+                        follow_ports(&g, v, &[port]).unwrap(),
+                        u,
+                        "{}: port {} from {} lands wrong", label, port, v
+                    );
+                    prop_assert_eq!(
+                        follow_ports(&g, v, &[port, back]).unwrap(),
+                        v,
+                        "{}: edge ({},{})<->({},{}) does not round-trip",
+                        label, v, port, u, back
+                    );
+                }
+            }
+        }
+    }
+
+    /// Shape checks: rings are 2-regular, stars have one hub of degree n-1,
+    /// trees have n-1 edges — so the port invariants above are exercised on
+    /// the topology each generator promises.
+    #[test]
+    fn generators_have_their_promised_shape(n in 2usize..=32, seed in 0u64..1_000) {
+        let r = ring(n.max(3)).unwrap();
+        prop_assert!(r.nodes().all(|v| r.degree(v) == 2));
+        prop_assert_eq!(r.m(), r.n());
+
+        let s = star(n).unwrap();
+        prop_assert_eq!(s.degree(0), n - 1);
+        prop_assert!(s.nodes().skip(1).all(|v| s.degree(v) == 1));
+
+        let t = random_tree(n, seed).unwrap();
+        prop_assert_eq!(t.m(), n - 1);
+    }
+}

@@ -13,14 +13,20 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { max_rounds: 50_000_000, record_trace: false }
+        EngineConfig {
+            max_rounds: 50_000_000,
+            record_trace: false,
+        }
     }
 }
 
 impl EngineConfig {
     /// A config with a specific round cap.
     pub fn with_max_rounds(max_rounds: u64) -> Self {
-        EngineConfig { max_rounds, ..Default::default() }
+        EngineConfig {
+            max_rounds,
+            ..Default::default()
+        }
     }
 
     /// Enable trace recording.

@@ -92,8 +92,11 @@ mod tests {
     #[test]
     fn act_sees_bulletin() {
         let mut e = Echo { id: RobotId(1) };
-        let bulletin =
-            vec![Publication { sender: RobotId(2), subround: 0, body: 7u32 }];
+        let bulletin = vec![Publication {
+            sender: RobotId(2),
+            subround: 0,
+            body: 7u32,
+        }];
         let roster = vec![RobotId(1), RobotId(2)];
         let obs = Observation {
             round: 3,

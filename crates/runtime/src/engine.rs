@@ -50,12 +50,7 @@ impl<M: Clone> Engine<M> {
     }
 
     /// Register a robot. Its true ID is taken from the controller.
-    pub fn add_robot(
-        &mut self,
-        flavor: Flavor,
-        start: NodeId,
-        controller: Box<dyn Controller<M>>,
-    ) {
+    pub fn add_robot(&mut self, flavor: Flavor, start: NodeId, controller: Box<dyn Controller<M>>) {
         let id = controller.id();
         // Rebuild the world with the extra robot; placements are small.
         let mut placements: Vec<(RobotId, Flavor, NodeId)> = self
@@ -108,7 +103,9 @@ impl<M: Clone> Engine<M> {
         }
         while !self.all_honest_terminated() {
             if self.round >= self.config.max_rounds {
-                return Err(RunError::RoundLimit { limit: self.config.max_rounds });
+                return Err(RunError::RoundLimit {
+                    limit: self.config.max_rounds,
+                });
             }
             // Fast-forward: if every active robot is provably idle until
             // some future round, skip to the earliest such round at once.
@@ -150,7 +147,10 @@ impl<M: Clone> Engine<M> {
         // Group robots by node and compute per-node rosters of claimed IDs.
         let mut at_node: std::collections::BTreeMap<NodeId, Vec<usize>> = Default::default();
         for i in 0..nrobots {
-            at_node.entry(self.world.robot(i).position).or_default().push(i);
+            at_node
+                .entry(self.world.robot(i).position)
+                .or_default()
+                .push(i);
         }
         let mut roster_of: std::collections::BTreeMap<NodeId, Vec<RobotId>> = Default::default();
         for (&node, idxs) in &at_node {
@@ -192,7 +192,11 @@ impl<M: Clone> Engine<M> {
                 if let Some(body) = self.controllers[i].act(&obs) {
                     pending.push((
                         node,
-                        Publication { sender: self.claimed_id(i), subround: sub, body },
+                        Publication {
+                            sender: self.claimed_id(i),
+                            subround: sub,
+                            body,
+                        },
                     ));
                 }
             }
@@ -258,7 +262,10 @@ impl<M: Clone> Engine<M> {
                         continue;
                     }
                     let (exit_port, entry_port) = self.world.apply_move(i, port);
-                    self.arrivals[i] = Some(ArrivalInfo { exit_port, entry_port });
+                    self.arrivals[i] = Some(ArrivalInfo {
+                        exit_port,
+                        entry_port,
+                    });
                     if self.config.record_trace {
                         self.trace.events.push(Event::Moved {
                             round: self.round,
@@ -365,7 +372,11 @@ mod tests {
         e.add_robot(
             Flavor::Honest,
             0,
-            Box::new(Walker { id: RobotId(1), script: vec![0, 0, 0], step: 0 }),
+            Box::new(Walker {
+                id: RobotId(1),
+                script: vec![0, 0, 0],
+                step: 0,
+            }),
         );
         let out = e.run().unwrap();
         assert_eq!(out.final_positions, vec![3]);
@@ -444,7 +455,11 @@ mod tests {
         e.add_robot(
             Flavor::Honest,
             0,
-            Box::new(Walker { id: RobotId(1), script: vec![7], step: 0 }),
+            Box::new(Walker {
+                id: RobotId(1),
+                script: vec![7],
+                step: 0,
+            }),
         );
         assert!(matches!(e.run(), Err(RunError::InvalidMove { .. })));
     }
@@ -456,12 +471,20 @@ mod tests {
         e.add_robot(
             Flavor::Honest,
             0,
-            Box::new(Walker { id: RobotId(1), script: vec![0], step: 0 }),
+            Box::new(Walker {
+                id: RobotId(1),
+                script: vec![0],
+                step: 0,
+            }),
         );
         e.add_robot(
             Flavor::WeakByzantine,
             1,
-            Box::new(Walker { id: RobotId(2), script: vec![9, 9], step: 0 }),
+            Box::new(Walker {
+                id: RobotId(2),
+                script: vec![9, 9],
+                step: 0,
+            }),
         );
         let out = e.run().unwrap();
         // Byzantine stayed at node 1 (clamped), honest moved to 1.
@@ -498,21 +521,26 @@ mod tests {
     #[test]
     fn trace_records_moves_and_termination() {
         let g = ring(5).unwrap();
-        let mut e: Engine<String> =
-            Engine::new(g, EngineConfig::default().traced());
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default().traced());
         e.add_robot(
             Flavor::Honest,
             0,
-            Box::new(Walker { id: RobotId(4), script: vec![0, 0], step: 0 }),
+            Box::new(Walker {
+                id: RobotId(4),
+                script: vec![0, 0],
+                step: 0,
+            }),
         );
         let out = e.run().unwrap();
         let script = out.trace.move_script(RobotId(4));
         assert_eq!(script, vec![Some(0), Some(0)]);
-        assert!(out
-            .trace
-            .events
-            .iter()
-            .any(|ev| matches!(ev, Event::Terminated { robot: RobotId(4), .. })));
+        assert!(out.trace.events.iter().any(|ev| matches!(
+            ev,
+            Event::Terminated {
+                robot: RobotId(4),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -532,7 +560,9 @@ mod tests {
                 2
             }
             fn act(&mut self, obs: &Observation<'_, String>) -> Option<String> {
-                self.saw.borrow_mut().push((obs.subround, obs.bulletin.len()));
+                self.saw
+                    .borrow_mut()
+                    .push((obs.subround, obs.bulletin.len()));
                 if obs.subround == 0 {
                     Some("x".into())
                 } else {
@@ -553,12 +583,20 @@ mod tests {
         e.add_robot(
             Flavor::Honest,
             0,
-            Box::new(Observer { id: RobotId(1), saw: saw.clone(), done: false }),
+            Box::new(Observer {
+                id: RobotId(1),
+                saw: saw.clone(),
+                done: false,
+            }),
         );
         e.add_robot(
             Flavor::Honest,
             0,
-            Box::new(Observer { id: RobotId(2), saw: saw.clone(), done: false }),
+            Box::new(Observer {
+                id: RobotId(2),
+                saw: saw.clone(),
+                done: false,
+            }),
         );
         let _ = e.run().unwrap();
         let log = saw.borrow();

@@ -11,7 +11,12 @@ pub enum RunError {
     /// An *honest* robot chose an invalid port — an algorithm bug, reported
     /// loudly. (Byzantine robots attempting invalid moves are clamped to
     /// staying put instead: physics does not let anyone teleport.)
-    InvalidMove { robot: RobotId, node: usize, port: usize, degree: usize },
+    InvalidMove {
+        robot: RobotId,
+        node: usize,
+        port: usize,
+        degree: usize,
+    },
     /// The scenario was malformed (e.g. no robots).
     BadScenario(String),
 }
@@ -22,7 +27,12 @@ impl fmt::Display for RunError {
             RunError::RoundLimit { limit } => {
                 write!(f, "round limit {limit} reached before honest termination")
             }
-            RunError::InvalidMove { robot, node, port, degree } => write!(
+            RunError::InvalidMove {
+                robot,
+                node,
+                port,
+                degree,
+            } => write!(
                 f,
                 "honest robot {robot} chose invalid port {port} at node {node} (degree {degree})"
             ),

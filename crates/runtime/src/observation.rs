@@ -69,9 +69,21 @@ mod tests {
     #[test]
     fn from_sender_filters() {
         let bulletin = vec![
-            Publication { sender: RobotId(1), subround: 0, body: "a" },
-            Publication { sender: RobotId(2), subround: 0, body: "b" },
-            Publication { sender: RobotId(1), subround: 1, body: "c" },
+            Publication {
+                sender: RobotId(1),
+                subround: 0,
+                body: "a",
+            },
+            Publication {
+                sender: RobotId(2),
+                subround: 0,
+                body: "b",
+            },
+            Publication {
+                sender: RobotId(1),
+                subround: 1,
+                body: "c",
+            },
         ];
         let roster = vec![RobotId(1), RobotId(2)];
         let obs = Observation {

@@ -9,11 +9,25 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Event {
     /// A robot moved along an edge.
-    Moved { round: u64, robot: RobotId, from: NodeId, port: Port, to: NodeId },
+    Moved {
+        round: u64,
+        robot: RobotId,
+        from: NodeId,
+        port: Port,
+        to: NodeId,
+    },
     /// A robot stayed put this round.
-    Stayed { round: u64, robot: RobotId, at: NodeId },
+    Stayed {
+        round: u64,
+        robot: RobotId,
+        at: NodeId,
+    },
     /// A robot terminated (first round in which it reported terminated).
-    Terminated { round: u64, robot: RobotId, at: NodeId },
+    Terminated {
+        round: u64,
+        robot: RobotId,
+        at: NodeId,
+    },
 }
 
 impl Event {
@@ -71,11 +85,35 @@ mod tests {
     fn move_script_extraction() {
         let t = Trace {
             events: vec![
-                Event::Moved { round: 0, robot: RobotId(1), from: 0, port: 2, to: 1 },
-                Event::Stayed { round: 0, robot: RobotId(2), at: 5 },
-                Event::Stayed { round: 1, robot: RobotId(1), at: 1 },
-                Event::Moved { round: 1, robot: RobotId(2), from: 5, port: 0, to: 6 },
-                Event::Terminated { round: 2, robot: RobotId(1), at: 1 },
+                Event::Moved {
+                    round: 0,
+                    robot: RobotId(1),
+                    from: 0,
+                    port: 2,
+                    to: 1,
+                },
+                Event::Stayed {
+                    round: 0,
+                    robot: RobotId(2),
+                    at: 5,
+                },
+                Event::Stayed {
+                    round: 1,
+                    robot: RobotId(1),
+                    at: 1,
+                },
+                Event::Moved {
+                    round: 1,
+                    robot: RobotId(2),
+                    from: 5,
+                    port: 0,
+                    to: 6,
+                },
+                Event::Terminated {
+                    round: 2,
+                    robot: RobotId(1),
+                    at: 1,
+                },
             ],
         };
         assert_eq!(t.move_script(RobotId(1)), vec![Some(2), None]);
@@ -85,7 +123,11 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let t = Trace {
-            events: vec![Event::Stayed { round: 0, robot: RobotId(3), at: 2 }],
+            events: vec![Event::Stayed {
+                round: 0,
+                robot: RobotId(3),
+                at: 2,
+            }],
         };
         let s = serde_json::to_string(&t).unwrap();
         let t2: Trace = serde_json::from_str(&s).unwrap();

@@ -31,11 +31,19 @@ impl World {
     /// should fail loudly.
     pub fn new(graph: PortGraph, placements: Vec<(RobotId, Flavor, NodeId)>) -> Self {
         for &(id, _, node) in &placements {
-            assert!(node < graph.n(), "robot {id} placed on nonexistent node {node}");
+            assert!(
+                node < graph.n(),
+                "robot {id} placed on nonexistent node {node}"
+            );
         }
         let robots = placements
             .into_iter()
-            .map(|(id, flavor, position)| RobotSlot { id, flavor, position, moves: 0 })
+            .map(|(id, flavor, position)| RobotSlot {
+                id,
+                flavor,
+                position,
+                moves: 0,
+            })
             .collect();
         World { graph, robots }
     }

@@ -21,8 +21,7 @@ fn main() {
     println!();
 
     for (algo, n) in algos {
-        let g = generators::erdos_renyi_connected(n, 0.35, n as u64)
-            .expect("connected graph");
+        let g = generators::erdos_renyi_connected(n, 0.35, n as u64).expect("connected graph");
         let f = algo.tolerance(n);
         print!("{:<22}", format!("{algo:?} (f={f})"));
         for kind in &kinds {
@@ -36,7 +35,9 @@ fn main() {
                 .with_byzantine(f, *kind)
                 .with_seed(5);
             let spec = if algo == Algorithm::QuotientTh1 {
-                ScenarioSpec::arbitrary(&g).with_byzantine(f, *kind).with_seed(5)
+                ScenarioSpec::arbitrary(&g)
+                    .with_byzantine(f, *kind)
+                    .with_seed(5)
             } else {
                 spec
             };

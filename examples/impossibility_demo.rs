@@ -16,7 +16,14 @@ fn main() {
         "k", "f", "ceil(k/n)", "allowed", "max honest", "violated"
     );
 
-    for (k, f) in [(12usize, 2usize), (12, 4), (12, 6), (18, 3), (18, 7), (24, 8)] {
+    for (k, f) in [
+        (12usize, 2usize),
+        (12, 4),
+        (12, 6),
+        (18, 3),
+        (18, 7),
+        (24, 8),
+    ] {
         let r = replay_experiment(&g, k, f, 7).expect("valid parameters");
         println!(
             "{:<4} {:<4} {:>9} {:>9} {:>12} {:>10}",

@@ -35,8 +35,7 @@ fn main() {
         let spec = ScenarioSpec::arbitrary(&field)
             .with_byzantine(f, kind)
             .with_seed(7);
-        let outcome =
-            run_algorithm(Algorithm::QuotientTh1, &field, &spec).expect("runs");
+        let outcome = run_algorithm(Algorithm::QuotientTh1, &field, &spec).expect("runs");
         let honest_nodes: Vec<_> = outcome
             .final_positions
             .iter()

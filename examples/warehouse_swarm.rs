@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example warehouse_swarm`
 
-use byzantine_dispersion::prelude::*;
 use byzantine_dispersion::dispersion::runner::ByzPlacement;
+use byzantine_dispersion::prelude::*;
 
 fn main() {
     // A 4x5 warehouse grid: 20 dock bays, port-labeled aisles.
@@ -29,8 +29,8 @@ fn main() {
         .with_placement(ByzPlacement::LowIds) // corrupted units hog low IDs
         .with_seed(2026);
 
-    let outcome = run_algorithm(Algorithm::GatheredThirdTh4, &warehouse, &spec)
-        .expect("within tolerance");
+    let outcome =
+        run_algorithm(Algorithm::GatheredThirdTh4, &warehouse, &spec).expect("within tolerance");
 
     let mut docks = vec![Vec::new(); n];
     for (i, &pos) in outcome.final_positions.iter().enumerate() {

@@ -1,0 +1,63 @@
+//! Smoke-runs every `examples/` entry point, so the doc-facing examples
+//! cannot rot. `cargo test` already builds the example binaries alongside
+//! the test binaries (`target/<profile>/examples/`); each test executes one
+//! and requires a clean exit — the examples end in asserts, so behavioral
+//! regressions fail here, not just compile errors.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn example_binary(name: &str) -> PathBuf {
+    // Test binaries live in target/<profile>/deps/; examples are siblings
+    // of `deps` under target/<profile>/examples/.
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // the test binary itself
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join("examples").join(name)
+}
+
+fn run_example(name: &str) {
+    let bin = example_binary(name);
+    assert!(
+        bin.exists(),
+        "example binary missing at {} — was the example target renamed?",
+        bin.display()
+    );
+    let output = Command::new(&bin)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs_clean() {
+    run_example("quickstart");
+}
+
+#[test]
+fn adversary_gauntlet_runs_clean() {
+    run_example("adversary_gauntlet");
+}
+
+#[test]
+fn impossibility_demo_runs_clean() {
+    run_example("impossibility_demo");
+}
+
+#[test]
+fn sensor_relocation_runs_clean() {
+    run_example("sensor_relocation");
+}
+
+#[test]
+fn warehouse_swarm_runs_clean() {
+    run_example("warehouse_swarm");
+}

@@ -17,12 +17,18 @@ fn theorem1_pipeline_across_families() {
         ("ring", generators::ring(9).unwrap()),
         ("star", generators::star(8).unwrap()),
         ("tree", generators::random_tree(10, 4).unwrap()),
-        ("gnp", generators::erdos_renyi_connected(11, 0.35, 6).unwrap()),
+        (
+            "gnp",
+            generators::erdos_renyi_connected(11, 0.35, 6).unwrap(),
+        ),
         ("lollipop", generators::lollipop(5, 4).unwrap()),
     ];
     for (label, g) in graphs {
         let q = quotient_graph(&g);
-        assert!(q.is_isomorphic_to_original(), "{label}: fixture must be asymmetric");
+        assert!(
+            q.is_isomorphic_to_original(),
+            "{label}: fixture must be asymmetric"
+        );
         let spec = ScenarioSpec::arbitrary(&g)
             .with_byzantine(g.n() - 2, AdversaryKind::Wanderer)
             .with_seed(3);
@@ -77,9 +83,15 @@ fn table1_round_ordering_holds() {
     for n in [8usize, 12] {
         let g = generators::erdos_renyi_connected(n, 0.35, n as u64).unwrap();
         let spec = ScenarioSpec::gathered(&g, 0).with_seed(2);
-        th3.push(run_algorithm(Algorithm::GatheredHalfTh3, &g, &spec).unwrap().rounds);
+        th3.push(
+            run_algorithm(Algorithm::GatheredHalfTh3, &g, &spec)
+                .unwrap()
+                .rounds,
+        );
         th6.push(
-            run_algorithm(Algorithm::StrongGatheredTh6, &g, &spec).unwrap().rounds,
+            run_algorithm(Algorithm::StrongGatheredTh6, &g, &spec)
+                .unwrap()
+                .rounds,
         );
     }
     for (a, b) in th3.iter().zip(&th6) {

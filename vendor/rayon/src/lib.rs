@@ -1,0 +1,88 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The crates registry is unreachable in this build environment, so this
+//! shim keeps the rayon *call sites* intact while executing sequentially:
+//! `into_par_iter()`/`par_iter()` simply hand back the ordinary `std`
+//! iterator, and every downstream adaptor (`map`, `flat_map`, `filter`,
+//! `collect`, …) is the `std::iter` one. Swapping in real rayon later is a
+//! one-line manifest change; no call site has to move.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// `into_par_iter()` for any owned iterable (vectors, ranges, …).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` for anything iterable by shared reference (slices, vectors,
+/// maps, …).
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'data;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+    <&'data T as IntoIterator>::Item: 'data,
+{
+    type Iter = <&'data T as IntoIterator>::IntoIter;
+    type Item = <&'data T as IntoIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter_mut()` for anything iterable by unique reference.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item: 'data;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+where
+    &'data mut T: IntoIterator,
+    <&'data mut T as IntoIterator>::Item: 'data,
+{
+    type Iter = <&'data mut T as IntoIterator>::IntoIter;
+    type Item = <&'data mut T as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Sequential `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let xs = vec![1, 2, 3];
+        let doubled: Vec<i32> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = (0..4).into_par_iter().sum();
+        assert_eq!(sum, 6);
+        let nested: Vec<u64> = xs
+            .par_iter()
+            .flat_map(|&x| (0..2u64).into_par_iter().map(move |r| x as u64 + r))
+            .collect();
+        assert_eq!(nested, vec![1, 2, 2, 3, 3, 4]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to the crates registry, so this crate
+//! provides the minimal serde surface the workspace uses: the
+//! `Serialize`/`Deserialize` traits (re-exported together with the vendored
+//! derive macros) over a self-describing JSON-like [`Value`] model. The
+//! vendored `serde_json` crate renders and parses [`Value`] as real JSON
+//! text, so `to_string`/`from_str` round-trips behave like the real thing
+//! for the shapes this workspace serializes.
+//!
+//! The trait method names (`ser`/`de`) intentionally differ from real
+//! serde's visitor-based API: nothing in the workspace calls them directly,
+//! only derived impls and `serde_json` do.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed JSON value. Object keys keep insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i as i128),
+            Value::UInt(u) => Some(*u as i128),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Compact JSON rendering (what `serde_json::to_string` emits).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(x) if x.is_finite() => {
+                // `{:?}` keeps a decimal point/exponent, so the text parses
+                // back as a float.
+                write!(f, "{x:?}")
+            }
+            Value::Float(_) => f.write_str("null"),
+            Value::Str(s) => write_json_string(f, s),
+            Value::Array(xs) => {
+                f.write_str("[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, x)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{x}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut std::fmt::Formatter<'_>, s: &str) -> std::fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => {
+                let mut buf = [0u8; 4];
+                f.write_str(c.encode_utf8(&mut buf))?;
+            }
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Deserialization (and generic serde) error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub trait Serialize {
+    fn ser(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn de(v: &Value) -> Result<Self, DeError>;
+}
+
+// Helpers the derive macro expands to. `__field`/`__element` lean on type
+// inference so the macro never has to parse field types.
+pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(inner) => T::de(inner),
+        None => match v {
+            Value::Object(_) => Err(DeError::new(format!("missing field `{name}`"))),
+            other => Err(DeError::new(format!(
+                "expected object with field `{name}`, found {}",
+                other.type_name()
+            ))),
+        },
+    }
+}
+
+pub fn __element<T: Deserialize>(v: &Value, idx: usize) -> Result<T, DeError> {
+    match v.as_array().and_then(|xs| xs.get(idx)) {
+        Some(inner) => T::de(inner),
+        None => Err(DeError::new(format!(
+            "expected array with at least {} elements, found {}",
+            idx + 1,
+            v.type_name()
+        ))),
+    }
+}
+
+// ----------------------------------------------------------- Serialize impls
+
+impl Serialize for Value {
+    fn ser(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {}", other.type_name()))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i128().ok_or_else(|| {
+                    DeError::new(format!("expected integer, found {}", v.type_name()))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::new(format!("integer {raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i128().ok_or_else(|| {
+                    DeError::new(format!("expected integer, found {}", v.type_name()))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError::new(format!("integer {raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Value) -> Result<Self, DeError> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| {
+                    DeError::new(format!("expected number, found {}", v.type_name()))
+                })
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::new(format!("expected single-char string, found {}", other.type_name()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {}", other.type_name()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Value {
+        match self {
+            Some(x) => x.ser(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::de(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Value {
+        self.as_slice().ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::de).collect(),
+            other => Err(DeError::new(format!("expected array, found {}", other.type_name()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn ser(&self) -> Value {
+        (**self).ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn de(v: &Value) -> Result<Self, DeError> {
+        T::de(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn ser(&self) -> Value {
+                Value::Array(vec![$(self.$idx.ser()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn de(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(xs) => Ok(($( __element::<$name>(v, $idx).map_err(|e| {
+                        DeError::new(format!("tuple of {}: {e}", xs.len()))
+                    })?,)+)),
+                    other => Err(DeError::new(format!("expected array (tuple), found {}", other.type_name()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps serialize as arrays of `[key, value]` pairs: JSON objects require
+/// string keys, and this workspace keys maps by ids/tuples. Both directions
+/// live in this vendored pair of crates, so the representation round-trips.
+macro_rules! impl_map {
+    ($map:ident, $($bound:path),+) => {
+        impl<K: Serialize, V: Serialize> Serialize for std::collections::$map<K, V> {
+            fn ser(&self) -> Value {
+                Value::Array(
+                    self.iter()
+                        .map(|(k, v)| Value::Array(vec![k.ser(), v.ser()]))
+                        .collect(),
+                )
+            }
+        }
+        impl<K: Deserialize $(+ $bound)+, V: Deserialize> Deserialize
+            for std::collections::$map<K, V>
+        {
+            fn de(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(xs) => xs
+                        .iter()
+                        .map(|pair| {
+                            let kv = pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                                DeError::new("expected [key, value] pair")
+                            })?;
+                            Ok((K::de(&kv[0])?, V::de(&kv[1])?))
+                        })
+                        .collect(),
+                    other => Err(DeError::new(format!("expected array (map), found {}", other.type_name()))),
+                }
+            }
+        }
+    };
+}
+
+impl_map!(HashMap, std::cmp::Eq, std::hash::Hash);
+impl_map!(BTreeMap, std::cmp::Ord);
+
+/// Sets serialize as arrays.
+macro_rules! impl_set {
+    ($set:ident, $($bound:path),+) => {
+        impl<T: Serialize> Serialize for std::collections::$set<T> {
+            fn ser(&self) -> Value {
+                Value::Array(self.iter().map(Serialize::ser).collect())
+            }
+        }
+        impl<T: Deserialize $(+ $bound)+> Deserialize for std::collections::$set<T> {
+            fn de(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(xs) => xs.iter().map(T::de).collect(),
+                    other => Err(DeError::new(format!("expected array (set), found {}", other.type_name()))),
+                }
+            }
+        }
+    };
+}
+
+impl_set!(HashSet, std::cmp::Eq, std::hash::Hash);
+impl_set!(BTreeSet, std::cmp::Ord);

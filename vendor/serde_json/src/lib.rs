@@ -1,0 +1,372 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored [`serde::Value`] model as real JSON text and parses
+//! JSON text back, so `to_string`/`from_str` round-trips work for every type
+//! deriving the vendored `serde` traits. The `json!` macro covers the
+//! object/array/expression shapes this workspace uses (no nested
+//! object-literals inside values).
+
+pub use serde::DeError as Error;
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.ser()
+}
+
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::de(value)
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.ser().to_string())
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.ser(), 0);
+    Ok(out)
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::de(&v)
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Values in object/array
+/// position may be arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$value)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ------------------------------------------------------------------ writer
+//
+// Compact rendering lives on `Display for serde::Value` (orphan rules keep
+// it in the defining crate); only the pretty printer lives here.
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    match v {
+        Value::Array(xs) if !xs.is_empty() => {
+            out.push_str("[\n");
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_pretty(out, x, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&close);
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, x)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                out.push_str(&Value::Str(k.clone()).to_string());
+                out.push_str(": ");
+                write_pretty(out, x, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&close);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+// ------------------------------------------------------------------ parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut xs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(xs));
+                }
+                loop {
+                    xs.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(xs));
+                        }
+                        _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    pairs.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over the plain run.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::new("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| Error::new("invalid \\u codepoint"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::new("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::UInt(42),
+            Value::Float(1.5),
+            Value::Str("a\"b\\c\nd".into()),
+        ] {
+            let s = to_string(&v).unwrap();
+            let back: Value = from_str(&s).unwrap();
+            assert_eq!(v, back, "text was {s}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let v: Vec<Vec<(usize, usize)>> = vec![vec![(1, 2), (3, 4)], vec![]];
+        let s = to_string(&v).unwrap();
+        let back: Vec<Vec<(usize, usize)>> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn derive_roundtrips_representative_shapes() {
+        use serde::{Deserialize, Serialize};
+
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        struct Named {
+            id: usize,
+            adj: Vec<Vec<(usize, usize)>>,
+            label: String,
+            maybe: Option<u64>,
+        }
+
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        struct Newtype(u32);
+
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        enum Mixed {
+            Unit,
+            Pair(usize, String),
+            Rec { x: i64, flag: bool },
+        }
+
+        let n = Named {
+            id: 7,
+            adj: vec![vec![(0, 1)], vec![]],
+            label: "a\"b".into(),
+            maybe: None,
+        };
+        let back: Named = from_str(&to_string(&n).unwrap()).unwrap();
+        assert_eq!(n, back);
+
+        let w: Newtype = from_str(&to_string(&Newtype(9)).unwrap()).unwrap();
+        assert_eq!(w, Newtype(9));
+
+        for m in [
+            Mixed::Unit,
+            Mixed::Pair(3, "x".into()),
+            Mixed::Rec { x: -5, flag: true },
+        ] {
+            let back: Mixed = from_str(&to_string(&m).unwrap()).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+
+    #[test]
+    fn json_macro_objects() {
+        let n = 3usize;
+        let v = json!({ "a": n, "b": format!("x{n}"), "ok": n > 2 });
+        assert_eq!(
+            v.to_string(),
+            r#"{"a":3,"b":"x3","ok":true}"#
+        );
+    }
+}
