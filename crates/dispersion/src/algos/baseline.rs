@@ -15,11 +15,14 @@ use bd_graphs::traversal::dfs_tree;
 use bd_graphs::{NodeId, PortGraph};
 use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Controller for the baseline (one per robot).
 pub struct BaselineController {
     id: RobotId,
-    map: PortGraph,
+    /// Shared oracle map: spawning k robots costs k `Arc` clones, not k
+    /// graph copies.
+    map: Arc<PortGraph>,
     start: NodeId,
     capacity: usize,
     /// Remaining port script to the assigned node (computed at round 0).
@@ -33,7 +36,13 @@ impl BaselineController {
     /// `map` is the graph; `start` the gathered node (map coordinates equal
     /// world coordinates for this oracle baseline); `capacity` the allowed
     /// robots per node (`⌈k/n⌉` in Theorem 8 scenarios, 1 otherwise).
-    pub fn new(id: RobotId, map: PortGraph, start: NodeId, capacity: usize) -> Self {
+    pub fn new(
+        id: RobotId,
+        map: impl Into<Arc<PortGraph>>,
+        start: NodeId,
+        capacity: usize,
+    ) -> Self {
+        let map = map.into();
         let budget = map.n() as u64 + 2;
         BaselineController {
             id,

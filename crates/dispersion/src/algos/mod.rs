@@ -5,6 +5,7 @@ pub mod common;
 pub mod half;
 pub mod quotient;
 pub mod ring_opt;
+pub mod sqrt;
 pub mod strong;
 pub mod third;
 
@@ -12,5 +13,6 @@ pub use baseline::BaselineController;
 pub use half::HalfController;
 pub use quotient::QuotientController;
 pub use ring_opt::RingOptController;
+pub use sqrt::SqrtController;
 pub use strong::StrongController;
 pub use third::GroupController;

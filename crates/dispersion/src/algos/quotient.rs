@@ -15,6 +15,7 @@ use crate::msg::Msg;
 use crate::timeline::dum_budget;
 use bd_graphs::{NodeId, Port, PortGraph};
 use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
+use std::sync::Arc;
 
 /// Per-robot inputs computed by the runner (deterministic, per-robot walk).
 #[derive(Debug, Clone)]
@@ -22,8 +23,9 @@ pub struct QuotientSetup {
     /// The robot's exploration walk script (`Find-Map`'s round charge).
     pub walk: Vec<Port>,
     /// The map (the quotient graph, isomorphic to the graph by the
-    /// Theorem 1 precondition).
-    pub map: PortGraph,
+    /// Theorem 1 precondition); shared across the n robots the runner
+    /// spawns, so setup stays O(1) per robot in the graph size.
+    pub map: Arc<PortGraph>,
     /// The robot's map position after the walk.
     pub pos_after_walk: NodeId,
 }
@@ -36,7 +38,7 @@ pub struct QuotientController {
     dum_start: u64,
     dum_end: u64,
     dum: Option<DumMachine>,
-    setup_map: Option<(PortGraph, NodeId)>,
+    setup_map: Option<(Arc<PortGraph>, NodeId)>,
     n: usize,
     round_seen: u64,
 }
@@ -118,7 +120,7 @@ mod tests {
             5,
             QuotientSetup {
                 walk: vec![0, 0],
-                map,
+                map: map.into(),
                 pos_after_walk: 2,
             },
         );

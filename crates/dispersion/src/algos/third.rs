@@ -1,4 +1,4 @@
-//! Theorems 4 and 5: faster group-based map finding (§3.2, §3.3).
+//! Theorem 4: faster group-based map finding (§3.2).
 //!
 //! * **Theorem 4** (`Scheme::Thirds`): gathered start, `f ≤ ⌊n/3 − 1⌋`. The
 //!   `k` gathered robots split into ID-ordered thirds `A`, `B`, `C`; three
@@ -9,12 +9,12 @@
 //!   group can be Byzantine-heavy, so at least two runs produce the true
 //!   map, and the per-run quorum votes let every robot take the 2-of-3
 //!   majority. Total `O(n³)` rounds.
-//! * **Theorem 5** (`Scheme::Halves`): arbitrary start, `f = O(√n)`.
-//!   Phase 1 gathers (view-based substrate); then a *single* run with the
-//!   lower ID half as agent suffices, since both halves have honest
-//!   majorities far above the `⌊√n⌋`-scale threshold.
+//! * `Scheme::Halves` keeps the historical single-run half-split variant
+//!   available for experiments (it served as a stand-in for Theorem 5
+//!   before the dedicated [`crate::algos::sqrt`] token-replication
+//!   subsystem existed; the runner no longer dispatches to it).
 //!
-//! Both end with `Dispersion-Using-Map` from the gathering node.
+//! Both schemes end with `Dispersion-Using-Map` from the gathering node.
 
 use crate::algos::common::{partition2, partition3, snapshot_ids, GroupRun, GroupRunSpec};
 use crate::dum::DumMachine;
@@ -31,7 +31,8 @@ pub enum Scheme {
     /// Three runs over ID-ordered thirds (Theorem 4).
     Thirds,
     /// One run over ID-ordered halves with the given quorum threshold for
-    /// instructions, presence, and votes (Theorem 5).
+    /// instructions, presence, and votes (kept for experiments; Theorem 5
+    /// proper lives in [`crate::algos::sqrt`]).
     Halves { threshold: usize },
 }
 
@@ -51,7 +52,7 @@ pub struct GroupController {
 
 impl GroupController {
     /// `gather_script` empty means gathered start (Theorem 4); otherwise the
-    /// robot's gathering route with its shared budget (Theorem 5).
+    /// robot's gathering route with its shared budget.
     pub fn new(
         id: RobotId,
         n: usize,

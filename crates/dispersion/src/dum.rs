@@ -33,6 +33,7 @@ use bd_graphs::traversal::{dfs_tree, euler_tour_ports};
 use bd_graphs::{NodeId, Port, PortGraph};
 use bd_runtime::{MoveChoice, Observation, RobotId};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// The per-robot DUM state machine. Drive it from a controller: call
 /// [`DumMachine::act`] every sub-round and [`DumMachine::decide_move`] at
@@ -40,8 +41,9 @@ use std::collections::BTreeSet;
 #[derive(Debug, Clone)]
 pub struct DumMachine {
     id: RobotId,
-    /// The robot's private map (isomorphic to the graph).
-    map: PortGraph,
+    /// The robot's private map (isomorphic to the graph); shared, never
+    /// mutated, so clones of the machine stay O(1) in the map size.
+    map: Arc<PortGraph>,
     /// Current position in map coordinates.
     pos: NodeId,
     /// Euler tour of a DFS tree of the map rooted at the start position.
@@ -53,14 +55,30 @@ pub struct DumMachine {
     ar: Vec<BTreeSet<RobotId>>,
     /// `B_r`: blacklisted robots.
     br: BTreeSet<RobotId>,
+    /// Allowed settled robots per node (§5's `⌈k/n⌉` generalization;
+    /// 1 in the standard Definition 1 regime).
+    capacity: usize,
     /// Move planned during this round's decision sub-round.
     planned: Option<Port>,
 }
 
 impl DumMachine {
     /// Create the machine for robot `id` holding `map`, standing on map
-    /// node `start`.
-    pub fn new(id: RobotId, map: PortGraph, start: NodeId) -> Self {
+    /// node `start`, with the standard per-node capacity of 1.
+    pub fn new(id: RobotId, map: impl Into<Arc<PortGraph>>, start: NodeId) -> Self {
+        DumMachine::with_capacity(id, map, start, 1)
+    }
+
+    /// Create the machine with an explicit per-node capacity: a node counts
+    /// as occupied only once `capacity` trusted settled robots announce
+    /// from it — the §5 `k > n` regime where `⌈k/n⌉` robots share a node.
+    pub fn with_capacity(
+        id: RobotId,
+        map: impl Into<Arc<PortGraph>>,
+        start: NodeId,
+        capacity: usize,
+    ) -> Self {
+        let map = map.into();
         let tour = if map.n() > 1 {
             euler_tour_ports(&dfs_tree(&map, start))
         } else {
@@ -77,6 +95,7 @@ impl DumMachine {
             flag: false,
             ar: vec![BTreeSet::new(); n],
             br: BTreeSet::new(),
+            capacity: capacity.max(1),
             planned: None,
         }
     }
@@ -183,24 +202,29 @@ impl DumMachine {
             }
         }
 
-        // Step 3c: a trusted settled robot occupies this node.
+        // Step 3c: enough trusted settled robots occupy this node (the §5
+        // generalization counts them against the per-node capacity; the
+        // standard regime is capacity 1, where one is enough).
         let trusted_settled: BTreeSet<RobotId> =
             announced_settled.difference(&self.br).copied().collect();
-        if !trusted_settled.is_empty() {
-            self.ar[self.pos].extend(trusted_settled);
+        let occupied = trusted_settled.len();
+        self.ar[self.pos].extend(trusted_settled);
+        if occupied >= self.capacity {
             self.planned = self.next_tour_port();
             return None;
         }
 
-        // Steps 2b/3b "observe": a smaller trusted candidate settled at its
-        // own sub-round this round.
+        // Steps 2b/3b "observe": smaller trusted candidates settled at
+        // their own sub-rounds this round; together with the already
+        // settled they may fill the node.
         let smaller_settles: BTreeSet<RobotId> = settles_this_round
             .iter()
             .copied()
             .filter(|&s| s < self.id && announced_tbs.contains(&s) && !self.br.contains(&s))
             .collect();
-        if !smaller_settles.is_empty() {
-            self.ar[self.pos].extend(smaller_settles);
+        let filled = occupied + smaller_settles.len();
+        self.ar[self.pos].extend(smaller_settles);
+        if filled >= self.capacity {
             self.planned = self.next_tour_port();
             return None;
         }
@@ -308,6 +332,57 @@ mod tests {
         assert!(!m.settled());
         assert!(matches!(m.decide_move(), MoveChoice::Move(_)));
         assert!(m.ar[0].contains(&RobotId(7)));
+    }
+
+    #[test]
+    fn capacity_two_settles_beside_one_settled_robot() {
+        // §5 regime: with capacity 2, one trusted settled robot does not
+        // fill the node — the candidate settles next to it.
+        let mut m = DumMachine::with_capacity(RobotId(2), ring(5).unwrap(), 0, 2);
+        let roster = [RobotId(2), RobotId(7)];
+        let bulletin = [
+            state_msg(RobotId(7), DumState::Settled),
+            state_msg(RobotId(2), DumState::ToBeSettled),
+        ];
+        assert_eq!(m.act(&obs(1, &roster, &bulletin)), Some(Msg::Settle));
+        assert!(m.settled());
+        assert!(m.ar[0].contains(&RobotId(7)));
+    }
+
+    #[test]
+    fn capacity_two_full_node_still_blocks() {
+        let mut m = DumMachine::with_capacity(RobotId(2), ring(5).unwrap(), 0, 2);
+        let roster = [RobotId(2), RobotId(7), RobotId(8)];
+        let bulletin = [
+            state_msg(RobotId(7), DumState::Settled),
+            state_msg(RobotId(8), DumState::Settled),
+            state_msg(RobotId(2), DumState::ToBeSettled),
+        ];
+        assert_eq!(m.act(&obs(1, &roster, &bulletin)), None);
+        assert!(!m.settled());
+        assert!(matches!(m.decide_move(), MoveChoice::Move(_)));
+    }
+
+    #[test]
+    fn capacity_counts_same_round_smaller_settles() {
+        // A settled announcement plus a smaller same-round settle fill a
+        // capacity-2 node together.
+        let mut m = DumMachine::with_capacity(RobotId(9), ring(5).unwrap(), 0, 2);
+        let roster = [RobotId(3), RobotId(7), RobotId(9)];
+        let bulletin = [
+            state_msg(RobotId(7), DumState::Settled),
+            state_msg(RobotId(3), DumState::ToBeSettled),
+            state_msg(RobotId(9), DumState::ToBeSettled),
+            Publication {
+                sender: RobotId(3),
+                subround: 1,
+                body: Msg::Settle,
+            },
+        ];
+        assert_eq!(m.act(&obs(3, &roster, &bulletin)), None);
+        assert!(!m.settled());
+        assert!(m.ar[0].contains(&RobotId(7)));
+        assert!(m.ar[0].contains(&RobotId(3)));
     }
 
     #[test]

@@ -9,18 +9,50 @@
 //! |--------|-------|--------|
 //! | [`algos::quotient`] | §2, Thm 1 | `f ≤ n−1` weak, quotient-isomorphic graphs, poly(n) |
 //! | [`algos::half`] | §3.1, Thms 2–3 | `f ≤ ⌊n/2−1⌋` weak, arbitrary/gathered, `Õ(n⁹)` / `O(n⁴)` |
-//! | [`algos::third`] | §3.2–3.3, Thms 4–5 | `f ≤ ⌊n/3−1⌋` weak gathered `O(n³)`; Thm 5's `f = O(√n)` arbitrary-start run reuses the same group machinery ([`runner`] maps `ArbitrarySqrtTh5` to a gathered [`algos::third::GroupController`] with a `Halves` quorum — no dedicated `sqrt` module yet) |
+//! | [`algos::third`] | §3.2, Thm 4 | `f ≤ ⌊n/3−1⌋` weak, gathered, `O(n³)` |
+//! | [`algos::sqrt`] | §3.3, Thm 5 | `f = O(√n)` weak, arbitrary start, `Õ(n⁵·⁵)` — dedicated token-replication subsystem (design note below) |
 //! | [`algos::strong`] | §4, Thms 6–7 | `f ≤ ⌊n/4−1⌋` **strong**, gathered/arbitrary |
 //! | [`algos::baseline`] | §1.4 | non-Byzantine map-DFS baseline (k-robot capacity) |
 //! | [`algos::ring_opt`] | §2.2's predecessor \[34, 36\] | `Time-Opt-Ring-Dispersion`: `O(n)` on rings, `f ≤ n−1` weak |
 //! | [`impossibility`] | §5, Thm 8 | replay-adversary construction |
 //!
 //! Shared building blocks: the [`dum`] state machine
-//! (`Dispersion-Using-Map`, §2.2), the all-pairs [`pairing`] schedule
-//! (§3.1), agent/token drivers with quorum thresholds ([`token_roles`],
-//! §3.2–§4), and majority voting over rooted canonical maps ([`mapvote`]).
+//! (`Dispersion-Using-Map`, §2.2, capacity-generalized for §5's `⌈k/n⌉`
+//! regime), the all-pairs [`pairing`] schedule (§3.1), agent/token drivers
+//! with quorum thresholds ([`token_roles`], §3.2–§4), and majority voting
+//! over rooted canonical maps ([`mapvote`]).
 //! The [`adversaries`] module implements Byzantine strategies; [`runner`]
 //! is the high-level entry point; [`verify`] checks Definition 1.
+//!
+//! ## Design note: the §3.3 token-replication construction
+//!
+//! Theorem 5 trades tolerance for starting-position generality: from
+//! *arbitrary* positions it tolerates `f = O(√n)` weak Byzantine robots.
+//! The [`algos::sqrt`] subsystem realizes it as a deterministic phase
+//! machine (`gather → replicate → settle`, [`algos::sqrt::sqrt_timeline`]):
+//!
+//! 1. **Gather** — every robot walks the Byzantine-immune view-based route
+//!    to the canonical singleton-class node.
+//! 2. **Replicate** — the roster snapshot splits into `2f + 1` ID-ordered
+//!    helper groups of roughly `√n` robots
+//!    ([`algos::sqrt::tokens::ReplicationPlan`]). Each group takes the
+//!    agent seat for one sequential map-finding run while the token role
+//!    is replicated across the union of the other groups; instruction,
+//!    presence, and vote thresholds are all `f + 1` distinct IDs, beyond
+//!    the coalition's reach. At most `f` groups contain a Byzantine
+//!    member, so at least `f + 1` runs are led by fully honest groups and
+//!    rebuild the true map; [`algos::sqrt::tokens::reconcile_maps`]
+//!    accepts exactly the form with that support (Byzantine-majority
+//!    reconciliation).
+//! 3. **Settle** — `Dispersion-Using-Map` from the gathering node on the
+//!    reconciled map, with per-node capacity `⌈k/n⌉` so `k > n` scenarios
+//!    (§5) run first-class.
+//!
+//! Because every boundary is derived from `n`, the gathering budget, and
+//! the snapshot, [`runner`] uses the phase machine's exact end
+//! ([`algos::sqrt::sqrt_round_budget`]) as the round budget — no guessed
+//! slack — and the bench layer checks the measured growth exponent against
+//! the paper's `Õ(n⁵·⁵)` band.
 
 pub mod adversaries;
 pub mod algos;

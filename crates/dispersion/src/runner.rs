@@ -6,13 +6,14 @@ use crate::algos::baseline::BaselineController;
 use crate::algos::half::HalfController;
 use crate::algos::quotient::{QuotientController, QuotientSetup};
 use crate::algos::ring_opt::RingOptController;
+use crate::algos::sqrt::{sqrt_round_budget, tokens as sqrt_tokens, SqrtController};
 use crate::algos::strong::StrongController;
 use crate::algos::third::{GroupController, Scheme};
 use crate::error::DispersionError;
 use crate::msg::Msg;
 use crate::pairing::pairing_schedule;
 use crate::timeline::{dum_budget, group_run_len, pair_window_len, rank_walk_budget};
-use crate::verify::{verify_dispersion, VerifyReport};
+use crate::verify::{verify_with_capacity, VerifyReport};
 use bd_exploration::walks::{cover_walk_length, SharedWalk};
 use bd_gathering::route::gather_route;
 use bd_graphs::quotient::quotient_graph;
@@ -22,6 +23,7 @@ use bd_runtime::{Engine, EngineConfig, Flavor, RobotId, RunMetrics};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Table 1 algorithms (plus the non-Byzantine baseline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -58,7 +60,13 @@ impl Algorithm {
             Algorithm::QuotientTh1 | Algorithm::RingOptimal => n.saturating_sub(1),
             Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => (n / 2).saturating_sub(1),
             Algorithm::GatheredThirdTh4 => (n / 3).saturating_sub(1),
-            Algorithm::ArbitrarySqrtTh5 => ((n as f64).sqrt() as usize / 2).max(1),
+            // The √n-scale bound, additionally clamped to the largest f
+            // whose 2f+1 helper groups of f+1 members fit in n robots —
+            // 0 below n = 6, where only the fault-free construction is
+            // sound.
+            Algorithm::ArbitrarySqrtTh5 => {
+                ((n as f64).sqrt() as usize / 2).min(sqrt_tokens::supported_f_bound(n))
+            }
             Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
                 (n / 4).saturating_sub(1)
             }
@@ -231,11 +239,15 @@ pub fn run_algorithm(
     if f >= k {
         return Err(DispersionError::BadScenario(format!("f = {f} >= k = {k}")));
     }
-    if !spec.allow_overload && f > algo.tolerance(n) {
-        return Err(DispersionError::ToleranceExceeded {
-            f,
-            max: algo.tolerance(n),
-        });
+    // Theorem 5's helper groups are sized on the *gathered roster*, so its
+    // tolerance is additionally bounded by what k robots support (relevant
+    // only when k != n; `tolerance(n)` already covers the k = n case).
+    let max_f = match algo {
+        Algorithm::ArbitrarySqrtTh5 => algo.tolerance(n).min(sqrt_tokens::supported_f_bound(k)),
+        _ => algo.tolerance(n),
+    };
+    if !spec.allow_overload && f > max_f {
+        return Err(DispersionError::ToleranceExceeded { f, max: max_f });
     }
 
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xdead_beef);
@@ -304,19 +316,23 @@ pub fn run_algorithm(
         Algorithm::RingOptimal => n as u64,
         _ => gather_budget,
     };
-    let run_end_guess: u64 = match algo {
-        Algorithm::QuotientTh1 => cover_walk_length(n) + dum_budget(n) + 64,
+    // Exact honest-termination round, derived from each controller's phase
+    // timeline (every controller self-times and terminates at its final
+    // phase boundary, so no fudge terms are needed; the engine cap below
+    // adds a small safety margin on top).
+    let run_end: u64 = match algo {
+        Algorithm::QuotientTh1 => cover_walk_length(n) + dum_budget(n),
         Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => {
             let sched = pairing_schedule(&ids);
-            gather_budget + 1 + sched.total_windows * pair_window_len(n) + dum_budget(n) + 64
+            gather_budget + 1 + sched.total_windows * pair_window_len(n) + dum_budget(n)
         }
-        Algorithm::GatheredThirdTh4 => 1 + 3 * group_run_len(n) + dum_budget(n) + 64,
-        Algorithm::ArbitrarySqrtTh5 => gather_budget + 1 + group_run_len(n) + dum_budget(n) + 64,
+        Algorithm::GatheredThirdTh4 => 1 + 3 * group_run_len(n) + dum_budget(n),
+        Algorithm::ArbitrarySqrtTh5 => sqrt_round_budget(n, k, algo.tolerance(n), gather_budget),
         Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
-            gather_budget + 1 + group_run_len(n) + rank_walk_budget(n) + 64
+            gather_budget + 1 + group_run_len(n) + rank_walk_budget(n)
         }
-        Algorithm::Baseline => n as u64 + 64,
-        Algorithm::RingOptimal => n as u64 + dum_budget(n) + 64,
+        Algorithm::Baseline => n as u64 + 2,
+        Algorithm::RingOptimal => n as u64 + dum_budget(n),
     };
 
     if algo == Algorithm::RingOptimal
@@ -327,9 +343,12 @@ pub fn run_algorithm(
         ));
     }
 
+    // One owned copy of the graph for the whole run; everything downstream
+    // (engine, world re-registration, oracle controllers) shares the `Arc`.
+    let shared_graph: Arc<PortGraph> = Arc::new(graph.clone());
     let mut engine: Engine<Msg> = Engine::new(
-        graph.clone(),
-        EngineConfig::with_max_rounds(run_end_guess + 1024),
+        Arc::clone(&shared_graph),
+        EngineConfig::with_max_rounds(run_end + 64),
     );
 
     // Theorem 1 setup: quotient precondition + per-robot walk scripts.
@@ -342,6 +361,7 @@ pub fn run_algorithm(
             });
         }
         let len = cover_walk_length(n);
+        let quotient_map = Arc::new(q.graph.clone());
         let setups = starts
             .iter()
             .map(|&s| {
@@ -355,7 +375,7 @@ pub fn run_algorithm(
                 }
                 QuotientSetup {
                     walk: ports,
-                    map: q.graph.clone(),
+                    map: Arc::clone(&quotient_map),
                     pos_after_walk: q.class_of[cur],
                 }
             })
@@ -419,20 +439,22 @@ pub fn run_algorithm(
                 script,
                 gather_budget,
             )),
-            Algorithm::ArbitrarySqrtTh5 => {
-                let threshold = algo.tolerance(n) + 1;
-                Box::new(GroupController::new(
-                    id,
-                    n,
-                    Scheme::Halves { threshold },
-                    script,
-                    gather_budget,
-                ))
-            }
+            Algorithm::ArbitrarySqrtTh5 => Box::new(SqrtController::new(
+                id,
+                n,
+                algo.tolerance(n),
+                script,
+                gather_budget,
+            )),
             Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
                 Box::new(StrongController::new(id, n, script, gather_budget))
             }
-            Algorithm::Baseline => Box::new(BaselineController::new(id, graph.clone(), start, 1)),
+            Algorithm::Baseline => Box::new(BaselineController::new(
+                id,
+                Arc::clone(&shared_graph),
+                start,
+                k.div_ceil(n),
+            )),
             Algorithm::RingOptimal => Box::new(RingOptController::new(id, n)),
         };
         if honest[i] {
@@ -440,7 +462,7 @@ pub fn run_algorithm(
         } else {
             // CrashMidway: a faithful protocol follower that halts halfway
             // through the interactive portion of the run.
-            let crash_at = interaction_start + (run_end_guess - interaction_start) / 2;
+            let crash_at = interaction_start + (run_end - interaction_start) / 2;
             engine.add_robot(
                 Flavor::WeakByzantine,
                 start,
@@ -450,7 +472,13 @@ pub fn run_algorithm(
     }
 
     let out = engine.run()?;
-    let report = verify_dispersion(&out.final_positions, &honest, &ids);
+    // §5 capacity generalization: k robots must leave at most ⌈(k−f)/n⌉
+    // honest robots per node (the verifier module's definition; at k ≤ n
+    // this is Definition 1's 1). Algorithms settle at ⌈k/n⌉ — in every
+    // Theorem 8-possible regime the two coincide, and where they differ
+    // the run is impossible and must be reported as a violation.
+    let capacity = (k - f).div_ceil(n);
+    let report = verify_with_capacity(&out.final_positions, &honest, &ids, capacity);
     Ok(Outcome {
         dispersed: report.ok,
         rounds: out.metrics.rounds,
@@ -472,6 +500,27 @@ mod tests {
         assert_eq!(Algorithm::GatheredHalfTh3.tolerance(16), 7);
         assert_eq!(Algorithm::GatheredThirdTh4.tolerance(16), 4);
         assert_eq!(Algorithm::StrongGatheredTh6.tolerance(16), 3);
+        assert_eq!(Algorithm::ArbitrarySqrtTh5.tolerance(16), 2);
+        assert_eq!(Algorithm::ArbitrarySqrtTh5.tolerance(9), 1);
+        // Below n = 6 the 2f+1 helper-group construction does not fit:
+        // only the fault-free regime is sound.
+        assert_eq!(Algorithm::ArbitrarySqrtTh5.tolerance(5), 0);
+        assert_eq!(Algorithm::ArbitrarySqrtTh5.tolerance(4), 0);
+    }
+
+    #[test]
+    fn sqrt_rejects_f_beyond_what_k_supports() {
+        // tolerance(16) = 2, but 5 gathered robots cannot sustain the
+        // 2f+1 = 5 groups of 3: the runner must refuse rather than run an
+        // unreachable-quorum plan.
+        let g = erdos_renyi_connected(16, 0.4, 2).unwrap();
+        let mut spec = ScenarioSpec::arbitrary(&g).with_byzantine(2, AdversaryKind::TokenHijacker);
+        spec.num_robots = 5;
+        let err = run_algorithm(Algorithm::ArbitrarySqrtTh5, &g, &spec).unwrap_err();
+        assert!(matches!(
+            err,
+            DispersionError::ToleranceExceeded { max: 0, .. }
+        ));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::observation::{ArrivalInfo, Observation, Publication};
 use crate::trace::{Event, Trace};
 use crate::world::World;
 use bd_graphs::{NodeId, PortGraph};
+use std::sync::Arc;
 
 /// Drives one simulation: owns the [`World`], the controllers, and the
 /// bookkeeping. Generic over the protocol message type `M`.
@@ -35,8 +36,11 @@ pub struct RunOutcome {
 }
 
 impl<M: Clone> Engine<M> {
-    /// Create an engine over `graph` with no robots yet.
-    pub fn new(graph: PortGraph, config: EngineConfig) -> Self {
+    /// Create an engine over `graph` with no robots yet. Accepts either an
+    /// owned graph or a shared `Arc` handle; sweeps that reuse one graph
+    /// across many runs should pass the `Arc` so spawning stays O(1) in
+    /// the graph size.
+    pub fn new(graph: impl Into<Arc<PortGraph>>, config: EngineConfig) -> Self {
         Engine {
             world: World::new(graph, Vec::new()),
             controllers: Vec::new(),
@@ -60,7 +64,7 @@ impl<M: Clone> Engine<M> {
             .map(|r| (r.id, r.flavor, r.position))
             .collect();
         placements.push((id, flavor, start));
-        self.world = World::new(self.world.graph().clone(), placements);
+        self.world = World::new(self.world.graph_handle(), placements);
         self.controllers.push(controller);
         self.arrivals.push(None);
         self.terminated_logged.push(false);

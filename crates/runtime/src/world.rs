@@ -2,6 +2,7 @@
 
 use crate::ids::{Flavor, RobotId};
 use bd_graphs::{NodeId, Port, PortGraph};
+use std::sync::Arc;
 
 /// One robot's physical record.
 #[derive(Debug, Clone)]
@@ -20,16 +21,23 @@ pub struct RobotSlot {
 /// between rounds; controllers never touch it.
 #[derive(Debug, Clone)]
 pub struct World {
-    graph: PortGraph,
+    /// Shared, immutable graph: cloning the world (or re-registering
+    /// robots) never pays O(V + E) again.
+    graph: Arc<PortGraph>,
     robots: Vec<RobotSlot>,
 }
 
 impl World {
-    /// Create a world with the given robot placements.
+    /// Create a world with the given robot placements. Accepts either an
+    /// owned graph or an already shared `Arc` handle.
     ///
     /// Panics if a start node is out of range — scenario construction bugs
     /// should fail loudly.
-    pub fn new(graph: PortGraph, placements: Vec<(RobotId, Flavor, NodeId)>) -> Self {
+    pub fn new(
+        graph: impl Into<Arc<PortGraph>>,
+        placements: Vec<(RobotId, Flavor, NodeId)>,
+    ) -> Self {
+        let graph = graph.into();
         for &(id, _, node) in &placements {
             assert!(
                 node < graph.n(),
@@ -51,6 +59,11 @@ impl World {
     /// The underlying graph.
     pub fn graph(&self) -> &PortGraph {
         &self.graph
+    }
+
+    /// A shared handle to the graph (O(1), no copy).
+    pub fn graph_handle(&self) -> Arc<PortGraph> {
+        Arc::clone(&self.graph)
     }
 
     /// Number of robots.
