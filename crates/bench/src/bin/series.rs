@@ -1,14 +1,17 @@
-//! Emit the scaling/ablation series (DESIGN.md Series A–C) as JSON lines.
+//! Emit the scaling/ablation series (DESIGN.md Series A–D) as JSON lines.
 //!
 //! * **Series A** — mean rounds vs `n` for every Table 1 row (shape check);
 //! * **Series B** — success rate vs `f` across each tolerance bound for the
 //!   gathered rows (the crossover the tolerance column claims);
 //! * **Series C** — adversary ablation: rounds and success per adversary
-//!   kind for the Theorem 3 pipeline.
+//!   kind for the Theorem 3 pipeline;
+//! * **Series D** — the §5 capacity regime: rounds and success per robot
+//!   bin `k ∈ {n/2, n, 2n}` for every DUM-based row, batched on one shared
+//!   graph per row via `Session::run_batch`.
 //!
 //! Usage: `cargo run --release -p bd-bench --bin series [--quick] > series.jsonl`
 
-use bd_bench::{mean_rounds, run_cell, success_rate, sweep_n};
+use bd_bench::{mean_rounds, mean_rounds_by_k, run_cell, success_rate, sweep_k, sweep_n};
 use bd_dispersion::adversaries::AdversaryKind;
 use bd_dispersion::runner::{Algorithm, ByzPlacement};
 use rayon::prelude::*;
@@ -152,5 +155,39 @@ fn main() {
                 "success": success_rate(&cells),
             })
         );
+    }
+
+    // Series D: the §5 capacity regime — k ∈ {n/2, n, 2n} bins for every
+    // DUM-based row, at the row's (n, k) tolerance, one shared graph per
+    // row (Session::run_batch).
+    let n = if quick { 6 } else { 8 };
+    let ks = [n / 2, n, 2 * n];
+    for (algo, kind) in [
+        (Algorithm::GatheredHalfTh3, AdversaryKind::Wanderer),
+        (Algorithm::GatheredThirdTh4, AdversaryKind::TokenHijacker),
+        (Algorithm::ArbitrarySqrtTh5, AdversaryKind::TokenHijacker),
+        (Algorithm::Baseline, AdversaryKind::Squatter),
+    ] {
+        let cells = sweep_k(algo, n, &ks, kind, reps);
+        for (k, rounds) in mean_rounds_by_k(&cells) {
+            let bin = cells.iter().filter(|c| c.k == k);
+            let (total, ok) = bin.fold((0usize, 0usize), |(t, s), c| {
+                (t + 1, s + usize::from(c.dispersed))
+            });
+            println!(
+                "{}",
+                json!({
+                    "series": "D-capacity-k-bins",
+                    "algo": format!("{algo:?}"),
+                    "adversary": format!("{kind:?}"),
+                    "n": n,
+                    "k": k,
+                    "f": algo.row().tolerance(n, k),
+                    "capacity": k.div_ceil(n),
+                    "mean_rounds": rounds,
+                    "success": ok as f64 / total.max(1) as f64,
+                })
+            );
+        }
     }
 }

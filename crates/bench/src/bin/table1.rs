@@ -4,7 +4,10 @@
 //! tolerance in its starting configuration across a range of `n`, report
 //! the measured rounds, the fitted growth exponent, and whether every run
 //! dispersed; print the paper's claimed columns next to the measured ones.
-//! Finishes with the Theorem 8 impossibility boundary check.
+//! The paper columns (theorem, running time, start, tolerance, strong) are
+//! read off each row's `TableRow` registry descriptor — this binary holds
+//! only the sweep sizes and adversary choices. Finishes with the Theorem 8
+//! impossibility boundary check.
 //!
 //! Usage: `cargo run --release -p bd-bench --bin table1 [--quick]`
 
@@ -15,100 +18,54 @@ use bd_dispersion::runner::Algorithm;
 use bd_exploration::cost::fit_exponent;
 use bd_graphs::generators::erdos_renyi_connected;
 
-struct Row {
-    serial: usize,
-    theorem: &'static str,
+/// Sweep shape per row: everything else comes from the registry.
+struct Sweep {
     algo: Algorithm,
-    paper_time: &'static str,
-    start: &'static str,
-    paper_tolerance: &'static str,
-    strong: &'static str,
     ns: &'static [usize],
     quick_ns: &'static [usize],
     adversary: AdversaryKind,
 }
 
-const ROWS: &[Row] = &[
-    Row {
-        serial: 1,
-        theorem: "Thm 1",
+/// Rows in the paper's Table 1 print order (Thm 1, 2, 5, 3, 4, 7, 6).
+const SWEEPS: &[Sweep] = &[
+    Sweep {
         algo: Algorithm::QuotientTh1,
-        paper_time: "polynomial(n)",
-        start: "Arbitrary",
-        paper_tolerance: "n - 1",
-        strong: "No",
         ns: &[8, 12, 16, 24, 32],
         quick_ns: &[8, 12, 16],
         adversary: AdversaryKind::FakeSettler,
     },
-    Row {
-        serial: 2,
-        theorem: "Thm 2",
+    Sweep {
         algo: Algorithm::ArbitraryHalfTh2,
-        paper_time: "O(n^4 |L| X(n))",
-        start: "Arbitrary",
-        paper_tolerance: "floor(n/2) - 1",
-        strong: "No",
         ns: &[6, 8, 10, 12],
         quick_ns: &[6, 8],
         adversary: AdversaryKind::Wanderer,
     },
-    Row {
-        serial: 3,
-        theorem: "Thm 5",
+    Sweep {
         algo: Algorithm::ArbitrarySqrtTh5,
-        paper_time: "O((f + |L|) X(n))",
-        start: "Arbitrary",
-        paper_tolerance: "O(sqrt n)",
-        strong: "No",
         ns: &[9, 12, 16, 25],
         quick_ns: &[9, 16],
         adversary: AdversaryKind::TokenHijacker,
     },
-    Row {
-        serial: 4,
-        theorem: "Thm 3",
+    Sweep {
         algo: Algorithm::GatheredHalfTh3,
-        paper_time: "O(n^4)",
-        start: "Gathered",
-        paper_tolerance: "floor(n/2) - 1",
-        strong: "No",
         ns: &[6, 8, 12, 16, 20],
         quick_ns: &[6, 8, 12],
         adversary: AdversaryKind::Wanderer,
     },
-    Row {
-        serial: 5,
-        theorem: "Thm 4",
+    Sweep {
         algo: Algorithm::GatheredThirdTh4,
-        paper_time: "O(n^3)",
-        start: "Gathered",
-        paper_tolerance: "floor(n/3) - 1",
-        strong: "No",
         ns: &[9, 12, 16, 24, 32],
         quick_ns: &[9, 12, 16],
         adversary: AdversaryKind::TokenHijacker,
     },
-    Row {
-        serial: 6,
-        theorem: "Thm 7",
+    Sweep {
         algo: Algorithm::StrongArbitraryTh7,
-        paper_time: "exponential(n)*",
-        start: "Arbitrary",
-        paper_tolerance: "floor(n/4) - 1",
-        strong: "Yes",
         ns: &[8, 12, 16, 24],
         quick_ns: &[8, 12],
         adversary: AdversaryKind::StrongSpoofer,
     },
-    Row {
-        serial: 7,
-        theorem: "Thm 6",
+    Sweep {
         algo: Algorithm::StrongGatheredTh6,
-        paper_time: "O(n^3)",
-        start: "Gathered",
-        paper_tolerance: "floor(n/4) - 1",
-        strong: "Yes",
         ns: &[8, 12, 16, 24, 32],
         quick_ns: &[8, 12, 16],
         adversary: AdversaryKind::StrongSpoofer,
@@ -133,22 +90,29 @@ fn main() {
         "fit n^b",
         "success",
     );
-    for row in ROWS {
-        let ns = if quick { row.quick_ns } else { row.ns };
-        let cells = sweep_n(row.algo, ns, |n| row.algo.tolerance(n), row.adversary, reps);
+    for (serial, sweep) in SWEEPS.iter().enumerate() {
+        let row = sweep.algo.row();
+        let ns = if quick { sweep.quick_ns } else { sweep.ns };
+        let cells = sweep_n(
+            sweep.algo,
+            ns,
+            |n| sweep.algo.tolerance(n),
+            sweep.adversary,
+            reps,
+        );
         let means = mean_rounds(&cells);
         let fit = fit_exponent(&means);
         let ok = success_rate(&cells);
         let series: Vec<String> = means.iter().map(|(n, r)| format!("{n}:{:.0}", r)).collect();
         println!(
             "{:<3} {:<6} {:<20} {:<22} {:<10} {:<16} {:<7} {:<9.2} {:<8.2} {}",
-            row.serial,
-            row.theorem,
-            format!("{:?}", row.algo),
-            row.paper_time,
-            row.start,
-            row.paper_tolerance,
-            row.strong,
+            serial + 1,
+            row.theorem(),
+            row.name(),
+            row.paper_time(),
+            row.start_column(),
+            row.paper_tolerance(),
+            if row.strong() { "Yes" } else { "No" },
             fit,
             ok,
             series.join(" ")

@@ -5,18 +5,21 @@
 //! * **Table 1** (the paper's only exhibit): per-row Criterion benches under
 //!   `benches/`, and the [`bin/table1`](../../src/bin/table1.rs) binary that
 //!   prints measured-vs-paper columns (running time shape, starting
-//!   configuration, Byzantine tolerance, strong handling);
+//!   configuration, Byzantine tolerance, strong handling) straight from the
+//!   `TableRow` registry;
 //! * **Theorem 8**: the impossibility boundary sweep;
 //! * **series** (our additions a systems evaluation would include): rounds
 //!   vs `n` per row with fitted exponents, success rate vs `f` around each
-//!   tolerance bound, and a per-adversary ablation.
+//!   tolerance bound, a per-adversary ablation, and `k ≠ n` capacity bins.
 //!
 //! All cells run on seeded Erdős–Rényi graphs (view-asymmetric w.h.p., so
 //! every row's precondition holds) and are embarrassingly parallel; sweeps
-//! fan out with Rayon.
+//! fan out with Rayon through `Session::run_batch` where cells share a
+//! graph, and plain parallel `Session::run` calls otherwise.
 
 use bd_dispersion::adversaries::AdversaryKind;
-use bd_dispersion::runner::{run_algorithm, Algorithm, ByzPlacement, ScenarioSpec};
+use bd_dispersion::runner::{Algorithm, ByzPlacement, ScenarioSpec};
+use bd_dispersion::Session;
 use bd_graphs::generators::erdos_renyi_connected;
 use bd_graphs::PortGraph;
 use rayon::prelude::*;
@@ -27,6 +30,7 @@ use serde::{Deserialize, Serialize};
 pub struct Cell {
     pub algo: String,
     pub n: usize,
+    pub k: usize,
     pub f: usize,
     pub adversary: String,
     pub seed: u64,
@@ -55,17 +59,18 @@ pub fn bench_graph(n: usize, seed: u64) -> PortGraph {
 }
 
 /// The start configuration each algorithm is evaluated in (Table 1 column
-/// "Starting Configuration").
+/// "Starting Configuration", read from the row registry).
 pub fn starting_config(algo: Algorithm, g: &PortGraph) -> ScenarioSpec {
-    if algo.gathers() || algo == Algorithm::QuotientTh1 {
-        ScenarioSpec::arbitrary(g)
-    } else {
-        ScenarioSpec::gathered(g, 0)
-    }
+    ScenarioSpec::evaluation(algo, g)
 }
 
 /// Run one cell. Panics on scenario errors (callers pick valid cells);
 /// a round-limit overrun is reported as a failed cell instead.
+///
+/// `allow_overload` is set **only** when `f` exceeds the row's tolerance —
+/// beyond-tolerance probe sweeps run, while in-budget sweeps keep the
+/// session's tolerance guardrail: a silently mis-sized `f` panics instead
+/// of producing an undefined-behavior cell.
 pub fn run_cell(
     algo: Algorithm,
     n: usize,
@@ -74,29 +79,50 @@ pub fn run_cell(
     placement: ByzPlacement,
     seed: u64,
 ) -> Cell {
-    let g = bench_graph(n, seed);
-    let spec = starting_config(algo, &g)
+    let session = Session::new(bench_graph(n, seed));
+    let spec = starting_config(algo, session.graph())
         .with_byzantine(f, adversary)
         .with_placement(placement)
-        .with_seed(seed)
-        .overloaded();
-    match run_algorithm(algo, &g, &spec) {
+        .with_seed(seed);
+    let k = spec.num_robots;
+    let spec = if f > algo.row().tolerance(n, k) {
+        spec.overloaded()
+    } else {
+        spec
+    };
+    run_spec_cell(&session, &spec)
+}
+
+/// Fold one run result into a [`Cell`]. Graph-shape errors (symmetric
+/// instance drawn) are skipped by resampling upstream; anything else is a
+/// harness bug, so failures panic with the cell coordinates.
+fn cell_of(
+    spec: &ScenarioSpec,
+    n: usize,
+    result: Result<bd_dispersion::Outcome, bd_dispersion::DispersionError>,
+) -> Cell {
+    match result {
         Ok(out) => Cell {
-            algo: format!("{algo:?}"),
+            algo: format!("{:?}", spec.algo),
             n,
-            f,
-            adversary: format!("{adversary:?}"),
-            seed,
+            k: spec.num_robots,
+            f: spec.num_byzantine,
+            adversary: format!("{:?}", spec.adversary),
+            seed: spec.seed,
             rounds: out.rounds,
             total_moves: out.metrics.total_moves,
             dispersed: out.dispersed,
         },
-        Err(e) => {
-            // Graph-shape errors (symmetric instance drawn) are skipped by
-            // resampling upstream; anything else is a harness bug.
-            panic!("cell ({algo:?}, n={n}, f={f}, seed={seed}) failed: {e}")
-        }
+        Err(e) => panic!(
+            "cell ({:?}, n={n}, k={}, f={}, seed={}) failed: {e}",
+            spec.algo, spec.num_robots, spec.num_byzantine, spec.seed
+        ),
     }
+}
+
+/// Run one prepared spec in `session` and record it as a [`Cell`].
+pub fn run_spec_cell(session: &Session, spec: &ScenarioSpec) -> Cell {
+    cell_of(spec, session.graph().n(), session.run(spec))
 }
 
 /// Sweep `n` values with `reps` seeds each, in parallel.
@@ -126,17 +152,61 @@ pub fn sweep_n(
         .collect()
 }
 
-/// Mean rounds per `n` from a sweep.
-pub fn mean_rounds(cells: &[Cell]) -> Vec<(usize, f64)> {
-    let mut by_n: std::collections::BTreeMap<usize, (f64, usize)> = Default::default();
+/// Sweep robot-count bins on one shared graph: for each `k` in `ks`,
+/// `reps` seeded cells of `algo` at the row's `(n, k)` tolerance, all
+/// through one `Session::run_batch` (one `Arc<PortGraph>` for the whole
+/// sweep). The §5 capacity regime (`k ≠ n`) made measurable.
+pub fn sweep_k(
+    algo: Algorithm,
+    n: usize,
+    ks: &[usize],
+    adversary: AdversaryKind,
+    reps: u64,
+) -> Vec<Cell> {
+    let session = Session::new(bench_graph(n, 1000));
+    let specs: Vec<ScenarioSpec> = ks
+        .iter()
+        .flat_map(|&k| {
+            let session = &session;
+            (0..reps).map(move |rep| {
+                let f = algo.row().tolerance(n, k);
+                starting_config(algo, session.graph())
+                    .with_robots(k)
+                    .with_byzantine(f, adversary)
+                    .with_seed(4000 + rep)
+            })
+        })
+        .collect();
+    session
+        .run_batch(&specs)
+        .into_iter()
+        .zip(&specs)
+        .map(|(res, spec)| cell_of(spec, n, res))
+        .collect()
+}
+
+/// Mean rounds grouped by an arbitrary cell key.
+pub fn mean_rounds_by(cells: &[Cell], key: impl Fn(&Cell) -> usize) -> Vec<(usize, f64)> {
+    let mut groups: std::collections::BTreeMap<usize, (f64, usize)> = Default::default();
     for c in cells {
-        let e = by_n.entry(c.n).or_insert((0.0, 0));
+        let e = groups.entry(key(c)).or_insert((0.0, 0));
         e.0 += c.rounds as f64;
         e.1 += 1;
     }
-    by_n.into_iter()
-        .map(|(n, (sum, k))| (n, sum / k as f64))
+    groups
+        .into_iter()
+        .map(|(g, (sum, count))| (g, sum / count as f64))
         .collect()
+}
+
+/// Mean rounds per `n` from a sweep.
+pub fn mean_rounds(cells: &[Cell]) -> Vec<(usize, f64)> {
+    mean_rounds_by(cells, |c| c.n)
+}
+
+/// Mean rounds per `k` from a k-bin sweep.
+pub fn mean_rounds_by_k(cells: &[Cell]) -> Vec<(usize, f64)> {
+    mean_rounds_by(cells, |c| c.k)
 }
 
 /// Fraction of dispersed cells.
@@ -174,30 +244,72 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exceeds the algorithm's tolerance")]
+    fn in_budget_sweeps_keep_the_tolerance_guardrail() {
+        // f beyond what k robots can possibly contain is a harness bug,
+        // not a probe: run_cell must panic through the session's typed
+        // error rather than run it silently overloaded. (Beyond-tolerance
+        // probes where f < k still run, now explicitly overloaded.)
+        let n = 9;
+        let session = Session::new(bench_graph(n, 7));
+        let spec = starting_config(Algorithm::GatheredThirdTh4, session.graph()).with_byzantine(
+            Algorithm::GatheredThirdTh4.tolerance(n) + 1,
+            AdversaryKind::Wanderer,
+        );
+        // Strip the overload flag run_cell would have added.
+        assert!(!spec.allow_overload);
+        run_spec_cell(&session, &spec);
+    }
+
+    #[test]
+    fn beyond_tolerance_probe_is_overloaded_and_runs() {
+        let n = 9;
+        let f = Algorithm::GatheredThirdTh4.tolerance(n) + 1;
+        let c = run_cell(
+            Algorithm::GatheredThirdTh4,
+            n,
+            f,
+            AdversaryKind::Wanderer,
+            ByzPlacement::LowIds,
+            3,
+        );
+        assert_eq!(c.f, f, "probe cell records the overloaded f");
+    }
+
+    #[test]
+    fn sweep_k_covers_all_bins_on_one_graph() {
+        let cells = sweep_k(
+            Algorithm::Baseline,
+            8,
+            &[4, 8, 16],
+            AdversaryKind::Squatter,
+            2,
+        );
+        assert_eq!(cells.len(), 6);
+        for k in [4usize, 8, 16] {
+            let bin: Vec<_> = cells.iter().filter(|c| c.k == k).collect();
+            assert_eq!(bin.len(), 2, "k = {k}");
+            assert!(bin.iter().all(|c| c.dispersed), "k = {k}");
+        }
+    }
+
+    #[test]
     fn aggregations() {
-        let cells = vec![
-            Cell {
-                algo: "x".into(),
-                n: 8,
-                f: 0,
-                adversary: "a".into(),
-                seed: 0,
-                rounds: 10,
-                total_moves: 5,
-                dispersed: true,
-            },
-            Cell {
-                algo: "x".into(),
-                n: 8,
-                f: 0,
-                adversary: "a".into(),
-                seed: 1,
-                rounds: 20,
-                total_moves: 5,
-                dispersed: false,
-            },
-        ];
+        let mk = |k: usize, rounds: u64, dispersed: bool, seed: u64| Cell {
+            algo: "x".into(),
+            n: 8,
+            k,
+            f: 0,
+            adversary: "a".into(),
+            seed,
+            rounds,
+            total_moves: 5,
+            dispersed,
+        };
+        let cells = vec![mk(8, 10, true, 0), mk(8, 20, false, 1)];
         assert_eq!(mean_rounds(&cells), vec![(8, 15.0)]);
         assert!((success_rate(&cells) - 0.5).abs() < 1e-9);
+        let kcells = vec![mk(4, 10, true, 0), mk(16, 30, true, 1)];
+        assert_eq!(mean_rounds_by_k(&kcells), vec![(4, 10.0), (16, 30.0)]);
     }
 }

@@ -10,6 +10,7 @@
 //! `O(n)` rounds.
 
 use crate::msg::Msg;
+use crate::registry::{Plan, StartColumn, StartRequirement, TableRow};
 use bd_graphs::navigate::shortest_path_ports;
 use bd_graphs::traversal::dfs_tree;
 use bd_graphs::{NodeId, PortGraph};
@@ -84,7 +85,59 @@ impl Controller<Msg> for BaselineController {
     }
 
     fn terminated(&self) -> bool {
-        self.round_seen >= self.budget && self.path.as_ref().is_some_and(|p| p.is_empty())
+        // `round_seen + 1` so the observed honest-termination round equals
+        // the phase budget exactly (same convention as every other row).
+        self.round_seen + 1 >= self.budget && self.path.as_ref().is_some_and(|p| p.is_empty())
+    }
+}
+
+/// Comparison row: the non-Byzantine oracle baseline (Theorem 8's
+/// algorithm `A`).
+pub struct BaselineRow;
+
+impl TableRow for BaselineRow {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "§1.4"
+    }
+
+    fn paper_time(&self) -> &'static str {
+        "O(n)"
+    }
+
+    fn paper_tolerance(&self) -> &'static str {
+        "0"
+    }
+
+    /// Fault-free by definition.
+    fn tolerance(&self, _n: usize, _k: usize) -> usize {
+        0
+    }
+
+    fn start_requirement(&self) -> StartRequirement {
+        StartRequirement::Any
+    }
+
+    /// Benchmarks evaluate the baseline gathered (co-located ranks make
+    /// the DFS-preorder assignment collision-free).
+    fn start_column(&self) -> StartColumn {
+        StartColumn::Gathered
+    }
+
+    fn round_budget(&self, plan: &Plan) -> u64 {
+        plan.n as u64 + 2
+    }
+
+    fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {
+        Box::new(BaselineController::new(
+            plan.ids[i],
+            Arc::clone(&plan.graph),
+            plan.starts[i],
+            plan.k.div_ceil(plan.n),
+        ))
     }
 }
 

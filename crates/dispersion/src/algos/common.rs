@@ -1,14 +1,19 @@
 //! Shared pieces of the group-based algorithms (§3.2–§4): roster snapshots,
-//! group partitions, and the [`GroupRun`] driver for one group map-finding
-//! run with quorum thresholds.
+//! group partitions, the [`GroupRun`] driver for one group map-finding run
+//! with quorum thresholds, the capacity-aware [`SettlePhase`] DUM tail, and
+//! the [`GroupPhaseController`] scaffold (gather → snapshot → sequential
+//! group runs → settle) that the Theorem 4 and Theorem 5 controllers
+//! instantiate through a [`GroupScheme`].
 
+use crate::dum::DumMachine;
 use crate::mapvote::quorum_map;
 use crate::msg::Msg;
+use crate::timeline::dum_budget;
 use crate::token_roles::{AgentDriver, InstructionSpec, TokenFollower, TokenSpec};
 use bd_graphs::canonical::canonical_form;
-use bd_graphs::CanonicalForm;
-use bd_runtime::{MoveChoice, Observation, RobotId};
-use std::collections::BTreeSet;
+use bd_graphs::{CanonicalForm, Port, PortGraph};
+use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Sorted, deduplicated roster — the ID snapshot every robot takes of the
 /// gathering ("each robot remembers the IDs of the remaining k − 1 gathered
@@ -232,6 +237,275 @@ impl GroupRun {
             Some(RunRole::Token(t)) => t.decide_move(),
             _ => MoveChoice::Stay,
         }
+    }
+}
+
+/// The capacity-aware `Dispersion-Using-Map` tail every DUM-based row ends
+/// with: scheduling (absolute bounds derived at the roster snapshot), the
+/// §5 per-node capacity `⌈k/n⌉` from the observed roster size, sub-round
+/// sizing for `k > n` co-locations, and the lazy [`DumMachine`].
+pub struct SettlePhase {
+    id: RobotId,
+    n: usize,
+    /// Roster size observed at the snapshot (drives capacity and
+    /// sub-round needs; `n` until scheduled).
+    k_seen: usize,
+    start: u64,
+    end: u64,
+    machine: Option<DumMachine>,
+}
+
+impl SettlePhase {
+    /// A settle phase with no schedule yet (bounds land at the snapshot).
+    pub fn pending(id: RobotId, n: usize) -> Self {
+        SettlePhase {
+            id,
+            n,
+            k_seen: n,
+            start: u64::MAX,
+            end: u64::MAX,
+            machine: None,
+        }
+    }
+
+    /// Fix the phase bounds: it runs `[start, start + dum_budget(n))` for a
+    /// roster of `k_seen` robots.
+    pub fn schedule(&mut self, start: u64, k_seen: usize) {
+        self.start = start;
+        self.end = start + dum_budget(self.n);
+        self.k_seen = k_seen.max(1);
+    }
+
+    /// Whether [`SettlePhase::schedule`] has run.
+    pub fn scheduled(&self) -> bool {
+        self.end != u64::MAX
+    }
+
+    /// `(start, end)` bounds (exclusive end); `u64::MAX` until scheduled.
+    pub fn bounds(&self) -> (u64, u64) {
+        (self.start, self.end)
+    }
+
+    /// First round after the phase; `u64::MAX` until scheduled.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Whether `round` falls inside the phase.
+    pub fn active(&self, round: u64) -> bool {
+        round >= self.start && round < self.end
+    }
+
+    /// The §5 per-node capacity the machine settles against: `⌈k/n⌉` from
+    /// the observed roster (1 in the standard `k = n` regime).
+    pub fn capacity(&self) -> usize {
+        self.k_seen.div_ceil(self.n)
+    }
+
+    /// Roster size observed at the snapshot.
+    pub fn k_seen(&self) -> usize {
+        self.k_seen
+    }
+
+    /// Sub-rounds a settle round needs (rank sub-rounds for up to `k`
+    /// co-located robots).
+    pub fn subrounds(&self) -> usize {
+        DumMachine::subrounds_needed(self.k_seen.max(self.n))
+    }
+
+    /// Whether the machine has been started.
+    pub fn running(&self) -> bool {
+        self.machine.is_some()
+    }
+
+    /// Start the machine on `map` from map node 0 (the gathering node)
+    /// with the phase's capacity.
+    pub fn start_machine(&mut self, map: PortGraph) {
+        self.machine = Some(DumMachine::with_capacity(self.id, map, 0, self.capacity()));
+    }
+
+    /// Sub-round handler (call only while [`SettlePhase::active`]).
+    pub fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
+        self.machine.as_mut().and_then(|m| m.act(obs))
+    }
+
+    /// End-of-round move decision.
+    pub fn decide_move(&mut self) -> MoveChoice {
+        self.machine
+            .as_mut()
+            .map_or(MoveChoice::Stay, |m| m.decide_move())
+    }
+
+    /// The underlying machine, if started (inspection/tests).
+    pub fn machine(&self) -> Option<&DumMachine> {
+        self.machine.as_ref()
+    }
+}
+
+/// How a group-based row turns the roster snapshot into its run schedule
+/// and the per-run votes into the settling map. Implemented by the
+/// Theorem 4 scheme (three ID-ordered thirds, 2-of-3 majority) and the
+/// Theorem 5 scheme (`2f+1` helper groups, Byzantine-majority
+/// reconciliation); [`GroupPhaseController`] supplies everything else.
+pub trait GroupScheme: Send {
+    /// Build the sequential run specs from the sorted snapshot `ids`, the
+    /// graph size, and the absolute round the first run starts.
+    fn plan_runs(&mut self, ids: &[RobotId], n: usize, first_start: u64) -> Vec<GroupRunSpec>;
+
+    /// Pick the settling map from the per-run quorum-accepted forms.
+    /// `None` degrades to a trivial single-node map (possible only beyond
+    /// tolerance; the verifier reports the failure).
+    fn choose_map(&self, votes: &[Option<CanonicalForm>]) -> Option<CanonicalForm>;
+}
+
+/// The shared controller scaffold of the group-based rows: walk the gather
+/// script (if any), snapshot the roster, drive the scheme's sequential
+/// [`GroupRun`]s, then settle with the capacity-aware [`SettlePhase`].
+/// Formerly duplicated between `algos::third` and `algos::sqrt`.
+pub struct GroupPhaseController<S> {
+    id: RobotId,
+    n: usize,
+    scheme: S,
+    gather_script: VecDeque<Port>,
+    snapshot_round: u64,
+    runs: Vec<GroupRun>,
+    settle: SettlePhase,
+    round_seen: u64,
+}
+
+impl<S: GroupScheme> GroupPhaseController<S> {
+    /// `gather_script` empty means a gathered start; otherwise the robot's
+    /// gathering route with the shared `gather_budget`.
+    pub fn with_scheme(
+        id: RobotId,
+        n: usize,
+        scheme: S,
+        gather_script: Vec<Port>,
+        gather_budget: u64,
+    ) -> Self {
+        let snapshot_round = if gather_script.is_empty() {
+            0
+        } else {
+            gather_budget
+        };
+        GroupPhaseController {
+            id,
+            n,
+            scheme,
+            gather_script: gather_script.into(),
+            snapshot_round,
+            runs: Vec::new(),
+            settle: SettlePhase::pending(id, n),
+            round_seen: 0,
+        }
+    }
+
+    /// Derive the run schedule and settle bounds from a roster snapshot.
+    /// Called internally at the snapshot round; public so timeline tests
+    /// can drive the schedule without an engine.
+    pub fn snapshot(&mut self, ids: &[RobotId]) {
+        let first_start = self.snapshot_round + 1;
+        let specs = self.scheme.plan_runs(ids, self.n, first_start);
+        let dum_start = specs.last().map_or(first_start, |s| s.end());
+        self.settle.schedule(dum_start, ids.len());
+        self.runs = specs
+            .into_iter()
+            .map(|spec| GroupRun::new(spec, self.id, self.n))
+            .collect();
+    }
+
+    /// The scheme driving this controller.
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// The settle phase (bounds, capacity, machine) for inspection.
+    pub fn settle(&self) -> &SettlePhase {
+        &self.settle
+    }
+
+    /// The scheduled group runs (empty before the snapshot).
+    pub fn runs(&self) -> &[GroupRun] {
+        &self.runs
+    }
+}
+
+impl<S: GroupScheme> Controller<Msg> for GroupPhaseController<S> {
+    fn id(&self) -> RobotId {
+        self.id
+    }
+
+    fn subrounds_wanted(&self) -> usize {
+        let next = self.round_seen + 1;
+        if self.settle.active(self.round_seen) || self.settle.active(next) {
+            self.settle.subrounds()
+        } else if self.round_seen >= self.snapshot_round {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
+        self.round_seen = obs.round;
+        if obs.round == self.snapshot_round && !self.settle.scheduled() && obs.subround == 0 {
+            let ids = snapshot_ids(obs.roster);
+            self.snapshot(&ids);
+            return None;
+        }
+        if let Some(run) = self.runs.iter_mut().find(|r| r.active(obs.round)) {
+            return run.act(obs);
+        }
+        if self.settle.active(obs.round) {
+            if !self.settle.running() {
+                let votes: Vec<_> = self.runs.iter().map(|r| r.accepted().cloned()).collect();
+                let map = self
+                    .scheme
+                    .choose_map(&votes)
+                    .map(|form| form.to_graph())
+                    .unwrap_or_else(|| {
+                        // No quorum/majority (possible only beyond
+                        // tolerance): degrade to a single-node map; the
+                        // robot sits at the gathering node and the verifier
+                        // reports the failure.
+                        PortGraph::from_adjacency(vec![vec![]]).expect("trivial map")
+                    });
+                self.settle.start_machine(map);
+            }
+            return self.settle.act(obs);
+        }
+        None
+    }
+
+    fn decide_move(&mut self, obs: &Observation<'_, Msg>) -> MoveChoice {
+        self.round_seen = obs.round;
+        if obs.round < self.snapshot_round {
+            return match self.gather_script.pop_front() {
+                Some(p) => MoveChoice::Move(p),
+                None => MoveChoice::Stay,
+            };
+        }
+        if let Some(run) = self.runs.iter_mut().find(|r| r.active(obs.round)) {
+            return run.decide_move(obs.round, obs.degree);
+        }
+        if self.settle.active(obs.round) {
+            return self.settle.decide_move();
+        }
+        MoveChoice::Stay
+    }
+
+    fn terminated(&self) -> bool {
+        self.settle.scheduled() && self.round_seen + 1 >= self.settle.end()
+    }
+
+    fn idle_until(&self) -> Option<u64> {
+        if self.round_seen < self.snapshot_round && self.gather_script.is_empty() {
+            return Some(self.snapshot_round);
+        }
+        self.runs
+            .iter()
+            .find(|r| r.active(self.round_seen))
+            .and_then(|r| r.idle_until(self.round_seen))
     }
 }
 

@@ -8,16 +8,19 @@
 //!   agent and takes the **majority** over its collected maps. With
 //!   `f ≤ ⌊n/2 − 1⌋`, good pairings outnumber bad ones for every honest
 //!   robot.
-//! * Phase 3 — `Dispersion-Using-Map` from the gathering node.
+//! * Phase 3 — the capacity-aware `Dispersion-Using-Map` settle
+//!   ([`crate::algos::common::SettlePhase`]) from the gathering node, so
+//!   `k ≠ n` rosters run first-class (§5's `⌈k/n⌉` regime).
 
-use crate::dum::DumMachine;
+use crate::algos::common::SettlePhase;
 use crate::mapvote::majority_map;
 use crate::msg::Msg;
 use crate::pairing::{pairing_schedule, PairingSchedule};
+use crate::registry::{Plan, StartRequirement, TableRow};
 use crate::timeline::{dum_budget, pair_window_len, t2_work_budget};
 use crate::token_roles::{AgentDriver, InstructionSpec, TokenFollower, TokenSpec};
 use bd_graphs::canonical::canonical_form;
-use bd_graphs::{CanonicalForm, Port};
+use bd_graphs::{CanonicalForm, Port, PortGraph};
 use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
 use std::collections::VecDeque;
 
@@ -48,8 +51,7 @@ pub struct HalfController {
     deadline_handled: bool,
     /// One vote per agent run.
     votes: Vec<Option<CanonicalForm>>,
-    dum: Option<DumMachine>,
-    dum_end: u64,
+    settle: SettlePhase,
     round_seen: u64,
 }
 
@@ -78,18 +80,13 @@ impl HalfController {
             run_index: 0,
             deadline_handled: false,
             votes: Vec::new(),
-            dum: None,
-            dum_end: u64::MAX,
+            settle: SettlePhase::pending(id, n),
             round_seen: 0,
         }
     }
 
     fn in_pairing(&self, round: u64) -> bool {
         self.schedule.is_some() && round >= self.pairing_start && round < self.pairing_end
-    }
-
-    fn in_dum(&self, round: u64) -> bool {
-        self.schedule.is_some() && round >= self.pairing_end && round < self.dum_end
     }
 
     /// Handle window transitions and intra-window sub-phases at sub-round 0.
@@ -192,8 +189,8 @@ impl Controller<Msg> for HalfController {
 
     fn subrounds_wanted(&self) -> usize {
         let next = self.round_seen + 1;
-        if self.in_dum(self.round_seen) || self.in_dum(next) {
-            DumMachine::subrounds_needed(self.n)
+        if self.settle.active(self.round_seen) || self.settle.active(next) {
+            self.settle.subrounds()
         } else if self.in_pairing(self.round_seen) || self.in_pairing(next) {
             2
         } else {
@@ -209,15 +206,15 @@ impl Controller<Msg> for HalfController {
             let schedule = pairing_schedule(&ids);
             self.pairing_start = self.snapshot_round + 1;
             self.pairing_end = self.pairing_start + schedule.total_windows * self.window_len;
-            self.dum_end = self.pairing_end + dum_budget(self.n);
+            self.settle.schedule(self.pairing_end, ids.len());
             self.schedule = Some(schedule);
             return None;
         }
         if self.in_pairing(obs.round) {
             return self.pairing_act(obs);
         }
-        if self.in_dum(obs.round) {
-            if self.dum.is_none() {
+        if self.settle.active(obs.round) {
+            if !self.settle.running() {
                 self.harvest_agent_run();
                 let map = majority_map(&self.votes)
                     .map(|form| form.to_graph())
@@ -226,11 +223,11 @@ impl Controller<Msg> for HalfController {
                         // degrade to a single-node map; the robot will sit
                         // at the gathering node and the verifier will
                         // report the failure.
-                        bd_graphs::PortGraph::from_adjacency(vec![vec![]]).expect("trivial map")
+                        PortGraph::from_adjacency(vec![vec![]]).expect("trivial map")
                     });
-                self.dum = Some(DumMachine::new(self.id, map, 0));
+                self.settle.start_machine(map);
             }
-            return self.dum.as_mut().expect("dum set").act(obs);
+            return self.settle.act(obs);
         }
         None
     }
@@ -250,16 +247,14 @@ impl Controller<Msg> for HalfController {
                 WindowRole::Idle => MoveChoice::Stay,
             };
         }
-        if self.in_dum(obs.round) {
-            if let Some(d) = self.dum.as_mut() {
-                return d.decide_move();
-            }
+        if self.settle.active(obs.round) {
+            return self.settle.decide_move();
         }
         MoveChoice::Stay
     }
 
     fn terminated(&self) -> bool {
-        self.dum_end != u64::MAX && self.round_seen + 1 >= self.dum_end
+        self.settle.scheduled() && self.round_seen + 1 >= self.settle.end()
     }
 
     fn idle_until(&self) -> Option<u64> {
@@ -294,6 +289,75 @@ impl Controller<Msg> for HalfController {
     }
 }
 
+/// Table 1 rows: Theorem 2 (arbitrary start, gathers first) and Theorem 3
+/// (gathered start) share one descriptor parameterized on the start.
+pub struct HalfRow {
+    gathers: bool,
+}
+
+/// Theorem 2's descriptor (arbitrary start).
+pub static HALF_TH2: HalfRow = HalfRow { gathers: true };
+/// Theorem 3's descriptor (gathered start).
+pub static HALF_TH3: HalfRow = HalfRow { gathers: false };
+
+impl TableRow for HalfRow {
+    fn name(&self) -> &'static str {
+        if self.gathers {
+            "ArbitraryHalfTh2"
+        } else {
+            "GatheredHalfTh3"
+        }
+    }
+
+    fn theorem(&self) -> &'static str {
+        if self.gathers {
+            "Thm 2"
+        } else {
+            "Thm 3"
+        }
+    }
+
+    fn paper_time(&self) -> &'static str {
+        if self.gathers {
+            "O(n^4 |L| X(n))"
+        } else {
+            "O(n^4)"
+        }
+    }
+
+    fn paper_tolerance(&self) -> &'static str {
+        "floor(n/2) - 1"
+    }
+
+    /// `⌊n/2⌋ − 1`, additionally clamped to what the roster supports when
+    /// `k < n` (each robot's map majority is over its `k − 1` pairings).
+    fn tolerance(&self, n: usize, k: usize) -> usize {
+        (n.min(k) / 2).saturating_sub(1)
+    }
+
+    fn start_requirement(&self) -> StartRequirement {
+        if self.gathers {
+            StartRequirement::GathersFirst
+        } else {
+            StartRequirement::Gathered
+        }
+    }
+
+    fn round_budget(&self, plan: &Plan) -> u64 {
+        let sched = pairing_schedule(&plan.ids);
+        plan.gather_budget + 1 + sched.total_windows * pair_window_len(plan.n) + dum_budget(plan.n)
+    }
+
+    fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {
+        Box::new(HalfController::new(
+            plan.ids[i],
+            plan.n,
+            plan.gather_script(i),
+            plan.gather_budget,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +368,13 @@ mod tests {
         assert!(!c.terminated());
         assert_eq!(c.subrounds_wanted(), 1);
         assert!(!c.in_pairing(5));
+    }
+
+    #[test]
+    fn row_names_and_starts() {
+        assert_eq!(HALF_TH2.name(), "ArbitraryHalfTh2");
+        assert_eq!(HALF_TH3.name(), "GatheredHalfTh3");
+        assert_eq!(HALF_TH2.start_requirement(), StartRequirement::GathersFirst);
+        assert_eq!(HALF_TH3.start_requirement(), StartRequirement::Gathered);
     }
 }

@@ -1,4 +1,7 @@
-//! The paper's algorithms, one module per Table 1 family.
+//! The paper's algorithms, one module per Table 1 family. Each module
+//! contributes its controller **and** its [`crate::registry::TableRow`]
+//! descriptor; shared scaffolding (group runs, the settle phase, the
+//! group-phase controller) lives in [`common`].
 
 pub mod baseline;
 pub mod common;
@@ -10,6 +13,7 @@ pub mod strong;
 pub mod third;
 
 pub use baseline::BaselineController;
+pub use common::{GroupPhaseController, GroupScheme, SettlePhase};
 pub use half::HalfController;
 pub use quotient::QuotientController;
 pub use ring_opt::RingOptController;

@@ -11,11 +11,19 @@
 //! Phase 2 — `Dispersion-Using-Map` from wherever the walk ended.
 
 use crate::dum::DumMachine;
+use crate::error::DispersionError;
 use crate::msg::Msg;
+use crate::registry::{Plan, StartRequirement, TableRow};
 use crate::timeline::dum_budget;
+use bd_exploration::walks::{cover_walk_length, SharedWalk};
+use bd_graphs::quotient::quotient_graph;
 use bd_graphs::{NodeId, Port, PortGraph};
 use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
+use std::any::Any;
 use std::sync::Arc;
+
+/// Protocol tag for the Theorem 1 `Find-Map` walk.
+const FIND_MAP_TAG: u64 = 0x6d61_7000; // "map"
 
 /// Per-robot inputs computed by the runner (deterministic, per-robot walk).
 #[derive(Debug, Clone)]
@@ -105,6 +113,93 @@ impl Controller<Msg> for QuotientController {
 
     fn terminated(&self) -> bool {
         self.round_seen + 1 >= self.dum_end
+    }
+}
+
+/// Table 1 row: Theorem 1.
+pub struct QuotientRow;
+
+impl TableRow for QuotientRow {
+    fn name(&self) -> &'static str {
+        "QuotientTh1"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "Thm 1"
+    }
+
+    fn paper_time(&self) -> &'static str {
+        "polynomial(n)"
+    }
+
+    fn paper_tolerance(&self) -> &'static str {
+        "n - 1"
+    }
+
+    /// `n − 1`: no information flows between robots, so every other robot
+    /// may be Byzantine (the scenario's own `f < k` floor still applies).
+    fn tolerance(&self, n: usize, _k: usize) -> usize {
+        n.saturating_sub(1)
+    }
+
+    fn start_requirement(&self) -> StartRequirement {
+        StartRequirement::Any
+    }
+
+    /// Shared setup: the quotient map plus each robot's deterministic
+    /// `Find-Map` walk script and post-walk map position. Theorem 1's
+    /// precondition (quotient isomorphic to the graph) is enforced here
+    /// rather than in `precondition`, so the quotient refinement — the
+    /// row's most expensive setup step — is computed exactly once per run.
+    fn prepare(&self, plan: &Plan) -> Result<Option<Box<dyn Any + Send + Sync>>, DispersionError> {
+        let graph = plan.graph.as_ref();
+        let q = quotient_graph(graph);
+        if !q.is_isomorphic_to_original() {
+            return Err(DispersionError::QuotientNotIsomorphic {
+                classes: q.num_classes(),
+                n: graph.n(),
+            });
+        }
+        let len = cover_walk_length(plan.n);
+        let quotient_map = Arc::new(q.graph.clone());
+        let setups: Vec<QuotientSetup> = plan
+            .starts
+            .iter()
+            .map(|&s| {
+                let mut walk = SharedWalk::for_size(plan.n, FIND_MAP_TAG);
+                let mut ports: Vec<Port> = Vec::with_capacity(len as usize);
+                let mut cur = s;
+                for _ in 0..len {
+                    let p = walk.next_port(graph.degree(cur));
+                    ports.push(p);
+                    cur = graph.neighbor(cur, p).0;
+                }
+                QuotientSetup {
+                    walk: ports,
+                    map: Arc::clone(&quotient_map),
+                    pos_after_walk: q.class_of[cur],
+                }
+            })
+            .collect();
+        Ok(Some(Box::new(setups)))
+    }
+
+    /// Adversaries activate once the non-interactive `Find-Map` walk ends.
+    fn interaction_start(&self, plan: &Plan) -> u64 {
+        cover_walk_length(plan.n)
+    }
+
+    fn round_budget(&self, plan: &Plan) -> u64 {
+        cover_walk_length(plan.n) + dum_budget(plan.n)
+    }
+
+    fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {
+        let setups: &Vec<QuotientSetup> = plan.prep().expect("prepared by QuotientRow::prepare");
+        Box::new(QuotientController::new(
+            plan.ids[i],
+            plan.n,
+            setups[i].clone(),
+        ))
     }
 }
 

@@ -16,7 +16,9 @@
 //! paper's general-graph machinery pays for generality.
 
 use crate::dum::DumMachine;
+use crate::error::DispersionError;
 use crate::msg::Msg;
+use crate::registry::{Plan, StartRequirement, TableRow};
 use crate::timeline::dum_budget;
 use bd_graphs::{NodeId, Port, PortGraph};
 use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
@@ -151,6 +153,60 @@ impl Controller<Msg> for RingOptController {
 
     fn terminated(&self) -> bool {
         self.round_seen + 1 >= self.dum_end
+    }
+}
+
+/// Comparison row: the ring-optimal predecessor algorithm of \[34, 36\].
+pub struct RingOptRow;
+
+impl TableRow for RingOptRow {
+    fn name(&self) -> &'static str {
+        "RingOptimal"
+    }
+
+    fn theorem(&self) -> &'static str {
+        "[34,36]"
+    }
+
+    fn paper_time(&self) -> &'static str {
+        "O(n)"
+    }
+
+    fn paper_tolerance(&self) -> &'static str {
+        "n - 1"
+    }
+
+    /// `n − 1`, exactly as Theorem 1: the walk uses no information from
+    /// other robots.
+    fn tolerance(&self, n: usize, _k: usize) -> usize {
+        n.saturating_sub(1)
+    }
+
+    fn start_requirement(&self) -> StartRequirement {
+        StartRequirement::Any
+    }
+
+    /// Rings only: every node of degree 2, connected.
+    fn precondition(&self, graph: &PortGraph) -> Result<(), DispersionError> {
+        if !(graph.nodes().all(|v| graph.degree(v) == 2) && graph.is_connected()) {
+            return Err(DispersionError::BadScenario(
+                "RingOptimal requires a ring".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Adversaries activate once the non-interactive ring walk ends.
+    fn interaction_start(&self, plan: &Plan) -> u64 {
+        plan.n as u64
+    }
+
+    fn round_budget(&self, plan: &Plan) -> u64 {
+        plan.n as u64 + dum_budget(plan.n)
+    }
+
+    fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {
+        Box::new(RingOptController::new(plan.ids[i], plan.n))
     }
 }
 

@@ -22,6 +22,10 @@
 //!    reconciled map, generalized to the §5 per-node capacity `⌈k/n⌉` so
 //!    the same controller covers the `k > n` regime.
 //!
+//! The phase scaffold (gather → snapshot → sequential runs → settle) is the
+//! shared [`GroupPhaseController`]; this module contributes the replication
+//! layout ([`SqrtScheme`]) and the Byzantine-majority reconciliation.
+//!
 //! Round cost: gathering is `Õ(n²)`; the replicate phase is
 //! `(2f + 1) · O(n³) = Õ(n³·⁵)` for `f = Θ(√n)`; settling is `O(n)` — all
 //! comfortably inside the paper's `Õ(n⁵·⁵)` bound, which the bench layer
@@ -29,16 +33,17 @@
 
 pub mod tokens;
 
-use crate::algos::common::{snapshot_ids, GroupRun, GroupRunSpec};
-use crate::algos::sqrt::tokens::{helper_group_count, reconcile_maps, ReplicationPlan};
-use crate::dum::DumMachine;
+use crate::algos::common::{GroupPhaseController, GroupRunSpec, GroupScheme};
+use crate::algos::sqrt::tokens::{
+    helper_group_count, reconcile_maps, supported_f_bound, ReplicationPlan,
+};
 use crate::msg::Msg;
+use crate::registry::{Plan, StartRequirement, TableRow};
 use crate::timeline::{dum_budget, group_run_len, t2_work_budget, Timeline};
-use bd_graphs::Port;
-use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
-use std::collections::VecDeque;
+use bd_graphs::{CanonicalForm, Port};
+use bd_runtime::{Controller, RobotId};
 
-/// Phase names used by [`sqrt_timeline`]; exposed so callers (runner,
+/// Phase names used by [`sqrt_timeline`]; exposed so callers (sessions,
 /// benches, tests) can anchor assertions to boundaries instead of
 /// re-deriving arithmetic.
 pub const PHASE_GATHER: &str = "gather";
@@ -60,38 +65,85 @@ pub fn sqrt_timeline(n: usize, k: usize, f_bound: usize, gather_budget: u64) -> 
     t
 }
 
-/// The exact round at which every honest robot terminates — the runner's
-/// round budget for `Algorithm::ArbitrarySqrtTh5`, replacing any guessed
-/// slack: the phase machine is deterministic, so the budget is too.
+/// The exact round at which every honest robot terminates — the round
+/// budget for `Algorithm::ArbitrarySqrtTh5`, replacing any guessed slack:
+/// the phase machine is deterministic, so the budget is too.
 pub fn sqrt_round_budget(n: usize, k: usize, f_bound: usize, gather_budget: u64) -> u64 {
     sqrt_timeline(n, k, f_bound, gather_budget).end()
 }
 
-/// Controller for Theorem 5. One instance per honest robot; Byzantine
-/// robots run adversary controllers against it.
-pub struct SqrtController {
-    id: RobotId,
-    n: usize,
-    /// The fault bound the quorums are sized against (`O(√n)`, supplied by
-    /// the runner's tolerance table so both sides agree).
-    f_bound: usize,
-    gather_script: VecDeque<Port>,
-    snapshot_round: u64,
-    /// Built at the snapshot round; `None` while gathering.
-    plan: Option<ReplicationPlan>,
-    runs: Vec<GroupRun>,
-    /// Snapshot size (drives DUM sub-round needs and the §5 capacity).
-    k_seen: usize,
-    dum_start: u64,
-    dum_end: u64,
-    dum: Option<DumMachine>,
-    round_seen: u64,
+/// The Table 1 `O(√n)` fault bound for an `n`-node graph, additionally
+/// clamped to the largest `f` whose `2f+1` helper groups of `f+1` members
+/// fit in `n` robots — 0 below `n = 6`, where only the fault-free
+/// construction is sound.
+pub fn sqrt_f_bound(n: usize) -> usize {
+    ((n as f64).sqrt() as usize / 2).min(supported_f_bound(n))
 }
+
+/// The Theorem 5 [`GroupScheme`]: replication layout from the roster
+/// snapshot, Byzantine-majority reconciliation over the per-run maps.
+pub struct SqrtScheme {
+    /// The fault bound the quorums are sized against (`O(√n)`, supplied by
+    /// the registry's tolerance so both sides agree).
+    f_bound: usize,
+    /// Built at the snapshot; its *effective* fault bound (clamped to what
+    /// the roster supports) sets the reconciliation bar.
+    plan: Option<ReplicationPlan>,
+}
+
+impl SqrtScheme {
+    /// A scheme sized against `f_bound`.
+    pub fn new(f_bound: usize) -> Self {
+        SqrtScheme {
+            f_bound,
+            plan: None,
+        }
+    }
+
+    /// The replication plan derived at the snapshot, if taken.
+    pub fn plan(&self) -> Option<&ReplicationPlan> {
+        self.plan.as_ref()
+    }
+}
+
+impl GroupScheme for SqrtScheme {
+    fn plan_runs(&mut self, ids: &[RobotId], n: usize, first_start: u64) -> Vec<GroupRunSpec> {
+        let plan = ReplicationPlan::build(ids, self.f_bound);
+        let quorum = plan.quorum();
+        let run_len = group_run_len(n);
+        let specs = (0..plan.num_runs())
+            .map(|j| GroupRunSpec {
+                agents: plan.agents_of(j).iter().copied().collect(),
+                token: plan.token_of(j).into_iter().collect(),
+                instr_threshold: quorum,
+                presence_threshold: quorum,
+                vote_threshold: quorum,
+                start: first_start + j as u64 * run_len,
+                work: t2_work_budget(n),
+            })
+            .collect();
+        self.plan = Some(plan);
+        specs
+    }
+
+    /// Reconcile against the plan's *effective* fault bound (clamped to
+    /// what the snapshot size supports), so the bar is always reachable by
+    /// the honest-led runs.
+    fn choose_map(&self, votes: &[Option<CanonicalForm>]) -> Option<CanonicalForm> {
+        let f_eff = self.plan.as_ref().map_or(self.f_bound, |p| p.f_bound());
+        reconcile_maps(votes, f_eff)
+    }
+}
+
+/// Controller for Theorem 5: the shared group-phase scaffold driven by
+/// [`SqrtScheme`]. One instance per honest robot; Byzantine robots run
+/// adversary controllers against it.
+pub type SqrtController = GroupPhaseController<SqrtScheme>;
 
 impl SqrtController {
     /// `gather_script` empty means a gathered start; otherwise the robot's
     /// gathering route with the shared `gather_budget`. `f_bound` is the
-    /// Table 1 tolerance for `n` (the runner's [`crate::Algorithm::tolerance`]).
+    /// Table 1 tolerance for `n` ([`sqrt_f_bound`]).
     pub fn new(
         id: RobotId,
         n: usize,
@@ -99,145 +151,60 @@ impl SqrtController {
         gather_script: Vec<Port>,
         gather_budget: u64,
     ) -> Self {
-        let snapshot_round = if gather_script.is_empty() {
-            0
-        } else {
-            gather_budget
-        };
-        SqrtController {
+        GroupPhaseController::with_scheme(
             id,
             n,
-            f_bound,
-            gather_script: gather_script.into(),
-            snapshot_round,
-            plan: None,
-            runs: Vec::new(),
-            k_seen: n,
-            dum_start: u64::MAX,
-            dum_end: u64::MAX,
-            dum: None,
-            round_seen: 0,
-        }
-    }
-
-    fn in_dum(&self, round: u64) -> bool {
-        round >= self.dum_start && round < self.dum_end
-    }
-
-    /// Snapshot handler: derive the replication plan and the full run
-    /// schedule from the sorted roster.
-    fn build_plan(&mut self, ids: &[RobotId]) {
-        let k = ids.len();
-        self.k_seen = k;
-        let plan = ReplicationPlan::build(ids, self.f_bound);
-        let quorum = plan.quorum();
-        let run_len = group_run_len(self.n);
-        let first_start = self.snapshot_round + 1;
-        self.runs = (0..plan.num_runs())
-            .map(|j| {
-                let spec = GroupRunSpec {
-                    agents: plan.agents_of(j).iter().copied().collect(),
-                    token: plan.token_of(j).into_iter().collect(),
-                    instr_threshold: quorum,
-                    presence_threshold: quorum,
-                    vote_threshold: quorum,
-                    start: first_start + j as u64 * run_len,
-                    work: t2_work_budget(self.n),
-                };
-                GroupRun::new(spec, self.id, self.n)
-            })
-            .collect();
-        self.dum_start = first_start + plan.num_runs() as u64 * run_len;
-        self.dum_end = self.dum_start + dum_budget(self.n);
-        self.plan = Some(plan);
-    }
-
-    /// Reconcile the per-run accepted maps and start the settle phase.
-    /// The reconciliation bar uses the plan's *effective* fault bound
-    /// (clamped to what the snapshot size supports), so it is always
-    /// reachable by the honest-led runs.
-    fn enter_settle(&mut self) {
-        let f_eff = self.plan.as_ref().map_or(self.f_bound, |p| p.f_bound());
-        let votes: Vec<_> = self.runs.iter().map(|r| r.accepted().cloned()).collect();
-        let map = reconcile_maps(&votes, f_eff)
-            .map(|form| form.to_graph())
-            .unwrap_or_else(|| {
-                // No form reached the f+1 bar (beyond tolerance): degrade
-                // to a single-node map; the robot sits at the gathering
-                // node and the verifier reports the failure.
-                bd_graphs::PortGraph::from_adjacency(vec![vec![]]).expect("trivial map")
-            });
-        let capacity = self.k_seen.div_ceil(self.n);
-        self.dum = Some(DumMachine::with_capacity(self.id, map, 0, capacity));
+            SqrtScheme::new(f_bound),
+            gather_script,
+            gather_budget,
+        )
     }
 }
 
-impl Controller<Msg> for SqrtController {
-    fn id(&self) -> RobotId {
-        self.id
+/// Table 1 row: Theorem 5.
+pub struct SqrtRow;
+
+impl TableRow for SqrtRow {
+    fn name(&self) -> &'static str {
+        "ArbitrarySqrtTh5"
     }
 
-    fn subrounds_wanted(&self) -> usize {
-        let next = self.round_seen + 1;
-        if self.in_dum(self.round_seen) || self.in_dum(next) {
-            DumMachine::subrounds_needed(self.k_seen.max(self.n))
-        } else if self.round_seen >= self.snapshot_round {
-            2
-        } else {
-            1
-        }
+    fn theorem(&self) -> &'static str {
+        "Thm 5"
     }
 
-    fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
-        self.round_seen = obs.round;
-        if obs.round == self.snapshot_round && self.plan.is_none() && obs.subround == 0 {
-            let ids = snapshot_ids(obs.roster);
-            self.build_plan(&ids);
-            return None;
-        }
-        if let Some(run) = self.runs.iter_mut().find(|r| r.active(obs.round)) {
-            return run.act(obs);
-        }
-        if self.in_dum(obs.round) {
-            if self.dum.is_none() {
-                self.enter_settle();
-            }
-            return self.dum.as_mut().expect("dum set").act(obs);
-        }
-        None
+    fn paper_time(&self) -> &'static str {
+        "O((f + |L|) X(n))"
     }
 
-    fn decide_move(&mut self, obs: &Observation<'_, Msg>) -> MoveChoice {
-        self.round_seen = obs.round;
-        if obs.round < self.snapshot_round {
-            return match self.gather_script.pop_front() {
-                Some(p) => MoveChoice::Move(p),
-                None => MoveChoice::Stay,
-            };
-        }
-        if let Some(run) = self.runs.iter_mut().find(|r| r.active(obs.round)) {
-            return run.decide_move(obs.round, obs.degree);
-        }
-        if self.in_dum(obs.round) {
-            if let Some(d) = self.dum.as_mut() {
-                return d.decide_move();
-            }
-        }
-        MoveChoice::Stay
+    fn paper_tolerance(&self) -> &'static str {
+        "O(sqrt n)"
     }
 
-    fn terminated(&self) -> bool {
-        self.dum_end != u64::MAX && self.round_seen + 1 >= self.dum_end
+    /// The `O(√n)` bound for `n`, additionally clamped to what `k` gathered
+    /// robots can sustain: Theorem 5's helper groups are sized on the
+    /// *gathered roster*, so `2f+1` groups of `f+1` distinct IDs must fit
+    /// in `k` (relevant only when `k ≠ n`).
+    fn tolerance(&self, n: usize, k: usize) -> usize {
+        sqrt_f_bound(n).min(supported_f_bound(k))
     }
 
-    fn idle_until(&self) -> Option<u64> {
-        if self.round_seen < self.snapshot_round && self.gather_script.is_empty() {
-            return Some(self.snapshot_round);
-        }
-        self.runs
-            .iter()
-            .find(|r| r.active(self.round_seen))
-            .and_then(|r| r.idle_until(self.round_seen))
+    fn start_requirement(&self) -> StartRequirement {
+        StartRequirement::GathersFirst
+    }
+
+    fn round_budget(&self, plan: &Plan) -> u64 {
+        sqrt_round_budget(plan.n, plan.k, sqrt_f_bound(plan.n), plan.gather_budget)
+    }
+
+    fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {
+        Box::new(SqrtController::new(
+            plan.ids[i],
+            plan.n,
+            sqrt_f_bound(plan.n),
+            plan.gather_script(i),
+            plan.gather_budget,
+        ))
     }
 }
 
@@ -249,7 +216,7 @@ mod tests {
     fn plan_unset_before_snapshot() {
         let c = SqrtController::new(RobotId(1), 16, 2, Vec::new(), 0);
         assert!(!c.terminated());
-        assert!(c.plan.is_none());
+        assert!(c.scheme().plan().is_none());
         assert_eq!(c.subrounds_wanted(), 2, "snapshot round is communicative");
     }
 
@@ -262,11 +229,10 @@ mod tests {
         let gather_budget = 100;
         let mut c = SqrtController::new(RobotId(3), n, f, vec![0; 4], gather_budget);
         let ids: Vec<RobotId> = (1..=16).map(RobotId).collect();
-        c.build_plan(&ids);
+        c.snapshot(&ids);
         let t = sqrt_timeline(n, 16, f, gather_budget);
         let (settle_start, settle_end) = t.phase(PHASE_SETTLE).unwrap();
-        assert_eq!(c.dum_start, settle_start);
-        assert_eq!(c.dum_end, settle_end);
+        assert_eq!(c.settle().bounds(), (settle_start, settle_end));
         assert_eq!(sqrt_round_budget(n, 16, f, gather_budget), settle_end);
         let (rep_start, rep_end) = t.phase(PHASE_REPLICATE).unwrap();
         assert_eq!(rep_start, gather_budget + 1);
@@ -277,21 +243,27 @@ mod tests {
     fn five_runs_at_n16_tolerance() {
         let mut c = SqrtController::new(RobotId(5), 16, 2, Vec::new(), 0);
         let ids: Vec<RobotId> = (1..=16).map(RobotId).collect();
-        c.build_plan(&ids);
-        assert_eq!(c.runs.len(), 5);
-        assert_eq!(c.plan.as_ref().unwrap().quorum(), 3);
+        c.snapshot(&ids);
+        assert_eq!(c.runs().len(), 5);
+        assert_eq!(c.scheme().plan().unwrap().quorum(), 3);
     }
 
     #[test]
     fn capacity_follows_k_over_n() {
         let mut c = SqrtController::new(RobotId(2), 8, 1, Vec::new(), 0);
         let ids: Vec<RobotId> = (1..=16).map(RobotId).collect(); // k = 2n
-        c.build_plan(&ids);
-        c.enter_settle();
-        assert_eq!(c.k_seen, 16);
-        // The DUM machine was built; capacity is internal, but the machine
-        // must exist and the controller must not have terminated yet.
-        assert!(c.dum.is_some());
+        c.snapshot(&ids);
+        assert_eq!(c.settle().k_seen(), 16);
+        assert_eq!(c.settle().capacity(), 2);
         assert!(!c.terminated());
+    }
+
+    #[test]
+    fn row_tolerance_matches_f_bound_at_k_equals_n() {
+        for n in [4usize, 9, 16, 25, 36] {
+            assert_eq!(SqrtRow.tolerance(n, n), sqrt_f_bound(n), "n = {n}");
+        }
+        // k too small to sustain the n-derived bound.
+        assert_eq!(SqrtRow.tolerance(16, 5), 0);
     }
 }

@@ -20,7 +20,8 @@
 
 use crate::algos::common::{partition2, snapshot_ids, GroupRun, GroupRunSpec};
 use crate::msg::Msg;
-use crate::timeline::{rank_walk_budget, t2_work_budget};
+use crate::registry::{Plan, StartRequirement, TableRow};
+use crate::timeline::{group_run_len, rank_walk_budget, t2_work_budget};
 use bd_graphs::navigate::shortest_path_ports;
 use bd_graphs::Port;
 use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
@@ -166,13 +167,88 @@ impl Controller<Msg> for StrongController {
                 return run.idle_until(self.round_seen);
             }
         }
-        // Walk phase: once the path is exhausted, idle to the end.
+        // Walk phase: once the path is exhausted, idle to the phase's last
+        // round (acting there flips `terminated`, so the fast-forwarded
+        // round count equals the budget exactly).
         if self.round_seen >= self.walk_start
             && self.walk_path.as_ref().is_some_and(|p| p.is_empty())
         {
-            return Some(self.walk_end);
+            return Some(self.walk_end.saturating_sub(1));
         }
         None
+    }
+}
+
+/// Table 1 rows: Theorem 6 (gathered start) and Theorem 7 (arbitrary
+/// start, gathers first) share one descriptor parameterized on the start.
+pub struct StrongRow {
+    gathers: bool,
+}
+
+/// Theorem 6's descriptor (gathered start).
+pub static STRONG_TH6: StrongRow = StrongRow { gathers: false };
+/// Theorem 7's descriptor (arbitrary start).
+pub static STRONG_TH7: StrongRow = StrongRow { gathers: true };
+
+impl TableRow for StrongRow {
+    fn name(&self) -> &'static str {
+        if self.gathers {
+            "StrongArbitraryTh7"
+        } else {
+            "StrongGatheredTh6"
+        }
+    }
+
+    fn theorem(&self) -> &'static str {
+        if self.gathers {
+            "Thm 7"
+        } else {
+            "Thm 6"
+        }
+    }
+
+    fn paper_time(&self) -> &'static str {
+        if self.gathers {
+            "exponential(n)*"
+        } else {
+            "O(n^3)"
+        }
+    }
+
+    fn paper_tolerance(&self) -> &'static str {
+        "floor(n/4) - 1"
+    }
+
+    /// `⌊n/4⌋ − 1`, additionally clamped to what the roster supports when
+    /// `k < n` (the `⌊n/4⌋` counting threshold must stay out of the
+    /// coalition's reach among the gathered robots).
+    fn tolerance(&self, n: usize, k: usize) -> usize {
+        (n.min(k) / 4).saturating_sub(1)
+    }
+
+    fn start_requirement(&self) -> StartRequirement {
+        if self.gathers {
+            StartRequirement::GathersFirst
+        } else {
+            StartRequirement::Gathered
+        }
+    }
+
+    fn strong(&self) -> bool {
+        true
+    }
+
+    fn round_budget(&self, plan: &Plan) -> u64 {
+        plan.gather_budget + 1 + group_run_len(plan.n) + rank_walk_budget(plan.n)
+    }
+
+    fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {
+        Box::new(StrongController::new(
+            plan.ids[i],
+            plan.n,
+            plan.gather_script(i),
+            plan.gather_budget,
+        ))
     }
 }
 

@@ -12,18 +12,23 @@
 //! * `Scheme::Halves` keeps the historical single-run half-split variant
 //!   available for experiments (it served as a stand-in for Theorem 5
 //!   before the dedicated [`crate::algos::sqrt`] token-replication
-//!   subsystem existed; the runner no longer dispatches to it).
+//!   subsystem existed; the registry no longer dispatches to it).
 //!
-//! Both schemes end with `Dispersion-Using-Map` from the gathering node.
+//! Both schemes end with the capacity-aware `Dispersion-Using-Map` settle
+//! from the gathering node, so `k ≠ n` rosters run first-class (§5's
+//! `⌈k/n⌉` regime). The controller scaffold (gather → snapshot → runs →
+//! settle) is the shared [`GroupPhaseController`]; this module only
+//! contributes the run layout and the 2-of-3 majority.
 
-use crate::algos::common::{partition2, partition3, snapshot_ids, GroupRun, GroupRunSpec};
-use crate::dum::DumMachine;
+use crate::algos::common::{
+    partition2, partition3, GroupPhaseController, GroupRunSpec, GroupScheme,
+};
 use crate::mapvote::majority_map;
 use crate::msg::Msg;
-use crate::timeline::{dum_budget, group_run_len};
-use bd_graphs::Port;
-use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
-use std::collections::VecDeque;
+use crate::registry::{Plan, StartRequirement, TableRow};
+use crate::timeline::{dum_budget, group_run_len, t2_work_budget};
+use bd_graphs::{CanonicalForm, Port};
+use bd_runtime::{Controller, RobotId};
 
 /// Which group construction to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,59 +41,12 @@ pub enum Scheme {
     Halves { threshold: usize },
 }
 
-/// Controller for Theorems 4 and 5.
-pub struct GroupController {
-    id: RobotId,
-    n: usize,
-    scheme: Scheme,
-    gather_script: VecDeque<Port>,
-    snapshot_round: u64,
-    runs: Vec<GroupRun>,
-    dum_start: u64,
-    dum_end: u64,
-    dum: Option<DumMachine>,
-    round_seen: u64,
-}
-
-impl GroupController {
-    /// `gather_script` empty means gathered start (Theorem 4); otherwise the
-    /// robot's gathering route with its shared budget.
-    pub fn new(
-        id: RobotId,
-        n: usize,
-        scheme: Scheme,
-        gather_script: Vec<Port>,
-        gather_budget: u64,
-    ) -> Self {
-        let snapshot_round = if gather_script.is_empty() {
-            0
-        } else {
-            gather_budget
-        };
-        GroupController {
-            id,
-            n,
-            scheme,
-            gather_script: gather_script.into(),
-            snapshot_round,
-            runs: Vec::new(),
-            dum_start: u64::MAX,
-            dum_end: u64::MAX,
-            dum: None,
-            round_seen: 0,
-        }
-    }
-
-    fn in_dum(&self, round: u64) -> bool {
-        round >= self.dum_start && round < self.dum_end
-    }
-
-    fn build_runs(&mut self, ids: &[RobotId]) {
+impl GroupScheme for Scheme {
+    fn plan_runs(&mut self, ids: &[RobotId], n: usize, first_start: u64) -> Vec<GroupRunSpec> {
         let k = ids.len();
-        let run_len = group_run_len(self.n);
-        let first_start = self.snapshot_round + 1;
+        let run_len = group_run_len(n);
         let mut specs: Vec<GroupRunSpec> = Vec::new();
-        match self.scheme {
+        match self {
             Scheme::Thirds => {
                 let (a, b, c) = partition3(ids);
                 let instr = k / 6 + 1;
@@ -106,7 +64,7 @@ impl GroupController {
                         presence_threshold: presence,
                         vote_threshold: instr,
                         start: first_start + i as u64 * run_len,
-                        work: crate::timeline::t2_work_budget(self.n),
+                        work: t2_work_budget(n),
                     });
                 }
             }
@@ -115,95 +73,83 @@ impl GroupController {
                 specs.push(GroupRunSpec {
                     agents: a.into_iter().collect(),
                     token: b.into_iter().collect(),
-                    instr_threshold: threshold,
-                    presence_threshold: threshold,
-                    vote_threshold: threshold,
+                    instr_threshold: *threshold,
+                    presence_threshold: *threshold,
+                    vote_threshold: *threshold,
                     start: first_start,
-                    work: crate::timeline::t2_work_budget(self.n),
+                    work: t2_work_budget(n),
                 });
             }
         }
-        self.dum_start = specs.last().map_or(first_start, |s| s.end());
-        self.dum_end = self.dum_start + dum_budget(self.n);
-        self.runs = specs
-            .into_iter()
-            .map(|spec| GroupRun::new(spec, self.id, self.n))
-            .collect();
+        specs
+    }
+
+    fn choose_map(&self, votes: &[Option<CanonicalForm>]) -> Option<CanonicalForm> {
+        majority_map(votes)
     }
 }
 
-impl Controller<Msg> for GroupController {
-    fn id(&self) -> RobotId {
-        self.id
+/// Controller for Theorem 4 (and the experimental halves scheme): the
+/// shared group-phase scaffold driven by [`Scheme`].
+pub type GroupController = GroupPhaseController<Scheme>;
+
+impl GroupController {
+    /// `gather_script` empty means gathered start (Theorem 4); otherwise the
+    /// robot's gathering route with its shared budget.
+    pub fn new(
+        id: RobotId,
+        n: usize,
+        scheme: Scheme,
+        gather_script: Vec<Port>,
+        gather_budget: u64,
+    ) -> Self {
+        GroupPhaseController::with_scheme(id, n, scheme, gather_script, gather_budget)
+    }
+}
+
+/// Table 1 row: Theorem 4.
+pub struct ThirdRow;
+
+impl TableRow for ThirdRow {
+    fn name(&self) -> &'static str {
+        "GatheredThirdTh4"
     }
 
-    fn subrounds_wanted(&self) -> usize {
-        let next = self.round_seen + 1;
-        if self.in_dum(self.round_seen) || self.in_dum(next) {
-            DumMachine::subrounds_needed(self.n)
-        } else if self.round_seen >= self.snapshot_round {
-            2
-        } else {
-            1
-        }
+    fn theorem(&self) -> &'static str {
+        "Thm 4"
     }
 
-    fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
-        self.round_seen = obs.round;
-        if obs.round == self.snapshot_round && self.runs.is_empty() && obs.subround == 0 {
-            let ids = snapshot_ids(obs.roster);
-            self.build_runs(&ids);
-            return None;
-        }
-        if let Some(run) = self.runs.iter_mut().find(|r| r.active(obs.round)) {
-            return run.act(obs);
-        }
-        if self.in_dum(obs.round) {
-            if self.dum.is_none() {
-                let votes: Vec<_> = self.runs.iter().map(|r| r.accepted().cloned()).collect();
-                let map = majority_map(&votes)
-                    .map(|f| f.to_graph())
-                    .unwrap_or_else(|| {
-                        bd_graphs::PortGraph::from_adjacency(vec![vec![]]).expect("trivial map")
-                    });
-                self.dum = Some(DumMachine::new(self.id, map, 0));
-            }
-            return self.dum.as_mut().expect("dum set").act(obs);
-        }
-        None
+    fn paper_time(&self) -> &'static str {
+        "O(n^3)"
     }
 
-    fn decide_move(&mut self, obs: &Observation<'_, Msg>) -> MoveChoice {
-        self.round_seen = obs.round;
-        if obs.round < self.snapshot_round {
-            return match self.gather_script.pop_front() {
-                Some(p) => MoveChoice::Move(p),
-                None => MoveChoice::Stay,
-            };
-        }
-        if let Some(run) = self.runs.iter_mut().find(|r| r.active(obs.round)) {
-            return run.decide_move(obs.round, obs.degree);
-        }
-        if self.in_dum(obs.round) {
-            if let Some(d) = self.dum.as_mut() {
-                return d.decide_move();
-            }
-        }
-        MoveChoice::Stay
+    fn paper_tolerance(&self) -> &'static str {
+        "floor(n/3) - 1"
     }
 
-    fn terminated(&self) -> bool {
-        self.dum_end != u64::MAX && self.round_seen + 1 >= self.dum_end
+    /// `⌊n/3⌋ − 1`, additionally clamped to what the roster supports when
+    /// `k < n` (the 2-of-3 majority needs at most one Byzantine-heavy
+    /// third of the *gathered* robots).
+    fn tolerance(&self, n: usize, k: usize) -> usize {
+        (n.min(k) / 3).saturating_sub(1)
     }
 
-    fn idle_until(&self) -> Option<u64> {
-        if self.round_seen < self.snapshot_round && self.gather_script.is_empty() {
-            return Some(self.snapshot_round);
-        }
-        self.runs
-            .iter()
-            .find(|r| r.active(self.round_seen))
-            .and_then(|r| r.idle_until(self.round_seen))
+    fn start_requirement(&self) -> StartRequirement {
+        StartRequirement::Gathered
+    }
+
+    fn round_budget(&self, plan: &Plan) -> u64 {
+        1 + 3 * group_run_len(plan.n) + dum_budget(plan.n)
+    }
+
+    fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {
+        Box::new(GroupController::new(
+            plan.ids[i],
+            plan.n,
+            Scheme::Thirds,
+            plan.gather_script(i),
+            plan.gather_budget,
+        ))
     }
 }
 
@@ -215,6 +161,28 @@ mod tests {
     fn runs_unset_before_snapshot() {
         let c = GroupController::new(RobotId(1), 9, Scheme::Thirds, Vec::new(), 0);
         assert!(!c.terminated());
-        assert!(c.runs.is_empty());
+        assert!(c.runs().is_empty());
+    }
+
+    #[test]
+    fn snapshot_schedules_three_runs_and_settle() {
+        let mut c = GroupController::new(RobotId(1), 9, Scheme::Thirds, Vec::new(), 0);
+        let ids: Vec<RobotId> = (1..=9).map(RobotId).collect();
+        c.snapshot(&ids);
+        assert_eq!(c.runs().len(), 3);
+        let (start, end) = c.settle().bounds();
+        assert_eq!(start, 1 + 3 * group_run_len(9));
+        assert_eq!(end, start + dum_budget(9));
+        assert_eq!(c.settle().capacity(), 1);
+    }
+
+    #[test]
+    fn capacity_follows_roster_size() {
+        // §5 regime: a 2n roster settles two honest robots per node.
+        let mut c = GroupController::new(RobotId(1), 8, Scheme::Thirds, Vec::new(), 0);
+        let ids: Vec<RobotId> = (1..=16).map(RobotId).collect();
+        c.snapshot(&ids);
+        assert_eq!(c.settle().k_seen(), 16);
+        assert_eq!(c.settle().capacity(), 2);
     }
 }

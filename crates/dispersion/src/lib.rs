@@ -16,13 +16,76 @@
 //! | [`algos::ring_opt`] | §2.2's predecessor \[34, 36\] | `Time-Opt-Ring-Dispersion`: `O(n)` on rings, `f ≤ n−1` weak |
 //! | [`impossibility`] | §5, Thm 8 | replay-adversary construction |
 //!
+//! ## The `TableRow` / `Session` API
+//!
+//! The crate's entry point is built from three pieces:
+//!
+//! * **[`registry::TableRow`]** — one descriptor object per Table 1 row,
+//!   implemented in the row's own `algos::*` module: its name and paper
+//!   columns, `tolerance(n, k)` (the Table 1 bound at `k = n`, clamped to
+//!   what a `k`-robot roster sustains otherwise), its
+//!   [`registry::StartRequirement`], its graph `precondition`, the exact
+//!   `round_budget` of its phase timeline, and the controller factory.
+//!   [`Algorithm::row`] is the registry lookup — the single place the enum
+//!   maps to behavior.
+//! * **[`runner::ScenarioSpec`]** — a fully serde-able description of one
+//!   run: algorithm, robot count (`k ≠ n` opens §5's capacity-`⌈k/n⌉`
+//!   regime), Byzantine contingent and placement, adversary,
+//!   [`runner::StartConfig`], seed. Sweeps are data: store them, ship
+//!   them, replay them.
+//! * **[`session::Session`]** — one shared `Arc<PortGraph>` plus the
+//!   generic plan → engine → verify pipeline. [`Session::run`] executes one
+//!   spec; [`Session::run_batch`] fans a slice of specs out via Rayon with
+//!   zero per-run graph clones; [`Session::plan`] exposes the precomputed
+//!   [`registry::Plan`] (and thereby the row's exact round budget) without
+//!   running.
+//!
+//! ```
+//! use bd_dispersion::adversaries::AdversaryKind;
+//! use bd_dispersion::{Algorithm, ScenarioSpec, Session};
+//!
+//! let g = bd_graphs::generators::erdos_renyi_connected(12, 0.3, 7).unwrap();
+//! let session = Session::new(g);
+//! let specs: Vec<ScenarioSpec> = (0..4)
+//!     .map(|seed| {
+//!         ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, session.graph(), 0)
+//!             .with_byzantine(3, AdversaryKind::Squatter)
+//!             .with_seed(seed)
+//!     })
+//!     .collect();
+//! for outcome in session.run_batch(&specs) {
+//!     assert!(outcome.unwrap().dispersed);
+//! }
+//! ```
+//!
+//! ### Migrating from the monolithic `run_algorithm`
+//!
+//! The pre-registry entry point survives as a thin shim; new code maps
+//! onto the session layer as follows:
+//!
+//! | Old | New |
+//! |-----|-----|
+//! | `run_algorithm(algo, &g, &spec)` | `Session::new(g).run(&spec)` with `spec.algo` set (constructors now take the algorithm first) |
+//! | `ScenarioSpec::gathered(&g, 0)` | `ScenarioSpec::gathered(algo, &g, 0)` |
+//! | `ScenarioSpec::arbitrary(&g)` | `ScenarioSpec::arbitrary(algo, &g)` |
+//! | `spec.num_robots = k` | `spec.with_robots(k)` |
+//! | `algo.tolerance(n)` | unchanged (delegates to `algo.row().tolerance(n, n)`) |
+//! | loop over `run_algorithm` on one graph | `Session::run_batch(&specs)` |
+//!
+//! Behavior is unchanged at `k = n` (the registry-conformance suite pins
+//! tolerances and exact round budgets); the redesign additionally opens
+//! `k ≠ n` rosters for every DUM-based row — the half/third controllers
+//! now settle through the shared capacity-aware
+//! [`algos::common::SettlePhase`], as sqrt and the baseline already did.
+//!
 //! Shared building blocks: the [`dum`] state machine
 //! (`Dispersion-Using-Map`, §2.2, capacity-generalized for §5's `⌈k/n⌉`
 //! regime), the all-pairs [`pairing`] schedule (§3.1), agent/token drivers
-//! with quorum thresholds ([`token_roles`], §3.2–§4), and majority voting
-//! over rooted canonical maps ([`mapvote`]).
-//! The [`adversaries`] module implements Byzantine strategies; [`runner`]
-//! is the high-level entry point; [`verify`] checks Definition 1.
+//! with quorum thresholds ([`token_roles`], §3.2–§4), majority voting
+//! over rooted canonical maps ([`mapvote`]), and the group-phase controller
+//! scaffold ([`algos::common::GroupPhaseController`]) the Theorem 4/5 rows
+//! instantiate. The [`adversaries`] module implements Byzantine
+//! strategies; [`verify`] checks Definition 1.
 //!
 //! ## Design note: the §3.3 token-replication construction
 //!
@@ -62,11 +125,15 @@ pub mod impossibility;
 pub mod mapvote;
 pub mod msg;
 pub mod pairing;
+pub mod registry;
 pub mod runner;
+pub mod session;
 pub mod timeline;
 pub mod token_roles;
 pub mod verify;
 
 pub use error::DispersionError;
 pub use msg::{DumState, Msg};
-pub use runner::{run_algorithm, Algorithm, Outcome, ScenarioSpec};
+pub use registry::{Plan, StartColumn, StartRequirement, TableRow};
+pub use runner::{run_algorithm, Algorithm, Outcome, ScenarioSpec, StartConfig};
+pub use session::Session;

@@ -1,31 +1,27 @@
-//! High-level entry point: build a scenario, pick a Table 1 algorithm, run
-//! it, verify Definition 1.
+//! Scenario vocabulary and the legacy entry point.
+//!
+//! The types here describe *what* to run: the [`Algorithm`] selector, the
+//! fully serde-able [`ScenarioSpec`] (robots, faults, starts, seed), and
+//! the [`Outcome`] a run produces. *How* a run executes lives in
+//! [`crate::session`] (the generic plan → engine → verify pipeline) and in
+//! the per-row [`crate::registry::TableRow`] descriptors; this module
+//! contains no per-algorithm dispatch.
+//!
+//! [`run_algorithm`] is kept as the legacy one-shot entry point; new code
+//! should construct a [`crate::session::Session`] (see the crate-level
+//! migration note).
 
-use crate::adversaries::{AdversaryController, AdversaryKind};
-use crate::algos::baseline::BaselineController;
-use crate::algos::half::HalfController;
-use crate::algos::quotient::{QuotientController, QuotientSetup};
-use crate::algos::ring_opt::RingOptController;
-use crate::algos::sqrt::{sqrt_round_budget, tokens as sqrt_tokens, SqrtController};
-use crate::algos::strong::StrongController;
-use crate::algos::third::{GroupController, Scheme};
+use crate::adversaries::AdversaryKind;
 use crate::error::DispersionError;
-use crate::msg::Msg;
-use crate::pairing::pairing_schedule;
-use crate::timeline::{dum_budget, group_run_len, pair_window_len, rank_walk_budget};
-use crate::verify::{verify_with_capacity, VerifyReport};
-use bd_exploration::walks::{cover_walk_length, SharedWalk};
-use bd_gathering::route::gather_route;
-use bd_graphs::quotient::quotient_graph;
-use bd_graphs::{NodeId, Port, PortGraph};
-use bd_runtime::ids::generate_ids;
-use bd_runtime::{Engine, EngineConfig, Flavor, RobotId, RunMetrics};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::session::Session;
+use crate::verify::VerifyReport;
+use bd_graphs::{NodeId, PortGraph};
+use bd_runtime::RunMetrics;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
-/// Table 1 algorithms (plus the non-Byzantine baseline).
+/// Table 1 algorithms (plus the non-Byzantine baseline). Each variant maps
+/// to a [`crate::registry::TableRow`] descriptor via [`Algorithm::row`];
+/// the methods below are shorthands over that registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Algorithm {
     /// Theorem 1 — quotient-graph `Find-Map` + DUM; `f ≤ n−1` weak;
@@ -54,42 +50,20 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// Table 1 tolerance for an `n`-node graph.
+    /// Table 1 tolerance for `n` robots on an `n`-node graph — the
+    /// registry's `tolerance(n, k)` at `k = n`.
     pub fn tolerance(self, n: usize) -> usize {
-        match self {
-            Algorithm::QuotientTh1 | Algorithm::RingOptimal => n.saturating_sub(1),
-            Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => (n / 2).saturating_sub(1),
-            Algorithm::GatheredThirdTh4 => (n / 3).saturating_sub(1),
-            // The √n-scale bound, additionally clamped to the largest f
-            // whose 2f+1 helper groups of f+1 members fit in n robots —
-            // 0 below n = 6, where only the fault-free construction is
-            // sound.
-            Algorithm::ArbitrarySqrtTh5 => {
-                ((n as f64).sqrt() as usize / 2).min(sqrt_tokens::supported_f_bound(n))
-            }
-            Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
-                (n / 4).saturating_sub(1)
-            }
-            Algorithm::Baseline => 0,
-        }
+        self.row().tolerance(n, n)
     }
 
-    /// Whether the algorithm needs a gathering phase.
+    /// Whether the algorithm prepends a gathering phase.
     pub fn gathers(self) -> bool {
-        matches!(
-            self,
-            Algorithm::ArbitraryHalfTh2
-                | Algorithm::ArbitrarySqrtTh5
-                | Algorithm::StrongArbitraryTh7
-        )
+        self.row().start_requirement() == crate::registry::StartRequirement::GathersFirst
     }
 
     /// Whether Byzantine robots run under the strong flavor.
     pub fn strong(self) -> bool {
-        matches!(
-            self,
-            Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7
-        )
+        self.row().strong()
     }
 
     /// All Table 1 algorithms.
@@ -120,9 +94,13 @@ pub enum ByzPlacement {
     HighIds,
 }
 
-/// Scenario description.
-#[derive(Debug, Clone)]
+/// Scenario description: the algorithm plus everything that varies between
+/// runs. Fully serde-able, so sweeps can be stored, shipped, and replayed
+/// as data (`Session::run_batch` consumes slices of these).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioSpec {
+    /// Which Table 1 row to run.
+    pub algo: Algorithm,
     /// Robots; defaults to `n`.
     pub num_robots: usize,
     /// Byzantine robots among them.
@@ -136,12 +114,12 @@ pub struct ScenarioSpec {
     /// Seed for IDs, starts, and adversary randomness.
     pub seed: u64,
     /// Allow `num_byzantine` above the algorithm's tolerance (for
-    /// beyond-tolerance probes); otherwise the runner refuses.
+    /// beyond-tolerance probes); otherwise the session refuses.
     pub allow_overload: bool,
 }
 
 /// Initial placement.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StartConfig {
     /// Everyone on one node.
     Gathered(NodeId),
@@ -153,8 +131,9 @@ pub enum StartConfig {
 
 impl ScenarioSpec {
     /// All robots gathered at `node`, no Byzantine robots.
-    pub fn gathered(g: &PortGraph, node: NodeId) -> Self {
+    pub fn gathered(algo: Algorithm, g: &PortGraph, node: NodeId) -> Self {
         ScenarioSpec {
+            algo,
             num_robots: g.n(),
             num_byzantine: 0,
             adversary: AdversaryKind::Squatter,
@@ -166,11 +145,35 @@ impl ScenarioSpec {
     }
 
     /// Seeded arbitrary starts, no Byzantine robots.
-    pub fn arbitrary(g: &PortGraph) -> Self {
+    pub fn arbitrary(algo: Algorithm, g: &PortGraph) -> Self {
         ScenarioSpec {
             starts: StartConfig::RandomArbitrary,
-            ..ScenarioSpec::gathered(g, 0)
+            ..ScenarioSpec::gathered(algo, g, 0)
         }
+    }
+
+    /// The start configuration `algo` is *evaluated* in — its Table 1
+    /// "Starting Configuration" column from the registry (gathered at
+    /// node 0, or seeded arbitrary starts). The one authoritative bridge
+    /// from [`crate::registry::TableRow::start_column`] to a spec, used by
+    /// benches and conformance suites.
+    pub fn evaluation(algo: Algorithm, g: &PortGraph) -> Self {
+        match algo.row().start_column() {
+            crate::registry::StartColumn::Arbitrary => ScenarioSpec::arbitrary(algo, g),
+            crate::registry::StartColumn::Gathered => ScenarioSpec::gathered(algo, g, 0),
+        }
+    }
+
+    /// Select a different Table 1 row.
+    pub fn with_algorithm(mut self, algo: Algorithm) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Set the robot count (`k ≠ n` opens the §5 capacity regime).
+    pub fn with_robots(mut self, k: usize) -> Self {
+        self.num_robots = k;
+        self
     }
 
     /// Set the Byzantine contingent.
@@ -216,277 +219,17 @@ pub struct Outcome {
     pub honest: Vec<bool>,
 }
 
-/// Protocol tag for the Theorem 1 `Find-Map` walk.
-const FIND_MAP_TAG: u64 = 0x6d61_7000; // "map"
-
-/// Run `algo` on `graph` under `spec`.
+/// Legacy one-shot entry point: run `algo` on `graph` under `spec`.
+///
+/// Equivalent to `Session::new(graph.clone()).run(&spec.with_algorithm(algo))`;
+/// prefer a [`Session`] when running more than one scenario on a graph (it
+/// shares one `Arc<PortGraph>` across the batch).
 pub fn run_algorithm(
     algo: Algorithm,
     graph: &PortGraph,
     spec: &ScenarioSpec,
 ) -> Result<Outcome, DispersionError> {
-    let n = graph.n();
-    if n < 3 {
-        return Err(DispersionError::BadScenario(format!(
-            "graph too small: n = {n}"
-        )));
-    }
-    let k = spec.num_robots;
-    if k == 0 {
-        return Err(DispersionError::BadScenario("no robots".into()));
-    }
-    let f = spec.num_byzantine;
-    if f >= k {
-        return Err(DispersionError::BadScenario(format!("f = {f} >= k = {k}")));
-    }
-    // Theorem 5's helper groups are sized on the *gathered roster*, so its
-    // tolerance is additionally bounded by what k robots support (relevant
-    // only when k != n; `tolerance(n)` already covers the k = n case).
-    let max_f = match algo {
-        Algorithm::ArbitrarySqrtTh5 => algo.tolerance(n).min(sqrt_tokens::supported_f_bound(k)),
-        _ => algo.tolerance(n),
-    };
-    if !spec.allow_overload && f > max_f {
-        return Err(DispersionError::ToleranceExceeded { f, max: max_f });
-    }
-
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xdead_beef);
-    let ids = generate_ids(k, n, spec.seed);
-
-    // Byzantine subset by placement policy.
-    let byz_idx: std::collections::BTreeSet<usize> = match spec.placement {
-        ByzPlacement::LowIds => (0..f).collect(),
-        ByzPlacement::HighIds => (k - f..k).collect(),
-        ByzPlacement::Random => {
-            let mut set = std::collections::BTreeSet::new();
-            while set.len() < f {
-                set.insert(rng.gen_range(0..k));
-            }
-            set
-        }
-    };
-    let honest: Vec<bool> = (0..k).map(|i| !byz_idx.contains(&i)).collect();
-
-    // Starting positions.
-    let starts: Vec<NodeId> = match &spec.starts {
-        StartConfig::Gathered(node) => {
-            if *node >= n {
-                return Err(DispersionError::BadScenario(format!("start {node} >= n")));
-            }
-            vec![*node; k]
-        }
-        StartConfig::RandomArbitrary => (0..k).map(|_| rng.gen_range(0..n)).collect(),
-        StartConfig::Explicit(v) => {
-            if v.len() != k || v.iter().any(|&s| s >= n) {
-                return Err(DispersionError::BadScenario("bad explicit starts".into()));
-            }
-            v.clone()
-        }
-    };
-
-    // Gathering routes where the algorithm needs them.
-    let gather = if algo.gathers() {
-        let mut routes = Vec::with_capacity(k);
-        let mut budget = 0;
-        for &s in &starts {
-            let r = gather_route(graph, s).map_err(|_| DispersionError::GatheringInfeasible)?;
-            budget = r.budget_rounds;
-            routes.push(r.ports);
-        }
-        Some((routes, budget))
-    } else {
-        // Gathered-start algorithms require a gathered start.
-        if !matches!(
-            algo,
-            Algorithm::QuotientTh1 | Algorithm::Baseline | Algorithm::RingOptimal
-        ) && !matches!(spec.starts, StartConfig::Gathered(_))
-        {
-            return Err(DispersionError::BadScenario(format!(
-                "{algo:?} requires a gathered start"
-            )));
-        }
-        None
-    };
-    let gather_budget = gather.as_ref().map_or(0, |(_, b)| *b);
-
-    // Nominal timeline end (for the engine's round cap and adversary
-    // activation). All robots present at the snapshot is the nominal case.
-    let interaction_start = match algo {
-        Algorithm::QuotientTh1 => cover_walk_length(n),
-        Algorithm::RingOptimal => n as u64,
-        _ => gather_budget,
-    };
-    // Exact honest-termination round, derived from each controller's phase
-    // timeline (every controller self-times and terminates at its final
-    // phase boundary, so no fudge terms are needed; the engine cap below
-    // adds a small safety margin on top).
-    let run_end: u64 = match algo {
-        Algorithm::QuotientTh1 => cover_walk_length(n) + dum_budget(n),
-        Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => {
-            let sched = pairing_schedule(&ids);
-            gather_budget + 1 + sched.total_windows * pair_window_len(n) + dum_budget(n)
-        }
-        Algorithm::GatheredThirdTh4 => 1 + 3 * group_run_len(n) + dum_budget(n),
-        Algorithm::ArbitrarySqrtTh5 => sqrt_round_budget(n, k, algo.tolerance(n), gather_budget),
-        Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
-            gather_budget + 1 + group_run_len(n) + rank_walk_budget(n)
-        }
-        Algorithm::Baseline => n as u64 + 2,
-        Algorithm::RingOptimal => n as u64 + dum_budget(n),
-    };
-
-    if algo == Algorithm::RingOptimal
-        && !(graph.nodes().all(|v| graph.degree(v) == 2) && graph.is_connected())
-    {
-        return Err(DispersionError::BadScenario(
-            "RingOptimal requires a ring".into(),
-        ));
-    }
-
-    // One owned copy of the graph for the whole run; everything downstream
-    // (engine, world re-registration, oracle controllers) shares the `Arc`.
-    let shared_graph: Arc<PortGraph> = Arc::new(graph.clone());
-    let mut engine: Engine<Msg> = Engine::new(
-        Arc::clone(&shared_graph),
-        EngineConfig::with_max_rounds(run_end + 64),
-    );
-
-    // Theorem 1 setup: quotient precondition + per-robot walk scripts.
-    let quotient_setup: Option<Vec<QuotientSetup>> = if algo == Algorithm::QuotientTh1 {
-        let q = quotient_graph(graph);
-        if !q.is_isomorphic_to_original() {
-            return Err(DispersionError::QuotientNotIsomorphic {
-                classes: q.num_classes(),
-                n,
-            });
-        }
-        let len = cover_walk_length(n);
-        let quotient_map = Arc::new(q.graph.clone());
-        let setups = starts
-            .iter()
-            .map(|&s| {
-                let mut walk = SharedWalk::for_size(n, FIND_MAP_TAG);
-                let mut ports: Vec<Port> = Vec::with_capacity(len as usize);
-                let mut cur = s;
-                for _ in 0..len {
-                    let p = walk.next_port(graph.degree(cur));
-                    ports.push(p);
-                    cur = graph.neighbor(cur, p).0;
-                }
-                QuotientSetup {
-                    walk: ports,
-                    map: Arc::clone(&quotient_map),
-                    pos_after_walk: q.class_of[cur],
-                }
-            })
-            .collect();
-        Some(setups)
-    } else {
-        None
-    };
-
-    let honest_ids: Vec<RobotId> = (0..k).filter(|&i| honest[i]).map(|i| ids[i]).collect();
-
-    let mut coalition_index = 0usize;
-    for i in 0..k {
-        let id = ids[i];
-        let start = starts[i];
-        if !honest[i] && spec.adversary != AdversaryKind::CrashMidway {
-            let flavor = if algo.strong() {
-                // Strong algorithms face the strong flavor so the engine
-                // lets the adversary fake IDs if it chooses to.
-                Flavor::StrongByzantine
-            } else {
-                Flavor::WeakByzantine
-            };
-            let script = gather
-                .as_ref()
-                .map(|(r, _)| r[i].clone())
-                .unwrap_or_default();
-            engine.add_robot(
-                flavor,
-                start,
-                Box::new(AdversaryController::new(
-                    id,
-                    spec.adversary,
-                    spec.seed,
-                    script,
-                    interaction_start,
-                    honest_ids.clone(),
-                    coalition_index,
-                )),
-            );
-            coalition_index += 1;
-            continue;
-        }
-        let script = gather
-            .as_ref()
-            .map(|(r, _)| r[i].clone())
-            .unwrap_or_default();
-        let controller: Box<dyn bd_runtime::Controller<Msg>> = match algo {
-            Algorithm::QuotientTh1 => Box::new(QuotientController::new(
-                id,
-                n,
-                quotient_setup.as_ref().expect("setup built")[i].clone(),
-            )),
-            Algorithm::ArbitraryHalfTh2 | Algorithm::GatheredHalfTh3 => {
-                Box::new(HalfController::new(id, n, script, gather_budget))
-            }
-            Algorithm::GatheredThirdTh4 => Box::new(GroupController::new(
-                id,
-                n,
-                Scheme::Thirds,
-                script,
-                gather_budget,
-            )),
-            Algorithm::ArbitrarySqrtTh5 => Box::new(SqrtController::new(
-                id,
-                n,
-                algo.tolerance(n),
-                script,
-                gather_budget,
-            )),
-            Algorithm::StrongGatheredTh6 | Algorithm::StrongArbitraryTh7 => {
-                Box::new(StrongController::new(id, n, script, gather_budget))
-            }
-            Algorithm::Baseline => Box::new(BaselineController::new(
-                id,
-                Arc::clone(&shared_graph),
-                start,
-                k.div_ceil(n),
-            )),
-            Algorithm::RingOptimal => Box::new(RingOptController::new(id, n)),
-        };
-        if honest[i] {
-            engine.add_robot(Flavor::Honest, start, controller);
-        } else {
-            // CrashMidway: a faithful protocol follower that halts halfway
-            // through the interactive portion of the run.
-            let crash_at = interaction_start + (run_end - interaction_start) / 2;
-            engine.add_robot(
-                Flavor::WeakByzantine,
-                start,
-                Box::new(crate::adversaries::CrashWrapper::new(controller, crash_at)),
-            );
-        }
-    }
-
-    let out = engine.run()?;
-    // §5 capacity generalization: k robots must leave at most ⌈(k−f)/n⌉
-    // honest robots per node (the verifier module's definition; at k ≤ n
-    // this is Definition 1's 1). Algorithms settle at ⌈k/n⌉ — in every
-    // Theorem 8-possible regime the two coincide, and where they differ
-    // the run is impossible and must be reported as a violation.
-    let capacity = (k - f).div_ceil(n);
-    let report = verify_with_capacity(&out.final_positions, &honest, &ids, capacity);
-    Ok(Outcome {
-        dispersed: report.ok,
-        rounds: out.metrics.rounds,
-        metrics: out.metrics,
-        report,
-        final_positions: out.final_positions,
-        honest,
-    })
+    Session::new(graph.clone()).run(&spec.clone().with_algorithm(algo))
 }
 
 #[cfg(test)]
@@ -511,12 +254,13 @@ mod tests {
     #[test]
     fn sqrt_rejects_f_beyond_what_k_supports() {
         // tolerance(16) = 2, but 5 gathered robots cannot sustain the
-        // 2f+1 = 5 groups of 3: the runner must refuse rather than run an
+        // 2f+1 = 5 groups of 3: the session must refuse rather than run an
         // unreachable-quorum plan.
         let g = erdos_renyi_connected(16, 0.4, 2).unwrap();
-        let mut spec = ScenarioSpec::arbitrary(&g).with_byzantine(2, AdversaryKind::TokenHijacker);
-        spec.num_robots = 5;
-        let err = run_algorithm(Algorithm::ArbitrarySqrtTh5, &g, &spec).unwrap_err();
+        let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g)
+            .with_byzantine(2, AdversaryKind::TokenHijacker)
+            .with_robots(5);
+        let err = Session::new(g).run(&spec).unwrap_err();
         assert!(matches!(
             err,
             DispersionError::ToleranceExceeded { max: 0, .. }
@@ -526,7 +270,8 @@ mod tests {
     #[test]
     fn overload_rejected_without_flag() {
         let g = erdos_renyi_connected(9, 0.4, 1).unwrap();
-        let spec = ScenarioSpec::gathered(&g, 0).with_byzantine(5, AdversaryKind::Squatter);
+        let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &g, 0)
+            .with_byzantine(5, AdversaryKind::Squatter);
         let err = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap_err();
         assert!(matches!(err, DispersionError::ToleranceExceeded { .. }));
     }
@@ -534,13 +279,12 @@ mod tests {
     #[test]
     fn bad_scenarios_rejected() {
         let g = erdos_renyi_connected(9, 0.4, 1).unwrap();
-        let mut spec = ScenarioSpec::gathered(&g, 0);
-        spec.num_robots = 0;
+        let spec = ScenarioSpec::gathered(Algorithm::Baseline, &g, 0).with_robots(0);
         assert!(matches!(
             run_algorithm(Algorithm::Baseline, &g, &spec),
             Err(DispersionError::BadScenario(_))
         ));
-        let spec = ScenarioSpec::gathered(&g, 42);
+        let spec = ScenarioSpec::gathered(Algorithm::Baseline, &g, 42);
         assert!(matches!(
             run_algorithm(Algorithm::Baseline, &g, &spec),
             Err(DispersionError::BadScenario(_))

@@ -1,0 +1,330 @@
+//! The scenario/session layer: the generic plan → engine → verify pipeline
+//! over `dyn TableRow`, and the batch API that fans scenario cells out over
+//! one shared graph.
+//!
+//! A [`Session`] wraps one `Arc<PortGraph>`. [`Session::run`] executes a
+//! single [`ScenarioSpec`]; [`Session::run_batch`] executes a slice of them
+//! in parallel (Rayon), all sharing the session's graph handle — the
+//! per-run graph clone the old monolithic runner paid is gone.
+//!
+//! The pipeline itself is algorithm-agnostic: every per-row fact (tolerance,
+//! start requirement, precondition, round budget, controller construction)
+//! is read off the row's [`crate::registry::TableRow`] descriptor.
+
+use crate::adversaries::{AdversaryController, AdversaryKind, CrashWrapper};
+use crate::error::DispersionError;
+use crate::msg::Msg;
+use crate::registry::{Plan, StartRequirement};
+use crate::runner::{ByzPlacement, Outcome, ScenarioSpec, StartConfig};
+use crate::verify::verify_with_capacity;
+use bd_gathering::route::gather_route;
+use bd_graphs::{NodeId, PortGraph};
+use bd_runtime::ids::generate_ids;
+use bd_runtime::{Engine, EngineConfig, Flavor, RobotId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// A handle on one graph that scenarios run against. Cheap to clone
+/// (`Arc` inside); share it across sweeps instead of re-cloning the graph
+/// per run.
+#[derive(Clone)]
+pub struct Session {
+    graph: Arc<PortGraph>,
+}
+
+impl Session {
+    /// Open a session on `graph`. Accepts an owned graph or an existing
+    /// `Arc` handle.
+    pub fn new(graph: impl Into<Arc<PortGraph>>) -> Self {
+        Session {
+            graph: graph.into(),
+        }
+    }
+
+    /// The shared graph handle.
+    pub fn graph(&self) -> &Arc<PortGraph> {
+        &self.graph
+    }
+
+    /// Validate `spec` against this session's graph and precompute the
+    /// run plan (IDs, honesty mask, starts, gathering routes, row-specific
+    /// preparation). [`Session::run`] does this internally; it is public so
+    /// callers can inspect budgets (`spec.algo.row().round_budget(&plan)`)
+    /// without executing the run.
+    pub fn plan(&self, spec: &ScenarioSpec) -> Result<Plan, DispersionError> {
+        let graph = &self.graph;
+        let n = graph.n();
+        if n < 3 {
+            return Err(DispersionError::BadScenario(format!(
+                "graph too small: n = {n}"
+            )));
+        }
+        let k = spec.num_robots;
+        if k == 0 {
+            return Err(DispersionError::BadScenario("no robots".into()));
+        }
+        let f = spec.num_byzantine;
+        if f >= k {
+            return Err(DispersionError::BadScenario(format!("f = {f} >= k = {k}")));
+        }
+        let row = spec.algo.row();
+        let max_f = row.tolerance(n, k);
+        if !spec.allow_overload && f > max_f {
+            return Err(DispersionError::ToleranceExceeded { f, max: max_f });
+        }
+
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xdead_beef);
+        let ids = generate_ids(k, n, spec.seed);
+
+        // Byzantine subset by placement policy.
+        let byz_idx: std::collections::BTreeSet<usize> = match spec.placement {
+            ByzPlacement::LowIds => (0..f).collect(),
+            ByzPlacement::HighIds => (k - f..k).collect(),
+            ByzPlacement::Random => {
+                let mut set = std::collections::BTreeSet::new();
+                while set.len() < f {
+                    set.insert(rng.gen_range(0..k));
+                }
+                set
+            }
+        };
+        let honest: Vec<bool> = (0..k).map(|i| !byz_idx.contains(&i)).collect();
+
+        // Starting positions.
+        let starts: Vec<NodeId> = match &spec.starts {
+            StartConfig::Gathered(node) => {
+                if *node >= n {
+                    return Err(DispersionError::BadScenario(format!("start {node} >= n")));
+                }
+                vec![*node; k]
+            }
+            StartConfig::RandomArbitrary => (0..k).map(|_| rng.gen_range(0..n)).collect(),
+            StartConfig::Explicit(v) => {
+                if v.len() != k || v.iter().any(|&s| s >= n) {
+                    return Err(DispersionError::BadScenario("bad explicit starts".into()));
+                }
+                v.clone()
+            }
+        };
+
+        // Structural graph precondition (quotient isomorphism, ring shape).
+        row.precondition(graph)?;
+
+        // Gathering routes where the row needs them; gathered-start rows
+        // must get a gathered start.
+        let (gather_routes, gather_budget) = match row.start_requirement() {
+            StartRequirement::GathersFirst => {
+                let mut routes = Vec::with_capacity(k);
+                let mut budget = 0;
+                for &s in &starts {
+                    let r =
+                        gather_route(graph, s).map_err(|_| DispersionError::GatheringInfeasible)?;
+                    budget = r.budget_rounds;
+                    routes.push(r.ports);
+                }
+                (Some(routes), budget)
+            }
+            StartRequirement::Gathered => {
+                if !matches!(spec.starts, StartConfig::Gathered(_)) {
+                    return Err(DispersionError::BadScenario(format!(
+                        "{} requires a gathered start",
+                        row.name()
+                    )));
+                }
+                (None, 0)
+            }
+            StartRequirement::Any => (None, 0),
+        };
+
+        let mut plan = Plan {
+            graph: Arc::clone(graph),
+            n,
+            k,
+            f,
+            ids,
+            honest,
+            starts,
+            gather_routes,
+            gather_budget,
+            seed: spec.seed,
+            prep: None,
+        };
+        plan.prep = row.prepare(&plan)?;
+        Ok(plan)
+    }
+
+    /// Run one scenario to honest termination and verify Definition 1
+    /// (capacity-generalized per §5).
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<Outcome, DispersionError> {
+        let row = spec.algo.row();
+        let plan = self.plan(spec)?;
+        let (n, k, f) = (plan.n, plan.k, plan.f);
+
+        // Exact honest-termination round from the row's phase timeline;
+        // the engine cap carries a small safety margin on top.
+        let run_end = row.round_budget(&plan);
+        let interaction_start = row.interaction_start(&plan);
+
+        let mut engine: Engine<Msg> = Engine::new(
+            Arc::clone(&plan.graph),
+            EngineConfig::with_max_rounds(run_end + 64),
+        );
+
+        let honest_ids: Vec<RobotId> = (0..k)
+            .filter(|&i| plan.honest[i])
+            .map(|i| plan.ids[i])
+            .collect();
+
+        let mut coalition_index = 0usize;
+        for i in 0..k {
+            let start = plan.starts[i];
+            if !plan.honest[i] && spec.adversary != AdversaryKind::CrashMidway {
+                let flavor = if row.strong() {
+                    // Strong rows face the strong flavor so the engine lets
+                    // the adversary fake IDs if it chooses to.
+                    Flavor::StrongByzantine
+                } else {
+                    Flavor::WeakByzantine
+                };
+                engine.add_robot(
+                    flavor,
+                    start,
+                    Box::new(AdversaryController::new(
+                        plan.ids[i],
+                        spec.adversary,
+                        spec.seed,
+                        plan.gather_script(i),
+                        interaction_start,
+                        honest_ids.clone(),
+                        coalition_index,
+                    )),
+                );
+                coalition_index += 1;
+                continue;
+            }
+            let controller = row.build_controller(&plan, i);
+            if plan.honest[i] {
+                engine.add_robot(Flavor::Honest, start, controller);
+            } else {
+                // CrashMidway: a faithful protocol follower that halts
+                // halfway through the interactive portion of the run.
+                let crash_at = interaction_start + (run_end - interaction_start) / 2;
+                engine.add_robot(
+                    Flavor::WeakByzantine,
+                    start,
+                    Box::new(CrashWrapper::new(controller, crash_at)),
+                );
+            }
+        }
+
+        let out = engine.run()?;
+        // §5 capacity generalization: k robots must leave at most
+        // ⌈(k−f)/n⌉ honest robots per node (the verifier module's
+        // definition; at k ≤ n this is Definition 1's 1). Algorithms settle
+        // at ⌈k/n⌉ — in every Theorem 8-possible regime the two coincide,
+        // and where they differ the run is impossible and must be reported
+        // as a violation.
+        let capacity = (k - f).div_ceil(n);
+        let report = verify_with_capacity(&out.final_positions, &plan.honest, &plan.ids, capacity);
+        Ok(Outcome {
+            dispersed: report.ok,
+            rounds: out.metrics.rounds,
+            metrics: out.metrics,
+            report,
+            final_positions: out.final_positions,
+            honest: plan.honest,
+        })
+    }
+
+    /// Run a batch of scenarios against this session's graph, fanning the
+    /// cells out with Rayon. Every run shares one `Arc<PortGraph>`; results
+    /// come back in spec order, each cell failing independently.
+    pub fn run_batch(&self, specs: &[ScenarioSpec]) -> Vec<Result<Outcome, DispersionError>> {
+        specs.par_iter().map(|spec| self.run(spec)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Algorithm;
+    use bd_graphs::generators::erdos_renyi_connected;
+
+    fn graph() -> PortGraph {
+        erdos_renyi_connected(9, 0.4, 11).unwrap()
+    }
+
+    #[test]
+    fn session_runs_single_spec() {
+        let session = Session::new(graph());
+        let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, session.graph(), 0)
+            .with_byzantine(1, AdversaryKind::Squatter)
+            .with_seed(3);
+        let out = session.run(&spec).unwrap();
+        assert!(out.dispersed);
+    }
+
+    #[test]
+    fn batch_matches_individual_runs_and_preserves_order() {
+        let session = Session::new(graph());
+        let specs: Vec<ScenarioSpec> = (0..4)
+            .map(|seed| {
+                ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, session.graph(), 0)
+                    .with_byzantine(1, AdversaryKind::Wanderer)
+                    .with_seed(seed)
+            })
+            .collect();
+        let batch = session.run_batch(&specs);
+        assert_eq!(batch.len(), specs.len());
+        for (spec, cell) in specs.iter().zip(&batch) {
+            let single = session.run(spec).unwrap();
+            let cell = cell.as_ref().unwrap();
+            assert_eq!(cell.final_positions, single.final_positions);
+            assert_eq!(cell.rounds, single.rounds);
+        }
+    }
+
+    #[test]
+    fn batch_cells_fail_independently() {
+        let session = Session::new(graph());
+        let good = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, session.graph(), 0);
+        let bad = good.clone().with_robots(0);
+        let batch = session.run_batch(&[good, bad]);
+        assert!(batch[0].is_ok());
+        assert!(matches!(batch[1], Err(DispersionError::BadScenario(_))));
+    }
+
+    #[test]
+    fn scenario_spec_serde_round_trips() {
+        let g = graph();
+        let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g)
+            .with_byzantine(1, AdversaryKind::TokenHijacker)
+            .with_placement(ByzPlacement::LowIds)
+            .with_robots(12)
+            .with_seed(77);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.algo, spec.algo);
+        assert_eq!(back.num_robots, 12);
+        assert_eq!(back.num_byzantine, 1);
+        assert_eq!(back.starts, spec.starts);
+        assert_eq!(back.seed, 77);
+        // A replayed spec produces the identical outcome.
+        let session = Session::new(g);
+        let a = session.run(&spec).unwrap();
+        let b = session.run(&back).unwrap();
+        assert_eq!(a.final_positions, b.final_positions);
+    }
+
+    #[test]
+    fn plan_exposes_budget_without_running() {
+        let session = Session::new(graph());
+        let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, session.graph(), 0);
+        let plan = session.plan(&spec).unwrap();
+        let budget = spec.algo.row().round_budget(&plan);
+        let out = session.run(&spec).unwrap();
+        assert_eq!(out.rounds, budget);
+    }
+}

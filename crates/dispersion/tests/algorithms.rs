@@ -1,18 +1,22 @@
-//! End-to-end runs of every Table 1 algorithm under the adversary suite.
+//! End-to-end runs of every Table 1 algorithm under the adversary suite,
+//! driven through the `Session` API.
 
 use bd_dispersion::adversaries::AdversaryKind;
-use bd_dispersion::runner::{run_algorithm, Algorithm, ByzPlacement, ScenarioSpec};
+use bd_dispersion::runner::{Algorithm, ByzPlacement, ScenarioSpec};
+use bd_dispersion::Session;
 use bd_graphs::generators::{erdos_renyi_connected, lollipop, random_tree, ring, star};
 use bd_graphs::PortGraph;
 
 fn asymmetric_graph(n: usize, seed: u64) -> PortGraph {
-    // Dense enough to be view-asymmetric w.h.p.; verified by the runner's
+    // Dense enough to be view-asymmetric w.h.p.; verified by the session's
     // Theorem 1 precondition check where needed.
     erdos_renyi_connected(n, 0.35, seed).unwrap()
 }
 
-fn assert_dispersed(algo: Algorithm, g: &PortGraph, spec: &ScenarioSpec, label: &str) {
-    let out = run_algorithm(algo, g, spec).unwrap_or_else(|e| panic!("{label}: run failed: {e}"));
+fn assert_dispersed(g: &PortGraph, spec: &ScenarioSpec, label: &str) {
+    let out = Session::new(g.clone())
+        .run(spec)
+        .unwrap_or_else(|e| panic!("{label}: run failed: {e}"));
     assert!(
         out.dispersed,
         "{label}: not dispersed; violations {:?}",
@@ -26,8 +30,8 @@ fn assert_dispersed(algo: Algorithm, g: &PortGraph, spec: &ScenarioSpec, label: 
 fn baseline_disperses_fault_free() {
     for n in [5, 9, 14] {
         let g = asymmetric_graph(n, n as u64);
-        let spec = ScenarioSpec::gathered(&g, 0).with_seed(1);
-        assert_dispersed(Algorithm::Baseline, &g, &spec, "baseline");
+        let spec = ScenarioSpec::gathered(Algorithm::Baseline, &g, 0).with_seed(1);
+        assert_dispersed(&g, &spec, "baseline");
     }
 }
 
@@ -40,30 +44,30 @@ fn quotient_th1_fault_free_various_graphs() {
         (random_tree(9, 5).unwrap(), "tree"),
         (lollipop(4, 3).unwrap(), "lollipop"),
     ] {
-        let spec = ScenarioSpec::arbitrary(&g).with_seed(7);
-        assert_dispersed(Algorithm::QuotientTh1, &g, &spec, label);
+        let spec = ScenarioSpec::arbitrary(Algorithm::QuotientTh1, &g).with_seed(7);
+        assert_dispersed(&g, &spec, label);
     }
 }
 
 #[test]
 fn gathered_half_th3_fault_free() {
     let g = asymmetric_graph(8, 2);
-    let spec = ScenarioSpec::gathered(&g, 0).with_seed(3);
-    assert_dispersed(Algorithm::GatheredHalfTh3, &g, &spec, "th3 fault-free");
+    let spec = ScenarioSpec::gathered(Algorithm::GatheredHalfTh3, &g, 0).with_seed(3);
+    assert_dispersed(&g, &spec, "th3 fault-free");
 }
 
 #[test]
 fn gathered_third_th4_fault_free() {
     let g = asymmetric_graph(9, 4);
-    let spec = ScenarioSpec::gathered(&g, 0).with_seed(4);
-    assert_dispersed(Algorithm::GatheredThirdTh4, &g, &spec, "th4 fault-free");
+    let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &g, 0).with_seed(4);
+    assert_dispersed(&g, &spec, "th4 fault-free");
 }
 
 #[test]
 fn strong_th6_fault_free() {
     let g = asymmetric_graph(8, 5);
-    let spec = ScenarioSpec::gathered(&g, 0).with_seed(5);
-    assert_dispersed(Algorithm::StrongGatheredTh6, &g, &spec, "th6 fault-free");
+    let spec = ScenarioSpec::gathered(Algorithm::StrongGatheredTh6, &g, 0).with_seed(5);
+    assert_dispersed(&g, &spec, "th6 fault-free");
 }
 
 // ------------------------------------------------------------- max tolerance
@@ -80,10 +84,10 @@ fn quotient_th1_max_byzantine() {
         AdversaryKind::Crowd,
     ] {
         let f = Algorithm::QuotientTh1.tolerance(9); // 8 of 9!
-        let spec = ScenarioSpec::arbitrary(&g)
+        let spec = ScenarioSpec::arbitrary(Algorithm::QuotientTh1, &g)
             .with_byzantine(f, kind)
             .with_seed(13);
-        assert_dispersed(Algorithm::QuotientTh1, &g, &spec, &format!("th1 {kind:?}"));
+        assert_dispersed(&g, &spec, &format!("th1 {kind:?}"));
     }
 }
 
@@ -99,15 +103,10 @@ fn gathered_half_th3_max_byzantine_all_adversaries() {
         AdversaryKind::MapLiar,
         AdversaryKind::Crowd,
     ] {
-        let spec = ScenarioSpec::gathered(&g, 0)
+        let spec = ScenarioSpec::gathered(Algorithm::GatheredHalfTh3, &g, 0)
             .with_byzantine(f, kind)
             .with_seed(17);
-        assert_dispersed(
-            Algorithm::GatheredHalfTh3,
-            &g,
-            &spec,
-            &format!("th3 {kind:?}"),
-        );
+        assert_dispersed(&g, &spec, &format!("th3 {kind:?}"));
     }
 }
 
@@ -125,16 +124,11 @@ fn gathered_third_th4_max_byzantine() {
             AdversaryKind::MapLiar,
             AdversaryKind::Wanderer,
         ] {
-            let spec = ScenarioSpec::gathered(&g, 0)
+            let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &g, 0)
                 .with_byzantine(f, kind)
                 .with_placement(placement)
                 .with_seed(19);
-            assert_dispersed(
-                Algorithm::GatheredThirdTh4,
-                &g,
-                &spec,
-                &format!("th4 {kind:?} {placement:?}"),
-            );
+            assert_dispersed(&g, &spec, &format!("th4 {kind:?} {placement:?}"));
         }
     }
 }
@@ -143,10 +137,10 @@ fn gathered_third_th4_max_byzantine() {
 fn sqrt_th5_arbitrary_start() {
     let g = asymmetric_graph(9, 41);
     let f = Algorithm::ArbitrarySqrtTh5.tolerance(9); // 1
-    let spec = ScenarioSpec::arbitrary(&g)
+    let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g)
         .with_byzantine(f, AdversaryKind::TokenHijacker)
         .with_seed(23);
-    assert_dispersed(Algorithm::ArbitrarySqrtTh5, &g, &spec, "th5");
+    assert_dispersed(&g, &spec, "th5");
 }
 
 #[test]
@@ -154,16 +148,11 @@ fn strong_th6_spoofer_at_tolerance() {
     let g = asymmetric_graph(12, 51);
     let f = Algorithm::StrongGatheredTh6.tolerance(12); // 2
     for placement in [ByzPlacement::LowIds, ByzPlacement::HighIds] {
-        let spec = ScenarioSpec::gathered(&g, 0)
+        let spec = ScenarioSpec::gathered(Algorithm::StrongGatheredTh6, &g, 0)
             .with_byzantine(f, AdversaryKind::StrongSpoofer)
             .with_placement(placement)
             .with_seed(29);
-        assert_dispersed(
-            Algorithm::StrongGatheredTh6,
-            &g,
-            &spec,
-            &format!("th6 spoofer {placement:?}"),
-        );
+        assert_dispersed(&g, &spec, &format!("th6 spoofer {placement:?}"));
     }
 }
 
@@ -171,10 +160,10 @@ fn strong_th6_spoofer_at_tolerance() {
 fn strong_th7_arbitrary_start() {
     let g = asymmetric_graph(8, 61);
     let f = Algorithm::StrongArbitraryTh7.tolerance(8); // 1
-    let spec = ScenarioSpec::arbitrary(&g)
+    let spec = ScenarioSpec::arbitrary(Algorithm::StrongArbitraryTh7, &g)
         .with_byzantine(f, AdversaryKind::StrongSpoofer)
         .with_seed(31);
-    assert_dispersed(Algorithm::StrongArbitraryTh7, &g, &spec, "th7");
+    assert_dispersed(&g, &spec, "th7");
 }
 
 // ------------------------------------------------------------ arbitrary half
@@ -184,10 +173,10 @@ fn arbitrary_half_th2_with_byzantine() {
     // The heavyweight row: gathering + all-pairs pairing. Small n.
     let g = asymmetric_graph(6, 71);
     let f = 2; // tolerance at n=6 is 2
-    let spec = ScenarioSpec::arbitrary(&g)
+    let spec = ScenarioSpec::arbitrary(Algorithm::ArbitraryHalfTh2, &g)
         .with_byzantine(f, AdversaryKind::Wanderer)
         .with_seed(37);
-    assert_dispersed(Algorithm::ArbitraryHalfTh2, &g, &spec, "th2");
+    assert_dispersed(&g, &spec, "th2");
 }
 
 // --------------------------------------------------------------- determinism
@@ -195,11 +184,12 @@ fn arbitrary_half_th2_with_byzantine() {
 #[test]
 fn runs_are_deterministic() {
     let g = asymmetric_graph(10, 81);
-    let spec = ScenarioSpec::gathered(&g, 0)
+    let session = Session::new(g);
+    let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, session.graph(), 0)
         .with_byzantine(2, AdversaryKind::Squatter)
         .with_seed(43);
-    let a = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap();
-    let b = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap();
+    let a = session.run(&spec).unwrap();
+    let b = session.run(&spec).unwrap();
     assert_eq!(a.final_positions, b.final_positions);
     assert_eq!(a.rounds, b.rounds);
 }

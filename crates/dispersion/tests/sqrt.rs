@@ -45,7 +45,7 @@ fn sqrt_tolerates_every_weak_adversary_at_max_f() {
             ByzPlacement::HighIds,
             ByzPlacement::Random,
         ] {
-            let spec = ScenarioSpec::arbitrary(&g)
+            let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g)
                 .with_byzantine(f, kind)
                 .with_placement(placement)
                 .with_seed(11);
@@ -62,7 +62,7 @@ fn sqrt_at_n16_with_two_hijackers() {
     let g = asymmetric_graph(n, 23);
     let f = Algorithm::ArbitrarySqrtTh5.tolerance(n);
     assert_eq!(f, 2);
-    let spec = ScenarioSpec::arbitrary(&g)
+    let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g)
         .with_byzantine(f, AdversaryKind::TokenHijacker)
         .with_placement(ByzPlacement::LowIds)
         .with_seed(3);
@@ -85,10 +85,10 @@ fn small_n_byzantine_refused_fault_free_disperses() {
             }
             feasible += 1;
             // Fault-free must disperse even on tiny graphs…
-            let spec = ScenarioSpec::arbitrary(&g).with_seed(seed);
+            let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g).with_seed(seed);
             assert_dispersed(&g, &spec, &format!("fault-free n={n} seed={seed}"));
             // …and any Byzantine robot is beyond the tolerance here.
-            let spec = ScenarioSpec::arbitrary(&g)
+            let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g)
                 .with_byzantine(1, AdversaryKind::TokenHijacker)
                 .with_seed(seed);
             let err = run_algorithm(Algorithm::ArbitrarySqrtTh5, &g, &spec).unwrap_err();
@@ -122,7 +122,7 @@ fn sqrt_across_graph_families() {
             continue;
         }
         let f = Algorithm::ArbitrarySqrtTh5.tolerance(g.n()).min(1);
-        let spec = ScenarioSpec::arbitrary(&g)
+        let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g)
             .with_byzantine(f, AdversaryKind::Wanderer)
             .with_seed(13);
         assert_dispersed(&g, &spec, label);
@@ -138,7 +138,7 @@ fn sqrt_across_graph_families() {
 fn rounds_equal_phase_budget_exactly() {
     let n = 12;
     let g = asymmetric_graph(n, 31);
-    let spec = ScenarioSpec::arbitrary(&g).with_seed(17);
+    let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g).with_seed(17);
     let out = run_algorithm(Algorithm::ArbitrarySqrtTh5, &g, &spec).unwrap();
     assert!(out.dispersed);
     let gather_budget = gather_route(&g, 0).unwrap().budget_rounds;
@@ -168,10 +168,10 @@ fn sqrt_capacity_regime_k_twice_n() {
     let g = asymmetric_graph(n, 41);
     let k = 2 * n;
     let f = Algorithm::ArbitrarySqrtTh5.tolerance(n);
-    let mut spec = ScenarioSpec::arbitrary(&g)
+    let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g)
         .with_byzantine(f, AdversaryKind::Squatter)
-        .with_seed(19);
-    spec.num_robots = k;
+        .with_seed(19)
+        .with_robots(k);
     let out = run_algorithm(Algorithm::ArbitrarySqrtTh5, &g, &spec).unwrap();
     assert_eq!(out.report.capacity, 2, "verifier pins the ⌈k/n⌉ bound");
     assert!(
@@ -191,8 +191,9 @@ fn baseline_capacity_regime_matches_bound() {
     let n = 6;
     let g = asymmetric_graph(n, 43);
     let k = 3 * n;
-    let mut spec = ScenarioSpec::gathered(&g, 0).with_seed(5);
-    spec.num_robots = k;
+    let spec = ScenarioSpec::gathered(Algorithm::Baseline, &g, 0)
+        .with_seed(5)
+        .with_robots(k);
     let out = run_algorithm(Algorithm::Baseline, &g, &spec).unwrap();
     assert_eq!(out.report.capacity, 3);
     assert!(out.dispersed, "violations {:?}", out.report.violations);
@@ -204,8 +205,9 @@ fn baseline_capacity_regime_matches_bound() {
 fn sqrt_with_fewer_robots_than_nodes() {
     let n = 12;
     let g = asymmetric_graph(n, 47);
-    let mut spec = ScenarioSpec::arbitrary(&g).with_seed(29);
-    spec.num_robots = 8;
+    let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g)
+        .with_seed(29)
+        .with_robots(8);
     let out = run_algorithm(Algorithm::ArbitrarySqrtTh5, &g, &spec).unwrap();
     assert_eq!(out.report.capacity, 1);
     assert!(out.dispersed, "violations {:?}", out.report.violations);
@@ -218,7 +220,7 @@ fn sqrt_with_fewer_robots_than_nodes() {
 #[test]
 fn sqrt_fault_free_at_n32() {
     let g = asymmetric_graph(32, 3);
-    let spec = ScenarioSpec::arbitrary(&g).with_seed(3);
+    let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g).with_seed(3);
     let out = run_algorithm(Algorithm::ArbitrarySqrtTh5, &g, &spec).unwrap();
     assert!(out.dispersed, "violations {:?}", out.report.violations);
     let gather_budget = gather_route(&g, 0).unwrap().budget_rounds;
@@ -242,7 +244,7 @@ proptest! {
             // Symmetric draw: gathering infeasible, covered elsewhere.
             return Ok(());
         }
-        let spec = ScenarioSpec::arbitrary(&g).with_seed(seed);
+        let spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g).with_seed(seed);
         let a = run_algorithm(Algorithm::ArbitrarySqrtTh5, &g, &spec).unwrap();
         prop_assert!(a.dispersed, "violations {:?}", a.report.violations);
         let gather_budget = gather_route(&g, 0).unwrap().budget_rounds;
@@ -264,7 +266,7 @@ proptest! {
         if gather_route(&g, 0).is_err() {
             return Ok(());
         }
-        let mut spec = ScenarioSpec::arbitrary(&g).with_seed(seed);
+        let mut spec = ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g).with_seed(seed);
         spec.starts = StartConfig::Gathered(0);
         let out = run_algorithm(Algorithm::ArbitrarySqrtTh5, &g, &spec).unwrap();
         prop_assert!(out.dispersed, "violations {:?}", out.report.violations);

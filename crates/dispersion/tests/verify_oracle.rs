@@ -8,8 +8,9 @@
 //! the optimized verifier can never silently drift from the definition.
 
 use bd_dispersion::adversaries::AdversaryKind;
-use bd_dispersion::runner::{run_algorithm, Algorithm, ScenarioSpec};
+use bd_dispersion::runner::{Algorithm, ScenarioSpec};
 use bd_dispersion::verify::{verify_with_capacity, VerifyReport};
+use bd_dispersion::Session;
 use bd_graphs::{generators, NodeId, PortGraph};
 use bd_runtime::RobotId;
 use proptest::prelude::*;
@@ -123,19 +124,17 @@ fn runner_reports_match_recount_for_every_algorithm_adversary_cell() {
         .chain([Algorithm::Baseline, Algorithm::RingOptimal])
     {
         let g = smoke_graph(algo, n);
+        let session = Session::new(g);
         for kind in AdversaryKind::all() {
             if kind.needs_strong() && !algo.strong() {
                 continue; // the engine would stamp true IDs anyway
             }
             let f = algo.tolerance(n).min(n - 2);
-            let spec = if algo.gathers() || algo == Algorithm::QuotientTh1 {
-                ScenarioSpec::arbitrary(&g)
-            } else {
-                ScenarioSpec::gathered(&g, 0)
-            }
-            .with_byzantine(f, kind)
-            .with_seed(5);
-            let out = run_algorithm(algo, &g, &spec)
+            let spec = ScenarioSpec::evaluation(algo, session.graph())
+                .with_byzantine(f, kind)
+                .with_seed(5);
+            let out = session
+                .run(&spec)
                 .unwrap_or_else(|e| panic!("{algo:?} x {kind:?} failed to run: {e}"));
             let context = format!("{algo:?} x {kind:?} (f={f})");
             // `dispersed` must agree with the capacity-1 recount…

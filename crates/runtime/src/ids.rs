@@ -30,7 +30,7 @@ pub enum Flavor {
     /// Follows its controller, identity stamped truthfully.
     Honest,
     /// May behave arbitrarily but its publications carry its true ID
-    /// (it "cannot fake its ID", after Dieudonné–Pelc–Peleg [24]).
+    /// (it "cannot fake its ID", after Dieudonné–Pelc–Peleg \[24\]).
     WeakByzantine,
     /// May behave arbitrarily *and* claim any ID, including an honest
     /// robot's ID (§4).

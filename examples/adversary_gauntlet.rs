@@ -31,16 +31,13 @@ fn main() {
                 print!("{:<14}", "-");
                 continue;
             }
-            let spec = ScenarioSpec::gathered(&g, 0)
-                .with_byzantine(f, *kind)
-                .with_seed(5);
             let spec = if algo == Algorithm::QuotientTh1 {
-                ScenarioSpec::arbitrary(&g)
-                    .with_byzantine(f, *kind)
-                    .with_seed(5)
+                ScenarioSpec::arbitrary(algo, &g)
             } else {
-                spec
-            };
+                ScenarioSpec::gathered(algo, &g, 0)
+            }
+            .with_byzantine(f, *kind)
+            .with_seed(5);
             let cell = match run_algorithm(algo, &g, &spec) {
                 Ok(out) if out.dispersed => "ok".to_string(),
                 Ok(_) => "VIOLATED".to_string(),

@@ -15,11 +15,13 @@ fn main() {
 
     // 12 robots at node 0; 3 Byzantine "token hijackers" try to corrupt the
     // map-finding phase.
-    let spec = ScenarioSpec::gathered(&g, 0)
+    let session = Session::new(g);
+    let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, session.graph(), 0)
         .with_byzantine(3, AdversaryKind::TokenHijacker)
         .with_seed(42);
 
-    let outcome = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec)
+    let outcome = session
+        .run(&spec)
         .expect("scenario is within Theorem 4's tolerance");
 
     println!("dispersed: {}", outcome.dispersed);

@@ -32,7 +32,7 @@ fn main() {
         AdversaryKind::Silent,
         AdversaryKind::Crowd,
     ] {
-        let spec = ScenarioSpec::arbitrary(&field)
+        let spec = ScenarioSpec::arbitrary(Algorithm::QuotientTh1, &field)
             .with_byzantine(f, kind)
             .with_seed(7);
         let outcome = run_algorithm(Algorithm::QuotientTh1, &field, &spec).expect("runs");

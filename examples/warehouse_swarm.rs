@@ -24,7 +24,7 @@ fn main() {
     let faulty = Algorithm::GatheredThirdTh4.tolerance(n);
     println!("fleet of {n}, up to {faulty} corrupted units (squatters)");
 
-    let spec = ScenarioSpec::gathered(&warehouse, 0)
+    let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &warehouse, 0)
         .with_byzantine(faulty, AdversaryKind::Squatter)
         .with_placement(ByzPlacement::LowIds) // corrupted units hog low IDs
         .with_seed(2026);

@@ -24,11 +24,13 @@
 //!
 //! // An asymmetric random graph on 12 nodes.
 //! let g = bd_graphs::generators::erdos_renyi_connected(12, 0.3, 7).unwrap();
+//! // A session shares one graph handle across any number of runs.
+//! let session = Session::new(g);
 //! // 12 robots gathered at node 0; 3 of them Byzantine squatters.
-//! let spec = ScenarioSpec::gathered(&g, 0)
+//! let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, session.graph(), 0)
 //!     .with_byzantine(3, AdversaryKind::Squatter)
 //!     .with_seed(42);
-//! let outcome = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap();
+//! let outcome = session.run(&spec).unwrap();
 //! assert!(outcome.dispersed);
 //! ```
 
@@ -41,7 +43,9 @@ pub use bd_runtime as runtime;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use bd_dispersion::adversaries::AdversaryKind;
+    pub use bd_dispersion::registry::{StartRequirement, TableRow};
     pub use bd_dispersion::runner::{run_algorithm, Algorithm, Outcome, ScenarioSpec};
+    pub use bd_dispersion::session::Session;
     pub use bd_dispersion::verify::verify_dispersion;
     pub use bd_graphs::{self, generators, PortGraph};
     pub use bd_runtime::metrics::RunMetrics;

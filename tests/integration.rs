@@ -29,7 +29,7 @@ fn theorem1_pipeline_across_families() {
             q.is_isomorphic_to_original(),
             "{label}: fixture must be asymmetric"
         );
-        let spec = ScenarioSpec::arbitrary(&g)
+        let spec = ScenarioSpec::arbitrary(Algorithm::QuotientTh1, &g)
             .with_byzantine(g.n() - 2, AdversaryKind::Wanderer)
             .with_seed(3);
         let out = run_algorithm(Algorithm::QuotientTh1, &g, &spec).unwrap();
@@ -55,7 +55,7 @@ fn gathering_then_map_construction_consistent() {
 fn symmetric_graphs_fail_loudly() {
     let g = generators::oriented_ring(8).unwrap();
     // Theorem 1: quotient collapses -> precondition error.
-    let spec = ScenarioSpec::arbitrary(&g).with_seed(1);
+    let spec = ScenarioSpec::arbitrary(Algorithm::QuotientTh1, &g).with_seed(1);
     let err = run_algorithm(Algorithm::QuotientTh1, &g, &spec).unwrap_err();
     assert!(format!("{err}").contains("quotient"));
     // Theorem 2: gathering infeasible.
@@ -68,7 +68,8 @@ fn symmetric_graphs_fail_loudly() {
 fn gathered_algorithms_from_every_start_node() {
     let g = generators::erdos_renyi_connected(9, 0.4, 12).unwrap();
     for start in 0..g.n() {
-        let spec = ScenarioSpec::gathered(&g, start).with_seed(start as u64);
+        let spec =
+            ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &g, start).with_seed(start as u64);
         let out = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap();
         assert!(out.dispersed, "start {start}");
     }
@@ -82,7 +83,7 @@ fn table1_round_ordering_holds() {
     let mut th6 = Vec::new();
     for n in [8usize, 12] {
         let g = generators::erdos_renyi_connected(n, 0.35, n as u64).unwrap();
-        let spec = ScenarioSpec::gathered(&g, 0).with_seed(2);
+        let spec = ScenarioSpec::gathered(Algorithm::GatheredHalfTh3, &g, 0).with_seed(2);
         th3.push(
             run_algorithm(Algorithm::GatheredHalfTh3, &g, &spec)
                 .unwrap()
@@ -106,7 +107,7 @@ fn group_infiltration_within_tolerance() {
     let g = generators::erdos_renyi_connected(12, 0.35, 20).unwrap();
     let f = Algorithm::GatheredThirdTh4.tolerance(12);
     for kind in [AdversaryKind::TokenHijacker, AdversaryKind::MapLiar] {
-        let spec = ScenarioSpec::gathered(&g, 0)
+        let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &g, 0)
             .with_byzantine(f, kind)
             .with_placement(ByzPlacement::LowIds)
             .with_seed(8);
@@ -120,8 +121,9 @@ fn group_infiltration_within_tolerance() {
 #[test]
 fn fewer_robots_than_nodes() {
     let g = generators::erdos_renyi_connected(10, 0.35, 30).unwrap();
-    let mut spec = ScenarioSpec::gathered(&g, 0).with_seed(4);
-    spec.num_robots = 6;
+    let spec = ScenarioSpec::gathered(Algorithm::Baseline, &g, 0)
+        .with_seed(4)
+        .with_robots(6);
     let out = run_algorithm(Algorithm::Baseline, &g, &spec).unwrap();
     assert!(out.dispersed);
     let distinct: std::collections::HashSet<_> = out.final_positions.iter().collect();
@@ -132,7 +134,7 @@ fn fewer_robots_than_nodes() {
 #[test]
 fn metrics_consistency() {
     let g = generators::erdos_renyi_connected(9, 0.4, 40).unwrap();
-    let spec = ScenarioSpec::gathered(&g, 0)
+    let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &g, 0)
         .with_byzantine(2, AdversaryKind::Squatter)
         .with_seed(11);
     let out = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap();

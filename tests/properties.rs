@@ -36,7 +36,7 @@ proptest! {
         let g = generators::erdos_renyi_connected(n, 0.4, seed).unwrap();
         let tol = Algorithm::GatheredThirdTh4.tolerance(n);
         let f = ((tol as f64) * f_frac).round() as usize;
-        let spec = ScenarioSpec::gathered(&g, 0)
+        let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &g, 0)
             .with_byzantine(f, kind)
             .with_seed(seed);
         let out = run_algorithm(Algorithm::GatheredThirdTh4, &g, &spec).unwrap();
@@ -56,7 +56,7 @@ proptest! {
         {
             return Ok(()); // symmetric draw: precondition void
         }
-        let spec = ScenarioSpec::arbitrary(&g)
+        let spec = ScenarioSpec::arbitrary(Algorithm::QuotientTh1, &g)
             .with_byzantine(n - 1, kind)
             .with_seed(seed);
         let out = run_algorithm(Algorithm::QuotientTh1, &g, &spec).unwrap();
@@ -73,7 +73,7 @@ proptest! {
         let g = generators::erdos_renyi_connected(n, 0.4, seed).unwrap();
         let f = Algorithm::StrongGatheredTh6.tolerance(n);
         let placement = if low { ByzPlacement::LowIds } else { ByzPlacement::HighIds };
-        let spec = ScenarioSpec::gathered(&g, 0)
+        let spec = ScenarioSpec::gathered(Algorithm::StrongGatheredTh6, &g, 0)
             .with_byzantine(f, AdversaryKind::StrongSpoofer)
             .with_placement(placement)
             .with_seed(seed);
