@@ -1,0 +1,89 @@
+//! Wall-clock perf harness for the Table 1 sweep.
+//!
+//! Times each Table 1 row's full sweep (same cells, seeds, and adversaries
+//! as the `table1` bin) and emits `BENCH_table1.json`: per-row wall-clock
+//! milliseconds, simulated rounds, and rounds-per-second throughput, plus
+//! sweep totals. This is the perf-trajectory baseline the repo regresses
+//! against — record before/after numbers whenever a PR touches the engine
+//! hot path.
+//!
+//! Measured rounds are asserted deterministic (they come from the row
+//! timelines), so two runs of this harness differ only in wall-clock.
+//!
+//! Usage:
+//! `cargo run --release -p bd-bench --bin bench_table1 [--quick] [--out PATH]`
+
+use bd_bench::{sweep_n, table1_sweeps};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_table1.json", |s| s.as_str());
+    let reps: u64 = if quick { 2 } else { 3 };
+
+    let mut rows = Vec::new();
+    let mut total_rounds = 0u64;
+    println!(
+        "{:<20} {:>12} {:>14} {:>14}",
+        "row", "wall ms", "sim rounds", "rounds/sec"
+    );
+    let sweep_start = Instant::now();
+    for sweep in table1_sweeps() {
+        let ns = if quick { sweep.quick_ns } else { sweep.ns };
+        let t0 = Instant::now();
+        let cells = sweep_n(
+            sweep.algo,
+            ns,
+            |n| sweep.algo.tolerance(n),
+            sweep.adversary,
+            reps,
+        );
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let rounds: u64 = cells.iter().map(|c| c.rounds).sum();
+        let rps = rounds as f64 / (ms / 1e3).max(1e-9);
+        println!(
+            "{:<20} {:>12.1} {:>14} {:>14.0}",
+            sweep.algo.row().name(),
+            ms,
+            rounds,
+            rps
+        );
+        total_rounds += rounds;
+        rows.push(serde_json::json!({
+            "row": sweep.algo.row().name(),
+            "adversary": format!("{:?}", sweep.adversary),
+            "ns": ns,
+            "reps": reps,
+            "wall_ms": ms,
+            "sim_rounds": rounds,
+            "rounds_per_sec": rps,
+        }));
+    }
+    let wall_total = sweep_start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "{:<20} {:>12.1} {:>14} {:>14.0}",
+        "TOTAL",
+        wall_total,
+        total_rounds,
+        total_rounds as f64 / (wall_total / 1e3).max(1e-9)
+    );
+
+    let doc = serde_json::json!({
+        "mode": if quick { "quick" } else { "full" },
+        "rows": rows,
+        "total_wall_ms": wall_total,
+        "total_sim_rounds": total_rounds,
+        "total_rounds_per_sec": total_rounds as f64 / (wall_total / 1e3).max(1e-9),
+    });
+    std::fs::write(
+        out_path,
+        format!("{}\n", serde_json::to_string_pretty(&doc).unwrap()),
+    )
+    .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

@@ -11,10 +11,12 @@
 //!
 //! Usage: `cargo run --release -p bd-bench --bin series [--quick] > series.jsonl`
 
-use bd_bench::{mean_rounds, mean_rounds_by_k, run_cell, success_rate, sweep_k, sweep_n};
+use bd_bench::{
+    mean_rounds, mean_rounds_by_k, mean_skipped_rounds, run_series_cells, success_rate, sweep_k,
+    sweep_n, SeriesCoord,
+};
 use bd_dispersion::adversaries::AdversaryKind;
 use bd_dispersion::runner::{Algorithm, ByzPlacement};
-use rayon::prelude::*;
 use serde_json::json;
 
 fn main() {
@@ -66,7 +68,12 @@ fn main() {
             ns.to_vec()
         };
         let cells = sweep_n(algo, &ns, |n| algo.tolerance(n), kind, reps);
+        let skipped = mean_skipped_rounds(&cells);
         for (n, rounds) in mean_rounds(&cells) {
+            let mean_skipped = skipped
+                .iter()
+                .find(|&&(sn, _)| sn == n)
+                .map_or(0.0, |&(_, s)| s);
             println!(
                 "{}",
                 json!({
@@ -76,38 +83,55 @@ fn main() {
                     "n": n,
                     "f": algo.tolerance(n),
                     "mean_rounds": rounds,
+                    // Fast-forward observability: adversarial sweeps skip
+                    // dead rounds; measured rounds stay timeline-exact.
+                    "mean_rounds_skipped": mean_skipped,
                     "success": success_rate(&cells),
                 })
             );
         }
     }
 
-    // Series B: success vs f around the tolerance bound.
+    // Series B: success vs f around the tolerance bound. All (algo, f,
+    // seed) coordinates run as one planner batch: each seed's graph is
+    // shared across every f bin instead of being regenerated per cell.
     let n = if quick { 9 } else { 12 };
-    for algo in [
+    let series_b: Vec<(Algorithm, Vec<usize>)> = [
         Algorithm::GatheredHalfTh3,
         Algorithm::GatheredThirdTh4,
         Algorithm::StrongGatheredTh6,
-    ] {
+    ]
+    .into_iter()
+    .map(|algo| {
         let tol = algo.tolerance(n);
-        let fs: Vec<usize> = (0..=(tol + 2).min(n - 1)).collect();
-        let cells: Vec<_> = fs
-            .par_iter()
-            .flat_map(|&f| {
-                (0..reps).into_par_iter().map(move |r| {
-                    run_cell(
-                        algo,
-                        n,
-                        f,
-                        AdversaryKind::Wanderer,
-                        ByzPlacement::LowIds,
-                        2000 + r,
-                    )
+        (algo, (0..=(tol + 2).min(n - 1)).collect())
+    })
+    .collect();
+    let coords: Vec<SeriesCoord> = series_b
+        .iter()
+        .flat_map(|&(algo, ref fs)| {
+            fs.iter().flat_map(move |&f| {
+                (0..reps).map(move |r| SeriesCoord {
+                    algo,
+                    n,
+                    f,
+                    adversary: AdversaryKind::Wanderer,
+                    placement: ByzPlacement::LowIds,
+                    seed: 2000 + r,
                 })
             })
-            .collect();
-        for &f in &fs {
-            let at_f: Vec<_> = cells.iter().filter(|c| c.f == f).cloned().collect();
+        })
+        .collect();
+    let all_b = run_series_cells(&coords);
+    // Results come back in coords order: `reps` contiguous cells per f bin,
+    // f bins contiguous per algorithm.
+    let mut offset = 0usize;
+    for (algo, fs) in &series_b {
+        let algo = *algo;
+        let tol = algo.tolerance(n);
+        for &f in fs {
+            let at_f = &all_b[offset..offset + reps as usize];
+            offset += reps as usize;
             println!(
                 "{}",
                 json!({
@@ -117,32 +141,37 @@ fn main() {
                     "f": f,
                     "tolerance": tol,
                     "within_tolerance": f <= tol,
-                    "success": success_rate(&at_f),
+                    "success": success_rate(at_f),
                 })
             );
         }
     }
 
-    // Series C: adversary ablation on the Theorem 3 pipeline.
+    // Series C: adversary ablation on the Theorem 3 pipeline — one planner
+    // batch across all adversary kinds (one shared graph per seed).
     let n = 8;
     let f = Algorithm::GatheredHalfTh3.tolerance(n);
-    for kind in AdversaryKind::all() {
-        if kind.needs_strong() {
-            continue; // Theorem 3 assumes weak Byzantine robots.
-        }
-        let cells: Vec<_> = (0..reps)
-            .into_par_iter()
-            .map(|r| {
-                run_cell(
-                    Algorithm::GatheredHalfTh3,
-                    n,
-                    f,
-                    kind,
-                    ByzPlacement::Random,
-                    3000 + r,
-                )
+    let kinds: Vec<AdversaryKind> = AdversaryKind::all()
+        .into_iter()
+        .filter(|k| !k.needs_strong()) // Theorem 3 assumes weak Byzantine robots.
+        .collect();
+    let coords: Vec<SeriesCoord> = kinds
+        .iter()
+        .flat_map(|&kind| {
+            (0..reps).map(move |r| SeriesCoord {
+                algo: Algorithm::GatheredHalfTh3,
+                n,
+                f,
+                adversary: kind,
+                placement: ByzPlacement::Random,
+                seed: 3000 + r,
             })
-            .collect();
+        })
+        .collect();
+    let all_c = run_series_cells(&coords);
+    // Results in coords order: `reps` contiguous cells per adversary kind.
+    for (i, kind) in kinds.into_iter().enumerate() {
+        let cells = &all_c[i * reps as usize..(i + 1) * reps as usize];
         println!(
             "{}",
             json!({
@@ -151,8 +180,9 @@ fn main() {
                 "adversary": format!("{kind:?}"),
                 "n": n,
                 "f": f,
-                "mean_rounds": mean_rounds(&cells).first().map(|x| x.1),
-                "success": success_rate(&cells),
+                "mean_rounds": mean_rounds(cells).first().map(|x| x.1),
+                "mean_rounds_skipped": mean_skipped_rounds(cells).first().map(|x| x.1),
+                "success": success_rate(cells),
             })
         );
     }

@@ -11,66 +11,10 @@
 //!
 //! Usage: `cargo run --release -p bd-bench --bin table1 [--quick]`
 
-use bd_bench::{mean_rounds, success_rate, sweep_n};
-use bd_dispersion::adversaries::AdversaryKind;
+use bd_bench::{mean_rounds, success_rate, table1_batch, table1_sweeps};
 use bd_dispersion::impossibility::replay_experiment;
-use bd_dispersion::runner::Algorithm;
 use bd_exploration::cost::fit_exponent;
 use bd_graphs::generators::erdos_renyi_connected;
-
-/// Sweep shape per row: everything else comes from the registry.
-struct Sweep {
-    algo: Algorithm,
-    ns: &'static [usize],
-    quick_ns: &'static [usize],
-    adversary: AdversaryKind,
-}
-
-/// Rows in the paper's Table 1 print order (Thm 1, 2, 5, 3, 4, 7, 6).
-const SWEEPS: &[Sweep] = &[
-    Sweep {
-        algo: Algorithm::QuotientTh1,
-        ns: &[8, 12, 16, 24, 32],
-        quick_ns: &[8, 12, 16],
-        adversary: AdversaryKind::FakeSettler,
-    },
-    Sweep {
-        algo: Algorithm::ArbitraryHalfTh2,
-        ns: &[6, 8, 10, 12],
-        quick_ns: &[6, 8],
-        adversary: AdversaryKind::Wanderer,
-    },
-    Sweep {
-        algo: Algorithm::ArbitrarySqrtTh5,
-        ns: &[9, 12, 16, 25],
-        quick_ns: &[9, 16],
-        adversary: AdversaryKind::TokenHijacker,
-    },
-    Sweep {
-        algo: Algorithm::GatheredHalfTh3,
-        ns: &[6, 8, 12, 16, 20],
-        quick_ns: &[6, 8, 12],
-        adversary: AdversaryKind::Wanderer,
-    },
-    Sweep {
-        algo: Algorithm::GatheredThirdTh4,
-        ns: &[9, 12, 16, 24, 32],
-        quick_ns: &[9, 12, 16],
-        adversary: AdversaryKind::TokenHijacker,
-    },
-    Sweep {
-        algo: Algorithm::StrongArbitraryTh7,
-        ns: &[8, 12, 16, 24],
-        quick_ns: &[8, 12],
-        adversary: AdversaryKind::StrongSpoofer,
-    },
-    Sweep {
-        algo: Algorithm::StrongGatheredTh6,
-        ns: &[8, 12, 16, 24, 32],
-        quick_ns: &[8, 12, 16],
-        adversary: AdversaryKind::StrongSpoofer,
-    },
-];
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -90,19 +34,14 @@ fn main() {
         "fit n^b",
         "success",
     );
-    for (serial, sweep) in SWEEPS.iter().enumerate() {
+    // All rows run as one multi-graph batch: the planner shares a session
+    // per distinct graph and schedules the most expensive cells first.
+    let per_row = table1_batch(quick, reps);
+    for (serial, (sweep, cells)) in table1_sweeps().iter().zip(&per_row).enumerate() {
         let row = sweep.algo.row();
-        let ns = if quick { sweep.quick_ns } else { sweep.ns };
-        let cells = sweep_n(
-            sweep.algo,
-            ns,
-            |n| sweep.algo.tolerance(n),
-            sweep.adversary,
-            reps,
-        );
-        let means = mean_rounds(&cells);
+        let means = mean_rounds(cells);
         let fit = fit_exponent(&means);
-        let ok = success_rate(&cells);
+        let ok = success_rate(cells);
         let series: Vec<String> = means.iter().map(|(n, r)| format!("{n}:{:.0}", r)).collect();
         println!(
             "{:<3} {:<6} {:<20} {:<22} {:<10} {:<16} {:<7} {:<9.2} {:<8.2} {}",

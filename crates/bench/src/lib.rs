@@ -19,11 +19,11 @@
 
 use bd_dispersion::adversaries::AdversaryKind;
 use bd_dispersion::runner::{Algorithm, ByzPlacement, ScenarioSpec};
-use bd_dispersion::Session;
+use bd_dispersion::{BatchPlanner, Session};
 use bd_graphs::generators::erdos_renyi_connected;
 use bd_graphs::PortGraph;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One measured cell of a sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -35,8 +35,78 @@ pub struct Cell {
     pub adversary: String,
     pub seed: u64,
     pub rounds: u64,
+    /// Rounds the engine fast-forwarded over (part of `rounds`). Nonzero
+    /// in adversarial sweeps since the adversary idle-horizon work; the
+    /// measured `rounds` are timeline-derived and unaffected.
+    pub rounds_skipped: u64,
     pub total_moves: u64,
     pub dispersed: bool,
+}
+
+/// Sweep shape of one Table 1 row: the `n` grid and the adversary the row
+/// is evaluated against. Everything else (tolerance, start, budget) comes
+/// from the row's registry descriptor. Shared by the `table1` printing bin
+/// and the `bench_table1` wall-clock harness so both measure the identical
+/// sweep.
+pub struct Table1Sweep {
+    /// The Table 1 row.
+    pub algo: Algorithm,
+    /// Full-mode `n` grid.
+    pub ns: &'static [usize],
+    /// `--quick` `n` grid.
+    pub quick_ns: &'static [usize],
+    /// Adversary at the row's maximum tolerance.
+    pub adversary: AdversaryKind,
+}
+
+/// The Table 1 sweep shapes, in the paper's print order
+/// (Thm 1, 2, 5, 3, 4, 7, 6).
+pub fn table1_sweeps() -> &'static [Table1Sweep] {
+    const SWEEPS: &[Table1Sweep] = &[
+        Table1Sweep {
+            algo: Algorithm::QuotientTh1,
+            ns: &[8, 12, 16, 24, 32],
+            quick_ns: &[8, 12, 16],
+            adversary: AdversaryKind::FakeSettler,
+        },
+        Table1Sweep {
+            algo: Algorithm::ArbitraryHalfTh2,
+            ns: &[6, 8, 10, 12],
+            quick_ns: &[6, 8],
+            adversary: AdversaryKind::Wanderer,
+        },
+        Table1Sweep {
+            algo: Algorithm::ArbitrarySqrtTh5,
+            ns: &[9, 12, 16, 25],
+            quick_ns: &[9, 16],
+            adversary: AdversaryKind::TokenHijacker,
+        },
+        Table1Sweep {
+            algo: Algorithm::GatheredHalfTh3,
+            ns: &[6, 8, 12, 16, 20],
+            quick_ns: &[6, 8, 12],
+            adversary: AdversaryKind::Wanderer,
+        },
+        Table1Sweep {
+            algo: Algorithm::GatheredThirdTh4,
+            ns: &[9, 12, 16, 24, 32],
+            quick_ns: &[9, 12, 16],
+            adversary: AdversaryKind::TokenHijacker,
+        },
+        Table1Sweep {
+            algo: Algorithm::StrongArbitraryTh7,
+            ns: &[8, 12, 16, 24],
+            quick_ns: &[8, 12],
+            adversary: AdversaryKind::StrongSpoofer,
+        },
+        Table1Sweep {
+            algo: Algorithm::StrongGatheredTh6,
+            ns: &[8, 12, 16, 24, 32],
+            quick_ns: &[8, 12, 16],
+            adversary: AdversaryKind::StrongSpoofer,
+        },
+    ];
+    SWEEPS
 }
 
 /// The benchmark graph family: seeded `G(n, p)` with `p` high enough for
@@ -64,6 +134,57 @@ pub fn starting_config(algo: Algorithm, g: &PortGraph) -> ScenarioSpec {
     ScenarioSpec::evaluation(algo, g)
 }
 
+/// Memoizes [`bench_graph`] instances as shared `Arc` handles, so sweeps
+/// that revisit a `(n, seed)` coordinate (e.g. success-vs-`f` series that
+/// vary only `f`) reuse one graph — and therefore one [`BatchPlanner`]
+/// session — instead of regenerating and re-owning it per cell.
+#[derive(Default)]
+pub struct GraphCache(std::collections::BTreeMap<(usize, u64), Arc<PortGraph>>);
+
+impl GraphCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        GraphCache::default()
+    }
+
+    /// The shared graph for `(n, seed)`, generated on first use.
+    pub fn get(&mut self, n: usize, seed: u64) -> Arc<PortGraph> {
+        Arc::clone(
+            self.0
+                .entry((n, seed))
+                .or_insert_with(|| Arc::new(bench_graph(n, seed))),
+        )
+    }
+}
+
+/// Queue one sweep cell on `planner`: the spec `run_cell` would build for
+/// these coordinates, on the cache's shared graph. Returns the spec (for
+/// [`cell_of`] after the batch runs).
+fn queue_cell(
+    planner: &mut BatchPlanner,
+    cache: &mut GraphCache,
+    algo: Algorithm,
+    n: usize,
+    f: usize,
+    adversary: AdversaryKind,
+    placement: ByzPlacement,
+    seed: u64,
+) -> ScenarioSpec {
+    let graph = cache.get(n, seed);
+    let spec = starting_config(algo, &graph)
+        .with_byzantine(f, adversary)
+        .with_placement(placement)
+        .with_seed(seed);
+    let k = spec.num_robots;
+    let spec = if f > algo.row().tolerance(n, k) {
+        spec.overloaded()
+    } else {
+        spec
+    };
+    planner.add(&graph, spec.clone());
+    spec
+}
+
 /// Run one cell. Panics on scenario errors (callers pick valid cells);
 /// a round-limit overrun is reported as a failed cell instead.
 ///
@@ -79,18 +200,17 @@ pub fn run_cell(
     placement: ByzPlacement,
     seed: u64,
 ) -> Cell {
-    let session = Session::new(bench_graph(n, seed));
-    let spec = starting_config(algo, session.graph())
-        .with_byzantine(f, adversary)
-        .with_placement(placement)
-        .with_seed(seed);
-    let k = spec.num_robots;
-    let spec = if f > algo.row().tolerance(n, k) {
-        spec.overloaded()
-    } else {
-        spec
-    };
-    run_spec_cell(&session, &spec)
+    // One-cell batch: the spec construction and the tolerance/overload
+    // guard live in `queue_cell` only, shared with every sweep.
+    run_series_cells(&[SeriesCoord {
+        algo,
+        n,
+        f,
+        adversary,
+        placement,
+        seed,
+    }])
+    .remove(0)
 }
 
 /// Fold one run result into a [`Cell`]. Graph-shape errors (symmetric
@@ -110,6 +230,7 @@ fn cell_of(
             adversary: format!("{:?}", spec.adversary),
             seed: spec.seed,
             rounds: out.rounds,
+            rounds_skipped: out.metrics.rounds_skipped,
             total_moves: out.metrics.total_moves,
             dispersed: out.dispersed,
         },
@@ -125,7 +246,9 @@ pub fn run_spec_cell(session: &Session, spec: &ScenarioSpec) -> Cell {
     cell_of(spec, session.graph().n(), session.run(spec))
 }
 
-/// Sweep `n` values with `reps` seeds each, in parallel.
+/// Sweep `n` values with `reps` seeds each through the [`BatchPlanner`]:
+/// every cell's graph is a shared handle, and the pool executes cells
+/// largest-first (biggest `n` never straggles at the tail of the sweep).
 pub fn sweep_n(
     algo: Algorithm,
     ns: &[usize],
@@ -133,22 +256,111 @@ pub fn sweep_n(
     adversary: AdversaryKind,
     reps: u64,
 ) -> Vec<Cell> {
-    let cells: Vec<(usize, u64)> = ns
-        .iter()
-        .flat_map(|&n| (0..reps).map(move |r| (n, r)))
-        .collect();
-    cells
-        .into_par_iter()
-        .map(|(n, rep)| {
-            run_cell(
+    let mut planner = BatchPlanner::new();
+    let mut cache = GraphCache::new();
+    let mut meta: Vec<(ScenarioSpec, usize)> = Vec::new();
+    for &n in ns {
+        for rep in 0..reps {
+            let spec = queue_cell(
+                &mut planner,
+                &mut cache,
                 algo,
                 n,
                 f_of_n(n),
                 adversary,
                 ByzPlacement::Random,
                 1000 + rep,
-            )
-        })
+            );
+            meta.push((spec, n));
+        }
+    }
+    planner
+        .run()
+        .into_iter()
+        .zip(meta)
+        .map(|(result, (spec, n))| cell_of(&spec, n, result))
+        .collect()
+}
+
+/// The whole Table 1 sweep as **one** multi-graph batch: all rows' cells
+/// queued on a single [`BatchPlanner`] (graphs of every size side by side)
+/// and executed largest-cost-first. Returns per-sweep cell vectors in
+/// [`table1_sweeps`] order.
+pub fn table1_batch(quick: bool, reps: u64) -> Vec<Vec<Cell>> {
+    let sweeps = table1_sweeps();
+    let mut planner = BatchPlanner::new();
+    let mut cache = GraphCache::new();
+    let mut meta: Vec<(usize, ScenarioSpec, usize)> = Vec::new();
+    for (serial, sweep) in sweeps.iter().enumerate() {
+        let ns = if quick { sweep.quick_ns } else { sweep.ns };
+        for &n in ns {
+            for rep in 0..reps {
+                let spec = queue_cell(
+                    &mut planner,
+                    &mut cache,
+                    sweep.algo,
+                    n,
+                    sweep.algo.tolerance(n),
+                    sweep.adversary,
+                    ByzPlacement::Random,
+                    1000 + rep,
+                );
+                meta.push((serial, spec, n));
+            }
+        }
+    }
+    let mut rows: Vec<Vec<Cell>> = sweeps.iter().map(|_| Vec::new()).collect();
+    for (result, (serial, spec, n)) in planner.run().into_iter().zip(meta) {
+        rows[serial].push(cell_of(&spec, n, result));
+    }
+    rows
+}
+
+/// One sweep coordinate for [`run_series_cells`]: everything `run_cell`
+/// takes, as data, so heterogeneous series can batch through one planner.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesCoord {
+    /// The Table 1 row.
+    pub algo: Algorithm,
+    /// Graph size.
+    pub n: usize,
+    /// Byzantine contingent.
+    pub f: usize,
+    /// Adversary strategy.
+    pub adversary: AdversaryKind,
+    /// Byzantine ID placement.
+    pub placement: ByzPlacement,
+    /// Cell seed (also the graph seed).
+    pub seed: u64,
+}
+
+/// Run an arbitrary list of sweep coordinates as one [`BatchPlanner`]
+/// batch: graphs are shared per `(n, seed)` coordinate, cells execute
+/// largest-cost-first, and results come back in `coords` order. Equivalent
+/// to mapping [`run_cell`] over `coords`, minus the redundant graph
+/// builds and with deliberate scheduling.
+pub fn run_series_cells(coords: &[SeriesCoord]) -> Vec<Cell> {
+    let mut planner = BatchPlanner::new();
+    let mut cache = GraphCache::new();
+    let mut meta: Vec<(ScenarioSpec, usize)> = Vec::new();
+    for c in coords {
+        let spec = queue_cell(
+            &mut planner,
+            &mut cache,
+            c.algo,
+            c.n,
+            c.f,
+            c.adversary,
+            c.placement,
+            c.seed,
+        );
+        meta.push((spec, c.n));
+    }
+    planner
+        .run()
+        .into_iter()
+        .zip(meta)
+        .map(|(result, (spec, n))| cell_of(&spec, n, result))
         .collect()
 }
 
@@ -185,18 +397,34 @@ pub fn sweep_k(
         .collect()
 }
 
-/// Mean rounds grouped by an arbitrary cell key.
-pub fn mean_rounds_by(cells: &[Cell], key: impl Fn(&Cell) -> usize) -> Vec<(usize, f64)> {
+/// Mean of an arbitrary cell quantity grouped by an arbitrary cell key.
+fn mean_by(
+    cells: &[Cell],
+    key: impl Fn(&Cell) -> usize,
+    value: impl Fn(&Cell) -> f64,
+) -> Vec<(usize, f64)> {
     let mut groups: std::collections::BTreeMap<usize, (f64, usize)> = Default::default();
     for c in cells {
         let e = groups.entry(key(c)).or_insert((0.0, 0));
-        e.0 += c.rounds as f64;
+        e.0 += value(c);
         e.1 += 1;
     }
     groups
         .into_iter()
         .map(|(g, (sum, count))| (g, sum / count as f64))
         .collect()
+}
+
+/// Mean rounds grouped by an arbitrary cell key.
+pub fn mean_rounds_by(cells: &[Cell], key: impl Fn(&Cell) -> usize) -> Vec<(usize, f64)> {
+    mean_by(cells, key, |c| c.rounds as f64)
+}
+
+/// Mean fast-forwarded rounds per `n` — the observable that adversarial
+/// sweeps exercise the skip path (must be > 0 on every row with idle
+/// phases, while `mean_rounds` stays pinned to the timelines).
+pub fn mean_skipped_rounds(cells: &[Cell]) -> Vec<(usize, f64)> {
+    mean_by(cells, |c| c.n, |c| c.rounds_skipped as f64)
 }
 
 /// Mean rounds per `n` from a sweep.
@@ -303,6 +531,7 @@ mod tests {
             adversary: "a".into(),
             seed,
             rounds,
+            rounds_skipped: 0,
             total_moves: 5,
             dispersed,
         };

@@ -29,6 +29,31 @@
 //! it they idle (they still physically exist and appear in rosters). This
 //! is an omniscient-adversary convenience — activating exactly when the
 //! protocol is vulnerable — and keeps the simulation fast-forwardable.
+//!
+//! # Idle horizons (the adversary side of the fast-forward contract)
+//!
+//! Every strategy declares a *provable idle horizon* so adversarial sweeps
+//! fast-forward dead rounds exactly like fault-free ones (the measured
+//! quantity — rounds to honest termination — is derived from the phase
+//! timelines and is invariant to adversary behavior, so skipping cannot
+//! drift it):
+//!
+//! * **Stationary spammers** (Squatter, LiarFlags, Crowd, MapLiar,
+//!   StrongSpoofer) never move and publish a deterministic message each
+//!   round; their entire observable footprint is physical presence (which
+//!   skipping never hides — rosters are built from positions) plus
+//!   publications, which are unread in any skipped round (the engine skips
+//!   only rounds in which *every* robot is idle). They report an unbounded
+//!   horizon and their trajectories are bit-identical with or without
+//!   fast-forwarding.
+//! * **Roamers** (FakeSettler, Silent, Wanderer, TokenHijacker) act on a
+//!   **burst grid**: active during the first `n` rounds of every `4n`-round
+//!   block after activation, provably idle (stationary, silent, no RNG
+//!   draws) between bursts, and therefore skippable until the next burst
+//!   start. Burst rounds are never skipped (the controller reports no
+//!   idleness inside one), so the RNG stream position at every burst is
+//!   independent of how much was skipped elsewhere — roamer trajectories
+//!   are also deterministic under fast-forwarding.
 
 use crate::msg::{DumState, Msg};
 use bd_graphs::canonical::canonical_form;
@@ -89,12 +114,27 @@ impl AdversaryKind {
             AdversaryKind::CrashMidway,
         ]
     }
+
+    /// Whether the strategy moves between nodes once active. Roaming
+    /// strategies run on the burst grid (see the module docs); stationary
+    /// ones act every round and report an unbounded idle horizon.
+    pub fn roams(self) -> bool {
+        matches!(
+            self,
+            AdversaryKind::FakeSettler
+                | AdversaryKind::Silent
+                | AdversaryKind::Wanderer
+                | AdversaryKind::TokenHijacker
+        )
+    }
 }
 
 /// A configurable Byzantine controller.
 pub struct AdversaryController {
     id: RobotId,
     kind: AdversaryKind,
+    /// Graph size; scales the roamers' burst grid.
+    n: usize,
     rng: StdRng,
     /// Optional gathering script (so the adversary infiltrates the
     /// gathering in arbitrary-start scenarios).
@@ -113,12 +153,14 @@ pub struct AdversaryController {
 }
 
 impl AdversaryController {
-    /// Build an adversary. `active_from` is the round interaction starts
-    /// (the scenario builder passes the phase where this strategy bites);
+    /// Build an adversary. `n` is the graph size (drives the roamers'
+    /// burst grid); `active_from` is the round interaction starts (the
+    /// scenario builder passes the phase where this strategy bites);
     /// `spoof_pool` is used by [`AdversaryKind::StrongSpoofer`].
     pub fn new(
         id: RobotId,
         kind: AdversaryKind,
+        n: usize,
         seed: u64,
         gather_script: Vec<Port>,
         active_from: u64,
@@ -128,6 +170,7 @@ impl AdversaryController {
         AdversaryController {
             id,
             kind,
+            n: n.max(1),
             rng: StdRng::seed_from_u64(seed ^ id.0),
             gather_script: gather_script.into(),
             active_from,
@@ -143,6 +186,25 @@ impl AdversaryController {
 
     fn active(&self, round: u64) -> bool {
         round >= self.active_from
+    }
+
+    /// Burst grid for roaming strategies: active during the first `n`
+    /// rounds of every `4n`-round block after activation. Stationary
+    /// strategies are "in burst" every active round.
+    fn in_burst(&self, round: u64) -> bool {
+        if !self.kind.roams() {
+            return true;
+        }
+        let block = 4 * self.n as u64;
+        (round - self.active_from) % block < self.n as u64
+    }
+
+    /// First burst round at or after `round` (call with an active,
+    /// out-of-burst round).
+    fn next_burst_start(&self, round: u64) -> u64 {
+        let block = 4 * self.n as u64;
+        let offset = (round - self.active_from) % block;
+        round + (block - offset)
     }
 }
 
@@ -165,7 +227,7 @@ impl Controller<Msg> for AdversaryController {
 
     fn act(&mut self, obs: &Observation<'_, Msg>) -> Option<Msg> {
         self.round_seen = obs.round;
-        if !self.active(obs.round) || obs.subround != 0 {
+        if !self.active(obs.round) || obs.subround != 0 || !self.in_burst(obs.round) {
             return None;
         }
         self.acted_rounds += 1;
@@ -204,7 +266,7 @@ impl Controller<Msg> for AdversaryController {
         if let Some(p) = self.gather_script.pop_front() {
             return MoveChoice::Move(p);
         }
-        if !self.active(obs.round) || obs.degree == 0 {
+        if !self.active(obs.round) || obs.degree == 0 || !self.in_burst(obs.round) {
             return MoveChoice::Stay;
         }
         let roam = match self.kind {
@@ -228,10 +290,26 @@ impl Controller<Msg> for AdversaryController {
     }
 
     fn idle_until(&self) -> Option<u64> {
-        if self.gather_script.is_empty() && self.round_seen < self.active_from {
-            Some(self.active_from)
-        } else {
+        if !self.gather_script.is_empty() {
+            return None;
+        }
+        if self.round_seen < self.active_from {
+            return Some(self.active_from);
+        }
+        if !self.kind.roams() {
+            // Stationary spammer: its publications go unread in any skipped
+            // round and it never moves — skippable for as long as everyone
+            // else is idle.
+            return Some(u64::MAX);
+        }
+        // Roamer: `round_seen` is the last stepped round, so the engine is
+        // about to evaluate round `round_seen + 1`. Idle exactly up to the
+        // next burst.
+        let next = self.round_seen + 1;
+        if self.in_burst(next) {
             None
+        } else {
+            Some(self.next_burst_start(next))
         }
     }
 }
@@ -352,6 +430,7 @@ mod tests {
             AdversaryController::new(
                 RobotId(90 + idx as u64),
                 AdversaryKind::StrongSpoofer,
+                8,
                 7,
                 Vec::new(),
                 0,
@@ -371,6 +450,7 @@ mod tests {
         let a = AdversaryController::new(
             RobotId(42),
             AdversaryKind::Squatter,
+            8,
             7,
             Vec::new(),
             0,
@@ -385,6 +465,7 @@ mod tests {
         let a = AdversaryController::new(
             RobotId(42),
             AdversaryKind::Wanderer,
+            8,
             7,
             Vec::new(),
             500,
@@ -392,6 +473,77 @@ mod tests {
             0,
         );
         assert_eq!(a.idle_until(), Some(500));
+    }
+
+    #[test]
+    fn stationary_spammer_reports_unbounded_horizon() {
+        let a = AdversaryController::new(
+            RobotId(9),
+            AdversaryKind::Squatter,
+            8,
+            7,
+            Vec::new(),
+            0,
+            Vec::new(),
+            0,
+        );
+        assert_eq!(a.idle_until(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn roamer_bursts_on_the_grid() {
+        let n = 8usize;
+        let mut a = AdversaryController::new(
+            RobotId(9),
+            AdversaryKind::Wanderer,
+            n,
+            7,
+            Vec::new(),
+            0,
+            Vec::new(),
+            0,
+        );
+        // Bursts cover [0, n) of every 4n-round block.
+        assert!(a.in_burst(0) && a.in_burst(n as u64 - 1));
+        assert!(!a.in_burst(n as u64) && !a.in_burst(4 * n as u64 - 1));
+        assert!(a.in_burst(4 * n as u64));
+        // Inside a burst: no idleness claim. Outside: idle to the next
+        // burst start.
+        a.round_seen = 2;
+        assert_eq!(a.idle_until(), None);
+        a.round_seen = n as u64; // next evaluated round is n + 1
+        assert_eq!(a.idle_until(), Some(4 * n as u64));
+    }
+
+    #[test]
+    fn roamer_is_inert_between_bursts() {
+        let n = 8usize;
+        let mut a = AdversaryController::new(
+            RobotId(9),
+            AdversaryKind::TokenHijacker,
+            n,
+            7,
+            Vec::new(),
+            0,
+            Vec::new(),
+            0,
+        );
+        let roster = [RobotId(9)];
+        let obs = |round: u64| Observation::<Msg> {
+            round,
+            subround: 0,
+            subrounds: 1,
+            degree: 3,
+            roster: &roster,
+            bulletin: &[],
+            arrival: None,
+        };
+        // Burst round: spams a forged instruction.
+        assert!(a.act(&obs(0)).is_some());
+        // Gap round: silent and stationary, as the idle horizon promises.
+        let gap = n as u64 + 1;
+        assert!(a.act(&obs(gap)).is_none());
+        assert_eq!(a.decide_move(&obs(gap)), MoveChoice::Stay);
     }
 
     #[test]

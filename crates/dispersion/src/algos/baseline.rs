@@ -89,6 +89,17 @@ impl Controller<Msg> for BaselineController {
         // the phase budget exactly (same convention as every other row).
         self.round_seen + 1 >= self.budget && self.path.as_ref().is_some_and(|p| p.is_empty())
     }
+
+    fn idle_until(&self) -> Option<u64> {
+        // Walk exhausted: idle to the phase's last round. Acting there
+        // flips `terminated`, so the measured rounds still equal the
+        // budget exactly.
+        if self.path.as_ref().is_some_and(|p| p.is_empty()) {
+            Some(self.budget.saturating_sub(1))
+        } else {
+            None
+        }
+    }
 }
 
 /// Comparison row: the non-Byzantine oracle baseline (Theorem 8's

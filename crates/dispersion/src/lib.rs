@@ -39,6 +39,11 @@
 //!   zero per-run graph clones; [`Session::plan`] exposes the precomputed
 //!   [`registry::Plan`] (and thereby the row's exact round budget) without
 //!   running.
+//! * **[`session::BatchPlanner`]** — the multi-graph batch layer above
+//!   sessions: queue specs against heterogeneous graphs, share one session
+//!   per distinct `Arc`, and execute across the Rayon pool **largest
+//!   cost first** (cost = registry round budget × roster size). The bench
+//!   sweeps run on it.
 //!
 //! ```
 //! use bd_dispersion::adversaries::AdversaryKind;
@@ -136,4 +141,4 @@ pub use error::DispersionError;
 pub use msg::{DumState, Msg};
 pub use registry::{Plan, StartColumn, StartRequirement, TableRow};
 pub use runner::{run_algorithm, Algorithm, Outcome, ScenarioSpec, StartConfig};
-pub use session::Session;
+pub use session::{BatchPlanner, Session};

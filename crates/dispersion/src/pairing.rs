@@ -12,41 +12,36 @@
 //! roster — no coordination needed.
 
 use bd_runtime::RobotId;
-use std::collections::BTreeMap;
 
-/// One pairing window in a robot's personal schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PairingWindow {
-    /// Window index (global across stages); absolute rounds are
-    /// `phase_start + index * window_len`.
-    pub index: u64,
-    /// The partner for this window; `None` means the robot drew the dummy
-    /// slot and idles out the window.
-    pub partner: Option<RobotId>,
-}
-
-/// The full schedule: per-robot windows plus the global window count.
+/// The full schedule as a direct lookup table: per robot (dense, in sorted
+/// ID order), the partner of every window. The half-row controller queries
+/// [`PairingSchedule::partner_in`] at every window transition of every
+/// robot, so the query is O(1): a binary search over `ids` (≤ `log k`,
+/// cacheable) plus one indexed load — the old per-call linear scan over a
+/// robot's window list is gone.
 #[derive(Debug, Clone)]
 pub struct PairingSchedule {
-    /// Every robot's windows, keyed by robot (only windows with an entry;
-    /// robots idle in windows not listed).
-    pub windows: BTreeMap<RobotId, Vec<PairingWindow>>,
+    /// Sorted distinct robot IDs; row `r` of `table` belongs to `ids[r]`.
+    ids: Vec<RobotId>,
+    /// `table[r][w]` is robot `ids[r]`'s partner in window `w`; `None`
+    /// means the robot idles that window out (not scheduled, or drew the
+    /// dummy slot of an odd split).
+    table: Vec<Vec<Option<RobotId>>>,
     /// Total number of windows across all stages.
     pub total_windows: u64,
 }
 
 impl PairingSchedule {
-    /// Windows of one robot (empty slice if unknown robot).
-    pub fn of(&self, id: RobotId) -> &[PairingWindow] {
-        self.windows.get(&id).map_or(&[], |v| v.as_slice())
+    /// The sorted snapshot IDs the schedule was built from.
+    pub fn ids(&self) -> &[RobotId] {
+        &self.ids
     }
 
-    /// The robot's partner in a given window, if any.
+    /// The robot's partner in a given window, if any. O(log k) for the ID
+    /// lookup, O(1) in the window number.
     pub fn partner_in(&self, id: RobotId, window: u64) -> Option<RobotId> {
-        self.of(id)
-            .iter()
-            .find(|w| w.index == window)
-            .and_then(|w| w.partner)
+        let row = self.ids.binary_search(&id).ok()?;
+        self.table[row].get(window as usize).copied().flatten()
     }
 }
 
@@ -59,8 +54,15 @@ pub fn pairing_schedule(ids: &[RobotId]) -> PairingSchedule {
         ids.windows(2).all(|w| w[0] < w[1]),
         "ids must be sorted and distinct"
     );
-    let mut windows: BTreeMap<RobotId, Vec<PairingWindow>> =
-        ids.iter().map(|&id| (id, Vec::new())).collect();
+    let index_of = |id: RobotId| ids.binary_search(&id).expect("id in snapshot");
+    let mut table: Vec<Vec<Option<RobotId>>> = vec![Vec::new(); ids.len()];
+    let set = |table: &mut Vec<Vec<Option<RobotId>>>, id: RobotId, w: u64, p: Option<RobotId>| {
+        let row = &mut table[index_of(id)];
+        if row.len() <= w as usize {
+            row.resize(w as usize + 1, None);
+        }
+        row[w as usize] = p;
+    };
     let mut next_window = 0u64;
     // Groups at the current recursion level.
     let mut level: Vec<Vec<RobotId>> = vec![ids.to_vec()];
@@ -88,15 +90,9 @@ pub fn pairing_schedule(ids: &[RobotId]) -> PairingSchedule {
                     let slot = (x + j as usize) % h;
                     // G1 padded with a dummy when smaller than G0.
                     let partner = g1.get(slot).copied();
-                    windows.get_mut(&a).expect("id in map").push(PairingWindow {
-                        index: next_window + j,
-                        partner,
-                    });
+                    set(&mut table, a, next_window + j, partner);
                     if let Some(b) = partner {
-                        windows.get_mut(&b).expect("id in map").push(PairingWindow {
-                            index: next_window + j,
-                            partner: Some(a),
-                        });
+                        set(&mut table, b, next_window + j, Some(a));
                     }
                 }
             }
@@ -108,8 +104,13 @@ pub fn pairing_schedule(ids: &[RobotId]) -> PairingSchedule {
             .filter(|g| !g.is_empty())
             .collect();
     }
+    // Pad every row to the full window count so lookups are pure loads.
+    for row in &mut table {
+        row.resize(next_window as usize, None);
+    }
     PairingSchedule {
-        windows,
+        ids: ids.to_vec(),
+        table,
         total_windows: next_window,
     }
 }
@@ -129,9 +130,9 @@ mod tests {
             let ids = ids(k);
             let s = pairing_schedule(&ids);
             let mut covered = std::collections::HashSet::<(RobotId, RobotId)>::new();
-            for (&a, ws) in &s.windows {
-                for w in ws {
-                    if let Some(b) = w.partner {
+            for &a in s.ids() {
+                for w in 0..s.total_windows {
+                    if let Some(b) = s.partner_in(a, w) {
                         covered.insert((a.min(b), a.max(b)));
                     }
                 }
@@ -149,21 +150,20 @@ mod tests {
         }
     }
 
-    /// No robot is double-booked within one window.
+    /// A robot is never scheduled against itself, and unknown robots or
+    /// out-of-range windows answer `None` (pure-lookup semantics).
     #[test]
-    fn no_double_booking() {
+    fn lookup_is_total_and_sane() {
         for k in 2..=17 {
             let s = pairing_schedule(&ids(k));
-            for (a, ws) in &s.windows {
-                let mut seen = std::collections::HashSet::new();
-                for w in ws {
-                    assert!(
-                        seen.insert(w.index),
-                        "robot {a:?} double-booked in window {}",
-                        w.index
-                    );
+            for &a in s.ids() {
+                for w in 0..s.total_windows {
+                    assert_ne!(s.partner_in(a, w), Some(a), "self-pairing at {w}");
                 }
+                assert_eq!(s.partner_in(a, s.total_windows), None);
+                assert_eq!(s.partner_in(a, u64::MAX), None);
             }
+            assert_eq!(s.partner_in(RobotId(999_999), 0), None);
         }
     }
 
@@ -172,10 +172,10 @@ mod tests {
     #[test]
     fn symmetry() {
         let s = pairing_schedule(&ids(11));
-        for (&a, ws) in &s.windows {
-            for w in ws {
-                if let Some(b) = w.partner {
-                    assert_eq!(s.partner_in(b, w.index), Some(a));
+        for &a in s.ids() {
+            for w in 0..s.total_windows {
+                if let Some(b) = s.partner_in(a, w) {
+                    assert_eq!(s.partner_in(b, w), Some(a));
                 }
             }
         }
@@ -198,7 +198,7 @@ mod tests {
     fn single_robot_trivial() {
         let s = pairing_schedule(&[RobotId(5)]);
         assert_eq!(s.total_windows, 0);
-        assert!(s.of(RobotId(5)).is_empty());
+        assert_eq!(s.partner_in(RobotId(5), 0), None);
     }
 
     #[test]

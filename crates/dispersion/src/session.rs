@@ -158,8 +158,33 @@ impl Session {
     /// Run one scenario to honest termination and verify Definition 1
     /// (capacity-generalized per §5).
     pub fn run(&self, spec: &ScenarioSpec) -> Result<Outcome, DispersionError> {
-        let row = spec.algo.row();
         let plan = self.plan(spec)?;
+        self.run_planned(spec, plan, std::convert::identity)
+    }
+
+    /// [`Session::run`] with an engine-config hook: `tune` receives the
+    /// config the pipeline would use (round cap already set) and may adjust
+    /// it. Used by conformance suites, e.g. to disable fast-forwarding and
+    /// prove trajectories do not depend on it.
+    pub fn run_tuned(
+        &self,
+        spec: &ScenarioSpec,
+        tune: impl FnOnce(EngineConfig) -> EngineConfig,
+    ) -> Result<Outcome, DispersionError> {
+        let plan = self.plan(spec)?;
+        self.run_planned(spec, plan, tune)
+    }
+
+    /// Execute a spec whose [`Plan`] was already computed (so batch layers
+    /// never plan twice). `plan` must come from [`Session::plan`] on the
+    /// same spec.
+    fn run_planned(
+        &self,
+        spec: &ScenarioSpec,
+        plan: Plan,
+        tune: impl FnOnce(EngineConfig) -> EngineConfig,
+    ) -> Result<Outcome, DispersionError> {
+        let row = spec.algo.row();
         let (n, k, f) = (plan.n, plan.k, plan.f);
 
         // Exact honest-termination round from the row's phase timeline;
@@ -169,7 +194,7 @@ impl Session {
 
         let mut engine: Engine<Msg> = Engine::new(
             Arc::clone(&plan.graph),
-            EngineConfig::with_max_rounds(run_end + 64),
+            tune(EngineConfig::with_max_rounds(run_end + 64)),
         );
 
         let honest_ids: Vec<RobotId> = (0..k)
@@ -194,6 +219,7 @@ impl Session {
                     Box::new(AdversaryController::new(
                         plan.ids[i],
                         spec.adversary,
+                        plan.n,
                         spec.seed,
                         plan.gather_script(i),
                         interaction_start,
@@ -241,8 +267,156 @@ impl Session {
     /// Run a batch of scenarios against this session's graph, fanning the
     /// cells out with Rayon. Every run shares one `Arc<PortGraph>`; results
     /// come back in spec order, each cell failing independently.
+    ///
+    /// Single-graph convenience over [`BatchPlanner`], which additionally
+    /// interleaves cells across *different* graphs largest-first.
     pub fn run_batch(&self, specs: &[ScenarioSpec]) -> Vec<Result<Outcome, DispersionError>> {
-        specs.par_iter().map(|spec| self.run(spec)).collect()
+        let mut planner = BatchPlanner::new();
+        for spec in specs {
+            planner.add(self.graph(), spec.clone());
+        }
+        planner.run()
+    }
+}
+
+/// The multi-graph batch layer: queues heterogeneous [`ScenarioSpec`]s
+/// across **different** graphs (and graph sizes), shares one [`Session`]
+/// per distinct graph (`Arc` identity), estimates each cell's cost from
+/// the registry's round budget, and fans the cells out over the Rayon pool
+/// **largest-first** so the most expensive cells never straggle at the end
+/// of a sweep. Results come back in insertion order.
+///
+/// ```
+/// use bd_dispersion::adversaries::AdversaryKind;
+/// use bd_dispersion::runner::{Algorithm, ScenarioSpec};
+/// use bd_dispersion::BatchPlanner;
+/// use bd_graphs::generators::erdos_renyi_connected;
+/// use std::sync::Arc;
+///
+/// let mut planner = BatchPlanner::new();
+/// for n in [8usize, 12] {
+///     let graph = Arc::new(erdos_renyi_connected(n, 0.4, 11).unwrap());
+///     for seed in 0..2 {
+///         // Cells on the same `Arc` share one session; sizes interleave.
+///         let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0)
+///             .with_byzantine(1, AdversaryKind::Squatter)
+///             .with_seed(seed);
+///         planner.add(&graph, spec);
+///     }
+/// }
+/// let results = planner.run(); // insertion order, cells fail independently
+/// assert_eq!(results.len(), 4);
+/// assert!(results.iter().all(|r| r.as_ref().unwrap().dispersed));
+/// ```
+#[derive(Default)]
+pub struct BatchPlanner {
+    sessions: Vec<Session>,
+    /// Queued cells: (session index, spec), in insertion order.
+    cells: Vec<(usize, ScenarioSpec)>,
+}
+
+impl BatchPlanner {
+    /// An empty planner.
+    pub fn new() -> Self {
+        BatchPlanner::default()
+    }
+
+    /// The session handle for `graph`, deduplicated by `Arc` identity:
+    /// cells queued against the same `Arc` share one [`Session`] (and the
+    /// graph itself is never cloned).
+    fn session_index(&mut self, graph: &Arc<PortGraph>) -> usize {
+        if let Some(i) = self
+            .sessions
+            .iter()
+            .position(|s| Arc::ptr_eq(s.graph(), graph))
+        {
+            return i;
+        }
+        self.sessions.push(Session::new(Arc::clone(graph)));
+        self.sessions.len() - 1
+    }
+
+    /// Queue `spec` to run against `graph`. Returns the cell's index in
+    /// [`BatchPlanner::run`]'s result vector.
+    pub fn add(&mut self, graph: &Arc<PortGraph>, spec: ScenarioSpec) -> usize {
+        let session = self.session_index(graph);
+        self.cells.push((session, spec));
+        self.cells.len() - 1
+    }
+
+    /// Queued cell count.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell is queued.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of distinct graphs (= sessions) behind the queued cells.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Estimated cost of one planned cell: the registry's exact round
+    /// budget scaled by the roster size (each round steps `k` robots).
+    fn cost(spec: &ScenarioSpec, plan: &Plan) -> u64 {
+        spec.algo
+            .row()
+            .round_budget(plan)
+            .saturating_mul(plan.k as u64)
+    }
+
+    /// Plan and execute every queued cell. Planning runs first (in
+    /// parallel) so each cell's cost is known; execution then fans out over
+    /// the Rayon pool in descending cost order. Each cell fails
+    /// independently; the result vector is in [`BatchPlanner::add`] order.
+    pub fn run(&self) -> Vec<Result<Outcome, DispersionError>> {
+        // Phase 1: plan each cell (includes row `prepare`, reused by the
+        // run below — nothing is planned twice).
+        let planned: Vec<Result<(Plan, u64), DispersionError>> = self
+            .cells
+            .par_iter()
+            .map(|(session, spec)| {
+                self.sessions[*session].plan(spec).map(|plan| {
+                    let cost = Self::cost(spec, &plan);
+                    (plan, cost)
+                })
+            })
+            .collect();
+
+        // Phase 2: order runnable cells by descending cost; ties keep
+        // insertion order so results stay deterministic.
+        let mut results: Vec<Option<Result<Outcome, DispersionError>>> =
+            (0..self.cells.len()).map(|_| None).collect();
+        let mut work: Vec<(usize, Plan, u64)> = Vec::new();
+        for (idx, outcome) in planned.into_iter().enumerate() {
+            match outcome {
+                Ok((plan, cost)) => work.push((idx, plan, cost)),
+                Err(e) => results[idx] = Some(Err(e)),
+            }
+        }
+        work.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+
+        // Phase 3: execute largest-first across the pool.
+        let ran: Vec<(usize, Result<Outcome, DispersionError>)> = work
+            .into_par_iter()
+            .map(|(idx, plan, _cost)| {
+                let (session, spec) = &self.cells[idx];
+                (
+                    idx,
+                    self.sessions[*session].run_planned(spec, plan, std::convert::identity),
+                )
+            })
+            .collect();
+        for (idx, outcome) in ran {
+            results[idx] = Some(outcome);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every cell planned or errored"))
+            .collect()
     }
 }
 
@@ -316,6 +490,69 @@ mod tests {
         let a = session.run(&spec).unwrap();
         let b = session.run(&back).unwrap();
         assert_eq!(a.final_positions, b.final_positions);
+    }
+
+    #[test]
+    fn planner_interleaves_graph_sizes_and_preserves_order() {
+        // Heterogeneous graph sizes in one batch: results must come back in
+        // insertion order and match individual session runs exactly.
+        let graphs: Vec<Arc<PortGraph>> = [9usize, 12]
+            .iter()
+            .map(|&n| Arc::new(erdos_renyi_connected(n, 0.4, 11).unwrap()))
+            .collect();
+        let mut planner = BatchPlanner::new();
+        let mut expected = Vec::new();
+        for graph in &graphs {
+            for seed in 0..2 {
+                let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, graph, 0)
+                    .with_byzantine(1, AdversaryKind::TokenHijacker)
+                    .with_seed(seed);
+                planner.add(graph, spec.clone());
+                expected.push(Session::new(Arc::clone(graph)).run(&spec).unwrap());
+            }
+        }
+        assert_eq!(planner.num_sessions(), 2, "one session per distinct graph");
+        let results = planner.run();
+        assert_eq!(results.len(), expected.len());
+        for (got, want) in results.iter().zip(&expected) {
+            let got = got.as_ref().unwrap();
+            assert_eq!(got.rounds, want.rounds);
+            assert_eq!(got.final_positions, want.final_positions);
+        }
+    }
+
+    #[test]
+    fn planner_dedupes_sessions_by_arc_identity() {
+        let graph = Arc::new(graph());
+        let mut planner = BatchPlanner::new();
+        for seed in 0..3 {
+            let spec = ScenarioSpec::gathered(Algorithm::Baseline, &graph, 0).with_seed(seed);
+            planner.add(&graph, spec);
+        }
+        assert_eq!(planner.len(), 3);
+        assert_eq!(planner.num_sessions(), 1);
+        // A clone of the *graph* (different Arc) is a different session.
+        let other = Arc::new(graph.as_ref().clone());
+        planner.add(
+            &other,
+            ScenarioSpec::gathered(Algorithm::Baseline, &other, 0),
+        );
+        assert_eq!(planner.num_sessions(), 2);
+    }
+
+    #[test]
+    fn planner_cells_fail_independently_in_order() {
+        let graph = Arc::new(graph());
+        let good = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0);
+        let bad = good.clone().with_robots(0);
+        let mut planner = BatchPlanner::new();
+        planner.add(&graph, bad.clone());
+        planner.add(&graph, good);
+        planner.add(&graph, bad);
+        let results = planner.run();
+        assert!(matches!(results[0], Err(DispersionError::BadScenario(_))));
+        assert!(results[1].as_ref().unwrap().dispersed);
+        assert!(matches!(results[2], Err(DispersionError::BadScenario(_))));
     }
 
     #[test]

@@ -9,6 +9,10 @@ pub struct EngineConfig {
     pub max_rounds: u64,
     /// Record a full event trace (costs memory; off for benchmarks).
     pub record_trace: bool,
+    /// Fast-forward over rounds in which every active robot declares
+    /// idleness (see `Controller::idle_until`). On by default; conformance
+    /// tests turn it off to prove skipping changes no trajectory.
+    pub fast_forward: bool,
 }
 
 impl Default for EngineConfig {
@@ -16,6 +20,7 @@ impl Default for EngineConfig {
         EngineConfig {
             max_rounds: 50_000_000,
             record_trace: false,
+            fast_forward: true,
         }
     }
 }
@@ -32,6 +37,14 @@ impl EngineConfig {
     /// Enable trace recording.
     pub fn traced(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Disable round fast-forwarding: every round is stepped, idle or not.
+    /// Trajectories must not change — the determinism suite runs scenarios
+    /// both ways and asserts identical outcomes.
+    pub fn without_fast_forward(mut self) -> Self {
+        self.fast_forward = false;
         self
     }
 }

@@ -51,10 +51,22 @@ pub trait Controller<M> {
         false
     }
 
-    /// If the robot is guaranteed to neither move, publish, nor read until
-    /// the given absolute round (exclusive), it may say so; when *every*
-    /// active robot is idle the engine fast-forwards the round counter.
-    /// Declaring idleness while actually wanting to act is a controller bug.
+    /// The idle-fast-forward contract. Returning `Some(r)` promises: *if
+    /// the engine stops calling this controller until absolute round `r`,
+    /// nothing observable changes* — the robot would neither move nor read,
+    /// and anything it might have published would go unread (the engine
+    /// only skips rounds in which **every** active robot is idle, so no
+    /// bulletin of a skipped round has a reader). When all active robots
+    /// report idleness the engine jumps the round counter to the earliest
+    /// horizon and records the jump in `RunMetrics::rounds_skipped`.
+    ///
+    /// Honest controllers derive horizons from their phase timelines
+    /// (e.g. "construction finished; next action at the vote round").
+    /// Byzantine controllers may report any horizon consistent with their
+    /// *strategy* (an adversary that only acts on a burst grid is idle
+    /// until the next burst). Declaring idleness while actually wanting to
+    /// act is a controller bug; the determinism suite catches it by running
+    /// scenarios with fast-forward disabled and comparing trajectories.
     fn idle_until(&self) -> Option<u64> {
         None
     }

@@ -1,4 +1,24 @@
 //! The synchronous round engine.
+//!
+//! # Hot-path architecture
+//!
+//! [`Engine::step`] executes millions of times per Table 1 cell, so its
+//! per-round state lives in engine-owned **scratch arenas** (`Scratch`)
+//! instead of per-round maps:
+//!
+//! * robots-per-node and per-node rosters are flat `Vec`s indexed by the
+//!   dense [`NodeId`], maintained *incrementally* — a round that moves no
+//!   robot re-sorts no roster. Movement marks the source and destination
+//!   nodes dirty; only dirty rosters (plus nodes hosting ID-faking strong
+//!   Byzantine robots, whose claimed IDs may change every round) are
+//!   rebuilt and re-sorted;
+//! * publication bulletins are per-node reusable buffers cleared through a
+//!   touched-node list, and the per-sub-round pending queue is drained, not
+//!   reallocated.
+//!
+//! In steady state (no movement, no publications) a round performs **zero
+//! heap allocation**; protocol-level message bodies are the only remaining
+//! allocations and belong to the controllers.
 
 use crate::config::EngineConfig;
 use crate::controller::{Controller, MoveChoice};
@@ -11,6 +31,64 @@ use crate::world::World;
 use bd_graphs::{NodeId, PortGraph};
 use std::sync::Arc;
 
+/// Per-round scratch arenas owned by the engine and reused across rounds.
+/// All node-indexed vectors have one slot per graph node; robot-indexed
+/// vectors one slot per robot. Invalidated (and lazily rebuilt) when the
+/// robot set changes.
+struct Scratch<M> {
+    /// Whether the arenas reflect the current robot set.
+    ready: bool,
+    /// Robot indices at each node (order arbitrary; rosters sort).
+    at_node: Vec<Vec<usize>>,
+    /// Sorted claimed-ID roster per node; rebuilt only for dirty nodes.
+    roster: Vec<Vec<RobotId>>,
+    /// Per-node roster-stale flag, deduplicating `dirty_nodes`.
+    dirty: Vec<bool>,
+    /// Queue of nodes whose roster must be rebuilt this round.
+    dirty_nodes: Vec<NodeId>,
+    /// Robots whose flavor may fake IDs: their nodes re-sort every round.
+    faking: Vec<usize>,
+    /// Reusable per-node publication buffers.
+    bulletins: Vec<Vec<Publication<M>>>,
+    /// Nodes with a non-empty bulletin this round (for O(touched) clearing).
+    touched: Vec<NodeId>,
+    /// Per-sub-round publication queue (flushed after each sub-round so
+    /// messages become visible in the *next* sub-round only).
+    pending: Vec<(NodeId, Publication<M>)>,
+    /// Per-robot activity mask for the round.
+    active: Vec<bool>,
+    /// Per-robot move decisions for the round.
+    choices: Vec<MoveChoice>,
+}
+
+impl<M> Default for Scratch<M> {
+    fn default() -> Self {
+        Scratch {
+            ready: false,
+            at_node: Vec::new(),
+            roster: Vec::new(),
+            dirty: Vec::new(),
+            dirty_nodes: Vec::new(),
+            faking: Vec::new(),
+            bulletins: Vec::new(),
+            touched: Vec::new(),
+            pending: Vec::new(),
+            active: Vec::new(),
+            choices: Vec::new(),
+        }
+    }
+}
+
+impl<M> Scratch<M> {
+    /// Mark `node`'s roster stale (idempotent within a round).
+    fn mark_dirty(dirty: &mut [bool], dirty_nodes: &mut Vec<NodeId>, node: NodeId) {
+        if !dirty[node] {
+            dirty[node] = true;
+            dirty_nodes.push(node);
+        }
+    }
+}
+
 /// Drives one simulation: owns the [`World`], the controllers, and the
 /// bookkeeping. Generic over the protocol message type `M`.
 pub struct Engine<M> {
@@ -22,6 +100,7 @@ pub struct Engine<M> {
     terminated_logged: Vec<bool>,
     metrics: RunMetrics,
     trace: Trace,
+    scratch: Scratch<M>,
 }
 
 /// The result of driving a run to honest termination.
@@ -50,6 +129,7 @@ impl<M: Clone> Engine<M> {
             terminated_logged: Vec::new(),
             metrics: RunMetrics::default(),
             trace: Trace::default(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -68,6 +148,48 @@ impl<M: Clone> Engine<M> {
         self.controllers.push(controller);
         self.arrivals.push(None);
         self.terminated_logged.push(false);
+        // Robot set changed: rebuild the arenas lazily at the next step.
+        self.scratch.ready = false;
+    }
+
+    /// (Re)build the scratch arenas from the current world. O(n + k); runs
+    /// once per run (and after every `add_robot`), never per round.
+    fn rebuild_scratch(&mut self) {
+        let n = self.world.graph().n();
+        let k = self.world.num_robots();
+        let s = &mut self.scratch;
+        s.at_node.resize_with(n, Vec::new);
+        s.roster.resize_with(n, Vec::new);
+        s.bulletins.resize_with(n, Vec::new);
+        s.dirty.clear();
+        s.dirty.resize(n, false);
+        s.dirty_nodes.clear();
+        s.touched.clear();
+        s.pending.clear();
+        for list in &mut s.at_node {
+            list.clear();
+        }
+        for roster in &mut s.roster {
+            roster.clear();
+        }
+        for bulletin in &mut s.bulletins {
+            bulletin.clear();
+        }
+        s.faking.clear();
+        for i in 0..k {
+            let robot = self.world.robot(i);
+            s.at_node[robot.position].push(i);
+            if robot.flavor.can_fake_id() {
+                s.faking.push(i);
+            }
+        }
+        // Every occupied node needs an initial roster.
+        for node in 0..n {
+            if !s.at_node[node].is_empty() {
+                Scratch::<M>::mark_dirty(&mut s.dirty, &mut s.dirty_nodes, node);
+            }
+        }
+        s.ready = true;
     }
 
     /// Read-only world access (for verifiers and tests).
@@ -78,16 +200,6 @@ impl<M: Clone> Engine<M> {
     /// Rounds elapsed so far.
     pub fn round(&self) -> u64 {
         self.round
-    }
-
-    /// The claimed ID of robot `i` right now (strong Byzantine robots may
-    /// change it every round).
-    fn claimed_id(&self, i: usize) -> RobotId {
-        if self.world.robot(i).flavor.can_fake_id() {
-            self.controllers[i].claimed_id()
-        } else {
-            self.world.robot(i).id
-        }
     }
 
     /// Whether every honest robot has terminated.
@@ -113,18 +225,32 @@ impl<M: Clone> Engine<M> {
             }
             // Fast-forward: if every active robot is provably idle until
             // some future round, skip to the earliest such round at once.
-            // Semantics are unchanged — idle robots neither move, publish,
-            // nor read.
-            let skip_to = self
-                .controllers
-                .iter()
-                .filter(|c| !c.terminated())
-                .map(|c| c.idle_until())
-                .try_fold(u64::MAX, |acc, u| u.map(|r| acc.min(r)));
-            if let Some(target) = skip_to {
-                if target > self.round + 1 {
-                    self.round = target.min(self.config.max_rounds).max(self.round);
-                    continue;
+            // Skipped rounds are rounds in which *no* robot acts, so no
+            // bulletin is ever read — which is exactly what licenses
+            // controllers to declare idleness (see `Controller::idle_until`).
+            if self.config.fast_forward {
+                let skip_to = self
+                    .controllers
+                    .iter()
+                    .filter(|c| !c.terminated())
+                    .map(|c| c.idle_until())
+                    .try_fold(u64::MAX, |acc, u| u.map(|r| acc.min(r)));
+                if let Some(target) = skip_to {
+                    if target > self.round + 1 {
+                        if target >= self.config.max_rounds {
+                            // The earliest round any robot acts again is
+                            // already past the cap: the run cannot finish.
+                            // Error *now*, leaving `self.round` at the true
+                            // executed round instead of silently teleporting
+                            // it to the cap and failing one iteration later.
+                            return Err(RunError::RoundLimit {
+                                limit: self.config.max_rounds,
+                            });
+                        }
+                        self.metrics.rounds_skipped += target - self.round;
+                        self.round = target;
+                        continue;
+                    }
                 }
             }
             self.step()?;
@@ -140,74 +266,119 @@ impl<M: Clone> Engine<M> {
     }
 
     /// Execute a single round: sub-round communication, then simultaneous
-    /// movement.
+    /// movement. Runs entirely on the scratch arenas — the steady state
+    /// allocates nothing.
     pub fn step(&mut self) -> Result<(), RunError> {
+        if !self.scratch.ready {
+            self.rebuild_scratch();
+        }
         let nrobots = self.world.num_robots();
+        // Split borrows: every loop below borrows disjoint fields.
+        let Engine {
+            world,
+            controllers,
+            config,
+            round,
+            arrivals,
+            terminated_logged,
+            metrics,
+            trace,
+            scratch,
+        } = self;
+        let Scratch {
+            at_node,
+            roster,
+            dirty,
+            dirty_nodes,
+            faking,
+            bulletins,
+            touched,
+            pending,
+            active,
+            choices,
+            ..
+        } = scratch;
+        let round_now = *round;
 
         // Active = not terminated. Terminated robots stay put silently but
         // are *physically* present (they appear in rosters).
-        let active: Vec<bool> = self.controllers.iter().map(|c| !c.terminated()).collect();
+        active.clear();
+        active.extend(controllers.iter().map(|c| !c.terminated()));
 
-        // Group robots by node and compute per-node rosters of claimed IDs.
-        let mut at_node: std::collections::BTreeMap<NodeId, Vec<usize>> = Default::default();
-        for i in 0..nrobots {
-            at_node
-                .entry(self.world.robot(i).position)
-                .or_default()
-                .push(i);
+        // Rosters: nodes whose occupancy changed last round are already in
+        // the dirty queue; nodes hosting ID-faking robots re-sort every
+        // round because their claimed IDs may have changed.
+        for &i in faking.iter() {
+            Scratch::<M>::mark_dirty(dirty, dirty_nodes, world.robot(i).position);
         }
-        let mut roster_of: std::collections::BTreeMap<NodeId, Vec<RobotId>> = Default::default();
-        for (&node, idxs) in &at_node {
-            let mut roster: Vec<RobotId> = idxs.iter().map(|&i| self.claimed_id(i)).collect();
-            roster.sort_unstable();
-            roster_of.insert(node, roster);
+        for &node in dirty_nodes.iter() {
+            let r = &mut roster[node];
+            r.clear();
+            for &i in &at_node[node] {
+                let slot = world.robot(i);
+                r.push(if slot.flavor.can_fake_id() {
+                    controllers[i].claimed_id()
+                } else {
+                    slot.id
+                });
+            }
+            r.sort_unstable();
+            dirty[node] = false;
         }
+        dirty_nodes.clear();
 
         // Sub-round communication. Run as many sub-rounds as any active
         // robot requests (walking phases request 1, so this stays cheap).
-        let subrounds = self
-            .controllers
+        let subrounds = controllers
             .iter()
-            .zip(&active)
+            .zip(active.iter())
             .filter(|&(_, &a)| a)
             .map(|(c, _)| c.subrounds_wanted())
             .max()
             .unwrap_or(1)
             .max(1);
-        let mut bulletins: std::collections::BTreeMap<NodeId, Vec<Publication<M>>> =
-            Default::default();
         for sub in 0..subrounds {
-            let mut pending: Vec<(NodeId, Publication<M>)> = Vec::new();
+            pending.clear();
             for i in 0..nrobots {
                 if !active[i] {
                     continue;
                 }
-                let node = self.world.robot(i).position;
-                let empty = Vec::new();
+                let node = world.robot(i).position;
                 let obs = Observation {
-                    round: self.round,
+                    round: round_now,
                     subround: sub,
                     subrounds,
-                    degree: self.world.graph().degree(node),
-                    roster: &roster_of[&node],
-                    bulletin: bulletins.get(&node).unwrap_or(&empty),
-                    arrival: if sub == 0 { self.arrivals[i] } else { None },
+                    degree: world.graph().degree(node),
+                    roster: &roster[node],
+                    bulletin: &bulletins[node],
+                    arrival: if sub == 0 { arrivals[i] } else { None },
                 };
-                if let Some(body) = self.controllers[i].act(&obs) {
+                if let Some(body) = controllers[i].act(&obs) {
+                    let slot = world.robot(i);
+                    let sender = if slot.flavor.can_fake_id() {
+                        controllers[i].claimed_id()
+                    } else {
+                        slot.id
+                    };
                     pending.push((
                         node,
                         Publication {
-                            sender: self.claimed_id(i),
+                            sender,
                             subround: sub,
                             body,
                         },
                     ));
                 }
             }
-            self.metrics.messages += pending.len() as u64;
-            self.metrics.subrounds_executed += 1;
-            for (node, publication) in pending {
-                bulletins.entry(node).or_default().push(publication);
+            metrics.messages += pending.len() as u64;
+            metrics.subrounds_executed += 1;
+            // Flush after the loop: messages published in sub-round `s`
+            // become visible in sub-round `s + 1`, never within `s`.
+            for (node, publication) in pending.drain(..) {
+                if bulletins[node].is_empty() {
+                    touched.push(node);
+                }
+                bulletins[node].push(publication);
             }
             // Skip remaining sub-rounds if the round has gone silent and no
             // robot asked for more than one sub-round anyway.
@@ -217,66 +388,77 @@ impl<M: Clone> Engine<M> {
         }
 
         // Movement decisions, then simultaneous application.
-        let mut choices: Vec<MoveChoice> = Vec::with_capacity(nrobots);
+        choices.clear();
         for i in 0..nrobots {
             if !active[i] {
                 choices.push(MoveChoice::Stay);
                 continue;
             }
-            let node = self.world.robot(i).position;
-            let empty = Vec::new();
+            let node = world.robot(i).position;
             let obs = Observation {
-                round: self.round,
+                round: round_now,
                 subround: subrounds.saturating_sub(1),
                 subrounds,
-                degree: self.world.graph().degree(node),
-                roster: &roster_of[&node],
-                bulletin: bulletins.get(&node).unwrap_or(&empty),
+                degree: world.graph().degree(node),
+                roster: &roster[node],
+                bulletin: &bulletins[node],
                 arrival: None,
             };
-            choices.push(self.controllers[i].decide_move(&obs));
+            choices.push(controllers[i].decide_move(&obs));
         }
 
         for i in 0..nrobots {
-            let node = self.world.robot(i).position;
-            let degree = self.world.graph().degree(node);
+            let node = world.robot(i).position;
+            let degree = world.graph().degree(node);
             match choices[i] {
                 MoveChoice::Stay => {
-                    self.arrivals[i] = None;
-                    if self.config.record_trace && active[i] {
-                        self.trace.events.push(Event::Stayed {
-                            round: self.round,
-                            robot: self.world.robot(i).id,
+                    arrivals[i] = None;
+                    if config.record_trace && active[i] {
+                        trace.events.push(Event::Stayed {
+                            round: round_now,
+                            robot: world.robot(i).id,
                             at: node,
                         });
                     }
                 }
                 MoveChoice::Move(port) => {
                     if port >= degree {
-                        if self.world.robot(i).flavor == Flavor::Honest {
+                        if world.robot(i).flavor == Flavor::Honest {
                             return Err(RunError::InvalidMove {
-                                robot: self.world.robot(i).id,
+                                robot: world.robot(i).id,
                                 node,
                                 port,
                                 degree,
                             });
                         }
                         // Byzantine robots cannot teleport; clamp to Stay.
-                        self.arrivals[i] = None;
+                        arrivals[i] = None;
                         continue;
                     }
-                    let (exit_port, entry_port) = self.world.apply_move(i, port);
-                    self.arrivals[i] = Some(ArrivalInfo {
+                    let (exit_port, entry_port) = world.apply_move(i, port);
+                    arrivals[i] = Some(ArrivalInfo {
                         exit_port,
                         entry_port,
                     });
-                    if self.config.record_trace {
-                        self.trace.events.push(Event::Moved {
-                            round: self.round,
-                            robot: self.world.robot(i).id,
+                    let to = world.robot(i).position;
+                    // Incremental occupancy update: only the two endpoint
+                    // rosters go stale.
+                    let from_list = &mut at_node[node];
+                    let pos = from_list
+                        .iter()
+                        .position(|&r| r == i)
+                        .expect("robot indexed at its node");
+                    from_list.swap_remove(pos);
+                    at_node[to].push(i);
+                    Scratch::<M>::mark_dirty(dirty, dirty_nodes, node);
+                    Scratch::<M>::mark_dirty(dirty, dirty_nodes, to);
+                    if config.record_trace {
+                        trace.events.push(Event::Moved {
+                            round: round_now,
+                            robot: world.robot(i).id,
                             from: node,
                             port,
-                            to: self.world.robot(i).position,
+                            to,
                         });
                     }
                 }
@@ -285,19 +467,25 @@ impl<M: Clone> Engine<M> {
 
         // Log first terminations.
         for i in 0..nrobots {
-            if !self.terminated_logged[i] && self.controllers[i].terminated() {
-                self.terminated_logged[i] = true;
-                if self.config.record_trace {
-                    self.trace.events.push(Event::Terminated {
-                        round: self.round,
-                        robot: self.world.robot(i).id,
-                        at: self.world.robot(i).position,
+            if !terminated_logged[i] && controllers[i].terminated() {
+                terminated_logged[i] = true;
+                if config.record_trace {
+                    trace.events.push(Event::Terminated {
+                        round: round_now,
+                        robot: world.robot(i).id,
+                        at: world.robot(i).position,
                     });
                 }
             }
         }
 
-        self.round += 1;
+        // Reset the bulletins through the touched list (O(publishing
+        // nodes), not O(n)) so the next round starts clean.
+        for node in touched.drain(..) {
+            bulletins[node].clear();
+        }
+
+        *round += 1;
         Ok(())
     }
 }

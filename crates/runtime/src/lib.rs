@@ -22,6 +22,35 @@
 //! Controllers never see the graph; they observe only the local degree, the
 //! co-located roster, the bulletin, and arrival port pairs — exactly the
 //! information the paper's model grants.
+//!
+//! ## The hot loop: scratch arenas
+//!
+//! Table 1 rows are Θ(n³)–O(n⁴)-round protocols, so [`engine::Engine::step`]
+//! is the hot path of every sweep. Its per-round state lives in
+//! engine-owned, reusable **arenas** rather than per-round maps: occupancy
+//! and rosters are flat vectors indexed by the dense [`bd_graphs::NodeId`],
+//! maintained incrementally via a moved-robots dirty list (a round that
+//! moves nothing re-sorts nothing; nodes hosting ID-faking robots re-sort
+//! every round), and bulletins are reusable per-node buffers cleared
+//! through a touched list. The steady-state round performs **zero heap
+//! allocation**; see the `engine` module docs for the layout.
+//!
+//! ## The idle-fast-forward contract
+//!
+//! [`controller::Controller::idle_until`] lets a controller promise that
+//! skipping its `act`/`decide_move` calls until a given round changes
+//! nothing observable. When **every** active robot reports a horizon the
+//! engine jumps straight to the earliest one ([`EngineConfig::fast_forward`]
+//! gates this; [`metrics::RunMetrics::rounds_skipped`] records it). Because
+//! only all-idle rounds are skipped, no skipped round has a bulletin
+//! reader — which is what makes the promise checkable locally: a robot
+//! need only guarantee it would neither move nor read. Honest controllers
+//! derive horizons from their phase timelines; adversary controllers
+//! declare horizons consistent with their strategy (see
+//! `bd-dispersion`'s `adversaries` module for the burst-grid design).
+//! Measured rounds are timeline-derived, so fast-forwarding never drifts
+//! them — the determinism suite replays scenarios with the feature
+//! disabled and asserts bit-identical trajectories.
 
 pub mod config;
 pub mod controller;

@@ -16,6 +16,11 @@ pub struct RunMetrics {
     /// Sub-rounds actually executed (the engine collapses rounds where no
     /// robot requested communication).
     pub subrounds_executed: u64,
+    /// Rounds fast-forwarded over because every active robot declared
+    /// idleness (counted inside [`RunMetrics::rounds`], never in addition
+    /// to it). `rounds - rounds_skipped` is the number of rounds the engine
+    /// actually stepped.
+    pub rounds_skipped: u64,
 }
 
 impl RunMetrics {
