@@ -9,18 +9,33 @@
 //!   bin `k ∈ {n/2, n, 2n}` for every DUM-based row, batched on one shared
 //!   graph per row via `Session::run_batch`.
 //!
-//! Usage: `cargo run --release -p bd-bench --bin series [--quick] > series.jsonl`
+//! With `--store DIR`, every batch reads/writes a content-addressed
+//! [`bd_service::ResultStore`] and the run ends with one
+//! `{"series":"store-stats",…}` line aggregating cache hits vs simulated
+//! rounds across all four series.
+//!
+//! Usage: `cargo run --release -p bd-bench --bin series [--quick] [--store DIR] > series.jsonl`
 
 use bd_bench::{
-    mean_rounds, mean_rounds_by_k, mean_skipped_rounds, run_series_cells, success_rate, sweep_k,
-    sweep_n, SeriesCoord,
+    mean_elapsed_micros, mean_rounds, mean_rounds_by_k, mean_skipped_rounds, run_series_cells_with,
+    store_from_args, success_rate, sweep_k_with, sweep_n_with, SeriesCoord,
 };
 use bd_dispersion::adversaries::AdversaryKind;
 use bd_dispersion::runner::{Algorithm, ByzPlacement};
+use bd_service::CacheStats;
 use serde_json::json;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let store = store_from_args("series", &args);
+    let store = store.as_ref();
+    let mut totals = CacheStats::default();
+    let mut fold = |stats: Option<CacheStats>| {
+        if let Some(s) = stats {
+            totals.merge(&s);
+        }
+    };
     let reps: u64 = if quick { 2 } else { 5 };
 
     // Series A: rounds vs n.
@@ -67,13 +82,15 @@ fn main() {
         } else {
             ns.to_vec()
         };
-        let cells = sweep_n(algo, &ns, |n| algo.tolerance(n), kind, reps);
+        let (cells, stats) = sweep_n_with(algo, &ns, |n| algo.tolerance(n), kind, reps, store);
+        fold(stats);
         let skipped = mean_skipped_rounds(&cells);
         for (n, rounds) in mean_rounds(&cells) {
             let mean_skipped = skipped
                 .iter()
                 .find(|&&(sn, _)| sn == n)
                 .map_or(0.0, |&(_, s)| s);
+            let at_n: Vec<_> = cells.iter().filter(|c| c.n == n).cloned().collect();
             println!(
                 "{}",
                 json!({
@@ -86,6 +103,8 @@ fn main() {
                     // Fast-forward observability: adversarial sweeps skip
                     // dead rounds; measured rounds stay timeline-exact.
                     "mean_rounds_skipped": mean_skipped,
+                    // Real per-cell cost next to the planner's estimate.
+                    "mean_elapsed_micros": mean_elapsed_micros(&at_n),
                     "success": success_rate(&cells),
                 })
             );
@@ -122,7 +141,8 @@ fn main() {
             })
         })
         .collect();
-    let all_b = run_series_cells(&coords);
+    let (all_b, stats_b) = run_series_cells_with(&coords, store);
+    fold(stats_b);
     // Results come back in coords order: `reps` contiguous cells per f bin,
     // f bins contiguous per algorithm.
     let mut offset = 0usize;
@@ -168,7 +188,8 @@ fn main() {
             })
         })
         .collect();
-    let all_c = run_series_cells(&coords);
+    let (all_c, stats_c) = run_series_cells_with(&coords, store);
+    fold(stats_c);
     // Results in coords order: `reps` contiguous cells per adversary kind.
     for (i, kind) in kinds.into_iter().enumerate() {
         let cells = &all_c[i * reps as usize..(i + 1) * reps as usize];
@@ -198,7 +219,8 @@ fn main() {
         (Algorithm::ArbitrarySqrtTh5, AdversaryKind::TokenHijacker),
         (Algorithm::Baseline, AdversaryKind::Squatter),
     ] {
-        let cells = sweep_k(algo, n, &ks, kind, reps);
+        let (cells, stats) = sweep_k_with(algo, n, &ks, kind, reps, store);
+        fold(stats);
         for (k, rounds) in mean_rounds_by_k(&cells) {
             let bin = cells.iter().filter(|c| c.k == k);
             let (total, ok) = bin.fold((0usize, 0usize), |(t, s), c| {
@@ -219,5 +241,21 @@ fn main() {
                 })
             );
         }
+    }
+
+    // Cache accounting across every series, when a store was in play: on a
+    // warm store the whole emission replays with rounds_simulated == 0.
+    if store.is_some() {
+        println!(
+            "{}",
+            json!({
+                "series": "store-stats",
+                "hits": totals.hits,
+                "misses": totals.misses,
+                "rounds_simulated": totals.rounds_simulated,
+                "rounds_saved": totals.rounds_saved,
+                "elapsed_simulated_micros": totals.elapsed_simulated_micros,
+            })
+        );
     }
 }

@@ -9,21 +9,31 @@
 //! only the sweep sizes and adversary choices. Finishes with the Theorem 8
 //! impossibility boundary check.
 //!
-//! Usage: `cargo run --release -p bd-bench --bin table1 [--quick]`
+//! With `--store DIR`, results read and write a content-addressed
+//! [`bd_service::ResultStore`]: a second identical invocation replays the
+//! whole table from the journal with zero rounds simulated (the closing
+//! cache summary says exactly how much was served vs simulated).
+//!
+//! Usage: `cargo run --release -p bd-bench --bin table1 [--quick] [--store DIR]`
 
-use bd_bench::{mean_rounds, success_rate, table1_batch, table1_sweeps};
+use bd_bench::{
+    mean_cost_estimate, mean_elapsed_micros, mean_rounds, store_from_args, success_rate,
+    table1_batch_with, table1_sweeps,
+};
 use bd_dispersion::impossibility::replay_experiment;
 use bd_exploration::cost::fit_exponent;
 use bd_graphs::generators::erdos_renyi_connected;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let store = store_from_args("table1", &args);
     let reps: u64 = if quick { 2 } else { 3 };
 
     println!("Reproducing Table 1 of 'Byzantine Dispersion on Graphs' (IPDPS 2021)");
     println!("graphs: seeded G(n,p); f at each row's maximum tolerance; {reps} seeds per n\n");
     println!(
-        "{:<3} {:<6} {:<20} {:<22} {:<10} {:<16} {:<7} {:<9} {:<8} measured rounds by n",
+        "{:<3} {:<6} {:<20} {:<22} {:<10} {:<16} {:<7} {:<9} {:<8} {:<10} {:<10} measured rounds by n",
         "row",
         "thm",
         "algorithm",
@@ -33,10 +43,12 @@ fn main() {
         "strong",
         "fit n^b",
         "success",
+        "est steps",
+        "us/cell",
     );
     // All rows run as one multi-graph batch: the planner shares a session
     // per distinct graph and schedules the most expensive cells first.
-    let per_row = table1_batch(quick, reps);
+    let (per_row, stats) = table1_batch_with(quick, reps, store.as_ref());
     for (serial, (sweep, cells)) in table1_sweeps().iter().zip(&per_row).enumerate() {
         let row = sweep.algo.row();
         let means = mean_rounds(cells);
@@ -44,7 +56,7 @@ fn main() {
         let ok = success_rate(cells);
         let series: Vec<String> = means.iter().map(|(n, r)| format!("{n}:{:.0}", r)).collect();
         println!(
-            "{:<3} {:<6} {:<20} {:<22} {:<10} {:<16} {:<7} {:<9.2} {:<8.2} {}",
+            "{:<3} {:<6} {:<20} {:<22} {:<10} {:<16} {:<7} {:<9.2} {:<8.2} {:<10.0} {:<10.0} {}",
             serial + 1,
             row.theorem(),
             row.name(),
@@ -54,7 +66,22 @@ fn main() {
             if row.strong() { "Yes" } else { "No" },
             fit,
             ok,
+            // The planner's cost model (rounds × k robot-steps) next to the
+            // measured per-cell wall-clock.
+            mean_cost_estimate(cells),
+            mean_elapsed_micros(cells),
             series.join(" ")
+        );
+    }
+    if let Some(stats) = stats {
+        println!(
+            "\nstore: {} hits / {} misses; {} rounds simulated, {} served from the journal \
+             ({} us spent simulating)",
+            stats.hits,
+            stats.misses,
+            stats.rounds_simulated,
+            stats.rounds_saved,
+            stats.elapsed_simulated_micros,
         );
     }
     println!(

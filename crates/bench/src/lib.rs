@@ -18,10 +18,10 @@
 //! graph, and plain parallel `Session::run` calls otherwise.
 
 use bd_dispersion::adversaries::AdversaryKind;
-use bd_dispersion::runner::{Algorithm, ByzPlacement, ScenarioSpec};
-use bd_dispersion::{BatchPlanner, Session};
-use bd_graphs::generators::erdos_renyi_connected;
+use bd_dispersion::runner::{Algorithm, ByzPlacement, Outcome, ScenarioSpec};
+use bd_dispersion::{BatchPlanner, DispersionError, Session};
 use bd_graphs::PortGraph;
+use bd_service::{CacheStats, CachedPlanner, ResultStore};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -40,6 +40,11 @@ pub struct Cell {
     /// measured `rounds` are timeline-derived and unaffected.
     pub rounds_skipped: u64,
     pub total_moves: u64,
+    /// Measured wall-clock of the run, microseconds — the *real* per-cell
+    /// cost next to the planner's `round_budget × k` estimate. For cells
+    /// served from a result store this is the stored run's cost, not the
+    /// (near-zero) lookup time.
+    pub elapsed_micros: u64,
     pub dispersed: bool,
 }
 
@@ -112,26 +117,72 @@ pub fn table1_sweeps() -> &'static [Table1Sweep] {
 /// The benchmark graph family: seeded `G(n, p)` with `p` high enough for
 /// view asymmetry at small `n` and bounded density at large `n`.
 ///
-/// Symmetric draws (no view-singleton node — rare but possible at small
-/// `n`) are rejected and resampled so every Table 1 row's precondition
-/// holds; determinism in `seed` is preserved.
+/// Delegates to [`bd_graphs::generators::asymmetric_gnp`] — the same pure
+/// function the serving layer's `BenchEr` graph source materializes
+/// through, so a sweep cell and a daemon submission of the same
+/// coordinates share one content digest (and therefore one store entry).
 pub fn bench_graph(n: usize, seed: u64) -> PortGraph {
-    let p = (8.0 / n as f64).clamp(0.2, 0.5);
-    for attempt in 0..64 {
-        let g = erdos_renyi_connected(n, p, seed.wrapping_add(attempt * 1_000_003))
-            .expect("bench graph");
-        let q = bd_graphs::quotient::quotient_graph(&g);
-        if q.singleton_classes().next().is_some() {
-            return g;
+    bd_graphs::generators::asymmetric_gnp(n, seed).expect("bench graph")
+}
+
+/// A sweep executor that is either a bare cost-ordered [`BatchPlanner`] or
+/// a store-backed [`CachedPlanner`] — the single switch behind every
+/// sweep's opt-in `--store DIR` path.
+enum AnyPlanner<'s> {
+    Plain(BatchPlanner),
+    Cached(CachedPlanner<'s>),
+}
+
+impl<'s> AnyPlanner<'s> {
+    /// Store-backed when a store is given, bare otherwise.
+    fn new(store: Option<&'s ResultStore>) -> Self {
+        match store {
+            Some(store) => AnyPlanner::Cached(CachedPlanner::new(store)),
+            None => AnyPlanner::Plain(BatchPlanner::new()),
         }
     }
-    panic!("no asymmetric G({n},{p}) instance found near seed {seed}")
+
+    fn add(&mut self, graph: &Arc<PortGraph>, spec: ScenarioSpec) -> usize {
+        match self {
+            AnyPlanner::Plain(p) => p.add(graph, spec),
+            AnyPlanner::Cached(p) => p.add(graph, spec),
+        }
+    }
+
+    /// Run everything; the stats are `Some` exactly on the cached path.
+    /// Store I/O failures panic: a half-written benchmark cache is a
+    /// harness failure, not a measurement.
+    fn run(self) -> (Vec<Result<Outcome, DispersionError>>, Option<CacheStats>) {
+        match self {
+            AnyPlanner::Plain(p) => (p.run(), None),
+            AnyPlanner::Cached(p) => {
+                let (results, stats) = p.run().expect("result store I/O");
+                (results, Some(stats))
+            }
+        }
+    }
 }
 
 /// The start configuration each algorithm is evaluated in (Table 1 column
 /// "Starting Configuration", read from the row registry).
 pub fn starting_config(algo: Algorithm, g: &PortGraph) -> ScenarioSpec {
     ScenarioSpec::evaluation(algo, g)
+}
+
+/// Parse the bins' shared `--store DIR` flag out of `argv` and open the
+/// store. Exits the process on a missing value or an unopenable store —
+/// bin-level behavior, shared by `table1` and `series` so the flag cannot
+/// drift between them.
+pub fn store_from_args(bin: &str, args: &[String]) -> Option<ResultStore> {
+    let i = args.iter().position(|a| a == "--store")?;
+    let dir = args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("{bin}: --store needs a directory");
+        std::process::exit(2);
+    });
+    Some(ResultStore::open(dir).unwrap_or_else(|e| {
+        eprintln!("{bin}: cannot open store {dir}: {e}");
+        std::process::exit(1);
+    }))
 }
 
 /// Memoizes [`bench_graph`] instances as shared `Arc` handles, so sweeps
@@ -161,7 +212,7 @@ impl GraphCache {
 /// these coordinates, on the cache's shared graph. Returns the spec (for
 /// [`cell_of`] after the batch runs).
 fn queue_cell(
-    planner: &mut BatchPlanner,
+    planner: &mut AnyPlanner<'_>,
     cache: &mut GraphCache,
     algo: Algorithm,
     n: usize,
@@ -232,6 +283,7 @@ fn cell_of(
             rounds: out.rounds,
             rounds_skipped: out.metrics.rounds_skipped,
             total_moves: out.metrics.total_moves,
+            elapsed_micros: out.metrics.elapsed_micros,
             dispersed: out.dispersed,
         },
         Err(e) => panic!(
@@ -256,7 +308,21 @@ pub fn sweep_n(
     adversary: AdversaryKind,
     reps: u64,
 ) -> Vec<Cell> {
-    let mut planner = BatchPlanner::new();
+    sweep_n_with(algo, ns, f_of_n, adversary, reps, None).0
+}
+
+/// [`sweep_n`] with an optional [`ResultStore`]: stored cells replay
+/// without simulating, fresh cells write back. The second element is the
+/// batch's [`CacheStats`] when a store was used.
+pub fn sweep_n_with(
+    algo: Algorithm,
+    ns: &[usize],
+    f_of_n: impl Fn(usize) -> usize + Sync,
+    adversary: AdversaryKind,
+    reps: u64,
+    store: Option<&ResultStore>,
+) -> (Vec<Cell>, Option<CacheStats>) {
+    let mut planner = AnyPlanner::new(store);
     let mut cache = GraphCache::new();
     let mut meta: Vec<(ScenarioSpec, usize)> = Vec::new();
     for &n in ns {
@@ -274,12 +340,13 @@ pub fn sweep_n(
             meta.push((spec, n));
         }
     }
-    planner
-        .run()
+    let (results, stats) = planner.run();
+    let cells = results
         .into_iter()
         .zip(meta)
         .map(|(result, (spec, n))| cell_of(&spec, n, result))
-        .collect()
+        .collect();
+    (cells, stats)
 }
 
 /// The whole Table 1 sweep as **one** multi-graph batch: all rows' cells
@@ -287,8 +354,20 @@ pub fn sweep_n(
 /// and executed largest-cost-first. Returns per-sweep cell vectors in
 /// [`table1_sweeps`] order.
 pub fn table1_batch(quick: bool, reps: u64) -> Vec<Vec<Cell>> {
+    table1_batch_with(quick, reps, None).0
+}
+
+/// [`table1_batch`] with an optional [`ResultStore`]: the opt-in
+/// `table1 --store DIR` path. On a warm store the whole table replays with
+/// **zero rounds simulated** (the stats say so); outcomes are the exact
+/// stored `Outcome`s, so full-mode BASELINES stay byte-identical.
+pub fn table1_batch_with(
+    quick: bool,
+    reps: u64,
+    store: Option<&ResultStore>,
+) -> (Vec<Vec<Cell>>, Option<CacheStats>) {
     let sweeps = table1_sweeps();
-    let mut planner = BatchPlanner::new();
+    let mut planner = AnyPlanner::new(store);
     let mut cache = GraphCache::new();
     let mut meta: Vec<(usize, ScenarioSpec, usize)> = Vec::new();
     for (serial, sweep) in sweeps.iter().enumerate() {
@@ -310,10 +389,11 @@ pub fn table1_batch(quick: bool, reps: u64) -> Vec<Vec<Cell>> {
         }
     }
     let mut rows: Vec<Vec<Cell>> = sweeps.iter().map(|_| Vec::new()).collect();
-    for (result, (serial, spec, n)) in planner.run().into_iter().zip(meta) {
+    let (results, stats) = planner.run();
+    for (result, (serial, spec, n)) in results.into_iter().zip(meta) {
         rows[serial].push(cell_of(&spec, n, result));
     }
-    rows
+    (rows, stats)
 }
 
 /// One sweep coordinate for [`run_series_cells`]: everything `run_cell`
@@ -340,7 +420,15 @@ pub struct SeriesCoord {
 /// to mapping [`run_cell`] over `coords`, minus the redundant graph
 /// builds and with deliberate scheduling.
 pub fn run_series_cells(coords: &[SeriesCoord]) -> Vec<Cell> {
-    let mut planner = BatchPlanner::new();
+    run_series_cells_with(coords, None).0
+}
+
+/// [`run_series_cells`] with an optional [`ResultStore`].
+pub fn run_series_cells_with(
+    coords: &[SeriesCoord],
+    store: Option<&ResultStore>,
+) -> (Vec<Cell>, Option<CacheStats>) {
+    let mut planner = AnyPlanner::new(store);
     let mut cache = GraphCache::new();
     let mut meta: Vec<(ScenarioSpec, usize)> = Vec::new();
     for c in coords {
@@ -356,18 +444,19 @@ pub fn run_series_cells(coords: &[SeriesCoord]) -> Vec<Cell> {
         );
         meta.push((spec, c.n));
     }
-    planner
-        .run()
+    let (results, stats) = planner.run();
+    let cells = results
         .into_iter()
         .zip(meta)
         .map(|(result, (spec, n))| cell_of(&spec, n, result))
-        .collect()
+        .collect();
+    (cells, stats)
 }
 
 /// Sweep robot-count bins on one shared graph: for each `k` in `ks`,
 /// `reps` seeded cells of `algo` at the row's `(n, k)` tolerance, all
-/// through one `Session::run_batch` (one `Arc<PortGraph>` for the whole
-/// sweep). The §5 capacity regime (`k ≠ n`) made measurable.
+/// batched through one planner on one `Arc<PortGraph>`. The §5 capacity
+/// regime (`k ≠ n`) made measurable.
 pub fn sweep_k(
     algo: Algorithm,
     n: usize,
@@ -375,26 +464,43 @@ pub fn sweep_k(
     adversary: AdversaryKind,
     reps: u64,
 ) -> Vec<Cell> {
-    let session = Session::new(bench_graph(n, 1000));
+    sweep_k_with(algo, n, ks, adversary, reps, None).0
+}
+
+/// [`sweep_k`] with an optional [`ResultStore`].
+pub fn sweep_k_with(
+    algo: Algorithm,
+    n: usize,
+    ks: &[usize],
+    adversary: AdversaryKind,
+    reps: u64,
+    store: Option<&ResultStore>,
+) -> (Vec<Cell>, Option<CacheStats>) {
+    let graph = Arc::new(bench_graph(n, 1000));
+    let mut planner = AnyPlanner::new(store);
     let specs: Vec<ScenarioSpec> = ks
         .iter()
         .flat_map(|&k| {
-            let session = &session;
+            let graph = &graph;
             (0..reps).map(move |rep| {
                 let f = algo.row().tolerance(n, k);
-                starting_config(algo, session.graph())
+                starting_config(algo, graph)
                     .with_robots(k)
                     .with_byzantine(f, adversary)
                     .with_seed(4000 + rep)
             })
         })
         .collect();
-    session
-        .run_batch(&specs)
+    for spec in &specs {
+        planner.add(&graph, spec.clone());
+    }
+    let (results, stats) = planner.run();
+    let cells = results
         .into_iter()
         .zip(&specs)
         .map(|(res, spec)| cell_of(spec, n, res))
-        .collect()
+        .collect();
+    (cells, stats)
 }
 
 /// Mean of an arbitrary cell quantity grouped by an arbitrary cell key.
@@ -430,6 +536,30 @@ pub fn mean_skipped_rounds(cells: &[Cell]) -> Vec<(usize, f64)> {
 /// Mean rounds per `n` from a sweep.
 pub fn mean_rounds(cells: &[Cell]) -> Vec<(usize, f64)> {
     mean_rounds_by(cells, |c| c.n)
+}
+
+/// Mean measured wall-clock per cell, microseconds — the real per-cell
+/// cost the satellite metrics report next to the planner's estimate.
+pub fn mean_elapsed_micros(cells: &[Cell]) -> f64 {
+    if cells.is_empty() {
+        return 0.0;
+    }
+    cells.iter().map(|c| c.elapsed_micros as f64).sum::<f64>() / cells.len() as f64
+}
+
+/// Mean of the planner's per-cell cost estimate (`rounds × k` robot-steps;
+/// the registry budget is exact, so measured rounds equal it on successful
+/// cells). The table1 bin prints this next to the measured microseconds so
+/// the cost model can be eyeballed against reality.
+pub fn mean_cost_estimate(cells: &[Cell]) -> f64 {
+    if cells.is_empty() {
+        return 0.0;
+    }
+    cells
+        .iter()
+        .map(|c| (c.rounds * c.k as u64) as f64)
+        .sum::<f64>()
+        / cells.len() as f64
 }
 
 /// Mean rounds per `k` from a k-bin sweep.
@@ -533,6 +663,7 @@ mod tests {
             rounds,
             rounds_skipped: 0,
             total_moves: 5,
+            elapsed_micros: 7,
             dispersed,
         };
         let cells = vec![mk(8, 10, true, 0), mk(8, 20, false, 1)];

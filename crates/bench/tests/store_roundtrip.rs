@@ -1,0 +1,95 @@
+//! The acceptance observable for the serving layer on the bench side: a
+//! second `table1 --quick --store DIR`-equivalent invocation is served
+//! entirely from the store — zero rounds simulated — and produces the
+//! identical table, because cached outcomes are the exact stored
+//! `Outcome`s.
+
+use bd_bench::{sweep_k_with, table1_batch_with};
+use bd_dispersion::adversaries::AdversaryKind;
+use bd_dispersion::runner::Algorithm;
+use bd_service::ResultStore;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bd-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn second_quick_table1_run_simulates_zero_rounds() {
+    let dir = tmpdir("table1");
+    let store = ResultStore::open(&dir).unwrap();
+
+    let (cold_rows, cold_stats) = table1_batch_with(true, 1, Some(&store));
+    let cold_stats = cold_stats.expect("store path reports stats");
+    let cells: u64 = cold_rows.iter().map(|r| r.len() as u64).sum();
+    assert_eq!(cold_stats.misses, cells, "cold store simulates everything");
+    assert_eq!(cold_stats.hits, 0);
+    assert!(cold_stats.rounds_simulated > 0);
+
+    // Same invocation again — in the same process here; the daemon restart
+    // suite proves the journal serves across processes too.
+    let (warm_rows, warm_stats) = table1_batch_with(true, 1, Some(&store));
+    let warm_stats = warm_stats.expect("store path reports stats");
+    assert_eq!(warm_stats.hits, cells, "warm store serves every cell");
+    assert_eq!(warm_stats.misses, 0);
+    assert_eq!(
+        warm_stats.rounds_simulated, 0,
+        "zero rounds simulated on the second invocation"
+    );
+    assert_eq!(
+        warm_stats.rounds_saved,
+        cold_stats.rounds_simulated + {
+            // Saved rounds count the *measured* rounds of stored cells, which
+            // include fast-forwarded ones; recompute from the table.
+            cold_rows
+                .iter()
+                .flatten()
+                .map(|c| c.rounds_skipped)
+                .sum::<u64>()
+        }
+    );
+
+    // The replayed table is the stored table, cell for cell (wall-clock
+    // travels with the stored outcome, so even elapsed_micros matches).
+    for (cold_row, warm_row) in cold_rows.iter().zip(&warm_rows) {
+        for (a, b) in cold_row.iter().zip(warm_row) {
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_k_round_trips_through_the_store() {
+    let dir = tmpdir("sweepk");
+    let store = ResultStore::open(&dir).unwrap();
+    let (cold, s1) = sweep_k_with(
+        Algorithm::Baseline,
+        8,
+        &[4, 8, 16],
+        AdversaryKind::Squatter,
+        2,
+        Some(&store),
+    );
+    assert_eq!(s1.unwrap().misses, 6);
+    let (warm, s2) = sweep_k_with(
+        Algorithm::Baseline,
+        8,
+        &[4, 8, 16],
+        AdversaryKind::Squatter,
+        2,
+        Some(&store),
+    );
+    let s2 = s2.unwrap();
+    assert_eq!((s2.hits, s2.misses, s2.rounds_simulated), (6, 0, 0));
+    for (a, b) in cold.iter().zip(&warm) {
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.elapsed_micros, b.elapsed_micros, "stored cost replays");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

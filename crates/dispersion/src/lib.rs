@@ -124,6 +124,7 @@
 
 pub mod adversaries;
 pub mod algos;
+pub mod canon;
 pub mod dum;
 pub mod error;
 pub mod impossibility;
@@ -137,6 +138,7 @@ pub mod timeline;
 pub mod token_roles;
 pub mod verify;
 
+pub use canon::{graph_digest, scenario_digest, SpecDigest};
 pub use error::DispersionError;
 pub use msg::{DumState, Msg};
 pub use registry::{Plan, StartColumn, StartRequirement, TableRow};

@@ -202,8 +202,10 @@ impl ScenarioSpec {
     }
 }
 
-/// What came out of a run.
-#[derive(Debug, Clone)]
+/// What came out of a run. Fully serde-able, so the serving layer
+/// (`bd-service`) can persist outcomes content-addressed by
+/// [`crate::canon::SpecDigest`] and replay them byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Outcome {
     /// Whether Definition 1 holds in the final configuration.
     pub dispersed: bool,

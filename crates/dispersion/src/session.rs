@@ -186,6 +186,10 @@ impl Session {
     ) -> Result<Outcome, DispersionError> {
         let row = spec.algo.row();
         let (n, k, f) = (plan.n, plan.k, plan.f);
+        // Wall-clock measurement covers engine construction + execution;
+        // it lands in `RunMetrics::elapsed_micros` (excluded from metric
+        // equality — trajectories stay deterministic, clocks do not).
+        let wall_start = std::time::Instant::now();
 
         // Exact honest-termination round from the row's phase timeline;
         // the engine cap carries a small safety margin on top.
@@ -245,7 +249,8 @@ impl Session {
             }
         }
 
-        let out = engine.run()?;
+        let mut out = engine.run()?;
+        out.metrics.elapsed_micros = wall_start.elapsed().as_micros() as u64;
         // §5 capacity generalization: k robots must leave at most
         // ⌈(k−f)/n⌉ honest robots per node (the verifier module's
         // definition; at k ≤ n this is Definition 1's 1). Algorithms settle
@@ -281,7 +286,8 @@ impl Session {
 
 /// The multi-graph batch layer: queues heterogeneous [`ScenarioSpec`]s
 /// across **different** graphs (and graph sizes), shares one [`Session`]
-/// per distinct graph (`Arc` identity), estimates each cell's cost from
+/// per distinct graph (keyed by content digest, with an `Arc`-identity
+/// fast path), estimates each cell's cost from
 /// the registry's round budget, and fans the cells out over the Rayon pool
 /// **largest-first** so the most expensive cells never straggle at the end
 /// of a sweep. Results come back in insertion order.
@@ -311,6 +317,12 @@ impl Session {
 #[derive(Default)]
 pub struct BatchPlanner {
     sessions: Vec<Session>,
+    /// Content digest of each session's graph, parallel to `sessions`.
+    /// Sessions are keyed by *content*, not `Arc` identity: re-adding a
+    /// clone of an already-queued graph under a fresh `Arc` lands in the
+    /// same session (and the same cost-ordering pool) instead of silently
+    /// forking a second one.
+    graph_digests: Vec<u64>,
     /// Queued cells: (session index, spec), in insertion order.
     cells: Vec<(usize, ScenarioSpec)>,
 }
@@ -321,9 +333,11 @@ impl BatchPlanner {
         BatchPlanner::default()
     }
 
-    /// The session handle for `graph`, deduplicated by `Arc` identity:
-    /// cells queued against the same `Arc` share one [`Session`] (and the
-    /// graph itself is never cloned).
+    /// The session handle for `graph`, deduplicated by graph **content**
+    /// ([`crate::canon::graph_digest`]): cells queued against equal graphs
+    /// share one [`Session`] even across distinct `Arc`s. The common case —
+    /// the same `Arc` handle re-added — short-circuits on pointer identity
+    /// before any digest is computed.
     fn session_index(&mut self, graph: &Arc<PortGraph>) -> usize {
         if let Some(i) = self
             .sessions
@@ -332,7 +346,12 @@ impl BatchPlanner {
         {
             return i;
         }
+        let digest = crate::canon::graph_digest(graph);
+        if let Some(i) = self.graph_digests.iter().position(|&d| d == digest) {
+            return i;
+        }
         self.sessions.push(Session::new(Arc::clone(graph)));
+        self.graph_digests.push(digest);
         self.sessions.len() - 1
     }
 
@@ -522,7 +541,7 @@ mod tests {
     }
 
     #[test]
-    fn planner_dedupes_sessions_by_arc_identity() {
+    fn planner_dedupes_sessions_by_graph_content() {
         let graph = Arc::new(graph());
         let mut planner = BatchPlanner::new();
         for seed in 0..3 {
@@ -531,13 +550,32 @@ mod tests {
         }
         assert_eq!(planner.len(), 3);
         assert_eq!(planner.num_sessions(), 1);
-        // A clone of the *graph* (different Arc) is a different session.
-        let other = Arc::new(graph.as_ref().clone());
+        // Regression (PR 5): a clone of the graph — equal content under a
+        // different `Arc` pointer — must land in the *same* session, not
+        // silently fork a second one.
+        let clone = Arc::new(graph.as_ref().clone());
+        assert!(!Arc::ptr_eq(&graph, &clone));
+        let idx = planner.add(
+            &clone,
+            ScenarioSpec::gathered(Algorithm::Baseline, &clone, 0).with_seed(9),
+        );
+        assert_eq!(
+            planner.num_sessions(),
+            1,
+            "content-keyed, not pointer-keyed"
+        );
+        assert_eq!(idx, 3, "cell handles stay insertion-ordered");
+        // A genuinely different graph still gets its own session.
+        let other = Arc::new(erdos_renyi_connected(9, 0.4, 99).unwrap());
         planner.add(
             &other,
             ScenarioSpec::gathered(Algorithm::Baseline, &other, 0),
         );
         assert_eq!(planner.num_sessions(), 2);
+        // And the batch still runs every cell correctly.
+        let results = planner.run();
+        assert_eq!(results.len(), 5);
+        assert!(results.iter().all(|r| r.as_ref().unwrap().dispersed));
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Spec canonicalization and digest conformance: the `SpecDigest` must be
+//! (a) invariant under JSON field re-ordering and re-serialization, and
+//! (b) distinct across every `{algorithm × adversary × n × k × seed}`
+//! coordinate of a small matrix — the two properties content addressing
+//! stands on.
+
+use bd_dispersion::adversaries::AdversaryKind;
+use bd_dispersion::canon::{canonical_bytes, scenario_digest, SpecDigest};
+use bd_dispersion::runner::{Algorithm, ByzPlacement, ScenarioSpec, StartConfig};
+use bd_graphs::generators::asymmetric_gnp;
+use bd_runtime::EngineConfig;
+use proptest::prelude::*;
+use serde::Value;
+use std::collections::BTreeSet;
+
+fn sample_spec(algo_i: usize, adv_i: usize, k: usize, seed: u64, start: u8) -> ScenarioSpec {
+    let algos = [
+        Algorithm::Baseline,
+        Algorithm::GatheredThirdTh4,
+        Algorithm::GatheredHalfTh3,
+        Algorithm::ArbitrarySqrtTh5,
+        Algorithm::StrongGatheredTh6,
+    ];
+    let advs = AdversaryKind::all();
+    let g = asymmetric_gnp(9, 1000).unwrap();
+    let mut spec = ScenarioSpec::gathered(algos[algo_i % algos.len()], &g, 0)
+        .with_robots(k)
+        .with_byzantine(1, advs[adv_i % advs.len()])
+        .with_seed(seed);
+    spec.starts = match start % 3 {
+        0 => StartConfig::Gathered(0),
+        1 => StartConfig::RandomArbitrary,
+        _ => StartConfig::Explicit((0..k).map(|i| i % 9).collect()),
+    };
+    spec
+}
+
+/// Re-render `spec` as JSON with its object fields in reversed order, then
+/// parse it back. A digest computed from any JSON *presentation* (rather
+/// than the typed struct) would be caught by this.
+fn reorder_fields_round_trip(spec: &ScenarioSpec) -> ScenarioSpec {
+    let json = serde_json::to_string(spec).unwrap();
+    let value: Value = serde_json::from_str(&json).unwrap();
+    let Value::Object(pairs) = value else {
+        panic!("spec serializes as an object")
+    };
+    let reversed = Value::Object(pairs.into_iter().rev().collect());
+    let rendered = reversed.to_string();
+    assert_ne!(rendered, json, "reordering must actually change the text");
+    serde_json::from_str(&rendered).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Field order and serialization round trips never move the digest.
+    #[test]
+    fn digest_invariant_under_reordering_and_reserialization(
+        algo_i in 0usize..5,
+        adv_i in 0usize..10,
+        k in 3usize..18,
+        seed in 0u64..1000,
+        start in 0u8..3,
+    ) {
+        let g = asymmetric_gnp(9, 1000).unwrap();
+        let cfg = EngineConfig::default();
+        let spec = sample_spec(algo_i, adv_i, k, seed, start);
+        let d0 = scenario_digest(&g, &spec, &cfg);
+
+        // Re-serialization: JSON → struct → JSON → struct.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(scenario_digest(&g, &back, &cfg), d0);
+        let again: ScenarioSpec =
+            serde_json::from_str(&serde_json::to_string(&back).unwrap()).unwrap();
+        prop_assert_eq!(scenario_digest(&g, &again, &cfg), d0);
+
+        // Field re-ordering of the JSON object.
+        let reordered = reorder_fields_round_trip(&spec);
+        prop_assert_eq!(scenario_digest(&g, &reordered, &cfg), d0);
+        prop_assert_eq!(
+            canonical_bytes(&g, &reordered, &cfg),
+            canonical_bytes(&g, &spec, &cfg),
+            "the canonical byte stream itself is presentation-independent"
+        );
+    }
+}
+
+#[test]
+fn digest_distinct_across_the_coordinate_matrix() {
+    // Every {algorithm × adversary × n × k × seed} coordinate must get its
+    // own digest — a collision would silently serve one cell's outcome for
+    // another's.
+    let algos = [
+        Algorithm::Baseline,
+        Algorithm::GatheredThirdTh4,
+        Algorithm::ArbitrarySqrtTh5,
+    ];
+    let advs = [
+        AdversaryKind::Squatter,
+        AdversaryKind::Wanderer,
+        AdversaryKind::TokenHijacker,
+    ];
+    let cfg = EngineConfig::default();
+    let mut seen: BTreeSet<SpecDigest> = BTreeSet::new();
+    let mut count = 0usize;
+    for n in [8usize, 9, 12] {
+        let g = asymmetric_gnp(n, 1000).unwrap();
+        for &algo in &algos {
+            for &adv in &advs {
+                for k in [n - 1, n, 2 * n] {
+                    for seed in 0..3u64 {
+                        let spec = ScenarioSpec::gathered(algo, &g, 0)
+                            .with_robots(k)
+                            .with_byzantine(1, adv)
+                            .with_placement(ByzPlacement::LowIds)
+                            .with_seed(seed);
+                        assert!(
+                            seen.insert(scenario_digest(&g, &spec, &cfg)),
+                            "digest collision at {algo:?}/{adv:?}/n={n}/k={k}/seed={seed}"
+                        );
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(count, 3 * 3 * 3 * 3 * 3, "full matrix covered");
+    assert_eq!(seen.len(), count);
+}
+
+#[test]
+fn same_anonymous_graph_different_presentation_digests_differ() {
+    // The digest keys the *presented* port-labeled graph: a relabeled
+    // presentation is a different key (content addressing is exact, not
+    // up-to-isomorphism — two presentations run different trajectories).
+    let g = asymmetric_gnp(9, 1000).unwrap();
+    let rotation: Vec<usize> = (0..g.n()).map(|v| (v + 1) % g.n()).collect();
+    let relabeled = bd_graphs::scramble::relabel_nodes(&g, &rotation);
+    let cfg = EngineConfig::default();
+    let spec = ScenarioSpec::gathered(Algorithm::Baseline, &g, 0);
+    assert_ne!(
+        scenario_digest(&g, &spec, &cfg),
+        scenario_digest(&relabeled, &spec, &cfg)
+    );
+}

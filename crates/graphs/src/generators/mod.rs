@@ -13,4 +13,4 @@ mod random;
 pub use classic::{complete, oriented_ring, path, ring, star};
 pub use compound::{barbell, binary_tree, lollipop, petersen};
 pub use lattice::{grid, hypercube, torus};
-pub use random::{erdos_renyi_connected, random_regular, random_tree};
+pub use random::{asymmetric_gnp, erdos_renyi_connected, random_regular, random_tree};

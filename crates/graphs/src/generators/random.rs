@@ -112,6 +112,31 @@ pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Result<PortGraph, G
     b.build_connected()
 }
 
+/// A connected, **view-asymmetric** Erdős–Rényi instance at the benchmark
+/// density `p = (8/n)` clamped to `[0.2, 0.5]`: the graph family every
+/// Table 1 precondition holds on (a view-singleton class exists, so
+/// view-based gathering has a target). Symmetric draws — rare but possible
+/// at small `n` — are rejected and resampled on a deterministic seed
+/// schedule, so the result is a pure function of `(n, seed)`.
+///
+/// This is the shared definition behind `bd-bench`'s sweep graphs and the
+/// serving layer's by-coordinate graph sources: both must materialize the
+/// *identical* graph for a given `(n, seed)` or content-addressed result
+/// caching would never hit across them.
+pub fn asymmetric_gnp(n: usize, seed: u64) -> Result<PortGraph, GraphError> {
+    let p = (8.0 / n as f64).clamp(0.2, 0.5);
+    for attempt in 0..64 {
+        let g = erdos_renyi_connected(n, p, seed.wrapping_add(attempt * 1_000_003))?;
+        let q = crate::quotient::quotient_graph(&g);
+        if q.singleton_classes().next().is_some() {
+            return Ok(g);
+        }
+    }
+    Err(GraphError::InvalidParameters(format!(
+        "no view-asymmetric G({n},{p}) instance found near seed {seed}"
+    )))
+}
+
 /// A random simple `d`-regular connected graph on `n` nodes via the pairing
 /// model with restarts (`n * d` even, `d < n`, `d >= 2`).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<PortGraph, GraphError> {
@@ -151,6 +176,18 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<PortGraph, GraphE
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn asymmetric_gnp_is_deterministic_connected_and_asymmetric() {
+        for n in [8usize, 12, 16] {
+            let a = asymmetric_gnp(n, 1000).unwrap();
+            let b = asymmetric_gnp(n, 1000).unwrap();
+            assert_eq!(a, b, "pure function of (n, seed)");
+            assert!(a.is_connected());
+            let q = crate::quotient::quotient_graph(&a);
+            assert!(q.singleton_classes().next().is_some(), "n = {n}");
+        }
+    }
 
     #[test]
     fn tree_has_n_minus_1_edges() {

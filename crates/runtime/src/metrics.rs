@@ -3,7 +3,12 @@
 use serde::{Deserialize, Serialize};
 
 /// Aggregate measurements from one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality deliberately ignores [`RunMetrics::elapsed_micros`]: wall-clock
+/// time is a *measurement of the host*, not of the simulated trajectory, so
+/// two deterministic reruns compare equal even though their timings differ.
+/// Serialization keeps the field — a stored run's cost travels with it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// Synchronous rounds elapsed (the paper's complexity measure).
     pub rounds: u64,
@@ -21,7 +26,26 @@ pub struct RunMetrics {
     /// to it). `rounds - rounds_skipped` is the number of rounds the engine
     /// actually stepped.
     pub rounds_skipped: u64,
+    /// Wall-clock cost of the run in microseconds, measured by the session
+    /// layer around engine construction + execution (the engine itself does
+    /// not read clocks). Zero for runs predating the measurement or served
+    /// from a result store snapshot taken before it existed.
+    pub elapsed_micros: u64,
 }
+
+impl PartialEq for RunMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except wall-clock (see the type-level note).
+        self.rounds == other.rounds
+            && self.total_moves == other.total_moves
+            && self.max_moves_per_robot == other.max_moves_per_robot
+            && self.messages == other.messages
+            && self.subrounds_executed == other.subrounds_executed
+            && self.rounds_skipped == other.rounds_skipped
+    }
+}
+
+impl Eq for RunMetrics {}
 
 impl RunMetrics {
     /// Merge a per-robot move count into the aggregates.
@@ -41,5 +65,19 @@ mod tests {
         m.record_moves(&[3, 7, 5]);
         assert_eq!(m.total_moves, 15);
         assert_eq!(m.max_moves_per_robot, 7);
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let mut a = RunMetrics {
+            rounds: 10,
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        a.elapsed_micros = 1;
+        b.elapsed_micros = 99;
+        assert_eq!(a, b, "wall-clock is not part of the trajectory");
+        b.rounds = 11;
+        assert_ne!(a, b);
     }
 }

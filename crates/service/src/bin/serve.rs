@@ -1,0 +1,56 @@
+//! `bd-serve` — the scenario-serving daemon.
+//!
+//! ```text
+//! bd-serve --store DIR [--addr 127.0.0.1:7171] [--workers N] [--queue-depth N]
+//! ```
+//!
+//! Binds, prints one `listening on <addr>` line (port `0` in `--addr`
+//! resolves to an ephemeral port — scripts scrape this line), and serves
+//! until `POST /shutdown`. See the `bd-service` crate docs for the API.
+
+use bd_service::{Daemon, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: bd-serve --store DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServeConfig::ephemeral("");
+    let mut store_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--store" => store_dir = Some(value("--store")),
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth").parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(store_dir) = store_dir else { usage() };
+    config.store_dir = store_dir.into();
+
+    let daemon = match Daemon::start(config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bd-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The contract with wrappers (CI smoke, tests): exactly one line on
+    // stdout announcing the resolved address, then serve until shutdown.
+    println!("listening on {}", daemon.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    daemon.join();
+    println!("bd-serve: drained and stopped");
+}

@@ -1,0 +1,98 @@
+//! A tiny blocking client for the daemon's JSON API — the test suites'
+//! and examples' way of speaking to `bd-serve` without hand-writing HTTP.
+
+use crate::error::ServiceError;
+use crate::http;
+use crate::protocol::{BatchAccepted, BatchReply, BatchRequest, Health, StatsReply};
+use serde::Deserialize;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// A handle on one daemon address. Connections are per-call
+/// (`Connection: close`), so the client is freely cloneable and `Sync`.
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// A client for the daemon at `addr`.
+    pub fn new(addr: SocketAddr) -> Self {
+        Client { addr }
+    }
+
+    fn get<T: Deserialize>(&self, path: &str) -> Result<T, ServiceError> {
+        let (status, body) = http::call(self.addr, "GET", path, None)?;
+        decode(status, &body)
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&self) -> Result<Health, ServiceError> {
+        self.get("/healthz")
+    }
+
+    /// `GET /stats`.
+    pub fn stats(&self) -> Result<StatsReply, ServiceError> {
+        self.get("/stats")
+    }
+
+    /// `POST /batches`: submit `request`, returning the accepted handle.
+    pub fn submit(&self, request: &BatchRequest) -> Result<BatchAccepted, ServiceError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| ServiceError::Protocol(format!("encode batch request: {e}")))?;
+        let (status, reply) = http::call(self.addr, "POST", "/batches", Some(&body))?;
+        decode(status, &reply)
+    }
+
+    /// `POST /batches` with an arbitrary raw body — the malformed-input
+    /// path tests exercise.
+    pub fn submit_raw(&self, body: &str) -> Result<BatchAccepted, ServiceError> {
+        let (status, reply) = http::call(self.addr, "POST", "/batches", Some(body))?;
+        decode(status, &reply)
+    }
+
+    /// `GET /batches/:id`.
+    pub fn batch(&self, id: u64) -> Result<BatchReply, ServiceError> {
+        self.get(&format!("/batches/{id}"))
+    }
+
+    /// Poll `GET /batches/:id` until the batch leaves the queue (done or
+    /// failed), or `timeout` elapses.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Result<BatchReply, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let reply = self.batch(id)?;
+            match reply.status.as_str() {
+                "done" | "failed" => return Ok(reply),
+                _ if Instant::now() >= deadline => {
+                    return Err(ServiceError::Protocol(format!(
+                        "batch {id} still {} after {timeout:?}",
+                        reply.status
+                    )))
+                }
+                _ => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// `POST /shutdown`: ask the daemon to stop accepting and drain.
+    pub fn shutdown(&self) -> Result<(), ServiceError> {
+        let (status, body) = http::call(self.addr, "POST", "/shutdown", Some(""))?;
+        if status == 200 {
+            Ok(())
+        } else {
+            Err(ServiceError::Http { status, msg: body })
+        }
+    }
+}
+
+fn decode<T: Deserialize>(status: u16, body: &str) -> Result<T, ServiceError> {
+    if !(200..300).contains(&status) {
+        return Err(ServiceError::Http {
+            status,
+            msg: body.to_string(),
+        });
+    }
+    serde_json::from_str(body)
+        .map_err(|e| ServiceError::Protocol(format!("decode response {body:?}: {e}")))
+}

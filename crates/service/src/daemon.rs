@@ -1,0 +1,500 @@
+//! The scenario-serving daemon: a `std::net::TcpListener` front end, a
+//! bounded job queue, and a worker pool that funnels every batch into the
+//! shared store-backed [`CachedPlanner`] path.
+//!
+//! Life of a batch: `POST /batches` validates the JSON, allocates an id,
+//! and `try_send`s the id into the bounded queue (`503` when full — the
+//! daemon sheds load instead of buffering unboundedly). A worker pops the
+//! id, materializes the graph (memoized by source, capped), runs a
+//! [`CachedPlanner`] over the daemon's [`ResultStore`], and parks results
+//! and [`CacheStats`] on the batch record. `GET /batches/:id` serves the
+//! record at any point in its lifecycle; `GET /stats` aggregates across
+//! batches.
+//!
+//! Each accepted connection is handled on its own thread (socket
+//! read/write timeouts bound its lifetime), so a stalled client cannot
+//! block `/healthz` or `/shutdown`. Memory is bounded: only the most
+//! recent [`COMPLETED_RETENTION`] finished batch records are kept (older
+//! ones answer `404` after eviction) and at most [`GRAPH_MEMO_CAP`]
+//! graphs stay memoized.
+//!
+//! Shutdown (`POST /shutdown` or [`Daemon::shutdown`]) stops the acceptor,
+//! which drops the queue sender; workers drain what was already accepted,
+//! see the channel disconnect, and exit — no job is abandoned half-run.
+
+use crate::cached::{CacheStats, CachedPlanner, CellSource};
+use crate::error::ServiceError;
+use crate::graphsrc::GraphSource;
+use crate::http;
+use crate::protocol::{
+    BatchAccepted, BatchReply, BatchRequest, CellResult, ErrorReply, Health, StatsReply,
+};
+use crate::store::ResultStore;
+use bd_graphs::PortGraph;
+use std::collections::{BTreeMap, HashMap};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`Daemon::local_addr`]).
+    pub addr: String,
+    /// Result-store directory.
+    pub store_dir: PathBuf,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it get `503`.
+    pub queue_depth: usize,
+}
+
+impl ServeConfig {
+    /// A config serving `store_dir` on an ephemeral localhost port with
+    /// two workers and a queue of 64.
+    pub fn ephemeral(store_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            store_dir: store_dir.into(),
+            workers: 2,
+            queue_depth: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BatchState {
+    Queued,
+    Running,
+    Done,
+    Failed(String),
+}
+
+struct BatchRecord {
+    /// The pending request; taken (freed) when a worker starts the batch.
+    request: Option<BatchRequest>,
+    state: BatchState,
+    cells: Vec<CellResult>,
+    stats: Option<CacheStats>,
+}
+
+/// Completed (done/failed) batch records retained for `GET /batches/:id`;
+/// older completed records are evicted so a long-lived daemon's memory
+/// stays bounded. In-flight records are never evicted.
+pub const COMPLETED_RETENTION: usize = 1024;
+
+/// Distinct graphs memoized at once. Beyond this, a batch's graph is
+/// materialized for the batch and dropped afterwards (correct, just not
+/// shared) — an `Explicit` source can be megabytes, and the memo key is
+/// its full JSON.
+pub const GRAPH_MEMO_CAP: usize = 64;
+
+struct State {
+    store: ResultStore,
+    batches: Mutex<BTreeMap<u64, BatchRecord>>,
+    graphs: Mutex<HashMap<String, Arc<PortGraph>>>,
+    next_id: AtomicU64,
+    running: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    /// HTTP connections currently being handled (each on its own thread).
+    connections: AtomicU64,
+    workers: usize,
+    totals: Mutex<CacheStats>,
+}
+
+impl State {
+    fn queue_depth(&self) -> u64 {
+        // Saturating: a worker can finish (bumping `completed`) before a
+        // concurrent `/stats` observes the submission's `submitted` bump.
+        self.submitted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.completed.load(Ordering::Relaxed))
+    }
+
+    /// Drop the oldest completed records beyond [`COMPLETED_RETENTION`]
+    /// (BTreeMap iterates in id order, so the oldest go first).
+    fn evict_completed(&self) {
+        let mut batches = self.batches.lock().expect("batches lock");
+        let completed: Vec<u64> = batches
+            .iter()
+            .filter(|(_, r)| matches!(r.state, BatchState::Done | BatchState::Failed(_)))
+            .map(|(&id, _)| id)
+            .collect();
+        if completed.len() > COMPLETED_RETENTION {
+            for id in &completed[..completed.len() - COMPLETED_RETENTION] {
+                batches.remove(id);
+            }
+        }
+    }
+}
+
+/// Decrements the connection counter when a connection thread ends, on
+/// every exit path.
+struct ConnectionGuard(Arc<State>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop it; call
+/// [`Daemon::shutdown`] (or send `POST /shutdown`) then [`Daemon::join`].
+pub struct Daemon {
+    local_addr: SocketAddr,
+    state: Arc<State>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl Daemon {
+    /// Bind, open the store, and spawn the acceptor + worker threads.
+    pub fn start(config: ServeConfig) -> Result<Daemon, ServiceError> {
+        let store = ResultStore::open(&config.store_dir)?;
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let workers = config.workers.max(1);
+        let state = Arc::new(State {
+            store,
+            batches: Mutex::new(BTreeMap::new()),
+            graphs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            running: AtomicBool::new(true),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            workers,
+            totals: Mutex::new(CacheStats::default()),
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("bd-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("bd-serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &state, &tx))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Daemon {
+            local_addr,
+            state,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Ask the daemon to stop accepting; queued work still drains.
+    pub fn shutdown(&self) {
+        self.state.running.store(false, Ordering::SeqCst);
+    }
+
+    /// Wait until the daemon has stopped (after [`Daemon::shutdown`] or a
+    /// `POST /shutdown`): the acceptor exits, in-flight connections finish
+    /// (the `/shutdown` response itself rides one), and every worker
+    /// drains.
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Connection threads are detached; their per-read socket timeouts
+        // bound how long this wait can last, with a belt-and-braces cap.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while self.state.connections.load(Ordering::SeqCst) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<State>, tx: &SyncSender<u64>) {
+    while state.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One thread per connection: a slow or stalled client must
+                // never block /healthz, /shutdown, or other submissions.
+                // Socket timeouts (http::IO_TIMEOUT) bound each thread's
+                // lifetime; the guard keeps the live count for join().
+                state.connections.fetch_add(1, Ordering::SeqCst);
+                let state = Arc::clone(state);
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let _guard = ConnectionGuard(Arc::clone(&state));
+                    handle_connection(stream, &state, &tx);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping `tx` here (and each connection thread dropping its clone)
+    // disconnects the channel once workers drain it.
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<State>, tx: &SyncSender<u64>) {
+    let request = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = http::respond(&mut stream, 400, &error_body(&e.to_string()));
+            return;
+        }
+    };
+    let (status, body) = route(&request, state, tx);
+    let _ = http::respond(&mut stream, status, &body);
+}
+
+fn error_body(msg: &str) -> String {
+    serde_json::to_string(&ErrorReply { error: msg.into() }).expect("error reply serializes")
+}
+
+fn route(req: &http::Request, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let health = Health {
+                ok: true,
+                store_entries: state.store.len(),
+            };
+            (200, serde_json::to_string(&health).expect("health"))
+        }
+        ("GET", "/stats") => {
+            let counters = state.store.counters();
+            let reply = StatsReply {
+                store_entries: state.store.len(),
+                store_hits: counters.hits,
+                store_misses: counters.misses,
+                batches_submitted: state.submitted.load(Ordering::Relaxed),
+                batches_completed: state.completed.load(Ordering::Relaxed),
+                queue_depth: state.queue_depth(),
+                workers: state.workers,
+                totals: *state.totals.lock().expect("totals lock"),
+            };
+            (200, serde_json::to_string(&reply).expect("stats"))
+        }
+        ("POST", "/batches") => submit_batch(&req.body, state, tx),
+        ("GET", path) if path.starts_with("/batches/") => batch_status(path, state),
+        ("POST", "/shutdown") => {
+            state.running.store(false, Ordering::SeqCst);
+            (200, "{\"ok\":true}".to_string())
+        }
+        ("GET" | "POST", _) => (404, error_body(&format!("no route {}", req.path))),
+        _ => (
+            405,
+            error_body(&format!("method {} not allowed", req.method)),
+        ),
+    }
+}
+
+fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, String) {
+    let request: BatchRequest = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => return (400, error_body(&format!("bad batch request: {e}"))),
+    };
+    if request.specs.is_empty() {
+        return (400, error_body("batch has no specs"));
+    }
+    let cells = request.specs.len();
+    let id = state.next_id.fetch_add(1, Ordering::Relaxed);
+    state.batches.lock().expect("batches lock").insert(
+        id,
+        BatchRecord {
+            request: Some(request),
+            state: BatchState::Queued,
+            cells: Vec::new(),
+            stats: None,
+        },
+    );
+    // `submitted` is bumped *before* the job becomes poppable: a fast
+    // worker must never increment `completed` past `submitted`.
+    state.submitted.fetch_add(1, Ordering::Relaxed);
+    match tx.try_send(id) {
+        Ok(()) => {
+            let reply = BatchAccepted {
+                id,
+                cells,
+                status: "queued".into(),
+            };
+            (202, serde_json::to_string(&reply).expect("accepted"))
+        }
+        Err(e) => {
+            state.submitted.fetch_sub(1, Ordering::Relaxed);
+            state.batches.lock().expect("batches lock").remove(&id);
+            let msg = match e {
+                TrySendError::Full(_) => "job queue full, resubmit later",
+                TrySendError::Disconnected(_) => "daemon is shutting down",
+            };
+            (503, error_body(msg))
+        }
+    }
+}
+
+fn batch_status(path: &str, state: &Arc<State>) -> (u16, String) {
+    let id: u64 = match path["/batches/".len()..].parse() {
+        Ok(id) => id,
+        Err(_) => return (400, error_body(&format!("bad batch id in {path}"))),
+    };
+    let batches = state.batches.lock().expect("batches lock");
+    let Some(record) = batches.get(&id) else {
+        return (404, error_body(&format!("no batch {id}")));
+    };
+    let (status, error) = match &record.state {
+        BatchState::Queued => ("queued", None),
+        BatchState::Running => ("running", None),
+        BatchState::Done => ("done", None),
+        BatchState::Failed(msg) => ("failed", Some(msg.clone())),
+    };
+    let reply = BatchReply {
+        id,
+        status: status.into(),
+        error,
+        cells: record.cells.clone(),
+        stats: record.stats,
+    };
+    (200, serde_json::to_string(&reply).expect("batch reply"))
+}
+
+fn worker_loop(state: &Arc<State>, rx: &Arc<Mutex<Receiver<u64>>>) {
+    loop {
+        let job = {
+            let rx = rx.lock().expect("queue lock");
+            rx.recv_timeout(Duration::from_millis(50))
+        };
+        match job {
+            Ok(id) => {
+                process_batch(state, id);
+                state.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// The daemon's graph materialization, memoized by canonical source key so
+/// repeated submissions share one `Arc` (and therefore one planner
+/// session).
+fn graph_for(state: &Arc<State>, source: &GraphSource) -> Result<Arc<PortGraph>, ServiceError> {
+    let key = source.cache_key();
+    if let Some(g) = state.graphs.lock().expect("graphs lock").get(&key) {
+        return Ok(Arc::clone(g));
+    }
+    // Materialize outside the lock: graph generation can be slow.
+    let g = Arc::new(source.materialize()?);
+    let mut graphs = state.graphs.lock().expect("graphs lock");
+    if graphs.len() >= GRAPH_MEMO_CAP && !graphs.contains_key(&key) {
+        // Memo full: serve this batch unmemoized rather than grow without
+        // bound (the memo is an optimization, not a correctness need).
+        return Ok(g);
+    }
+    Ok(Arc::clone(graphs.entry(key).or_insert(g)))
+}
+
+fn process_batch(state: &Arc<State>, id: u64) {
+    let request = {
+        let mut batches = state.batches.lock().expect("batches lock");
+        let Some(record) = batches.get_mut(&id) else {
+            return;
+        };
+        record.state = BatchState::Running;
+        // Take, don't clone: nothing reads the request after this point,
+        // and an `Explicit` graph source can be megabytes — retained
+        // requests would defeat the record-retention memory bound.
+        match record.request.take() {
+            Some(request) => request,
+            None => return,
+        }
+    };
+
+    let result = run_request(state, &request);
+    {
+        let mut batches = state.batches.lock().expect("batches lock");
+        let Some(record) = batches.get_mut(&id) else {
+            return;
+        };
+        match result {
+            Ok((cells, stats)) => {
+                record.cells = cells;
+                record.stats = Some(stats);
+                record.state = BatchState::Done;
+                state.totals.lock().expect("totals lock").merge(&stats);
+            }
+            Err(e) => record.state = BatchState::Failed(e.to_string()),
+        }
+    }
+    state.evict_completed();
+}
+
+fn run_request(
+    state: &Arc<State>,
+    request: &BatchRequest,
+) -> Result<(Vec<CellResult>, CacheStats), ServiceError> {
+    let graph = graph_for(state, &request.graph)?;
+    let mut planner = CachedPlanner::new(&state.store);
+    // Per-cell provenance comes straight from the planner: only a store
+    // hit is `cached` (an in-batch duplicate aliases a simulation of this
+    // very batch, which is not "answered by the store").
+    let sources: Vec<CellSource> = request
+        .specs
+        .iter()
+        .map(|spec| {
+            let idx = planner.add(&graph, spec.clone());
+            planner.source(idx)
+        })
+        .collect();
+    let (results, stats) = planner.run()?;
+    let cells = results
+        .into_iter()
+        .zip(sources)
+        .map(|(result, source)| match result {
+            Ok(outcome) => CellResult {
+                cached: source == CellSource::Store,
+                outcome: Some(outcome),
+                error: None,
+            },
+            Err(e) => CellResult {
+                cached: false,
+                outcome: None,
+                error: Some(e.to_string()),
+            },
+        })
+        .collect();
+    Ok((cells, stats))
+}

@@ -1,0 +1,61 @@
+//! Error type shared by the store, the daemon, and the client.
+
+use bd_graphs::GraphError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why a serving-layer operation failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Filesystem or socket failure.
+    Io(std::io::Error),
+    /// A store file is damaged *before* its tail — truncated tails are
+    /// recovered silently, interior damage is refused loudly.
+    Corrupt {
+        /// The damaged file.
+        path: PathBuf,
+        /// 1-based line of the first undecodable entry.
+        line: usize,
+        /// Decoder message.
+        msg: String,
+    },
+    /// Malformed HTTP traffic or JSON payload.
+    Protocol(String),
+    /// The server answered with a non-success status.
+    Http {
+        /// HTTP status code.
+        status: u16,
+        /// Response body (the daemon always sends a JSON error object).
+        msg: String,
+    },
+    /// A graph source could not be materialized.
+    Graph(GraphError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "io: {e}"),
+            ServiceError::Corrupt { path, line, msg } => {
+                write!(f, "corrupt store {}:{line}: {msg}", path.display())
+            }
+            ServiceError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ServiceError::Http { status, msg } => write!(f, "http {status}: {msg}"),
+            ServiceError::Graph(e) => write!(f, "graph source: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<GraphError> for ServiceError {
+    fn from(e: GraphError) -> Self {
+        ServiceError::Graph(e)
+    }
+}

@@ -1,0 +1,100 @@
+//! Serializable graph sources: how a client tells the daemon *which graph*
+//! a batch runs on without shipping megabytes of adjacency for the common
+//! families.
+//!
+//! [`GraphSource::BenchEr`] names the benchmark family by coordinate and
+//! materializes through `bd_graphs::generators::asymmetric_gnp` — the same
+//! pure function `bd-bench`'s sweeps use — so a daemon submission and a
+//! local `table1 --store` run of the same cell hash to the same
+//! [`bd_dispersion::SpecDigest`] and share cache entries.
+
+use crate::error::ServiceError;
+use bd_graphs::generators::{asymmetric_gnp, grid, ring};
+use bd_graphs::PortGraph;
+use serde::{Deserialize, Serialize};
+
+/// A recipe for one graph. Serde-able; the canonical JSON rendering is the
+/// daemon's graph-cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphSource {
+    /// The benchmark family: view-asymmetric seeded `G(n, p)` at the
+    /// bench density (`asymmetric_gnp`).
+    BenchEr {
+        /// Node count.
+        n: usize,
+        /// Family seed.
+        seed: u64,
+    },
+    /// A ring on `n` nodes (the `RingOptimal` row's home).
+    Ring {
+        /// Node count.
+        n: usize,
+    },
+    /// A `rows × cols` grid.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Explicit port-labeled adjacency `adj[v][p] = (u, q)` for graphs no
+    /// family covers.
+    Explicit {
+        /// Full adjacency.
+        adj: Vec<Vec<(usize, usize)>>,
+    },
+}
+
+impl GraphSource {
+    /// Build the graph this source describes.
+    pub fn materialize(&self) -> Result<PortGraph, ServiceError> {
+        let g = match self {
+            GraphSource::BenchEr { n, seed } => asymmetric_gnp(*n, *seed)?,
+            GraphSource::Ring { n } => ring(*n)?,
+            GraphSource::Grid { rows, cols } => grid(*rows, *cols)?,
+            GraphSource::Explicit { adj } => PortGraph::from_adjacency(adj.clone())?,
+        };
+        Ok(g)
+    }
+
+    /// The daemon's graph-cache key: the canonical JSON rendering (field
+    /// order is fixed by the typed serializer, so equal sources produce
+    /// equal keys).
+    pub fn cache_key(&self) -> String {
+        serde_json::to_string(self).expect("graph sources always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_er_matches_the_generator() {
+        let src = GraphSource::BenchEr { n: 12, seed: 1000 };
+        let g = src.materialize().unwrap();
+        assert_eq!(g, asymmetric_gnp(12, 1000).unwrap());
+    }
+
+    #[test]
+    fn sources_serde_round_trip() {
+        for src in [
+            GraphSource::BenchEr { n: 9, seed: 3 },
+            GraphSource::Ring { n: 8 },
+            GraphSource::Grid { rows: 3, cols: 4 },
+            GraphSource::Explicit {
+                adj: ring(4).unwrap().adjacency().to_vec(),
+            },
+        ] {
+            let json = serde_json::to_string(&src).unwrap();
+            let back: GraphSource = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, src);
+            assert_eq!(back.cache_key(), src.cache_key());
+            assert_eq!(
+                back.materialize().unwrap(),
+                src.materialize().unwrap(),
+                "{json}"
+            );
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! A deliberately small HTTP/1.1 implementation over `std::net` — enough
+//! for a JSON API with `Connection: close` semantics, and nothing more.
+//! No keep-alive, no chunked encoding, no TLS; requests and responses are
+//! bounded, bodies are UTF-8 JSON.
+//!
+//! Both sides live here: [`read_request`]/[`respond`] for the daemon,
+//! [`call`] for the client. Sharing the parser keeps the two ends honest
+//! with each other.
+
+use crate::error::ServiceError;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on header block + body we accept (a defensive cap, not a
+/// protocol limit; Explicit graph adjacencies are the largest legit body).
+const MAX_MESSAGE: usize = 16 * 1024 * 1024;
+
+/// Socket read/write deadline on both ends.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request line + body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+    /// Raw body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// Read one HTTP/1.1 request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServiceError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let (head, mut rest) = read_until_blank_line(stream)?;
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ServiceError::Protocol("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServiceError::Protocol("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ServiceError::Protocol("missing request target".into()))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ServiceError::Protocol(format!("bad content-length {value}")))?;
+            }
+        }
+    }
+    if content_length > MAX_MESSAGE {
+        return Err(ServiceError::Protocol(format!(
+            "body of {content_length} bytes exceeds the {MAX_MESSAGE} cap"
+        )));
+    }
+    while rest.len() < content_length {
+        let mut buf = [0u8; 8192];
+        let got = stream.read(&mut buf)?;
+        if got == 0 {
+            return Err(ServiceError::Protocol("connection closed mid-body".into()));
+        }
+        rest.extend_from_slice(&buf[..got]);
+    }
+    rest.truncate(content_length);
+    let body =
+        String::from_utf8(rest).map_err(|_| ServiceError::Protocol("body is not UTF-8".into()))?;
+    Ok(Request { method, path, body })
+}
+
+/// Read until the `\r\n\r\n` header terminator; returns (header block
+/// without the terminator, any body bytes already read past it).
+fn read_until_blank_line(stream: &mut TcpStream) -> Result<(String, Vec<u8>), ServiceError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        if let Some(pos) = find_terminator(&buf) {
+            let head = String::from_utf8(buf[..pos].to_vec())
+                .map_err(|_| ServiceError::Protocol("headers are not UTF-8".into()))?;
+            return Ok((head, buf[pos + 4..].to_vec()));
+        }
+        if buf.len() > MAX_MESSAGE {
+            return Err(ServiceError::Protocol("header block too large".into()));
+        }
+        let mut chunk = [0u8; 8192];
+        let got = stream.read(&mut chunk)?;
+        if got == 0 {
+            return Err(ServiceError::Protocol(
+                "connection closed before headers ended".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..got]);
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write one JSON response and close the write side.
+pub fn respond(stream: &mut TcpStream, status: u16, json_body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        json_body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(json_body.as_bytes())?;
+    stream.flush()
+}
+
+/// Client side: one request, one response, connection closed.
+pub fn call(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), ServiceError> {
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let pos = find_terminator(&raw)
+        .ok_or_else(|| ServiceError::Protocol("response without header terminator".into()))?;
+    let head = String::from_utf8(raw[..pos].to_vec())
+        .map_err(|_| ServiceError::Protocol("response headers are not UTF-8".into()))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ServiceError::Protocol(format!("bad status line in {head:?}")))?;
+    let body = String::from_utf8(raw[pos + 4..].to_vec())
+        .map_err(|_| ServiceError::Protocol("response body is not UTF-8".into()))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn request_response_round_trip_over_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/echo");
+            respond(&mut stream, 200, &req.body).unwrap();
+        });
+        let (status, body) = call(addr, "POST", "/echo?q=1", Some("{\"x\":1}")).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"x\":1}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn get_without_body_parses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!((req.method.as_str(), req.body.as_str()), ("GET", ""));
+            respond(&mut stream, 404, "{\"error\":\"nope\"}").unwrap();
+        });
+        let (status, body) = call(addr, "GET", "/missing", None).unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("nope"));
+        server.join().unwrap();
+    }
+}

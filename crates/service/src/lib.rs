@@ -1,0 +1,96 @@
+//! # bd-service
+//!
+//! The serving layer: a **content-addressed result store**, a
+//! **cache-aware batch planner**, and a **scenario-serving HTTP daemon**
+//! over `bd_dispersion::BatchPlanner`. Every consumer used to re-simulate
+//! identical `(graph, spec)` cells from scratch and nothing survived
+//! process exit; this crate makes repeated heavy traffic cheap — a cell is
+//! simulated once, stored forever, and replayed byte-identically.
+//!
+//! Three layers, runtime below, contracts + service above:
+//!
+//! * [`store::ResultStore`] — append-only JSONL journal + in-memory index,
+//!   keyed by `bd_dispersion::canon::SpecDigest`;
+//! * [`cached::CachedPlanner`] — partitions a batch into stored vs to-run
+//!   cells, simulates only the misses (cost-ordered, multi-graph), writes
+//!   back, returns insertion-order results with [`cached::CacheStats`];
+//! * [`daemon::Daemon`] + [`client::Client`] — a hand-rolled
+//!   `std::net` HTTP/1.1 JSON API (`bd-serve` bin) with a bounded job
+//!   queue and a worker pool.
+//!
+//! ## Store format
+//!
+//! A store directory holds one file, `results.jsonl`. Each line is a
+//! complete JSON object:
+//!
+//! ```json
+//! {"digest": "64f9c1…32 hex…", "spec": { …ScenarioSpec… }, "outcome": { …Outcome… }}
+//! ```
+//!
+//! The digest is the content address of *what was run* — graph adjacency,
+//! scenario spec, engine knobs — two independent FNV-1a-64 passes over the
+//! canonical `bdsd1` byte stream (see `bd_dispersion::canon` for the exact
+//! layout). Appends are flushed per entry; on reopen the journal is
+//! replayed with truncated-tail recovery (a half-written final line is
+//! dropped, interior damage refuses to open). Lookups never touch disk.
+//!
+//! ## HTTP API
+//!
+//! | Method & path      | Body                | Reply                                         |
+//! |--------------------|---------------------|-----------------------------------------------|
+//! | `POST /batches`    | [`protocol::BatchRequest`] | `202` [`protocol::BatchAccepted`], `503` queue full |
+//! | `GET /batches/:id` | —                   | [`protocol::BatchReply`] (status, cells, stats) |
+//! | `GET /healthz`     | —                   | [`protocol::Health`]                          |
+//! | `GET /stats`       | —                   | [`protocol::StatsReply`] (cache hits, rounds simulated/saved, queue depth) |
+//! | `POST /shutdown`   | —                   | `{"ok":true}`, then the daemon drains and exits |
+//!
+//! Example transcript against `bd-serve --addr 127.0.0.1:7171 --store /tmp/bd`:
+//!
+//! ```text
+//! $ curl -s http://127.0.0.1:7171/healthz
+//! {"ok":true,"store_entries":0}
+//!
+//! $ curl -s -X POST http://127.0.0.1:7171/batches -d '{
+//!     "graph": {"BenchEr": {"n": 9, "seed": 1000}},
+//!     "specs": [{"algo":"GatheredThirdTh4","num_robots":9,"num_byzantine":1,
+//!                "adversary":"TokenHijacker","placement":"Random",
+//!                "starts":{"Gathered":0},"seed":1000,"allow_overload":false}]}'
+//! {"id":1,"cells":1,"status":"queued"}
+//!
+//! $ curl -s http://127.0.0.1:7171/batches/1   # first run: simulated
+//! {"id":1,"status":"done","error":null,"cells":[{"cached":false,"outcome":{…}}],
+//!  "stats":{"hits":0,"misses":1,"errors":0,"rounds_simulated":812,…}}
+//!
+//! $ curl -s -X POST http://127.0.0.1:7171/batches -d '…same body…' \
+//!     && sleep 0.1 && curl -s http://127.0.0.1:7171/batches/2
+//! {"id":2,"status":"done","error":null,"cells":[{"cached":true,"outcome":{…}}],
+//!  "stats":{"hits":1,"misses":0,"errors":0,"rounds_simulated":0,"rounds_saved":2515,…}}
+//!
+//! $ curl -s http://127.0.0.1:7171/stats
+//! {"store_entries":1,"store_hits":1,"store_misses":1,"batches_submitted":2,
+//!  "batches_completed":2,"queue_depth":0,"workers":2,"totals":{…}}
+//!
+//! $ curl -s -X POST http://127.0.0.1:7171/shutdown
+//! {"ok":true}
+//! ```
+//!
+//! The same cells submitted through `bd-bench`'s `table1 --store DIR`
+//! path share the store with the daemon: graph sources materialize through
+//! the same `asymmetric_gnp(n, seed)` pure function the sweeps use, so the
+//! digests coincide wherever the cell runs.
+
+pub mod cached;
+pub mod client;
+pub mod daemon;
+pub mod error;
+pub mod graphsrc;
+pub mod http;
+pub mod protocol;
+pub mod store;
+
+pub use cached::{CacheStats, CachedPlanner, CellSource};
+pub use client::Client;
+pub use daemon::{Daemon, ServeConfig};
+pub use error::ServiceError;
+pub use graphsrc::GraphSource;
+pub use store::ResultStore;

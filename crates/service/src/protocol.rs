@@ -1,0 +1,93 @@
+//! The daemon's wire contracts: every request/response body as a typed,
+//! serde-able struct shared by the server and the client (tests speak the
+//! same types the daemon serves).
+
+use crate::cached::CacheStats;
+use crate::graphsrc::GraphSource;
+use bd_dispersion::runner::{Outcome, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+
+/// `POST /batches` request body: one graph source plus the specs to run
+/// on it. Mixed-graph workloads submit multiple batches — the store and
+/// the worker pool are shared across all of them anyway.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchRequest {
+    /// The graph every spec in this batch runs on.
+    pub graph: GraphSource,
+    /// The scenario cells.
+    pub specs: Vec<ScenarioSpec>,
+}
+
+/// `POST /batches` success response (`202 Accepted`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchAccepted {
+    /// Handle for `GET /batches/:id`.
+    pub id: u64,
+    /// Number of cells accepted.
+    pub cells: usize,
+    /// Always `"queued"` at acceptance time.
+    pub status: String,
+}
+
+/// One cell of a finished batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Whether the store answered this cell without simulating.
+    pub cached: bool,
+    /// The run outcome — the exact stored bytes on a hit.
+    pub outcome: Option<Outcome>,
+    /// Scenario error, when the cell could not run.
+    pub error: Option<String>,
+}
+
+/// `GET /batches/:id` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchReply {
+    /// The batch handle.
+    pub id: u64,
+    /// `"queued"`, `"running"`, `"done"`, or `"failed"`.
+    pub status: String,
+    /// Batch-level failure (graph source errors), when `status == "failed"`.
+    pub error: Option<String>,
+    /// Per-cell results, present when `status == "done"`.
+    pub cells: Vec<CellResult>,
+    /// Cache accounting for this batch, present when `status == "done"`.
+    pub stats: Option<CacheStats>,
+}
+
+/// `GET /healthz` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Health {
+    /// Liveness.
+    pub ok: bool,
+    /// Outcomes currently stored.
+    pub store_entries: usize,
+}
+
+/// `GET /stats` response: the daemon's cumulative accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Outcomes currently stored.
+    pub store_entries: usize,
+    /// Store lookups answered from the index (lifetime of this process).
+    pub store_hits: u64,
+    /// Store lookups that missed.
+    pub store_misses: u64,
+    /// Batches accepted.
+    pub batches_submitted: u64,
+    /// Batches finished (done or failed).
+    pub batches_completed: u64,
+    /// Jobs accepted but not yet finished.
+    pub queue_depth: u64,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Aggregated per-batch cache accounting.
+    pub totals: CacheStats,
+}
+
+/// Error body every non-2xx response carries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Human-readable reason.
+    pub error: String,
+}

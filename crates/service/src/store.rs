@@ -1,0 +1,219 @@
+//! The content-addressed result store.
+//!
+//! One directory, one append-only `results.jsonl`: each line is a complete
+//! JSON object `{"digest": "<32 hex>", "spec": {...}, "outcome": {...}}`
+//! keyed by the scenario's [`SpecDigest`] (see `bd_dispersion::canon` for
+//! the digest definition). The store keeps a full in-memory index — a
+//! lookup never touches the disk — and appends synchronously on `put`, so
+//! a process crash can lose at most the entry being written.
+//!
+//! **Crash tolerance:** on open, the journal is replayed line by line. A
+//! damaged *final* line is the signature of a crash mid-append; it is
+//! dropped and the file truncated to the last good entry, so the next
+//! append continues a clean journal. Damage anywhere *before* the tail
+//! means something other than a crash happened to the file, and the store
+//! refuses to open rather than silently serve half a journal.
+
+use crate::error::ServiceError;
+use bd_dispersion::canon::SpecDigest;
+use bd_dispersion::runner::{Outcome, ScenarioSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// File name of the journal inside the store directory.
+pub const JOURNAL: &str = "results.jsonl";
+
+/// One journal line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    /// 32-hex-digit [`SpecDigest`] rendering.
+    digest: String,
+    /// The spec that produced the outcome (for humans and audits; lookups
+    /// go by digest alone).
+    spec: ScenarioSpec,
+    /// The stored result, replayed verbatim on a hit.
+    outcome: Outcome,
+}
+
+/// Counters a store accumulates over its lifetime (process-local; they
+/// reset on reopen, unlike the journal).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreCounters {
+    /// Lookups answered from the index.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries appended by this process.
+    pub appended: u64,
+    /// Journal lines dropped by truncated-tail recovery at open.
+    pub recovered: u64,
+}
+
+struct Inner {
+    index: HashMap<SpecDigest, Outcome>,
+    file: File,
+}
+
+/// A content-addressed, append-only store of run [`Outcome`]s. Sync: the
+/// daemon's worker pool shares one store across threads.
+pub struct ResultStore {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    appended: AtomicU64,
+    recovered: u64,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("path", &self.path)
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl ResultStore {
+    /// Open (creating if needed) the store under `dir`, replaying the
+    /// journal into the in-memory index with truncated-tail recovery.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ResultStore, ServiceError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        let mut index = HashMap::new();
+        let mut good_bytes = 0usize;
+        let mut recovered = 0u64;
+        let mut offset = 0usize;
+        for (lineno, line) in text.split_inclusive('\n').enumerate() {
+            let start = offset;
+            offset += line.len();
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                good_bytes = offset;
+                continue;
+            }
+            match serde_json::from_str::<Entry>(trimmed) {
+                Ok(entry) => {
+                    let digest =
+                        SpecDigest::parse(&entry.digest).ok_or_else(|| ServiceError::Corrupt {
+                            path: path.clone(),
+                            line: lineno + 1,
+                            msg: format!("bad digest {:?}", entry.digest),
+                        })?;
+                    index.insert(digest, entry.outcome);
+                    good_bytes = offset;
+                }
+                Err(e) => {
+                    // Only a damaged *tail* is recoverable: it must be the
+                    // last line of the file.
+                    if offset == text.len() {
+                        recovered = 1;
+                        good_bytes = start;
+                        break;
+                    }
+                    return Err(ServiceError::Corrupt {
+                        path,
+                        line: lineno + 1,
+                        msg: e.to_string(),
+                    });
+                }
+            }
+        }
+        if good_bytes < text.len() {
+            file.set_len(good_bytes as u64)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+
+        Ok(ResultStore {
+            path,
+            inner: Mutex::new(Inner { index, file }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            appended: AtomicU64::new(0),
+            recovered,
+        })
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of stored outcomes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store lock").index.len()
+    }
+
+    /// Whether the store holds no outcome.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters (process-local).
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            appended: self.appended.load(Ordering::Relaxed),
+            recovered: self.recovered,
+        }
+    }
+
+    /// The stored outcome for `digest`, counting a hit or a miss.
+    pub fn get(&self, digest: &SpecDigest) -> Option<Outcome> {
+        let inner = self.inner.lock().expect("store lock");
+        match inner.index.get(digest) {
+            Some(out) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(out.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persist `outcome` under `digest`, appending one journal line and
+    /// flushing it. Idempotent: re-putting an existing digest is a no-op
+    /// (returns `false`) — first write wins, matching the append-only
+    /// journal's replay semantics.
+    pub fn put(
+        &self,
+        digest: SpecDigest,
+        spec: &ScenarioSpec,
+        outcome: &Outcome,
+    ) -> Result<bool, ServiceError> {
+        let mut inner = self.inner.lock().expect("store lock");
+        if inner.index.contains_key(&digest) {
+            return Ok(false);
+        }
+        let entry = Entry {
+            digest: digest.to_string(),
+            spec: spec.clone(),
+            outcome: outcome.clone(),
+        };
+        let mut line = serde_json::to_string(&entry)
+            .map_err(|e| ServiceError::Protocol(format!("encode store entry: {e}")))?;
+        line.push('\n');
+        inner.file.write_all(line.as_bytes())?;
+        inner.file.flush()?;
+        inner.index.insert(digest, outcome.clone());
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+}

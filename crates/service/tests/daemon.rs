@@ -1,0 +1,204 @@
+//! In-process daemon integration: the full request lifecycle over real
+//! sockets, and the acceptance observable — a second identical submission
+//! is served entirely from the store, zero rounds simulated.
+
+use bd_dispersion::adversaries::AdversaryKind;
+use bd_dispersion::runner::{Algorithm, ScenarioSpec};
+use bd_graphs::generators::asymmetric_gnp;
+use bd_service::protocol::BatchRequest;
+use bd_service::{Client, Daemon, GraphSource, ServeConfig, ServiceError};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bd-daemon-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn quick_request() -> BatchRequest {
+    let n = 9;
+    let graph_src = GraphSource::BenchEr { n, seed: 1000 };
+    let graph = graph_src.materialize().unwrap();
+    BatchRequest {
+        graph: graph_src,
+        specs: (0..2)
+            .map(|seed| {
+                ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0)
+                    .with_byzantine(1, AdversaryKind::TokenHijacker)
+                    .with_seed(seed)
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn repeat_submission_is_served_from_the_store() {
+    let dir = tmpdir("repeat");
+    let daemon = Daemon::start(ServeConfig::ephemeral(&dir)).unwrap();
+    let client = Client::new(daemon.local_addr());
+
+    let health = client.healthz().unwrap();
+    assert!(health.ok);
+    assert_eq!(health.store_entries, 0);
+
+    // Cold submission: everything simulates.
+    let request = quick_request();
+    let accepted = client.submit(&request).unwrap();
+    assert_eq!(accepted.cells, 2);
+    let first = client.wait(accepted.id, WAIT).unwrap();
+    assert_eq!(first.status, "done", "error: {:?}", first.error);
+    let s1 = first.stats.unwrap();
+    assert_eq!((s1.hits, s1.misses), (0, 2));
+    assert!(s1.rounds_simulated > 0);
+    assert!(first.cells.iter().all(|c| !c.cached));
+    assert!(first
+        .cells
+        .iter()
+        .all(|c| c.outcome.as_ref().unwrap().dispersed));
+
+    // Warm submission of the identical batch: zero rounds simulated.
+    let accepted2 = client.submit(&request).unwrap();
+    assert_ne!(accepted2.id, accepted.id);
+    let second = client.wait(accepted2.id, WAIT).unwrap();
+    assert_eq!(second.status, "done");
+    let s2 = second.stats.unwrap();
+    assert_eq!((s2.hits, s2.misses), (2, 0), "served entirely from store");
+    assert_eq!(s2.rounds_simulated, 0, "zero rounds simulated");
+    assert!(s2.rounds_saved > 0);
+    assert!(second.cells.iter().all(|c| c.cached));
+    // The replay is the exact stored outcome.
+    for (a, b) in first.cells.iter().zip(&second.cells) {
+        assert_eq!(
+            serde_json::to_string(a.outcome.as_ref().unwrap()).unwrap(),
+            serde_json::to_string(b.outcome.as_ref().unwrap()).unwrap(),
+            "byte-identical replay"
+        );
+    }
+
+    // /stats aggregates both batches.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.store_entries, 2);
+    assert_eq!(stats.batches_submitted, 2);
+    assert_eq!(stats.batches_completed, 2);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.totals.hits, 2);
+    assert_eq!(stats.totals.misses, 2);
+    assert_eq!(stats.totals.rounds_simulated, s1.rounds_simulated);
+
+    client.shutdown().unwrap();
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stalled_connection_does_not_block_the_daemon() {
+    let dir = tmpdir("stall");
+    let daemon = Daemon::start(ServeConfig::ephemeral(&dir)).unwrap();
+    let client = Client::new(daemon.local_addr());
+
+    // A client that connects and never sends a byte. Requests are handled
+    // on per-connection threads, so this must not stall anyone else.
+    let stalled = std::net::TcpStream::connect(daemon.local_addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // acceptor picks it up
+    let t0 = std::time::Instant::now();
+    assert!(client.healthz().unwrap().ok);
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "healthz answered behind a stalled connection in {:?}",
+        t0.elapsed()
+    );
+    // Work still flows end-to-end.
+    let accepted = client.submit(&quick_request()).unwrap();
+    assert_eq!(client.wait(accepted.id, WAIT).unwrap().status, "done");
+
+    drop(stalled);
+    client.shutdown().unwrap();
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_survives_daemon_restart() {
+    let dir = tmpdir("restart");
+    let request = quick_request();
+    let cold_stats;
+    {
+        let daemon = Daemon::start(ServeConfig::ephemeral(&dir)).unwrap();
+        let client = Client::new(daemon.local_addr());
+        let accepted = client.submit(&request).unwrap();
+        cold_stats = client.wait(accepted.id, WAIT).unwrap().stats.unwrap();
+        client.shutdown().unwrap();
+        daemon.join();
+    }
+    assert_eq!(cold_stats.misses, 2);
+
+    // A fresh daemon on the same store dir serves the batch without
+    // simulating a single round: the journal is the cache.
+    let daemon = Daemon::start(ServeConfig::ephemeral(&dir)).unwrap();
+    let client = Client::new(daemon.local_addr());
+    assert_eq!(client.healthz().unwrap().store_entries, 2);
+    let accepted = client.submit(&request).unwrap();
+    let reply = client.wait(accepted.id, WAIT).unwrap();
+    let stats = reply.stats.unwrap();
+    assert_eq!((stats.hits, stats.misses), (2, 0));
+    assert_eq!(stats.rounds_simulated, 0);
+    client.shutdown().unwrap();
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn per_cell_errors_and_bad_requests_are_reported() {
+    let dir = tmpdir("errors");
+    let daemon = Daemon::start(ServeConfig::ephemeral(&dir)).unwrap();
+    let client = Client::new(daemon.local_addr());
+
+    // A batch mixing a good cell and an impossible one: the batch is
+    // "done", the bad cell carries its error, the good one its outcome.
+    let mut request = quick_request();
+    request.specs[1] = request.specs[1].clone().with_robots(0);
+    let accepted = client.submit(&request).unwrap();
+    let reply = client.wait(accepted.id, WAIT).unwrap();
+    assert_eq!(reply.status, "done");
+    assert!(reply.cells[0].outcome.is_some());
+    let err = reply.cells[1].error.as_ref().unwrap();
+    assert!(err.contains("no robots"), "{err}");
+    assert_eq!(reply.stats.unwrap().errors, 1);
+
+    // Unknown batch id → 404; malformed body → 400; bad route → 404.
+    match client.batch(999) {
+        Err(ServiceError::Http { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+    match client.submit_raw("not json at all") {
+        Err(ServiceError::Http { status: 400, .. }) => {}
+        other => panic!("expected 400, got {other:?}"),
+    }
+    // Empty batches are rejected up front.
+    let empty = BatchRequest {
+        graph: GraphSource::Ring { n: 6 },
+        specs: Vec::new(),
+    };
+    match client.submit(&empty) {
+        Err(ServiceError::Http { status: 400, .. }) => {}
+        other => panic!("expected 400, got {other:?}"),
+    }
+
+    // A graph source that cannot materialize fails the whole batch.
+    let graph = asymmetric_gnp(9, 1000).unwrap();
+    let bad_graph = BatchRequest {
+        graph: GraphSource::Ring { n: 0 },
+        specs: vec![ScenarioSpec::gathered(Algorithm::RingOptimal, &graph, 0)],
+    };
+    let accepted = client.submit(&bad_graph).unwrap();
+    let reply = client.wait(accepted.id, WAIT).unwrap();
+    assert_eq!(reply.status, "failed");
+    assert!(reply.error.is_some());
+
+    client.shutdown().unwrap();
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

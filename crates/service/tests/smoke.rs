@@ -1,0 +1,96 @@
+//! The service smoke: spawn the **real** `bd-serve` binary on an ephemeral
+//! port, submit a quick Table 1 row twice, assert the second response is
+//! served entirely from the store, and verify the daemon shuts down
+//! cleanly (exit code 0, not a kill). CI runs exactly this test as the
+//! serving-layer gate.
+
+use bd_dispersion::runner::ScenarioSpec;
+use bd_service::protocol::BatchRequest;
+use bd_service::{Client, GraphSource};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct ServerGuard(Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        // Only reached on test failure paths; the happy path has already
+        // waited for a clean exit.
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn bd_serve_round_trip_cache_hit_and_clean_shutdown() {
+    let dir = std::env::temp_dir().join(format!("bd-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bd-serve"))
+        .args(["--store", dir.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn bd-serve");
+
+    // Contract: first stdout line is `listening on <addr>`.
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut guard = ServerGuard(child);
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("bd-serve prints its address")
+        .expect("read banner");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .parse()
+        .expect("parse address");
+    let client = Client::new(addr);
+    assert!(client.healthz().unwrap().ok);
+
+    // One quick table1-row cell: Theorem 4 at tolerance on the bench graph.
+    let n = 9;
+    let graph_src = GraphSource::BenchEr { n, seed: 1000 };
+    let graph = graph_src.materialize().unwrap();
+    let algo = bd_dispersion::runner::Algorithm::GatheredThirdTh4;
+    let request = BatchRequest {
+        graph: graph_src,
+        specs: vec![ScenarioSpec::evaluation(algo, &graph)
+            .with_byzantine(
+                algo.tolerance(n),
+                bd_dispersion::adversaries::AdversaryKind::TokenHijacker,
+            )
+            .with_seed(1000)],
+    };
+    let wait = Duration::from_secs(120);
+
+    let first = client.submit(&request).unwrap();
+    let first = client.wait(first.id, wait).unwrap();
+    assert_eq!(first.status, "done", "error: {:?}", first.error);
+    let s1 = first.stats.unwrap();
+    assert_eq!((s1.hits, s1.misses), (0, 1));
+    assert!(first.cells[0].outcome.as_ref().unwrap().dispersed);
+
+    let second = client.submit(&request).unwrap();
+    let second = client.wait(second.id, wait).unwrap();
+    let s2 = second.stats.unwrap();
+    assert_eq!(
+        (s2.hits, s2.misses),
+        (1, 0),
+        "second response is a cache hit"
+    );
+    assert_eq!(s2.rounds_simulated, 0, "zero rounds simulated on the rerun");
+    assert!(second.cells[0].cached);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.store_entries, 1);
+    assert_eq!(stats.batches_completed, 2);
+
+    // Clean shutdown: the daemon drains and exits 0 on its own.
+    client.shutdown().unwrap();
+    let status = guard.0.wait().expect("wait for bd-serve");
+    assert!(status.success(), "bd-serve exited {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,159 @@
+//! ResultStore persistence: reload fidelity, truncated-tail crash
+//! recovery, interior-damage refusal, and counter accounting.
+
+use bd_dispersion::adversaries::AdversaryKind;
+use bd_dispersion::canon::scenario_digest;
+use bd_dispersion::runner::{Algorithm, Outcome, ScenarioSpec};
+use bd_dispersion::Session;
+use bd_graphs::generators::asymmetric_gnp;
+use bd_graphs::PortGraph;
+use bd_runtime::EngineConfig;
+use bd_service::{ResultStore, ServiceError};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bd-store-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_cells(graph: &PortGraph, count: u64) -> Vec<(ScenarioSpec, Outcome)> {
+    let session = Session::new(graph.clone());
+    (0..count)
+        .map(|seed| {
+            let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, graph, 0)
+                .with_byzantine(1, AdversaryKind::Squatter)
+                .with_seed(seed);
+            let out = session.run(&spec).unwrap();
+            (spec, out)
+        })
+        .collect()
+}
+
+#[test]
+fn reloaded_store_serves_byte_identical_outcomes() {
+    let dir = tmpdir("reload");
+    let graph = asymmetric_gnp(9, 1000).unwrap();
+    let cells = run_cells(&graph, 3);
+    let cfg = EngineConfig::default();
+
+    {
+        let store = ResultStore::open(&dir).unwrap();
+        for (spec, out) in &cells {
+            let fresh = store
+                .put(scenario_digest(&graph, spec, &cfg), spec, out)
+                .unwrap();
+            assert!(fresh);
+        }
+        assert_eq!(store.len(), 3);
+        // Idempotence: re-putting is a no-op.
+        let (spec, out) = &cells[0];
+        assert!(!store
+            .put(scenario_digest(&graph, spec, &cfg), spec, out)
+            .unwrap());
+        assert_eq!(store.counters().appended, 3);
+    }
+
+    // A brand-new process: reload from disk, serve the identical bytes.
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.len(), 3);
+    assert_eq!(store.counters().recovered, 0);
+    for (spec, out) in &cells {
+        let got = store.get(&scenario_digest(&graph, spec, &cfg)).unwrap();
+        assert_eq!(&got, out);
+        assert_eq!(
+            serde_json::to_string(&got).unwrap(),
+            serde_json::to_string(out).unwrap(),
+            "byte-identical serialization after a disk round trip"
+        );
+    }
+    assert_eq!(store.counters().hits, 3);
+    assert!(store
+        .get(&scenario_digest(
+            &graph,
+            &cells[0].0.clone().with_seed(77),
+            &cfg
+        ))
+        .is_none());
+    assert_eq!(store.counters().misses, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_tail_is_recovered_and_journal_stays_appendable() {
+    let dir = tmpdir("crash");
+    let graph = asymmetric_gnp(9, 1000).unwrap();
+    let cells = run_cells(&graph, 3);
+    let cfg = EngineConfig::default();
+    {
+        let store = ResultStore::open(&dir).unwrap();
+        for (spec, out) in &cells[..2] {
+            store
+                .put(scenario_digest(&graph, spec, &cfg), spec, out)
+                .unwrap();
+        }
+    }
+    // Simulate a crash mid-append: a half-written trailing line.
+    let journal = dir.join(bd_service::store::JOURNAL);
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .unwrap();
+        f.write_all(b"{\"digest\":\"0000").unwrap();
+    }
+
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.len(), 2, "both complete entries survive");
+    assert_eq!(store.counters().recovered, 1, "the torn tail is dropped");
+    // The journal was truncated to the good prefix: appends keep working
+    // and the next reopen sees a clean file.
+    let (spec, out) = &cells[2];
+    store
+        .put(scenario_digest(&graph, spec, &cfg), spec, out)
+        .unwrap();
+    drop(store);
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.len(), 3);
+    assert_eq!(store.counters().recovered, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interior_damage_refuses_to_open() {
+    let dir = tmpdir("interior");
+    let graph = asymmetric_gnp(9, 1000).unwrap();
+    let cells = run_cells(&graph, 2);
+    let cfg = EngineConfig::default();
+    {
+        let store = ResultStore::open(&dir).unwrap();
+        for (spec, out) in &cells {
+            store
+                .put(scenario_digest(&graph, spec, &cfg), spec, out)
+                .unwrap();
+        }
+    }
+    // Damage the FIRST line: that is not a crash signature, it is
+    // corruption, and silently dropping stored results would be worse than
+    // failing loudly.
+    let journal = dir.join(bd_service::store::JOURNAL);
+    let text = std::fs::read_to_string(&journal).unwrap();
+    let damaged = format!("garbage not json\n{}", text.split_once('\n').unwrap().1);
+    std::fs::write(&journal, damaged).unwrap();
+
+    match ResultStore::open(&dir) {
+        Err(ServiceError::Corrupt { line, .. }) => assert_eq!(line, 1),
+        other => panic!("expected Corrupt error, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_and_missing_stores_open_clean() {
+    let dir = tmpdir("empty");
+    let store = ResultStore::open(&dir).unwrap();
+    assert!(store.is_empty());
+    assert_eq!(store.counters(), Default::default());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,6 +22,8 @@ fn main() {
 
     for (algo, n) in algos {
         let g = generators::erdos_renyi_connected(n, 0.35, n as u64).expect("connected graph");
+        // One session per row: every adversary column shares the graph.
+        let session = Session::new(g);
         let f = algo.tolerance(n);
         print!("{:<22}", format!("{algo:?} (f={f})"));
         for kind in &kinds {
@@ -32,13 +34,13 @@ fn main() {
                 continue;
             }
             let spec = if algo == Algorithm::QuotientTh1 {
-                ScenarioSpec::arbitrary(algo, &g)
+                ScenarioSpec::arbitrary(algo, session.graph())
             } else {
-                ScenarioSpec::gathered(algo, &g, 0)
+                ScenarioSpec::gathered(algo, session.graph(), 0)
             }
             .with_byzantine(f, *kind)
             .with_seed(5);
-            let cell = match run_algorithm(algo, &g, &spec) {
+            let cell = match session.run(&spec) {
                 Ok(out) if out.dispersed => "ok".to_string(),
                 Ok(_) => "VIOLATED".to_string(),
                 Err(e) => format!("err:{e:.8}"),

@@ -25,17 +25,19 @@ fn main() {
     );
 
     // 14 sensors at arbitrary drop points; 13 of 14 compromised, mixing
-    // behaviors by re-running per adversary kind.
+    // behaviors by re-running per adversary kind. One session shares the
+    // field graph across all three runs.
+    let session = Session::new(field.clone());
     let f = Algorithm::QuotientTh1.tolerance(field.n());
     for kind in [
         AdversaryKind::FakeSettler,
         AdversaryKind::Silent,
         AdversaryKind::Crowd,
     ] {
-        let spec = ScenarioSpec::arbitrary(Algorithm::QuotientTh1, &field)
+        let spec = ScenarioSpec::arbitrary(Algorithm::QuotientTh1, session.graph())
             .with_byzantine(f, kind)
             .with_seed(7);
-        let outcome = run_algorithm(Algorithm::QuotientTh1, &field, &spec).expect("runs");
+        let outcome = session.run(&spec).expect("runs");
         let honest_nodes: Vec<_> = outcome
             .final_positions
             .iter()

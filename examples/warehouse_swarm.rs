@@ -24,13 +24,13 @@ fn main() {
     let faulty = Algorithm::GatheredThirdTh4.tolerance(n);
     println!("fleet of {n}, up to {faulty} corrupted units (squatters)");
 
-    let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &warehouse, 0)
+    let session = Session::new(warehouse.clone());
+    let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, session.graph(), 0)
         .with_byzantine(faulty, AdversaryKind::Squatter)
         .with_placement(ByzPlacement::LowIds) // corrupted units hog low IDs
         .with_seed(2026);
 
-    let outcome =
-        run_algorithm(Algorithm::GatheredThirdTh4, &warehouse, &spec).expect("within tolerance");
+    let outcome = session.run(&spec).expect("within tolerance");
 
     let mut docks = vec![Vec::new(); n];
     for (i, &pos) in outcome.final_positions.iter().enumerate() {

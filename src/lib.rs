@@ -15,7 +15,9 @@
 //! * [`gathering`] — the Byzantine-immune view-based gathering substrate;
 //! * [`dispersion`] — the paper's algorithms (Theorems 1–7), the adversary
 //!   library, the Theorem 8 impossibility construction, and the high-level
-//!   [`dispersion::runner`] API.
+//!   [`dispersion::runner`] API;
+//! * [`service`] — the serving layer: content-addressed result store,
+//!   cache-aware batch planner, and the `bd-serve` HTTP daemon.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use bd_exploration as exploration;
 pub use bd_gathering as gathering;
 pub use bd_graphs as graphs;
 pub use bd_runtime as runtime;
+pub use bd_service as service;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
@@ -49,4 +52,5 @@ pub mod prelude {
     pub use bd_dispersion::verify::verify_dispersion;
     pub use bd_graphs::{self, generators, PortGraph};
     pub use bd_runtime::metrics::RunMetrics;
+    pub use bd_service::{CachedPlanner, ResultStore};
 }
