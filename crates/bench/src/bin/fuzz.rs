@@ -1,0 +1,79 @@
+//! Differential oracle fuzzing from the command line.
+//!
+//! Draws random scenario cells — algorithm × adversary × graph family ×
+//! sizes × seeds — and runs each on both the arena-backed fast engine and
+//! the deliberately naive `bd-oracle` reference engine, asserting
+//! full-trajectory equality. On a divergence the case is greedily
+//! minimized and printed with the round of first mismatch; the process
+//! exits 1 so CI can gate on it.
+//!
+//! `--broken` injects a known fault (fast-forward overshoots its idle
+//! horizon by one round) into the fast engine — the way to demonstrate the
+//! harness has teeth: a run with `--broken` is *expected* to exit 1.
+//!
+//! Usage:
+//!   cargo run --release -p bd-bench --bin fuzz -- \
+//!     [--cases N] [--seed S] [--max-n N] [--budget-secs T] [--broken]
+
+use bd_oracle::{run_fuzz_with, FuzzConfig};
+use std::time::Duration;
+
+fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == flag)?;
+    let raw = args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    });
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("{flag}: cannot parse {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = FuzzConfig::default();
+    if let Some(cases) = arg_value(&args, "--cases") {
+        config.cases = cases;
+    }
+    if let Some(seed) = arg_value(&args, "--seed") {
+        config.seed = seed;
+    }
+    if let Some(max_n) = arg_value(&args, "--max-n") {
+        config.max_n = max_n;
+    }
+    if let Some(secs) = arg_value::<u64>(&args, "--budget-secs") {
+        config.time_budget = Some(Duration::from_secs(secs));
+    }
+    let broken = args.iter().any(|a| a == "--broken");
+
+    println!(
+        "differential fuzz: {} cases, seed {:#x}, n <= {}, budget {:?}{}",
+        config.cases,
+        config.seed,
+        config.max_n,
+        config.time_budget,
+        if broken {
+            " [BROKEN fast engine: ff overshoot +1]"
+        } else {
+            ""
+        }
+    );
+
+    let report = run_fuzz_with(&config, |c| if broken { c.with_ff_overshoot(1) } else { c });
+
+    println!(
+        "checked {} cells: {} full-trajectory matches, {} identical-error agreements",
+        report.cases_run, report.matched, report.match_err
+    );
+    match report.failure {
+        None => println!("no divergence: the fast path is trajectory-equivalent to the oracle"),
+        Some(failure) => {
+            println!("{failure}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -379,11 +379,14 @@ impl Controller<Msg> for CrashWrapper {
         self.inner.id()
     }
 
-    fn subrounds_wanted(&self) -> usize {
-        if self.crashed() {
+    fn subrounds_wanted(&self, round: u64) -> usize {
+        // `round > crash_at`, not `>=`: the crash lands *during* round
+        // `crash_at` (the `act` call updates `round_seen` first), so that
+        // round's sub-round request still comes from the inner controller.
+        if round > self.crash_at {
             1
         } else {
-            self.inner.subrounds_wanted()
+            self.inner.subrounds_wanted(round)
         }
     }
 

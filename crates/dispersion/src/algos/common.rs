@@ -435,11 +435,10 @@ impl<S: GroupScheme> Controller<Msg> for GroupPhaseController<S> {
         self.id
     }
 
-    fn subrounds_wanted(&self) -> usize {
-        let next = self.round_seen + 1;
-        if self.settle.active(self.round_seen) || self.settle.active(next) {
+    fn subrounds_wanted(&self, round: u64) -> usize {
+        if self.settle.active(round) {
             self.settle.subrounds()
-        } else if self.round_seen >= self.snapshot_round {
+        } else if round > self.snapshot_round {
             2
         } else {
             1

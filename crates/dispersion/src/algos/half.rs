@@ -187,11 +187,10 @@ impl Controller<Msg> for HalfController {
         self.id
     }
 
-    fn subrounds_wanted(&self) -> usize {
-        let next = self.round_seen + 1;
-        if self.settle.active(self.round_seen) || self.settle.active(next) {
+    fn subrounds_wanted(&self, round: u64) -> usize {
+        if self.settle.active(round) {
             self.settle.subrounds()
-        } else if self.in_pairing(self.round_seen) || self.in_pairing(next) {
+        } else if self.in_pairing(round) {
             2
         } else {
             1
@@ -366,7 +365,7 @@ mod tests {
     fn boundaries_unset_before_snapshot() {
         let c = HalfController::new(RobotId(1), 8, Vec::new(), 0);
         assert!(!c.terminated());
-        assert_eq!(c.subrounds_wanted(), 1);
+        assert_eq!(c.subrounds_wanted(0), 1);
         assert!(!c.in_pairing(5));
     }
 

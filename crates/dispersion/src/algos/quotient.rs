@@ -78,10 +78,8 @@ impl Controller<Msg> for QuotientController {
         self.id
     }
 
-    fn subrounds_wanted(&self) -> usize {
-        // `round_seen` lags the engine by one round; request DUM sub-rounds
-        // one round early so the phase's first round is already fully split.
-        if self.in_dum(self.round_seen) || self.in_dum(self.round_seen + 1) {
+    fn subrounds_wanted(&self, round: u64) -> usize {
+        if self.in_dum(round) {
             DumMachine::subrounds_needed(self.n)
         } else {
             1
@@ -219,8 +217,9 @@ mod tests {
                 pos_after_walk: 2,
             },
         );
-        // Before any observation, round_seen = 0 < walk_len: walking phase.
-        assert_eq!(c.subrounds_wanted(), 1);
+        // Rounds before `dum_start` are the walking phase: one sub-round.
+        assert_eq!(c.subrounds_wanted(0), 1);
+        assert_eq!(c.subrounds_wanted(2), DumMachine::subrounds_needed(5));
         assert!(!c.terminated());
     }
 }

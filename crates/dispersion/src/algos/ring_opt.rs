@@ -85,8 +85,8 @@ impl Controller<Msg> for RingOptController {
         self.id
     }
 
-    fn subrounds_wanted(&self) -> usize {
-        if self.in_dum(self.round_seen) || self.in_dum(self.round_seen + 1) {
+    fn subrounds_wanted(&self, round: u64) -> usize {
+        if self.in_dum(round) {
             DumMachine::subrounds_needed(self.n)
         } else {
             1

@@ -217,7 +217,16 @@ mod tests {
         let c = SqrtController::new(RobotId(1), 16, 2, Vec::new(), 0);
         assert!(!c.terminated());
         assert!(c.scheme().plan().is_none());
-        assert_eq!(c.subrounds_wanted(), 2, "snapshot round is communicative");
+        assert_eq!(
+            c.subrounds_wanted(1),
+            2,
+            "rounds after the snapshot are communicative"
+        );
+        assert_eq!(
+            c.subrounds_wanted(0),
+            1,
+            "the snapshot itself reads the roster only"
+        );
     }
 
     #[test]

@@ -76,8 +76,8 @@ impl Controller<Msg> for StrongController {
         self.id
     }
 
-    fn subrounds_wanted(&self) -> usize {
-        if self.round_seen >= self.snapshot_round {
+    fn subrounds_wanted(&self, round: u64) -> usize {
+        if round > self.snapshot_round {
             2
         } else {
             1

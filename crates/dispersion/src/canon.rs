@@ -19,7 +19,9 @@
 //! 3. section `S`: algorithm name, `num_robots`, `num_byzantine`,
 //!    adversary name, placement name, start config (tag + payload), seed,
 //!    `allow_overload`;
-//! 4. section `E`: `max_rounds`, `record_trace`, `fast_forward`.
+//! 4. section `E`: `max_rounds`, `record_trace`, `fast_forward`,
+//!    `ff_overshoot` (the fault-injection knob — a sabotaged engine must
+//!    never content-address like the correct one).
 //!
 //! The digest is two independent 64-bit FNV-1a passes over that stream
 //! (the second from a perturbed offset basis), rendered as 32 hex digits.
@@ -185,6 +187,7 @@ fn write_engine(c: &mut Canon, cfg: &EngineConfig) {
     c.u64(cfg.max_rounds);
     c.bool(cfg.record_trace);
     c.bool(cfg.fast_forward);
+    c.u64(cfg.ff_overshoot);
 }
 
 /// The canonical byte serialization of one scenario (see the module docs
@@ -311,6 +314,11 @@ mod tests {
         assert_ne!(
             scenario_digest(&g, &base, &EngineConfig::default().without_fast_forward()),
             d0
+        );
+        assert_ne!(
+            scenario_digest(&g, &base, &EngineConfig::default().with_ff_overshoot(1)),
+            d0,
+            "a fault-injected engine must not share the correct engine's address"
         );
     }
 

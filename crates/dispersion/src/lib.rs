@@ -143,4 +143,4 @@ pub use error::DispersionError;
 pub use msg::{DumState, Msg};
 pub use registry::{Plan, StartColumn, StartRequirement, TableRow};
 pub use runner::{run_algorithm, Algorithm, Outcome, ScenarioSpec, StartConfig};
-pub use session::{BatchPlanner, Session};
+pub use session::{assemble_outcome, build_roster, BatchPlanner, RosterEntry, Session};

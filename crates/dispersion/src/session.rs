@@ -20,11 +20,114 @@ use crate::verify::verify_with_capacity;
 use bd_gathering::route::gather_route;
 use bd_graphs::{NodeId, PortGraph};
 use bd_runtime::ids::generate_ids;
-use bd_runtime::{Engine, EngineConfig, Flavor, RobotId};
+use bd_runtime::{Controller, Engine, EngineConfig, Flavor, RobotId, RunMetrics, Trace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::sync::Arc;
+
+/// One engine seat of a planned scenario: the fault flavor the engine
+/// enforces, the start node, and the controller that drives the robot.
+pub struct RosterEntry {
+    /// Honest / weak-Byzantine / strong-Byzantine, as the engine sees it.
+    pub flavor: Flavor,
+    /// Start node.
+    pub start: NodeId,
+    /// The controller, boxed for the engine.
+    pub controller: Box<dyn Controller<Msg>>,
+}
+
+/// Build the complete engine roster for `spec` from its `plan` — exactly
+/// the seats [`Session::run`] hands the fast engine, in robot order:
+/// honest controllers from the row's factory, [`AdversaryController`]s for
+/// the Byzantine contingent (strong flavor on strong rows), and
+/// [`CrashWrapper`]-wrapped faithful controllers for `CrashMidway`.
+///
+/// Public so the reference engine (`bd-oracle`) can field the *identical*
+/// cast: the oracle-differential guarantee is meaningful only if the two
+/// engines differ in nothing but the stepping machinery.
+pub fn build_roster(spec: &ScenarioSpec, plan: &Plan) -> Vec<RosterEntry> {
+    let row = spec.algo.row();
+    let k = plan.k;
+    let run_end = row.round_budget(plan);
+    let interaction_start = row.interaction_start(plan);
+    let honest_ids: Vec<RobotId> = (0..k)
+        .filter(|&i| plan.honest[i])
+        .map(|i| plan.ids[i])
+        .collect();
+
+    let mut roster = Vec::with_capacity(k);
+    let mut coalition_index = 0usize;
+    for i in 0..k {
+        let start = plan.starts[i];
+        if !plan.honest[i] && spec.adversary != AdversaryKind::CrashMidway {
+            let flavor = if row.strong() {
+                // Strong rows face the strong flavor so the engine lets
+                // the adversary fake IDs if it chooses to.
+                Flavor::StrongByzantine
+            } else {
+                Flavor::WeakByzantine
+            };
+            roster.push(RosterEntry {
+                flavor,
+                start,
+                controller: Box::new(AdversaryController::new(
+                    plan.ids[i],
+                    spec.adversary,
+                    plan.n,
+                    spec.seed,
+                    plan.gather_script(i),
+                    interaction_start,
+                    honest_ids.clone(),
+                    coalition_index,
+                )),
+            });
+            coalition_index += 1;
+            continue;
+        }
+        let controller = row.build_controller(plan, i);
+        if plan.honest[i] {
+            roster.push(RosterEntry {
+                flavor: Flavor::Honest,
+                start,
+                controller,
+            });
+        } else {
+            // CrashMidway: a faithful protocol follower that halts
+            // halfway through the interactive portion of the run.
+            let crash_at = interaction_start + (run_end - interaction_start) / 2;
+            roster.push(RosterEntry {
+                flavor: Flavor::WeakByzantine,
+                start,
+                controller: Box::new(CrashWrapper::new(controller, crash_at)),
+            });
+        }
+    }
+    roster
+}
+
+/// Assemble the public [`Outcome`] of a finished run: §5's
+/// capacity-generalized Definition 1 check over the final positions, plus
+/// the measured metrics. Shared by the fast pipeline and the reference
+/// engine so both produce verdicts through the one verifier.
+pub fn assemble_outcome(plan: &Plan, metrics: RunMetrics, final_positions: Vec<NodeId>) -> Outcome {
+    // §5 capacity generalization: k robots must leave at most
+    // ⌈(k−f)/n⌉ honest robots per node (the verifier module's
+    // definition; at k ≤ n this is Definition 1's 1). Algorithms settle
+    // at ⌈k/n⌉ — in every Theorem 8-possible regime the two coincide,
+    // and where they differ the run is impossible and must be reported
+    // as a violation.
+    let capacity = (plan.k - plan.f).div_ceil(plan.n);
+    let report = verify_with_capacity(&final_positions, &plan.honest, &plan.ids, capacity);
+    Outcome {
+        dispersed: report.ok,
+        rounds: metrics.rounds,
+        metrics,
+        report,
+        final_positions,
+        honest: plan.honest.clone(),
+    }
+}
 
 /// A handle on one graph that scenarios run against. Cheap to clone
 /// (`Arc` inside); share it across sweeps instead of re-cloning the graph
@@ -160,6 +263,7 @@ impl Session {
     pub fn run(&self, spec: &ScenarioSpec) -> Result<Outcome, DispersionError> {
         let plan = self.plan(spec)?;
         self.run_planned(spec, plan, std::convert::identity)
+            .map(|(outcome, _)| outcome)
     }
 
     /// [`Session::run`] with an engine-config hook: `tune` receives the
@@ -173,19 +277,39 @@ impl Session {
     ) -> Result<Outcome, DispersionError> {
         let plan = self.plan(spec)?;
         self.run_planned(spec, plan, tune)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`Session::run`] that also records and returns the full event
+    /// [`Trace`]. The oracle-differential harness compares this trace
+    /// against the reference engine's, event for event.
+    pub fn run_traced(&self, spec: &ScenarioSpec) -> Result<(Outcome, Trace), DispersionError> {
+        self.run_tuned_traced(spec, std::convert::identity)
+    }
+
+    /// [`Session::run_tuned`] + trace recording: `tune` adjusts the engine
+    /// config *and* tracing is forced on afterwards, so a tune hook cannot
+    /// accidentally switch the trace off.
+    pub fn run_tuned_traced(
+        &self,
+        spec: &ScenarioSpec,
+        tune: impl FnOnce(EngineConfig) -> EngineConfig,
+    ) -> Result<(Outcome, Trace), DispersionError> {
+        let plan = self.plan(spec)?;
+        self.run_planned(spec, plan, |cfg| tune(cfg).traced())
     }
 
     /// Execute a spec whose [`Plan`] was already computed (so batch layers
     /// never plan twice). `plan` must come from [`Session::plan`] on the
-    /// same spec.
+    /// same spec. The returned [`Trace`] is empty unless the tuned config
+    /// enables recording.
     fn run_planned(
         &self,
         spec: &ScenarioSpec,
         plan: Plan,
         tune: impl FnOnce(EngineConfig) -> EngineConfig,
-    ) -> Result<Outcome, DispersionError> {
+    ) -> Result<(Outcome, Trace), DispersionError> {
         let row = spec.algo.row();
-        let (n, k, f) = (plan.n, plan.k, plan.f);
         // Wall-clock measurement covers engine construction + execution;
         // it lands in `RunMetrics::elapsed_micros` (excluded from metric
         // equality — trajectories stay deterministic, clocks do not).
@@ -194,79 +318,21 @@ impl Session {
         // Exact honest-termination round from the row's phase timeline;
         // the engine cap carries a small safety margin on top.
         let run_end = row.round_budget(&plan);
-        let interaction_start = row.interaction_start(&plan);
 
         let mut engine: Engine<Msg> = Engine::new(
             Arc::clone(&plan.graph),
             tune(EngineConfig::with_max_rounds(run_end + 64)),
         );
-
-        let honest_ids: Vec<RobotId> = (0..k)
-            .filter(|&i| plan.honest[i])
-            .map(|i| plan.ids[i])
-            .collect();
-
-        let mut coalition_index = 0usize;
-        for i in 0..k {
-            let start = plan.starts[i];
-            if !plan.honest[i] && spec.adversary != AdversaryKind::CrashMidway {
-                let flavor = if row.strong() {
-                    // Strong rows face the strong flavor so the engine lets
-                    // the adversary fake IDs if it chooses to.
-                    Flavor::StrongByzantine
-                } else {
-                    Flavor::WeakByzantine
-                };
-                engine.add_robot(
-                    flavor,
-                    start,
-                    Box::new(AdversaryController::new(
-                        plan.ids[i],
-                        spec.adversary,
-                        plan.n,
-                        spec.seed,
-                        plan.gather_script(i),
-                        interaction_start,
-                        honest_ids.clone(),
-                        coalition_index,
-                    )),
-                );
-                coalition_index += 1;
-                continue;
-            }
-            let controller = row.build_controller(&plan, i);
-            if plan.honest[i] {
-                engine.add_robot(Flavor::Honest, start, controller);
-            } else {
-                // CrashMidway: a faithful protocol follower that halts
-                // halfway through the interactive portion of the run.
-                let crash_at = interaction_start + (run_end - interaction_start) / 2;
-                engine.add_robot(
-                    Flavor::WeakByzantine,
-                    start,
-                    Box::new(CrashWrapper::new(controller, crash_at)),
-                );
-            }
+        for seat in build_roster(spec, &plan) {
+            engine.add_robot(seat.flavor, seat.start, seat.controller);
         }
 
         let mut out = engine.run()?;
         out.metrics.elapsed_micros = wall_start.elapsed().as_micros() as u64;
-        // §5 capacity generalization: k robots must leave at most
-        // ⌈(k−f)/n⌉ honest robots per node (the verifier module's
-        // definition; at k ≤ n this is Definition 1's 1). Algorithms settle
-        // at ⌈k/n⌉ — in every Theorem 8-possible regime the two coincide,
-        // and where they differ the run is impossible and must be reported
-        // as a violation.
-        let capacity = (k - f).div_ceil(n);
-        let report = verify_with_capacity(&out.final_positions, &plan.honest, &plan.ids, capacity);
-        Ok(Outcome {
-            dispersed: report.ok,
-            rounds: out.metrics.rounds,
-            metrics: out.metrics,
-            report,
-            final_positions: out.final_positions,
-            honest: plan.honest,
-        })
+        Ok((
+            assemble_outcome(&plan, out.metrics, out.final_positions),
+            out.trace,
+        ))
     }
 
     /// Run a batch of scenarios against this session's graph, fanning the
@@ -425,7 +491,9 @@ impl BatchPlanner {
                 let (session, spec) = &self.cells[idx];
                 (
                     idx,
-                    self.sessions[*session].run_planned(spec, plan, std::convert::identity),
+                    self.sessions[*session]
+                        .run_planned(spec, plan, std::convert::identity)
+                        .map(|(outcome, _)| outcome),
                 )
             })
             .collect();

@@ -15,6 +15,9 @@
 //!    it enabled, adversarial runs must actually skip rounds (the
 //!    `rounds_skipped` metric) on every row with idle phases — the
 //!    regression gate for the adversary idle-horizon contract.
+//! 4. **Oracle equivalence** — the naive reference engine in `bd-oracle`
+//!    reproduces every cell of the matrix trajectory-for-trajectory
+//!    (see `crates/oracle` and VERIFICATION.md for what is compared).
 
 use bd_dispersion::adversaries::AdversaryKind;
 use bd_dispersion::runner::{Algorithm, ByzPlacement, ScenarioSpec};
@@ -123,11 +126,16 @@ fn fast_forward_changes_nothing_but_wall_clock() {
     for (algo, kind, must_skip) in matrix() {
         let spec = cell(algo, session.graph(), kind, 3);
         let label = format!("{algo:?}/{kind:?}");
-        let fast = session.run(&spec).unwrap();
-        let slow = session
-            .run_tuned(&spec, |c| c.without_fast_forward())
+        let (fast, fast_trace) = session.run_traced(&spec).unwrap();
+        let (slow, slow_trace) = session
+            .run_tuned_traced(&spec, |c| c.without_fast_forward())
             .unwrap();
         assert_eq!(fast.rounds, slow.rounds, "{label}: measured rounds");
+        // Compare whole trajectories, not just endpoints; on mismatch the
+        // locator pins the earliest differing event and its round.
+        if let Some(d) = fast_trace.first_divergence(&slow_trace) {
+            panic!("{label}: fast-forward altered the trajectory: {d}");
+        }
         assert_eq!(
             fast.final_positions, slow.final_positions,
             "{label}: trajectories"
@@ -157,6 +165,30 @@ fn fast_forward_changes_nothing_but_wall_clock() {
             fast.metrics.subrounds_executed >= fast.rounds - fast.metrics.rounds_skipped,
             "{label}: sub-round accounting"
         );
+    }
+}
+
+/// The differential gate: every cell of the conformance matrix, on every
+/// graph family, must be reproduced by the deliberately naive reference
+/// engine in `bd-oracle` — full per-round trajectory, outcome, and
+/// movement metrics, not just the endpoint. Any engine optimization that
+/// changes what happens (rather than how fast it happens) fails here.
+#[test]
+fn oracle_reproduces_the_conformance_matrix() {
+    use bd_oracle::CellVerdict;
+    for (family, graph) in families() {
+        let session = Session::new(graph);
+        for (algo, kind, _) in matrix() {
+            let spec = cell(algo, session.graph(), kind, 11);
+            let label = format!("{algo:?}/{kind:?}/{family}");
+            match bd_oracle::check_cell(&session, &spec) {
+                CellVerdict::Match { .. } => {}
+                CellVerdict::MatchErr(e) => {
+                    panic!("{label}: cell unexpectedly errored on both engines: {e}")
+                }
+                CellVerdict::Diverged(d) => panic!("{label}: {d}"),
+            }
+        }
     }
 }
 

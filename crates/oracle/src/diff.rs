@@ -1,0 +1,217 @@
+//! The differential check: one scenario cell, two engines, full-trajectory
+//! comparison.
+//!
+//! Both engines get the **same** [`Plan`](bd_dispersion::registry::Plan) products — the identical
+//! controller roster from [`bd_dispersion::build_roster`], the identical
+//! graph handle, the identical round cap — so the only degree of freedom
+//! between them is the stepping machinery itself. Agreement is judged on
+//! everything trajectory-observable:
+//!
+//! * the movement-normalized event [`Trace`] (every `Moved` and
+//!   `Terminated` event, in order — `Stayed` events are excluded by
+//!   [`Trace`]'s own equality, since a fast-forwarded engine legitimately
+//!   never materializes idle rounds);
+//! * the [`Outcome`]: dispersion verdict, verifier report, round count,
+//!   final positions, honesty mask, and the move odometers.
+//!
+//! Deliberately *not* compared: `messages`, `subrounds_executed`,
+//! `rounds_skipped`, and `elapsed_micros` — those measure how much work an
+//! engine did, not what trajectory it produced, and the whole point of the
+//! fast path is to do less work.
+
+use crate::engine::OracleEngine;
+use bd_dispersion::runner::Outcome;
+use bd_dispersion::{assemble_outcome, build_roster, DispersionError, Msg, ScenarioSpec, Session};
+use bd_runtime::{EngineConfig, Trace, TraceDivergence};
+use std::fmt;
+use std::sync::Arc;
+
+/// Where two engines came apart on one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// One side errored, or both errored differently.
+    ErrorMismatch {
+        /// The fast engine's error, if it errored.
+        fast: Option<String>,
+        /// The oracle's error, if it errored.
+        oracle: Option<String>,
+    },
+    /// Traces agree but an aggregate outcome field does not — points at
+    /// the metrics/verify layer rather than the stepping itself.
+    Outcome {
+        /// Which [`Outcome`] field disagreed.
+        field: &'static str,
+        /// The fast engine's value, debug-formatted.
+        fast: String,
+        /// The oracle's value, debug-formatted.
+        oracle: String,
+    },
+    /// The event streams disagree; carries the first differing event.
+    Trace(TraceDivergence),
+}
+
+impl Divergence {
+    /// The round of the first mismatch, when the divergence localizes to
+    /// one (trace divergences do; aggregate mismatches do not).
+    pub fn round(&self) -> Option<u64> {
+        match self {
+            Divergence::Trace(td) => Some(td.round),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::ErrorMismatch { fast, oracle } => write!(
+                f,
+                "error mismatch: fast = {}, oracle = {}",
+                fast.as_deref().unwrap_or("ok"),
+                oracle.as_deref().unwrap_or("ok"),
+            ),
+            Divergence::Outcome {
+                field,
+                fast,
+                oracle,
+            } => write!(f, "outcome.{field}: fast = {fast}, oracle = {oracle}"),
+            Divergence::Trace(td) => write!(f, "trace divergence: {td}"),
+        }
+    }
+}
+
+/// The verdict on one differentially-checked cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellVerdict {
+    /// Both engines produced the identical trajectory and outcome.
+    Match {
+        /// Rounds the run took (same on both sides by definition).
+        rounds: u64,
+    },
+    /// Both sides failed identically (plan rejection, round limit, …) —
+    /// agreement, just not a completed run.
+    MatchErr(String),
+    /// The engines disagree. This is always an engine bug: the controllers
+    /// are shared, so no protocol behavior can explain it.
+    Diverged(Box<Divergence>),
+}
+
+impl CellVerdict {
+    /// Whether the engines agreed (with or without a completed run).
+    pub fn agreed(&self) -> bool {
+        !matches!(self, CellVerdict::Diverged(_))
+    }
+}
+
+/// Run `spec` on the naive reference engine: plan through the session,
+/// field the identical roster, step every round, verify through the same
+/// capacity-generalized Definition 1 check. Trace recording is always on.
+pub fn run_oracle(
+    session: &Session,
+    spec: &ScenarioSpec,
+) -> Result<(Outcome, Trace), DispersionError> {
+    let plan = session.plan(spec)?;
+    let run_end = spec.algo.row().round_budget(&plan);
+    let mut engine: OracleEngine<Msg> = OracleEngine::new(
+        Arc::clone(&plan.graph),
+        EngineConfig::with_max_rounds(run_end + 64).traced(),
+    );
+    for seat in build_roster(spec, &plan) {
+        engine.add_robot(seat.flavor, seat.start, seat.controller);
+    }
+    let out = engine.run()?;
+    Ok((
+        assemble_outcome(&plan, out.metrics, out.final_positions),
+        out.trace,
+    ))
+}
+
+/// Differentially check one cell: fast engine (default config, fast
+/// path fully enabled) versus the oracle.
+pub fn check_cell(session: &Session, spec: &ScenarioSpec) -> CellVerdict {
+    check_cell_tuned(session, spec, std::convert::identity)
+}
+
+/// [`check_cell`] with an engine-config hook applied to the **fast side
+/// only** — the knob the broken-engine demonstrations turn
+/// (e.g. `|c| c.with_ff_overshoot(1)` must come back `Diverged`).
+pub fn check_cell_tuned(
+    session: &Session,
+    spec: &ScenarioSpec,
+    tune: impl FnOnce(EngineConfig) -> EngineConfig,
+) -> CellVerdict {
+    let fast = session.run_tuned_traced(spec, tune);
+    let oracle = run_oracle(session, spec);
+    match (fast, oracle) {
+        (Err(fe), Err(oe)) => {
+            if fe == oe {
+                CellVerdict::MatchErr(fe.to_string())
+            } else {
+                CellVerdict::Diverged(Box::new(Divergence::ErrorMismatch {
+                    fast: Some(fe.to_string()),
+                    oracle: Some(oe.to_string()),
+                }))
+            }
+        }
+        (Err(fe), Ok(_)) => CellVerdict::Diverged(Box::new(Divergence::ErrorMismatch {
+            fast: Some(fe.to_string()),
+            oracle: None,
+        })),
+        (Ok(_), Err(oe)) => CellVerdict::Diverged(Box::new(Divergence::ErrorMismatch {
+            fast: None,
+            oracle: Some(oe.to_string()),
+        })),
+        (Ok((fast_out, fast_trace)), Ok((oracle_out, oracle_trace))) => {
+            // Trace first: it localizes the bug to a round and an event.
+            if let Some(td) = fast_trace.first_divergence(&oracle_trace) {
+                return CellVerdict::Diverged(Box::new(Divergence::Trace(td)));
+            }
+            if let Some(d) = outcome_divergence(&fast_out, &oracle_out) {
+                return CellVerdict::Diverged(Box::new(d));
+            }
+            CellVerdict::Match {
+                rounds: fast_out.rounds,
+            }
+        }
+    }
+}
+
+/// First disagreeing trajectory-observable [`Outcome`] field, if any.
+fn outcome_divergence(fast: &Outcome, oracle: &Outcome) -> Option<Divergence> {
+    fn diff<T: fmt::Debug + PartialEq>(
+        field: &'static str,
+        fast: &T,
+        oracle: &T,
+    ) -> Option<Divergence> {
+        (fast != oracle).then(|| Divergence::Outcome {
+            field,
+            fast: format!("{fast:?}"),
+            oracle: format!("{oracle:?}"),
+        })
+    }
+    diff("rounds", &fast.rounds, &oracle.rounds)
+        .or_else(|| diff("dispersed", &fast.dispersed, &oracle.dispersed))
+        .or_else(|| {
+            diff(
+                "final_positions",
+                &fast.final_positions,
+                &oracle.final_positions,
+            )
+        })
+        .or_else(|| diff("report", &fast.report, &oracle.report))
+        .or_else(|| diff("honest", &fast.honest, &oracle.honest))
+        .or_else(|| {
+            diff(
+                "metrics.total_moves",
+                &fast.metrics.total_moves,
+                &oracle.metrics.total_moves,
+            )
+        })
+        .or_else(|| {
+            diff(
+                "metrics.max_moves_per_robot",
+                &fast.metrics.max_moves_per_robot,
+                &oracle.metrics.max_moves_per_robot,
+            )
+        })
+}

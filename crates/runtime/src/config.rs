@@ -13,6 +13,12 @@ pub struct EngineConfig {
     /// idleness (see `Controller::idle_until`). On by default; conformance
     /// tests turn it off to prove skipping changes no trajectory.
     pub fast_forward: bool,
+    /// **Fault injection, never a feature:** overshoot every fast-forward
+    /// jump by this many rounds. `0` (the default, and the only value any
+    /// production path uses) is the correct engine; any other value
+    /// deliberately breaks the skip-target clamp so the differential oracle
+    /// harness can prove it catches a broken fast path.
+    pub ff_overshoot: u64,
 }
 
 impl Default for EngineConfig {
@@ -21,6 +27,7 @@ impl Default for EngineConfig {
             max_rounds: 50_000_000,
             record_trace: false,
             fast_forward: true,
+            ff_overshoot: 0,
         }
     }
 }
@@ -45,6 +52,15 @@ impl EngineConfig {
     /// both ways and asserts identical outcomes.
     pub fn without_fast_forward(mut self) -> Self {
         self.fast_forward = false;
+        self
+    }
+
+    /// Sabotage the fast-forward clamp by `rounds` (see
+    /// [`EngineConfig::ff_overshoot`]). Exists so the oracle-differential
+    /// harness can demonstrate that a broken fast path is caught; nothing
+    /// else may call this.
+    pub fn with_ff_overshoot(mut self, rounds: u64) -> Self {
+        self.ff_overshoot = rounds;
         self
     }
 }

@@ -30,11 +30,18 @@ pub trait Controller<M> {
         self.id()
     }
 
-    /// How many communication sub-rounds this robot wants this round.
-    /// The engine runs the maximum requested over all robots (the paper
-    /// fixes `n` sub-rounds where needed; phases that only walk request 1
-    /// so simulation stays cheap).
-    fn subrounds_wanted(&self) -> usize {
+    /// How many communication sub-rounds this robot wants in `round` (the
+    /// round the engine is about to step). The engine runs the maximum
+    /// requested over all robots (the paper fixes `n` sub-rounds where
+    /// needed; phases that only walk request 1 so simulation stays cheap).
+    ///
+    /// The round is a parameter — not inferred from the last `act` call —
+    /// because fast-forwarding skips `act` calls: a controller that derived
+    /// its phase from remembered state would request the *old* phase's
+    /// sub-round count in the first round after a jump across a phase
+    /// boundary (a bug class the oracle-differential harness caught for
+    /// real; see `bd-oracle`).
+    fn subrounds_wanted(&self, _round: u64) -> usize {
         1
     }
 
@@ -97,7 +104,7 @@ mod tests {
     fn default_trait_methods() {
         let e = Echo { id: RobotId(9) };
         assert_eq!(e.claimed_id(), RobotId(9));
-        assert_eq!(e.subrounds_wanted(), 1);
+        assert_eq!(e.subrounds_wanted(0), 1);
         assert!(!e.terminated());
     }
 

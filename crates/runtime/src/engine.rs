@@ -236,6 +236,11 @@ impl<M: Clone> Engine<M> {
                     .map(|c| c.idle_until())
                     .try_fold(u64::MAX, |acc, u| u.map(|r| acc.min(r)));
                 if let Some(target) = skip_to {
+                    // `ff_overshoot` is deliberately-injected breakage (0 in
+                    // every real config): it pushes the jump past the round
+                    // the earliest robot acts in, losing that action — the
+                    // bug class the oracle-differential harness must catch.
+                    let target = target.saturating_add(self.config.ff_overshoot);
                     if target > self.round + 1 {
                         if target >= self.config.max_rounds {
                             // The earliest round any robot acts again is
@@ -333,7 +338,7 @@ impl<M: Clone> Engine<M> {
             .iter()
             .zip(active.iter())
             .filter(|&(_, &a)| a)
-            .map(|(c, _)| c.subrounds_wanted())
+            .map(|(c, _)| c.subrounds_wanted(round_now))
             .max()
             .unwrap_or(1)
             .max(1);
@@ -748,7 +753,7 @@ mod tests {
             fn id(&self) -> RobotId {
                 self.id
             }
-            fn subrounds_wanted(&self) -> usize {
+            fn subrounds_wanted(&self, _round: u64) -> usize {
                 2
             }
             fn act(&mut self, obs: &Observation<'_, String>) -> Option<String> {

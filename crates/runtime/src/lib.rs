@@ -64,9 +64,10 @@ pub mod world;
 
 pub use config::EngineConfig;
 pub use controller::{Controller, MoveChoice};
-pub use engine::Engine;
+pub use engine::{Engine, RunOutcome};
 pub use error::RunError;
 pub use ids::{Flavor, RobotId};
 pub use metrics::RunMetrics;
 pub use observation::{ArrivalInfo, Observation, Publication};
+pub use trace::{Event, Trace, TraceDivergence};
 pub use world::World;

@@ -3,7 +3,7 @@
 
 use crate::error::ServiceError;
 use crate::http;
-use crate::protocol::{BatchAccepted, BatchReply, BatchRequest, Health, StatsReply};
+use crate::protocol::{AuditReply, BatchAccepted, BatchReply, BatchRequest, Health, StatsReply};
 use serde::Deserialize;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -34,6 +34,19 @@ impl Client {
     /// `GET /stats`.
     pub fn stats(&self) -> Result<StatsReply, ServiceError> {
         self.get("/stats")
+    }
+
+    /// `GET /audit`: chain-verify the daemon's journal. Both the verified
+    /// (`200`) and the tampered (`409`) answer decode to an [`AuditReply`]
+    /// — a broken chain is an *answer*, not a transport failure.
+    pub fn audit(&self) -> Result<AuditReply, ServiceError> {
+        let (status, body) = http::call(self.addr, "GET", "/audit", None)?;
+        if status == 200 || status == 409 {
+            serde_json::from_str(&body)
+                .map_err(|e| ServiceError::Protocol(format!("decode audit reply {body:?}: {e}")))
+        } else {
+            Err(ServiceError::Http { status, msg: body })
+        }
     }
 
     /// `POST /batches`: submit `request`, returning the accepted handle.

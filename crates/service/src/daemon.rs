@@ -27,7 +27,7 @@ use crate::error::ServiceError;
 use crate::graphsrc::GraphSource;
 use crate::http;
 use crate::protocol::{
-    BatchAccepted, BatchReply, BatchRequest, CellResult, ErrorReply, Health, StatsReply,
+    AuditReply, BatchAccepted, BatchReply, BatchRequest, CellResult, ErrorReply, Health, StatsReply,
 };
 use crate::store::ResultStore;
 use bd_graphs::PortGraph;
@@ -309,6 +309,7 @@ fn route(req: &http::Request, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16,
             };
             (200, serde_json::to_string(&reply).expect("stats"))
         }
+        ("GET", "/audit") => audit(state),
         ("POST", "/batches") => submit_batch(&req.body, state, tx),
         ("GET", path) if path.starts_with("/batches/") => batch_status(path, state),
         ("POST", "/shutdown") => {
@@ -321,6 +322,31 @@ fn route(req: &http::Request, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16,
             error_body(&format!("method {} not allowed", req.method)),
         ),
     }
+}
+
+/// `GET /audit`: chain-verify the journal as it sits on disk right now.
+/// A verified chain is `200`; a broken one is `409 Conflict` with the same
+/// body shape, carrying the failing index; anything else (I/O) is `500`.
+fn audit(state: &Arc<State>) -> (u16, String) {
+    let reply = match state.store.verify_chain() {
+        Ok(a) => AuditReply {
+            ok: true,
+            entries: a.entries,
+            tip: a.tip,
+            failing_index: None,
+            error: None,
+        },
+        Err(ServiceError::Tampered { index, msg, .. }) => AuditReply {
+            ok: false,
+            entries: index - 1,
+            tip: String::new(),
+            failing_index: Some(index),
+            error: Some(msg),
+        },
+        Err(e) => return (500, error_body(&e.to_string())),
+    };
+    let status = if reply.ok { 200 } else { 409 };
+    (status, serde_json::to_string(&reply).expect("audit reply"))
 }
 
 fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, String) {

@@ -19,6 +19,17 @@ pub enum ServiceError {
         /// Decoder message.
         msg: String,
     },
+    /// The journal's hash chain does not verify: evidence of an in-place
+    /// edit, reorder, or truncate-then-append splice (see the `store`
+    /// module docs for exactly what the chain can and cannot prove).
+    Tampered {
+        /// The failing journal.
+        path: PathBuf,
+        /// 1-based index of the first entry that breaks the chain.
+        index: usize,
+        /// What broke: digest mismatch, broken link, or bad layout.
+        msg: String,
+    },
     /// Malformed HTTP traffic or JSON payload.
     Protocol(String),
     /// The server answered with a non-success status.
@@ -38,6 +49,13 @@ impl fmt::Display for ServiceError {
             ServiceError::Io(e) => write!(f, "io: {e}"),
             ServiceError::Corrupt { path, line, msg } => {
                 write!(f, "corrupt store {}:{line}: {msg}", path.display())
+            }
+            ServiceError::Tampered { path, index, msg } => {
+                write!(
+                    f,
+                    "tamper-evident journal {} fails at entry {index}: {msg}",
+                    path.display()
+                )
             }
             ServiceError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ServiceError::Http { status, msg } => write!(f, "http {status}: {msg}"),

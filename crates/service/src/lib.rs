@@ -1,16 +1,18 @@
 //! # bd-service
 //!
-//! The serving layer: a **content-addressed result store**, a
-//! **cache-aware batch planner**, and a **scenario-serving HTTP daemon**
-//! over `bd_dispersion::BatchPlanner`. Every consumer used to re-simulate
-//! identical `(graph, spec)` cells from scratch and nothing survived
-//! process exit; this crate makes repeated heavy traffic cheap — a cell is
-//! simulated once, stored forever, and replayed byte-identically.
+//! The serving layer: a **content-addressed, tamper-evident result
+//! store**, a **cache-aware batch planner**, and a **scenario-serving HTTP
+//! daemon** over `bd_dispersion::BatchPlanner`. Every consumer used to
+//! re-simulate identical `(graph, spec)` cells from scratch and nothing
+//! survived process exit; this crate makes repeated heavy traffic cheap —
+//! a cell is simulated once, stored forever, and replayed
+//! byte-identically, with a hash chain that makes silent edits to the
+//! stored history detectable.
 //!
 //! Three layers, runtime below, contracts + service above:
 //!
-//! * [`store::ResultStore`] — append-only JSONL journal + in-memory index,
-//!   keyed by `bd_dispersion::canon::SpecDigest`;
+//! * [`store::ResultStore`] — append-only, hash-chained JSONL journal +
+//!   in-memory index, keyed by `bd_dispersion::canon::SpecDigest`;
 //! * [`cached::CachedPlanner`] — partitions a batch into stored vs to-run
 //!   cells, simulates only the misses (cost-ordered, multi-graph), writes
 //!   back, returns insertion-order results with [`cached::CacheStats`];
@@ -24,15 +26,25 @@
 //! complete JSON object:
 //!
 //! ```json
-//! {"digest": "64f9c1…32 hex…", "spec": { …ScenarioSpec… }, "outcome": { …Outcome… }}
+//! {"body": {"digest": "64f9c1…32 hex…", "spec": {…}, "outcome": {…},
+//!           "env": {"code_version": "0.1.0", "engine": "bd-runtime", "format": "bdsc1"},
+//!           "prev": "…chain digest of the previous line…"},
+//!  "chain": "…digest of this body…"}
 //! ```
 //!
-//! The digest is the content address of *what was run* — graph adjacency,
-//! scenario spec, engine knobs — two independent FNV-1a-64 passes over the
-//! canonical `bdsd1` byte stream (see `bd_dispersion::canon` for the exact
-//! layout). Appends are flushed per entry; on reopen the journal is
+//! The inner digest is the content address of *what was run* — graph
+//! adjacency, scenario spec, engine knobs — two independent FNV-1a-64
+//! passes over the canonical `bdsd1` byte stream (see
+//! `bd_dispersion::canon` for the exact layout). `chain` commits to the
+//! body's exact bytes (domain tag `bdsc1`), and each body's `prev` names
+//! the previous line's `chain`, so every entry transitively commits to the
+//! whole journal before it — in-place edits, reorders, and
+//! truncate-then-append splices all break a link and are reported with the
+//! failing entry's index ([`store::ResultStore::verify_chain`], served as
+//! `GET /audit`). Appends are flushed per entry; on reopen the journal is
 //! replayed with truncated-tail recovery (a half-written final line is
 //! dropped, interior damage refuses to open). Lookups never touch disk.
+//! VERIFICATION.md spells out what the chain does and does not prove.
 //!
 //! ## HTTP API
 //!
@@ -42,6 +54,7 @@
 //! | `GET /batches/:id` | —                   | [`protocol::BatchReply`] (status, cells, stats) |
 //! | `GET /healthz`     | —                   | [`protocol::Health`]                          |
 //! | `GET /stats`       | —                   | [`protocol::StatsReply`] (cache hits, rounds simulated/saved, queue depth) |
+//! | `GET /audit`       | —                   | [`protocol::AuditReply`]: `200` verified chain, `409` tampered (with failing index) |
 //! | `POST /shutdown`   | —                   | `{"ok":true}`, then the daemon drains and exits |
 //!
 //! Example transcript against `bd-serve --addr 127.0.0.1:7171 --store /tmp/bd`:
@@ -93,4 +106,4 @@ pub use client::Client;
 pub use daemon::{Daemon, ServeConfig};
 pub use error::ServiceError;
 pub use graphsrc::GraphSource;
-pub use store::ResultStore;
+pub use store::{ChainAudit, EnvContract, ResultStore, GENESIS_TIP};

@@ -85,6 +85,28 @@ pub struct StatsReply {
     pub totals: CacheStats,
 }
 
+/// `GET /audit` response: the result of a full hash-chain verification of
+/// the daemon's journal. Served with `200` when the chain verifies and
+/// `409 Conflict` when it does not (same body shape, so clients always get
+/// the failing index).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuditReply {
+    /// Whether the whole journal chain verified.
+    pub ok: bool,
+    /// Entries whose chain verified (on failure: entries *before* the
+    /// first bad one).
+    pub entries: usize,
+    /// Chain digest of the last verified entry — anchor this externally
+    /// to defend against whole-suffix rewrites the chain itself cannot
+    /// detect.
+    pub tip: String,
+    /// 1-based index of the first entry that breaks the chain, when
+    /// `ok == false`.
+    pub failing_index: Option<usize>,
+    /// What broke, when `ok == false`.
+    pub error: Option<String>,
+}
+
 /// Error body every non-2xx response carries.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ErrorReply {

@@ -1,18 +1,37 @@
-//! The content-addressed result store.
+//! The content-addressed, tamper-evident result store.
 //!
 //! One directory, one append-only `results.jsonl`: each line is a complete
-//! JSON object `{"digest": "<32 hex>", "spec": {...}, "outcome": {...}}`
-//! keyed by the scenario's [`SpecDigest`] (see `bd_dispersion::canon` for
-//! the digest definition). The store keeps a full in-memory index — a
-//! lookup never touches the disk — and appends synchronously on `put`, so
-//! a process crash can lose at most the entry being written.
+//! JSON object `{"body":{...},"chain":"<32 hex>"}`. The body carries the
+//! scenario's [`SpecDigest`] key (see `bd_dispersion::canon`), the spec and
+//! outcome, the [`EnvContract`] of the writing process, and `prev` — the
+//! chain digest of the previous line (`GENESIS_TIP`, 32 zeros, for the
+//! first). `chain` commits to the body's exact bytes under a domain
+//! separator, so every entry transitively commits to the entire journal
+//! before it. The store keeps a full in-memory index — a lookup never
+//! touches the disk — and appends synchronously on `put`, so a process
+//! crash can lose at most the entry being written.
 //!
-//! **Crash tolerance:** on open, the journal is replayed line by line. A
-//! damaged *final* line is the signature of a crash mid-append; it is
-//! dropped and the file truncated to the last good entry, so the next
-//! append continues a clean journal. Damage anywhere *before* the tail
-//! means something other than a crash happened to the file, and the store
-//! refuses to open rather than silently serve half a journal.
+//! **What the chain proves** (and what it does not): any in-place edit,
+//! record reordering, or truncate-then-append splice breaks a link and is
+//! reported with the 1-based index of the first bad entry — by
+//! [`ResultStore::open`] (which verifies while replaying) and by
+//! [`ResultStore::verify_chain`] (the `/audit` re-read). It is a hash
+//! chain, not a MAC: an adversary with write access who rewrites every
+//! subsequent line is undetectable, as is truncating the tail exactly at a
+//! line boundary. The chain defends provenance against accidents and
+//! casual edits; byzantine storage needs an externally anchored tip
+//! (compare the audit's `tip` against one you recorded). VERIFICATION.md
+//! covers the full trust argument.
+//!
+//! **Crash tolerance:** a damaged *final* line that does not decode is the
+//! signature of a crash mid-append; `open` drops it and truncates the file
+//! to the last good entry, so the next append continues a clean journal.
+//! Damage anywhere *before* the tail means something other than a crash
+//! happened to the file, and the store refuses to open rather than
+//! silently serve half a journal: undecodable interior lines are
+//! [`ServiceError::Corrupt`], decodable-but-chain-invalid lines anywhere
+//! (tail included — a *complete* wrong line is not a crash signature) are
+//! [`ServiceError::Tampered`].
 
 use crate::error::ServiceError;
 use bd_dispersion::canon::SpecDigest;
@@ -28,16 +47,122 @@ use std::sync::Mutex;
 /// File name of the journal inside the store directory.
 pub const JOURNAL: &str = "results.jsonl";
 
-/// One journal line.
+/// Chain link of the empty journal: 32 zeros (no real digest, which is a
+/// pair of FNV streams over a domain-tagged body, can collide with it).
+pub const GENESIS_TIP: &str = "00000000000000000000000000000000";
+
+/// Domain separator prefixed to every body before digesting, versioning
+/// the chain format itself: a digest computed under a different rule can
+/// never verify here by accident.
+const CHAIN_DOMAIN: &[u8] = b"bdsc1";
+
+/// Entry layout constants used to recover the body's exact bytes from a
+/// journal line without trusting serializer round-trips: every line is
+/// `{"body":<body json>,"chain":"<32 hex>"}`.
+const LINE_HEAD: &str = "{\"body\":";
+const LINE_TAIL: &str = ",\"chain\":\"";
+/// `,"chain":"` + 32 hex digits + `"}`.
+const TAIL_LEN: usize = LINE_TAIL.len() + 32 + 2;
+
+/// The environment a journal entry was produced under. Committed into the
+/// chain, so an audit can tell which code wrote which results — a stored
+/// outcome is only as trustworthy as the engine build that produced it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvContract {
+    /// Crate version of the writing process.
+    pub code_version: String,
+    /// The simulation engine the outcome came from.
+    pub engine: String,
+    /// Journal format tag; bumped on any layout change.
+    pub format: String,
+}
+
+impl EnvContract {
+    /// The contract of this build.
+    pub fn current() -> EnvContract {
+        EnvContract {
+            code_version: env!("CARGO_PKG_VERSION").into(),
+            engine: "bd-runtime".into(),
+            format: "bdsc1".into(),
+        }
+    }
+}
+
+/// The chained payload of one journal line.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct Entry {
-    /// 32-hex-digit [`SpecDigest`] rendering.
+struct EntryBody {
+    /// 32-hex-digit [`SpecDigest`] rendering (the lookup key).
     digest: String,
     /// The spec that produced the outcome (for humans and audits; lookups
     /// go by digest alone).
     spec: ScenarioSpec,
     /// The stored result, replayed verbatim on a hit.
     outcome: Outcome,
+    /// Environment the entry was written under.
+    env: EnvContract,
+    /// Chain digest of the previous line; [`GENESIS_TIP`] for the first.
+    prev: String,
+}
+
+/// One journal line: the body plus the digest committing to it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    body: EntryBody,
+    /// `SpecDigest` of `CHAIN_DOMAIN ++ <body json bytes>`.
+    chain: String,
+}
+
+/// The chain digest of a body's exact serialized bytes.
+fn chain_digest(body_json: &str) -> String {
+    let mut bytes = Vec::with_capacity(CHAIN_DOMAIN.len() + body_json.len());
+    bytes.extend_from_slice(CHAIN_DOMAIN);
+    bytes.extend_from_slice(body_json.as_bytes());
+    SpecDigest::of_bytes(&bytes).to_string()
+}
+
+/// How one journal line fared under verification against the running tip.
+enum LineVerdict {
+    /// Decodes, layout intact, chain digest correct, links to the tip.
+    Good(Box<Entry>),
+    /// Does not decode as an entry at all — a crash signature when (and
+    /// only when) it is the final line.
+    Undecodable(String),
+    /// Decodes but fails the chain: wrong layout, wrong digest, or a
+    /// broken `prev` link. Never a crash signature.
+    ChainViolation(String),
+}
+
+/// Verify one trimmed journal line against the expected `tip`.
+fn verify_line(trimmed: &str, tip: &str) -> LineVerdict {
+    let entry: Entry = match serde_json::from_str(trimmed) {
+        Ok(e) => e,
+        Err(e) => return LineVerdict::Undecodable(e.to_string()),
+    };
+    // Recover the body's exact bytes positionally: the chain value is
+    // fixed-width hex at a fixed offset from the end, so no serializer
+    // round-trip is involved in recomputing the digest.
+    if trimmed.len() < LINE_HEAD.len() + TAIL_LEN
+        || !trimmed.starts_with(LINE_HEAD)
+        || !trimmed.ends_with("\"}")
+        || !trimmed[trimmed.len() - TAIL_LEN..].starts_with(LINE_TAIL)
+    {
+        return LineVerdict::ChainViolation("entry layout is not the journal format".into());
+    }
+    let body_json = &trimmed[LINE_HEAD.len()..trimmed.len() - TAIL_LEN];
+    let recomputed = chain_digest(body_json);
+    if entry.chain != recomputed {
+        return LineVerdict::ChainViolation(format!(
+            "chain digest mismatch: recorded {}, recomputed {recomputed}",
+            entry.chain
+        ));
+    }
+    if entry.body.prev != tip {
+        return LineVerdict::ChainViolation(format!(
+            "broken link: prev {} but the preceding entry's digest is {tip}",
+            entry.body.prev
+        ));
+    }
+    LineVerdict::Good(Box::new(entry))
 }
 
 /// Counters a store accumulates over its lifetime (process-local; they
@@ -54,9 +179,21 @@ pub struct StoreCounters {
     pub recovered: u64,
 }
 
+/// What a successful [`ResultStore::verify_chain`] audit found.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainAudit {
+    /// Entries whose chain verified.
+    pub entries: usize,
+    /// Chain digest of the final entry ([`GENESIS_TIP`] when empty) — the
+    /// value to anchor externally if the storage itself is untrusted.
+    pub tip: String,
+}
+
 struct Inner {
     index: HashMap<SpecDigest, Outcome>,
     file: File,
+    /// Chain digest of the last journal line; the next `put` links to it.
+    tip: String,
 }
 
 /// A content-addressed, append-only store of run [`Outcome`]s. Sync: the
@@ -81,7 +218,9 @@ impl std::fmt::Debug for ResultStore {
 
 impl ResultStore {
     /// Open (creating if needed) the store under `dir`, replaying the
-    /// journal into the in-memory index with truncated-tail recovery.
+    /// journal into the in-memory index. Every line is chain-verified as
+    /// it loads; only an undecodable *final* line (a torn append) is
+    /// recovered, by truncating to the last good entry.
     pub fn open(dir: impl AsRef<Path>) -> Result<ResultStore, ServiceError> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -95,6 +234,7 @@ impl ResultStore {
         let mut text = String::new();
         file.read_to_string(&mut text)?;
         let mut index = HashMap::new();
+        let mut tip = GENESIS_TIP.to_string();
         let mut good_bytes = 0usize;
         let mut recovered = 0u64;
         let mut offset = 0usize;
@@ -106,18 +246,20 @@ impl ResultStore {
                 good_bytes = offset;
                 continue;
             }
-            match serde_json::from_str::<Entry>(trimmed) {
-                Ok(entry) => {
-                    let digest =
-                        SpecDigest::parse(&entry.digest).ok_or_else(|| ServiceError::Corrupt {
+            match verify_line(trimmed, &tip) {
+                LineVerdict::Good(entry) => {
+                    let digest = SpecDigest::parse(&entry.body.digest).ok_or_else(|| {
+                        ServiceError::Tampered {
                             path: path.clone(),
-                            line: lineno + 1,
-                            msg: format!("bad digest {:?}", entry.digest),
-                        })?;
-                    index.insert(digest, entry.outcome);
+                            index: lineno + 1,
+                            msg: format!("bad digest {:?}", entry.body.digest),
+                        }
+                    })?;
+                    index.insert(digest, entry.body.outcome);
+                    tip = entry.chain;
                     good_bytes = offset;
                 }
-                Err(e) => {
+                LineVerdict::Undecodable(msg) => {
                     // Only a damaged *tail* is recoverable: it must be the
                     // last line of the file.
                     if offset == text.len() {
@@ -128,7 +270,14 @@ impl ResultStore {
                     return Err(ServiceError::Corrupt {
                         path,
                         line: lineno + 1,
-                        msg: e.to_string(),
+                        msg,
+                    });
+                }
+                LineVerdict::ChainViolation(msg) => {
+                    return Err(ServiceError::Tampered {
+                        path,
+                        index: lineno + 1,
+                        msg,
                     });
                 }
             }
@@ -140,7 +289,7 @@ impl ResultStore {
 
         Ok(ResultStore {
             path,
-            inner: Mutex::new(Inner { index, file }),
+            inner: Mutex::new(Inner { index, file, tip }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             appended: AtomicU64::new(0),
@@ -161,6 +310,11 @@ impl ResultStore {
     /// Whether the store holds no outcome.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The current chain tip ([`GENESIS_TIP`] when empty).
+    pub fn tip(&self) -> String {
+        self.inner.lock().expect("store lock").tip.clone()
     }
 
     /// Lifetime counters (process-local).
@@ -188,10 +342,10 @@ impl ResultStore {
         }
     }
 
-    /// Persist `outcome` under `digest`, appending one journal line and
-    /// flushing it. Idempotent: re-putting an existing digest is a no-op
-    /// (returns `false`) — first write wins, matching the append-only
-    /// journal's replay semantics.
+    /// Persist `outcome` under `digest`, appending one chain-linked
+    /// journal line and flushing it. Idempotent: re-putting an existing
+    /// digest is a no-op (returns `false`) — first write wins, matching
+    /// the append-only journal's replay semantics.
     pub fn put(
         &self,
         digest: SpecDigest,
@@ -202,18 +356,59 @@ impl ResultStore {
         if inner.index.contains_key(&digest) {
             return Ok(false);
         }
-        let entry = Entry {
+        let body = EntryBody {
             digest: digest.to_string(),
             spec: spec.clone(),
             outcome: outcome.clone(),
+            env: EnvContract::current(),
+            prev: inner.tip.clone(),
         };
-        let mut line = serde_json::to_string(&entry)
+        let body_json = serde_json::to_string(&body)
             .map_err(|e| ServiceError::Protocol(format!("encode store entry: {e}")))?;
-        line.push('\n');
+        let chain = chain_digest(&body_json);
+        // Assembled positionally, exactly the layout `verify_line` slices.
+        let line = format!("{LINE_HEAD}{body_json}{LINE_TAIL}{chain}\"}}\n");
         inner.file.write_all(line.as_bytes())?;
         inner.file.flush()?;
         inner.index.insert(digest, outcome.clone());
+        inner.tip = chain;
         self.appended.fetch_add(1, Ordering::Relaxed);
         Ok(true)
+    }
+
+    /// Re-read the journal from disk and verify the whole chain — the
+    /// `/audit` endpoint's workhorse. Holds the store lock, so no append
+    /// can interleave with the read.
+    ///
+    /// Unlike `open`, the audit answers one question — "is the file on
+    /// disk the file this store wrote?" — so *any* undecodable line,
+    /// interior or final, fails it: while the lock is held no append is in
+    /// flight, hence a torn tail cannot be ours. All failures report the
+    /// 1-based index of the first bad entry.
+    pub fn verify_chain(&self) -> Result<ChainAudit, ServiceError> {
+        let _inner = self.inner.lock().expect("store lock");
+        let text = std::fs::read_to_string(&self.path)?;
+        let mut tip = GENESIS_TIP.to_string();
+        let mut entries = 0usize;
+        for (lineno, line) in text.split_inclusive('\n').enumerate() {
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            match verify_line(trimmed, &tip) {
+                LineVerdict::Good(entry) => {
+                    tip = entry.chain;
+                    entries += 1;
+                }
+                LineVerdict::Undecodable(msg) | LineVerdict::ChainViolation(msg) => {
+                    return Err(ServiceError::Tampered {
+                        path: self.path.clone(),
+                        index: lineno + 1,
+                        msg,
+                    });
+                }
+            }
+        }
+        Ok(ChainAudit { entries, tip })
     }
 }

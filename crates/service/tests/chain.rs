@@ -1,0 +1,278 @@
+//! Tamper-evidence of the hash-chained journal, property-tested.
+//!
+//! The chain's contract (see `store` module docs and VERIFICATION.md):
+//! any in-place edit, record reorder, interior deletion, or
+//! truncate-then-append splice breaks a link, and `verify_chain` names the
+//! 1-based index of the first entry that fails. Honest limits are pinned
+//! too: truncating the journal *exactly* at a line boundary is
+//! undetectable by the chain alone — only the changed tip betrays it to a
+//! reader who anchored the previous tip externally.
+//!
+//! A final regression drives the real daemon with concurrent workers and
+//! asserts the journal their interleaved write-backs produce is
+//! chain-valid end to end.
+
+use bd_dispersion::adversaries::AdversaryKind;
+use bd_dispersion::canon::scenario_digest;
+use bd_dispersion::runner::{Algorithm, Outcome, ScenarioSpec};
+use bd_dispersion::Session;
+use bd_graphs::generators::asymmetric_gnp;
+use bd_graphs::PortGraph;
+use bd_runtime::EngineConfig;
+use bd_service::protocol::BatchRequest;
+use bd_service::{
+    Client, Daemon, GraphSource, ResultStore, ServeConfig, ServiceError, GENESIS_TIP,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// A pool of real (spec, outcome) cells, simulated once per process: the
+/// properties below exercise journal composition, not the engine.
+fn cells() -> &'static Vec<(ScenarioSpec, Outcome)> {
+    static CELLS: OnceLock<Vec<(ScenarioSpec, Outcome)>> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let graph = pool_graph();
+        let session = Session::new(graph.clone());
+        (0..6u64)
+            .map(|seed| {
+                let spec = ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, graph, 0)
+                    .with_byzantine(1, AdversaryKind::Squatter)
+                    .with_seed(seed);
+                let out = session.run(&spec).unwrap();
+                (spec, out)
+            })
+            .collect()
+    })
+}
+
+fn pool_graph() -> &'static PortGraph {
+    static GRAPH: OnceLock<PortGraph> = OnceLock::new();
+    GRAPH.get_or_init(|| asymmetric_gnp(9, 1000).unwrap())
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bd-chain-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Open a store under `dir` and journal the pool cells selected by
+/// `picks`, in order. The returned store stays open — tamper the file
+/// behind its back, then let `verify_chain` catch the edit.
+fn build_journal(dir: &PathBuf, picks: &[usize]) -> ResultStore {
+    let cfg = EngineConfig::default();
+    let store = ResultStore::open(dir).unwrap();
+    for &i in picks {
+        let (spec, out) = &cells()[i];
+        store
+            .put(scenario_digest(pool_graph(), spec, &cfg), spec, out)
+            .unwrap();
+    }
+    store
+}
+
+fn journal_lines(store: &ResultStore) -> Vec<String> {
+    std::fs::read_to_string(store.path())
+        .unwrap()
+        .lines()
+        .map(String::from)
+        .collect()
+}
+
+fn write_lines(store: &ResultStore, lines: &[String]) {
+    let mut text = lines.join("\n");
+    if !lines.is_empty() {
+        text.push('\n');
+    }
+    std::fs::write(store.path(), text).unwrap();
+}
+
+/// Assert the live audit fails at exactly `expect_index` (1-based), and —
+/// unless the damage sits on the final line, where an undecodable entry is
+/// indistinguishable from a torn append and gets recovered — that a cold
+/// reopen refuses the journal at the same place.
+fn assert_tampered(store: &ResultStore, dir: &PathBuf, expect_index: usize, context: &str) {
+    match store.verify_chain() {
+        Err(ServiceError::Tampered { index, .. }) => {
+            assert_eq!(index, expect_index, "{context}: audit's failing index")
+        }
+        other => panic!("{context}: audit accepted a tampered journal: {other:?}"),
+    }
+    let lines = journal_lines(store).len();
+    if expect_index < lines {
+        match ResultStore::open(dir) {
+            Err(ServiceError::Tampered { index, .. }) => {
+                assert_eq!(index, expect_index, "{context}: open's failing index")
+            }
+            Err(ServiceError::Corrupt { line, .. }) => {
+                // An edit that breaks JSON decoding on an interior line is
+                // refused as corruption at open; the audit above still
+                // calls it tampering. Both name the same line.
+                assert_eq!(line, expect_index, "{context}: open's failing line")
+            }
+            other => panic!("{context}: reopen accepted a tampered journal: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Honest journals verify: any non-empty subset of distinct cells, in
+    /// varying order, audited live and after a cold reopen.
+    #[test]
+    fn random_journal_verifies(mask in 1usize..64, rot in 0usize..6) {
+        let picks: Vec<usize> = (0..6)
+            .map(|i| (i + rot) % 6)
+            .filter(|i| mask & (1 << i) != 0)
+            .collect();
+        let dir = tmpdir("ok");
+        let store = build_journal(&dir, &picks);
+        let audit = store.verify_chain().unwrap();
+        prop_assert_eq!(audit.entries, picks.len());
+        prop_assert_eq!(&audit.tip, &store.tip());
+        prop_assert_ne!(&audit.tip, GENESIS_TIP);
+        drop(store);
+        let reopened = ResultStore::open(&dir).unwrap();
+        prop_assert_eq!(reopened.len(), picks.len());
+        prop_assert_eq!(reopened.verify_chain().unwrap(), audit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A single flipped byte anywhere in any record is detected, with the
+    /// record's 1-based index.
+    #[test]
+    fn single_byte_edit_is_detected(line_pick in 0usize..4, frac in 0.0f64..1.0) {
+        let dir = tmpdir("flip");
+        let store = build_journal(&dir, &[0, 1, 2, 3]);
+        let mut lines = journal_lines(&store);
+        let target = line_pick % lines.len();
+        let mut bytes = lines[target].clone().into_bytes();
+        let pos = ((bytes.len() - 1) as f64 * frac) as usize;
+        // Flip within ASCII so the line stays one line; never a no-op.
+        bytes[pos] = match bytes[pos] {
+            b'"' => b'\'',
+            b'}' => b')',
+            b'{' => b'(',
+            c if c.is_ascii_alphanumeric() => c ^ 0x01,
+            _ => b'x',
+        };
+        lines[target] = String::from_utf8(bytes).unwrap();
+        write_lines(&store, &lines);
+        assert_tampered(&store, &dir, target + 1, "byte flip");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Swapping any two records breaks the chain at the earlier position.
+    #[test]
+    fn record_reorder_is_detected(a in 0usize..4, delta in 1usize..4) {
+        let b = (a + delta) % 4;
+        let dir = tmpdir("swap");
+        let store = build_journal(&dir, &[0, 1, 2, 3]);
+        let mut lines = journal_lines(&store);
+        lines.swap(a, b);
+        write_lines(&store, &lines);
+        assert_tampered(&store, &dir, a.min(b) + 1, "reorder");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Deleting an interior record (truncate + re-append the tail) breaks
+    /// the chain exactly where the record went missing.
+    #[test]
+    fn interior_deletion_is_detected(victim in 0usize..3) {
+        let dir = tmpdir("del");
+        let store = build_journal(&dir, &[0, 1, 2, 3]);
+        let mut lines = journal_lines(&store);
+        lines.remove(victim);
+        write_lines(&store, &lines);
+        assert_tampered(&store, &dir, victim + 1, "interior deletion");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Truncating to a prefix and then splicing back a *later* record (its
+/// `prev` names a chain tip that no longer exists) is detected at the
+/// spliced record.
+#[test]
+fn truncate_then_append_splice_is_detected() {
+    let dir = tmpdir("splice");
+    let store = build_journal(&dir, &[0, 1, 2, 3]);
+    let lines = journal_lines(&store);
+    let spliced = vec![lines[0].clone(), lines[1].clone(), lines[3].clone()];
+    write_lines(&store, &spliced);
+    assert_tampered(&store, &dir, 3, "truncate-then-append");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The documented honest limit: truncation exactly at a line boundary is
+/// invisible to the chain itself — the journal verifies, and only the tip
+/// (anchored externally) betrays the loss.
+#[test]
+fn boundary_truncation_is_undetectable_but_moves_the_tip() {
+    let dir = tmpdir("trunc");
+    let store = build_journal(&dir, &[0, 1, 2, 3]);
+    let full_tip = store.verify_chain().unwrap().tip;
+    let lines = journal_lines(&store);
+    write_lines(&store, &lines[..2]);
+    drop(store);
+    let store = ResultStore::open(&dir).expect("boundary truncation is not detectable");
+    let audit = store.verify_chain().unwrap();
+    assert_eq!(audit.entries, 2);
+    assert_ne!(audit.tip, full_tip, "an anchored tip catches the loss");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression for the daemon's write-back path: many batches drained by
+/// concurrent workers must still produce one globally valid chain — the
+/// store lock serializes appends, and the audit endpoint proves it over
+/// the real wire.
+#[test]
+fn concurrent_worker_write_backs_stay_chain_valid() {
+    let dir = tmpdir("workers");
+    let mut config = ServeConfig::ephemeral(&dir);
+    config.workers = 4;
+    let daemon = Daemon::start(config).unwrap();
+    let client = Client::new(daemon.local_addr());
+
+    let graph_src = GraphSource::BenchEr { n: 9, seed: 1000 };
+    let graph = graph_src.materialize().unwrap();
+    // Eight one-cell batches with distinct digests, all in flight at once.
+    let ids: Vec<u64> = (0..8u64)
+        .map(|seed| {
+            let request = BatchRequest {
+                graph: graph_src.clone(),
+                specs: vec![
+                    ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0)
+                        .with_byzantine(1, AdversaryKind::Squatter)
+                        .with_seed(seed),
+                ],
+            };
+            client.submit(&request).unwrap().id
+        })
+        .collect();
+    for id in ids {
+        let reply = client.wait(id, Duration::from_secs(120)).unwrap();
+        assert_eq!(reply.status, "done", "error: {:?}", reply.error);
+    }
+
+    let audit = client.audit().unwrap();
+    assert!(audit.ok, "tampered: {:?}", audit.error);
+    assert_eq!(audit.entries, 8);
+    assert!(audit.failing_index.is_none());
+    assert_ne!(audit.tip, GENESIS_TIP);
+
+    client.shutdown().unwrap();
+    daemon.join();
+
+    // The journal the workers interleaved on survives a cold reopen too.
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.len(), 8);
+    assert_eq!(store.verify_chain().unwrap().tip, audit.tip);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,8 +1,8 @@
 //! The service smoke: spawn the **real** `bd-serve` binary on an ephemeral
 //! port, submit a quick Table 1 row twice, assert the second response is
-//! served entirely from the store, and verify the daemon shuts down
-//! cleanly (exit code 0, not a kill). CI runs exactly this test as the
-//! serving-layer gate.
+//! served entirely from the store, chain-verify the journal through
+//! `GET /audit`, and verify the daemon shuts down cleanly (exit code 0,
+//! not a kill). CI runs exactly this test as the serving-layer gate.
 
 use bd_dispersion::runner::ScenarioSpec;
 use bd_service::protocol::BatchRequest;
@@ -87,6 +87,12 @@ fn bd_serve_round_trip_cache_hit_and_clean_shutdown() {
     let stats = client.stats().unwrap();
     assert_eq!(stats.store_entries, 1);
     assert_eq!(stats.batches_completed, 2);
+
+    // The journal the daemon just wrote chain-verifies over the wire.
+    let audit = client.audit().unwrap();
+    assert!(audit.ok, "tampered journal: {:?}", audit.error);
+    assert_eq!(audit.entries, 1);
+    assert_ne!(audit.tip, bd_service::GENESIS_TIP);
 
     // Clean shutdown: the daemon drains and exits 0 on its own.
     client.shutdown().unwrap();
