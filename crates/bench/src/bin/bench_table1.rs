@@ -10,8 +10,15 @@
 //! Measured rounds are asserted deterministic (they come from the row
 //! timelines), so two runs of this harness differ only in wall-clock.
 //!
+//! With `--gate BASELINE.json [--min-ratio R]`, the run additionally
+//! compares each row's measured rounds-per-second throughput against the
+//! named baseline file (a previous `--out` of this harness) and exits 1 if
+//! any row falls below `R × baseline` (default `R = 0.25` — generous
+//! enough to absorb machine variance and quick-vs-full mode differences
+//! while still catching order-of-magnitude hot-loop regressions).
+//!
 //! Usage:
-//! `cargo run --release -p bd-bench --bin bench_table1 [--quick] [--out PATH]`
+//! `cargo run --release -p bd-bench --bin bench_table1 [--quick] [--out PATH] [--gate BASELINE.json] [--min-ratio R]`
 
 use bd_bench::{sweep_n, table1_sweeps};
 use std::time::Instant;
@@ -24,6 +31,22 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_table1.json", |s| s.as_str());
+    let gate_path = args.iter().position(|a| a == "--gate").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("bench_table1: --gate needs a baseline file");
+            std::process::exit(2);
+        })
+    });
+    let min_ratio: f64 = args
+        .iter()
+        .position(|a| a == "--min-ratio")
+        .and_then(|i| args.get(i + 1))
+        .map_or(0.25, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bench_table1: --min-ratio: cannot parse {s:?}");
+                std::process::exit(2);
+            })
+        });
     let reps: u64 = if quick { 2 } else { 3 };
 
     let mut rows = Vec::new();
@@ -86,4 +109,46 @@ fn main() {
     )
     .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("\nwrote {out_path}");
+
+    // Per-row throughput regression gate against a committed baseline.
+    if let Some(gate_path) = gate_path {
+        let text = std::fs::read_to_string(&gate_path)
+            .unwrap_or_else(|e| panic!("reading gate baseline {gate_path}: {e}"));
+        let baseline: serde_json::Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {gate_path}: {e}"));
+        let base_rows = baseline
+            .get("rows")
+            .and_then(|r| r.as_array())
+            .unwrap_or_else(|| panic!("{gate_path}: no rows array"));
+        println!("\ngate vs {gate_path} (min ratio {min_ratio}):");
+        let mut failed = false;
+        for row in &rows {
+            let name = row.get("row").and_then(|v| v.as_str()).expect("row name");
+            let rps = row
+                .get("rounds_per_sec")
+                .and_then(|v| v.as_f64())
+                .expect("rounds_per_sec");
+            let base = base_rows.iter().find_map(|b| {
+                (b.get("row").and_then(|v| v.as_str()) == Some(name))
+                    .then(|| b.get("rounds_per_sec").and_then(|v| v.as_f64()))
+                    .flatten()
+            });
+            let Some(base) = base else {
+                println!("  {name:<20} (no baseline row, skipped)");
+                continue;
+            };
+            let ratio = rps / base.max(1e-9);
+            let ok = ratio >= min_ratio;
+            failed |= !ok;
+            println!(
+                "  {name:<20} {rps:>12.0} vs {base:>12.0} rounds/sec  ratio {ratio:>5.2}  {}",
+                if ok { "ok" } else { "REGRESSION" }
+            );
+        }
+        if failed {
+            eprintln!("bench_table1: throughput regression against {gate_path}");
+            std::process::exit(1);
+        }
+        println!("gate passed: every row within {min_ratio}x of baseline");
+    }
 }

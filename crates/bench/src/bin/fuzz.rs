@@ -11,10 +11,14 @@
 //! horizon by one round) into the fast engine — the way to demonstrate the
 //! harness has teeth: a run with `--broken` is *expected* to exit 1.
 //!
+//! `--trace-out FILE` switches span recording on and exports the fuzzed
+//! cells as a Chrome trace-event JSONL file (cell → phase tree).
+//!
 //! Usage:
 //!   cargo run --release -p bd-bench --bin fuzz -- \
-//!     [--cases N] [--seed S] [--max-n N] [--budget-secs T] [--broken]
+//!     [--cases N] [--seed S] [--max-n N] [--budget-secs T] [--broken] [--trace-out FILE]
 
+use bd_bench::trace_out_from_args;
 use bd_oracle::{run_fuzz_with, FuzzConfig};
 use std::time::Duration;
 
@@ -49,6 +53,7 @@ fn main() {
         config.time_budget = Some(Duration::from_secs(secs));
     }
     let broken = args.iter().any(|a| a == "--broken");
+    let trace = trace_out_from_args("fuzz", &args);
 
     println!(
         "differential fuzz: {} cases, seed {:#x}, n <= {}, budget {:?}{}",
@@ -69,6 +74,9 @@ fn main() {
         "checked {} cells: {} full-trajectory matches, {} identical-error agreements",
         report.cases_run, report.matched, report.match_err
     );
+    if let Some(trace) = trace {
+        trace.finish();
+    }
     match report.failure {
         None => println!("no divergence: the fast path is trajectory-equivalent to the oracle"),
         Some(failure) => {

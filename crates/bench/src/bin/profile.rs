@@ -1,0 +1,244 @@
+//! Per-phase engine profile over the full Table 1 registry.
+//!
+//! Runs one instrumented cell per registry row (the seven Table 1 rows
+//! plus the `Baseline` and `RingOptimal` references) with engine-counter
+//! recording on and a counting global allocator feeding the
+//! `bd-telemetry` allocation odometer, then prints a per-phase table:
+//! rounds, wall time, share of the engine wall clock, allocations,
+//! moves, and sub-rounds. This answers "where does `QuotientTh1`'s time
+//! go" with named phases instead of one flat number.
+//!
+//! Flags:
+//!
+//! * `--quick` — profile the smaller quick-grid sizes;
+//! * `--check` — additionally assert that at least 90% of `QuotientTh1`'s
+//!   engine wall time is attributed to named schedule phases (exit 1
+//!   otherwise) — the acceptance gate for phase attribution;
+//! * `--overhead-check` — run the quick Table 1 batch alternately with
+//!   telemetry enabled and disabled (interleaved A/B, best-of-3 per
+//!   side) and assert the enabled minimum stays within 5% of the
+//!   disabled minimum (exit 1 otherwise) — CI's zero-overhead smoke.
+//!
+//! Usage: `cargo run --release -p bd-bench --bin profile [--quick] [--check] [--overhead-check]`
+
+// The counting allocator is the one place in the workspace that needs
+// `unsafe`: a `GlobalAlloc` impl forwarding to `System`.
+#![allow(unsafe_code)]
+
+use bd_bench::{bench_graph, run_spec_cell, starting_config, table1_batch, table1_sweeps, Cell};
+use bd_dispersion::runner::Algorithm;
+use bd_dispersion::Session;
+use bd_telemetry::{drain_engine_reports, EngineReport};
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Forwards to the system allocator, counting every allocation on the
+/// `bd-telemetry` odometer so the engine recorder can attribute
+/// allocations to phases (and demonstrate steady-state rounds allocate
+/// nothing).
+struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System`; the odometer bump is an atomic
+// increment and allocates nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bd_telemetry::note_alloc();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bd_telemetry::note_alloc();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Share of `report`'s wall clock attributed to named schedule phases
+/// (phases the recorder had to invent — the trailing `"run"` fallback —
+/// do not count as attributed).
+fn attribution(report: &EngineReport) -> f64 {
+    if report.wall_micros == 0 {
+        // Sub-microsecond engine runs: everything the recorder closed is
+        // attributed by construction.
+        return 1.0;
+    }
+    let named: u64 = report
+        .phases
+        .iter()
+        .filter(|p| p.name != "run")
+        .map(|p| p.wall_micros)
+        .sum();
+    named as f64 / report.wall_micros as f64
+}
+
+fn print_report(cell: &Cell, report: &EngineReport) {
+    println!(
+        "{} (n={}, k={}, f={}, adversary={}): rounds={} engine_wall={:.2}ms allocs={} \
+         attribution={:.1}%",
+        cell.algo,
+        cell.n,
+        cell.k,
+        cell.f,
+        cell.adversary,
+        report.rounds,
+        report.wall_micros as f64 / 1e3,
+        report.phases.iter().map(|p| p.allocs).sum::<u64>(),
+        attribution(report) * 100.0,
+    );
+    println!(
+        "  {:<12} {:>10} {:>10} {:>6} {:>10} {:>10} {:>10} {:>8}",
+        "phase", "rounds", "wall ms", "wall%", "allocs", "moves", "subrounds", "ff"
+    );
+    for p in &report.phases {
+        println!(
+            "  {:<12} {:>10} {:>10.2} {:>6.1} {:>10} {:>10} {:>10} {:>8}",
+            p.name,
+            p.end_round - p.start_round,
+            p.wall_micros as f64 / 1e3,
+            100.0 * p.wall_micros as f64 / (report.wall_micros as f64).max(1.0),
+            p.allocs,
+            p.counters.moves,
+            p.counters.subrounds,
+            p.counters.ff_jumps,
+        );
+    }
+    println!(
+        "  totals: stepped={} skipped={} bulletin w/r={}/{} resorts={} dirty_hwm={} \
+         roster_hwm={} bulletin_hwm={}",
+        report.total.rounds_stepped,
+        report.total.rounds_skipped,
+        report.total.bulletin_writes,
+        report.total.bulletin_reads,
+        report.total.roster_resorts,
+        report.total.dirty_hwm,
+        report.total.roster_hwm,
+        report.total.bulletin_hwm,
+    );
+    println!();
+}
+
+/// One instrumented cell per registry row; returns `(cell, report)` per
+/// row, in registry print order plus the two reference rows.
+fn profile_rows(quick: bool) -> Vec<(Cell, EngineReport)> {
+    let mut out = Vec::new();
+    for sweep in table1_sweeps() {
+        let ns = if quick { sweep.quick_ns } else { sweep.ns };
+        let n = *ns.last().expect("non-empty grid");
+        let session = Session::new(bench_graph(n, 1000));
+        let spec = starting_config(sweep.algo, session.graph())
+            .with_byzantine(sweep.algo.tolerance(n), sweep.adversary)
+            .with_seed(1000);
+        out.push(run_profiled(&session, &spec));
+    }
+    // Reference rows, fault-free: the baseline on the bench graph and the
+    // ring-optimal row on its required ring topology.
+    let n = if quick { 8 } else { 16 };
+    let session = Session::new(bench_graph(n, 1000));
+    let spec = starting_config(Algorithm::Baseline, session.graph()).with_seed(1000);
+    out.push(run_profiled(&session, &spec));
+    let session = Session::new(bd_graphs::generators::ring(n).expect("ring"));
+    let spec = starting_config(Algorithm::RingOptimal, session.graph()).with_seed(1000);
+    out.push(run_profiled(&session, &spec));
+    out
+}
+
+fn run_profiled(
+    session: &Session,
+    spec: &bd_dispersion::runner::ScenarioSpec,
+) -> (Cell, EngineReport) {
+    let cell = run_spec_cell(session, spec);
+    let mut reports = drain_engine_reports();
+    assert_eq!(
+        reports.len(),
+        1,
+        "one instrumented run must publish exactly one report"
+    );
+    (cell, reports.remove(0))
+}
+
+/// Interleaved A/B overhead smoke: quick Table 1 batch, telemetry
+/// enabled vs disabled, best-of-`ITERS` per side on the summed engine
+/// wall clock. Engine construction samples the flag, so toggling between
+/// batches is race-free.
+fn overhead_check() -> ! {
+    const ITERS: usize = 3;
+    // Untimed warm-up batch: the first batch of the process pays one-time
+    // costs (page faults, allocator warm-up) that would otherwise skew
+    // whichever side runs first.
+    let _ = table1_batch(true, 1);
+    let mut best = [u64::MAX; 2];
+    for i in 0..2 * ITERS {
+        let enabled = i % 2 == 1;
+        bd_telemetry::enable_counters(enabled);
+        let rows = table1_batch(true, 1);
+        let _ = drain_engine_reports();
+        let engine_micros: u64 = rows.iter().flatten().map(|c| c.elapsed_micros).sum();
+        best[usize::from(enabled)] = best[usize::from(enabled)].min(engine_micros);
+        println!(
+            "iter {:>2} telemetry={:<8} quick table1 engine time {:>9} us",
+            i + 1,
+            if enabled { "enabled" } else { "disabled" },
+            engine_micros
+        );
+    }
+    bd_telemetry::enable_counters(false);
+    let [disabled, enabled] = best;
+    // 5% relative budget plus a 500us jitter floor so sub-millisecond
+    // timer noise cannot fail the gate on very fast machines.
+    let budget = disabled + disabled / 20 + 500;
+    println!(
+        "best disabled {disabled} us, best enabled {enabled} us, budget {budget} us \
+         (overhead {:+.2}%)",
+        100.0 * (enabled as f64 - disabled as f64) / disabled.max(1) as f64
+    );
+    if enabled > budget {
+        eprintln!("profile: telemetry overhead exceeds the 5% budget");
+        std::process::exit(1);
+    }
+    println!("overhead within budget");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    if args.iter().any(|a| a == "--overhead-check") {
+        overhead_check();
+    }
+
+    bd_telemetry::enable_counters(true);
+    let _ = drain_engine_reports();
+    println!(
+        "per-phase engine profile, one cell per registry row ({} grid)\n",
+        if quick { "quick" } else { "full" }
+    );
+    let profiled = profile_rows(quick);
+    for (cell, report) in &profiled {
+        print_report(cell, report);
+    }
+
+    if check {
+        let (cell, report) = profiled
+            .iter()
+            .find(|(c, _)| c.algo == "QuotientTh1")
+            .expect("QuotientTh1 is a registry row");
+        let share = attribution(report);
+        println!(
+            "check: {:.1}% of QuotientTh1's {}us engine wall attributed to named phases",
+            share * 100.0,
+            report.wall_micros
+        );
+        assert!(cell.dispersed, "profiled QuotientTh1 cell must disperse");
+        if share < 0.90 {
+            eprintln!("profile: phase attribution below 90%");
+            std::process::exit(1);
+        }
+        println!("check passed");
+    }
+}

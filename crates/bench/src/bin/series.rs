@@ -14,11 +14,14 @@
 //! `{"series":"store-stats",…}` line aggregating cache hits vs simulated
 //! rounds across all four series.
 //!
-//! Usage: `cargo run --release -p bd-bench --bin series [--quick] [--store DIR] > series.jsonl`
+//! With `--trace-out FILE`, span recording is switched on and the sweeps
+//! export a Chrome trace-event JSONL file (batch → cell → phase tree).
+//!
+//! Usage: `cargo run --release -p bd-bench --bin series [--quick] [--store DIR] [--trace-out FILE] > series.jsonl`
 
 use bd_bench::{
     mean_elapsed_micros, mean_rounds, mean_rounds_by_k, mean_skipped_rounds, run_series_cells_with,
-    store_from_args, success_rate, sweep_k_with, sweep_n_with, SeriesCoord,
+    store_from_args, success_rate, sweep_k_with, sweep_n_with, trace_out_from_args, SeriesCoord,
 };
 use bd_dispersion::adversaries::AdversaryKind;
 use bd_dispersion::runner::{Algorithm, ByzPlacement};
@@ -30,6 +33,8 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let store = store_from_args("series", &args);
     let store = store.as_ref();
+    let trace = trace_out_from_args("series", &args);
+    bd_telemetry::init_from_env();
     let mut totals = CacheStats::default();
     let mut fold = |stats: Option<CacheStats>| {
         if let Some(s) = stats {
@@ -106,6 +111,11 @@ fn main() {
                     // Real per-cell cost next to the planner's estimate.
                     "mean_elapsed_micros": mean_elapsed_micros(&at_n),
                     "success": success_rate(&cells),
+                    // The row's phase decomposition of the measured rounds:
+                    // a representative cell's annotation (gather lengths
+                    // vary with the seeded graph; the other phases depend
+                    // only on n).
+                    "rounds_by_phase": at_n.first().map(|c| c.rounds_by_phase.clone()),
                 })
             );
         }
@@ -257,5 +267,9 @@ fn main() {
                 "elapsed_simulated_micros": totals.elapsed_simulated_micros,
             })
         );
+    }
+
+    if let Some(trace) = trace {
+        trace.finish();
     }
 }

@@ -14,11 +14,15 @@
 //! whole table from the journal with zero rounds simulated (the closing
 //! cache summary says exactly how much was served vs simulated).
 //!
-//! Usage: `cargo run --release -p bd-bench --bin table1 [--quick] [--store DIR]`
+//! With `--trace-out FILE`, span recording is switched on and the whole
+//! batch is exported as a Chrome trace-event JSONL file (batch → cell →
+//! phase tree; wrap with `jq -s .` for trace viewers).
+//!
+//! Usage: `cargo run --release -p bd-bench --bin table1 [--quick] [--store DIR] [--trace-out FILE]`
 
 use bd_bench::{
     mean_cost_estimate, mean_elapsed_micros, mean_rounds, store_from_args, success_rate,
-    table1_batch_with, table1_sweeps,
+    table1_batch_with, table1_sweeps, trace_out_from_args,
 };
 use bd_dispersion::impossibility::replay_experiment;
 use bd_exploration::cost::fit_exponent;
@@ -28,6 +32,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let store = store_from_args("table1", &args);
+    let trace = trace_out_from_args("table1", &args);
+    bd_telemetry::init_from_env();
     let reps: u64 = if quick { 2 } else { 3 };
 
     println!("Reproducing Table 1 of 'Byzantine Dispersion on Graphs' (IPDPS 2021)");
@@ -121,4 +127,8 @@ fn main() {
         "\nexperiment {} the theorem across the grid",
         if agree { "MATCHES" } else { "CONTRADICTS" }
     );
+
+    if let Some(trace) = trace {
+        trace.finish();
+    }
 }

@@ -46,6 +46,9 @@ pub struct Cell {
     /// (near-zero) lookup time.
     pub elapsed_micros: u64,
     pub dispersed: bool,
+    /// The run's rounds attributed to the row's phase schedule (clipped to
+    /// the rounds actually run) — `RunMetrics::rounds_by_phase` verbatim.
+    pub rounds_by_phase: Vec<(String, u64)>,
 }
 
 /// Sweep shape of one Table 1 row: the `n` grid and the adversary the row
@@ -185,6 +188,49 @@ pub fn store_from_args(bin: &str, args: &[String]) -> Option<ResultStore> {
     }))
 }
 
+/// Parse the bins' shared `--trace-out FILE` flag. When present, span
+/// *and* engine-counter recording are switched on process-wide (the phase
+/// level of the span tree is emitted by the engine recorder), and the
+/// returned handle writes the collected Chrome trace-event JSONL to FILE —
+/// call [`TraceOut::finish`] at the end of `main`. Exits the process on a
+/// missing value, like [`store_from_args`].
+pub fn trace_out_from_args(bin: &str, args: &[String]) -> Option<TraceOut> {
+    let i = args.iter().position(|a| a == "--trace-out")?;
+    let path = args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("{bin}: --trace-out needs a file path");
+        std::process::exit(2);
+    });
+    bd_telemetry::enable_spans(true);
+    bd_telemetry::enable_counters(true);
+    Some(TraceOut { path: path.clone() })
+}
+
+/// A pending trace export (see [`trace_out_from_args`]).
+pub struct TraceOut {
+    path: String,
+}
+
+impl TraceOut {
+    /// Drain every recorded span event and write the JSONL trace (one
+    /// Chrome trace event object per line; wrap with `jq -s .` for trace
+    /// viewers). Also drains the engine-report buffer the instrumented
+    /// runs filled, so nothing accumulates across exports.
+    pub fn finish(self) {
+        use std::io::Write;
+        let events = bd_telemetry::spans::drain();
+        let _ = bd_telemetry::drain_engine_reports();
+        let file = std::fs::File::create(&self.path).unwrap_or_else(|e| {
+            eprintln!("--trace-out {}: {e}", self.path);
+            std::process::exit(1);
+        });
+        let mut w = std::io::BufWriter::new(file);
+        bd_telemetry::spans::write_chrome_trace(&mut w, &events)
+            .and_then(|()| w.flush())
+            .unwrap_or_else(|e| panic!("writing trace {}: {e}", self.path));
+        eprintln!("wrote {} trace events to {}", events.len(), self.path);
+    }
+}
+
 /// Memoizes [`bench_graph`] instances as shared `Arc` handles, so sweeps
 /// that revisit a `(n, seed)` coordinate (e.g. success-vs-`f` series that
 /// vary only `f`) reuse one graph — and therefore one [`BatchPlanner`]
@@ -285,6 +331,7 @@ fn cell_of(
             total_moves: out.metrics.total_moves,
             elapsed_micros: out.metrics.elapsed_micros,
             dispersed: out.dispersed,
+            rounds_by_phase: out.metrics.rounds_by_phase,
         },
         Err(e) => panic!(
             "cell ({:?}, n={n}, k={}, f={}, seed={}) failed: {e}",
@@ -665,6 +712,7 @@ mod tests {
             total_moves: 5,
             elapsed_micros: 7,
             dispersed,
+            rounds_by_phase: vec![("run".into(), rounds)],
         };
         let cells = vec![mk(8, 10, true, 0), mk(8, 20, false, 1)];
         assert_eq!(mean_rounds(&cells), vec![(8, 15.0)]);

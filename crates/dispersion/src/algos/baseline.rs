@@ -11,6 +11,7 @@
 
 use crate::msg::Msg;
 use crate::registry::{Plan, StartColumn, StartRequirement, TableRow};
+use crate::timeline::Timeline;
 use bd_graphs::navigate::shortest_path_ports;
 use bd_graphs::traversal::dfs_tree;
 use bd_graphs::{NodeId, PortGraph};
@@ -140,6 +141,13 @@ impl TableRow for BaselineRow {
 
     fn round_budget(&self, plan: &Plan) -> u64 {
         plan.n as u64 + 2
+    }
+
+    fn phase_schedule(&self, plan: &Plan) -> Timeline {
+        // The whole run is one Dispersion-Using-Map pass on the known map.
+        let mut t = Timeline::default();
+        t.push("settle", self.round_budget(plan));
+        t
     }
 
     fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {

@@ -17,7 +17,7 @@ use crate::mapvote::majority_map;
 use crate::msg::Msg;
 use crate::pairing::{pairing_schedule, PairingSchedule};
 use crate::registry::{Plan, StartRequirement, TableRow};
-use crate::timeline::{dum_budget, pair_window_len, t2_work_budget};
+use crate::timeline::{dum_budget, pair_window_len, t2_work_budget, Timeline};
 use crate::token_roles::{AgentDriver, InstructionSpec, TokenFollower, TokenSpec};
 use bd_graphs::canonical::canonical_form;
 use bd_graphs::{CanonicalForm, Port, PortGraph};
@@ -345,6 +345,18 @@ impl TableRow for HalfRow {
     fn round_budget(&self, plan: &Plan) -> u64 {
         let sched = pairing_schedule(&plan.ids);
         plan.gather_budget + 1 + sched.total_windows * pair_window_len(plan.n) + dum_budget(plan.n)
+    }
+
+    fn phase_schedule(&self, plan: &Plan) -> Timeline {
+        let sched = pairing_schedule(&plan.ids);
+        let mut t = Timeline::default();
+        if plan.gather_budget > 0 {
+            t.push("gather", plan.gather_budget);
+        }
+        t.push("snapshot", 1);
+        t.push("pairing", sched.total_windows * pair_window_len(plan.n));
+        t.push("settle", dum_budget(plan.n));
+        t
     }
 
     fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {

@@ -14,7 +14,7 @@ use crate::dum::DumMachine;
 use crate::error::DispersionError;
 use crate::msg::Msg;
 use crate::registry::{Plan, StartRequirement, TableRow};
-use crate::timeline::dum_budget;
+use crate::timeline::{dum_budget, Timeline};
 use bd_exploration::walks::{cover_walk_length, SharedWalk};
 use bd_graphs::quotient::quotient_graph;
 use bd_graphs::{NodeId, Port, PortGraph};
@@ -189,6 +189,13 @@ impl TableRow for QuotientRow {
 
     fn round_budget(&self, plan: &Plan) -> u64 {
         cover_walk_length(plan.n) + dum_budget(plan.n)
+    }
+
+    fn phase_schedule(&self, plan: &Plan) -> Timeline {
+        let mut t = Timeline::default();
+        t.push("cover_walk", cover_walk_length(plan.n));
+        t.push("settle", dum_budget(plan.n));
+        t
     }
 
     fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {

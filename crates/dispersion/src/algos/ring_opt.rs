@@ -19,7 +19,7 @@ use crate::dum::DumMachine;
 use crate::error::DispersionError;
 use crate::msg::Msg;
 use crate::registry::{Plan, StartRequirement, TableRow};
-use crate::timeline::dum_budget;
+use crate::timeline::{dum_budget, Timeline};
 use bd_graphs::{NodeId, Port, PortGraph};
 use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
 
@@ -203,6 +203,13 @@ impl TableRow for RingOptRow {
 
     fn round_budget(&self, plan: &Plan) -> u64 {
         plan.n as u64 + dum_budget(plan.n)
+    }
+
+    fn phase_schedule(&self, plan: &Plan) -> Timeline {
+        let mut t = Timeline::default();
+        t.push("walk", plan.n as u64);
+        t.push("settle", dum_budget(plan.n));
+        t
     }
 
     fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {

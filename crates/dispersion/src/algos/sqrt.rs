@@ -197,6 +197,10 @@ impl TableRow for SqrtRow {
         sqrt_round_budget(plan.n, plan.k, sqrt_f_bound(plan.n), plan.gather_budget)
     }
 
+    fn phase_schedule(&self, plan: &Plan) -> Timeline {
+        sqrt_timeline(plan.n, plan.k, sqrt_f_bound(plan.n), plan.gather_budget)
+    }
+
     fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {
         Box::new(SqrtController::new(
             plan.ids[i],

@@ -21,7 +21,7 @@
 use crate::algos::common::{partition2, snapshot_ids, GroupRun, GroupRunSpec};
 use crate::msg::Msg;
 use crate::registry::{Plan, StartRequirement, TableRow};
-use crate::timeline::{group_run_len, rank_walk_budget, t2_work_budget};
+use crate::timeline::{group_run_len, rank_walk_budget, t2_work_budget, Timeline};
 use bd_graphs::navigate::shortest_path_ports;
 use bd_graphs::Port;
 use bd_runtime::{Controller, MoveChoice, Observation, RobotId};
@@ -240,6 +240,17 @@ impl TableRow for StrongRow {
 
     fn round_budget(&self, plan: &Plan) -> u64 {
         plan.gather_budget + 1 + group_run_len(plan.n) + rank_walk_budget(plan.n)
+    }
+
+    fn phase_schedule(&self, plan: &Plan) -> Timeline {
+        let mut t = Timeline::default();
+        if plan.gather_budget > 0 {
+            t.push("gather", plan.gather_budget);
+        }
+        t.push("snapshot", 1);
+        t.push("map_run", group_run_len(plan.n));
+        t.push("rank_walk", rank_walk_budget(plan.n));
+        t
     }
 
     fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {

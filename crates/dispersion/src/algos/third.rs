@@ -26,7 +26,7 @@ use crate::algos::common::{
 use crate::mapvote::majority_map;
 use crate::msg::Msg;
 use crate::registry::{Plan, StartRequirement, TableRow};
-use crate::timeline::{dum_budget, group_run_len, t2_work_budget};
+use crate::timeline::{dum_budget, group_run_len, t2_work_budget, Timeline};
 use bd_graphs::{CanonicalForm, Port};
 use bd_runtime::{Controller, RobotId};
 
@@ -140,6 +140,14 @@ impl TableRow for ThirdRow {
 
     fn round_budget(&self, plan: &Plan) -> u64 {
         1 + 3 * group_run_len(plan.n) + dum_budget(plan.n)
+    }
+
+    fn phase_schedule(&self, plan: &Plan) -> Timeline {
+        let mut t = Timeline::default();
+        t.push("snapshot", 1);
+        t.push("replicate", 3 * group_run_len(plan.n));
+        t.push("settle", dum_budget(plan.n));
+        t
     }
 
     fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>> {

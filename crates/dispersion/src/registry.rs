@@ -23,6 +23,7 @@ use crate::algos::third::ThirdRow;
 use crate::error::DispersionError;
 use crate::msg::Msg;
 use crate::runner::Algorithm;
+use crate::timeline::Timeline;
 use bd_graphs::{NodeId, Port, PortGraph};
 use bd_runtime::{Controller, RobotId};
 use std::any::Any;
@@ -178,6 +179,20 @@ pub trait TableRow: Sync {
     /// timeline. The engine's round cap adds a safety margin on top; the
     /// registry-conformance suite asserts observed rounds equal this.
     fn round_budget(&self, plan: &Plan) -> u64;
+
+    /// The run's round budget decomposed into the controller's named
+    /// consecutive phases — the schedule the session layer hands to the
+    /// telemetry recorder (per-phase counters/wall-clock) and folds into
+    /// `RunMetrics::rounds_by_phase`. Must satisfy
+    /// `phase_schedule(plan).end() == round_budget(plan)` (pinned by the
+    /// registry conformance suite). The default is a single opaque
+    /// `"run"` phase; every Table 1 row overrides it with its real
+    /// decomposition.
+    fn phase_schedule(&self, plan: &Plan) -> Timeline {
+        let mut t = Timeline::default();
+        t.push("run", self.round_budget(plan));
+        t
+    }
 
     /// Build the honest controller for robot `i` of the plan.
     fn build_controller(&self, plan: &Plan, i: usize) -> Box<dyn Controller<Msg>>;

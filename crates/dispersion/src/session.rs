@@ -310,6 +310,18 @@ impl Session {
         tune: impl FnOnce(EngineConfig) -> EngineConfig,
     ) -> Result<(Outcome, Trace), DispersionError> {
         let row = spec.algo.row();
+        // Cell level of the span tree (batch → cell → phase); `None` and
+        // free unless span recording was switched on.
+        let _cell_span = bd_telemetry::spans::span_with(
+            "cell",
+            row.name(),
+            vec![
+                ("n", plan.n.to_string()),
+                ("k", plan.k.to_string()),
+                ("f", plan.f.to_string()),
+                ("seed", spec.seed.to_string()),
+            ],
+        );
         // Wall-clock measurement covers engine construction + execution;
         // it lands in `RunMetrics::elapsed_micros` (excluded from metric
         // equality — trajectories stay deterministic, clocks do not).
@@ -318,17 +330,38 @@ impl Session {
         // Exact honest-termination round from the row's phase timeline;
         // the engine cap carries a small safety margin on top.
         let run_end = row.round_budget(&plan);
+        let schedule = row.phase_schedule(&plan);
 
         let mut engine: Engine<Msg> = Engine::new(
             Arc::clone(&plan.graph),
             tune(EngineConfig::with_max_rounds(run_end + 64)),
         );
+        if bd_telemetry::counters_enabled() {
+            engine.set_phase_marks(
+                schedule
+                    .phases()
+                    .iter()
+                    .map(|(name, _, end)| (name.clone(), *end))
+                    .collect(),
+            );
+        }
         for seat in build_roster(spec, &plan) {
             engine.add_robot(seat.flavor, seat.start, seat.controller);
         }
 
         let mut out = engine.run()?;
         out.metrics.elapsed_micros = wall_start.elapsed().as_micros() as u64;
+        // Annotate the measured rounds with the row's phase schedule,
+        // clipped to the rounds actually run (fast termination can end a
+        // run mid-phase; zero-round phases are dropped). Excluded from
+        // metric equality, like the wall clock.
+        let rounds = out.metrics.rounds;
+        out.metrics.rounds_by_phase = schedule
+            .phases()
+            .iter()
+            .map(|(name, start, end)| (name.clone(), end.min(&rounds) - start.min(&rounds)))
+            .filter(|&(_, len)| len > 0)
+            .collect();
         Ok((
             assemble_outcome(&plan, out.metrics, out.final_positions),
             out.trace,
@@ -458,6 +491,15 @@ impl BatchPlanner {
     /// the Rayon pool in descending cost order. Each cell fails
     /// independently; the result vector is in [`BatchPlanner::add`] order.
     pub fn run(&self) -> Vec<Result<Outcome, DispersionError>> {
+        // Batch level of the span tree: one span over the whole fan-out.
+        let _batch_span = bd_telemetry::spans::span_with(
+            "batch",
+            "batch",
+            vec![
+                ("cells", self.cells.len().to_string()),
+                ("graphs", self.sessions.len().to_string()),
+            ],
+        );
         // Phase 1: plan each cell (includes row `prepare`, reused by the
         // run below — nothing is planned twice).
         let planned: Vec<Result<(Plan, u64), DispersionError>> = self

@@ -135,6 +135,60 @@ fn round_budget_exact_under_adversaries_at_max_tolerance() {
     }
 }
 
+/// The phase schedule is the round budget, decomposed: for every row, the
+/// timeline's phases must tile `[0, round_budget)` — consecutive,
+/// non-overlapping, ending exactly at the budget. The telemetry layer
+/// (engine phase attribution, `RunMetrics::rounds_by_phase`) leans on this
+/// contract.
+#[test]
+fn phase_schedule_tiles_the_round_budget_for_every_row() {
+    for algo in all_algorithms() {
+        for n in [7usize, 9, 12] {
+            let session = Session::new(conforming_graph(algo, n));
+            let spec = ScenarioSpec::evaluation(algo, session.graph()).with_seed(6);
+            let plan = session.plan(&spec).unwrap();
+            let row = algo.row();
+            let schedule = row.phase_schedule(&plan);
+            assert_eq!(
+                schedule.end(),
+                row.round_budget(&plan),
+                "{algo:?} n={n}: schedule must end exactly at the budget"
+            );
+            assert!(
+                !schedule.phases().is_empty(),
+                "{algo:?} n={n}: at least one phase"
+            );
+            let mut cursor = 0u64;
+            for (name, start, end) in schedule.phases() {
+                assert_eq!(*start, cursor, "{algo:?} n={n}: gap before {name}");
+                assert!(*end > *start, "{algo:?} n={n}: empty phase {name}");
+                assert!(!name.is_empty(), "{algo:?} n={n}: unnamed phase");
+                cursor = *end;
+            }
+        }
+    }
+}
+
+/// The run's measured `rounds_by_phase` annotation reproduces the schedule
+/// (fault-free runs terminate exactly at the budget, so no clipping).
+#[test]
+fn run_metrics_phase_annotation_matches_schedule() {
+    let algo = Algorithm::GatheredThirdTh4;
+    let session = Session::new(conforming_graph(algo, 9));
+    let spec = ScenarioSpec::evaluation(algo, session.graph()).with_seed(6);
+    let plan = session.plan(&spec).unwrap();
+    let schedule = algo.row().phase_schedule(&plan);
+    let out = session.run(&spec).unwrap();
+    let want: Vec<(String, u64)> = schedule
+        .phases()
+        .iter()
+        .map(|(name, start, end)| (name.clone(), end - start))
+        .collect();
+    assert_eq!(out.metrics.rounds_by_phase, want);
+    let total: u64 = out.metrics.rounds_by_phase.iter().map(|(_, r)| r).sum();
+    assert_eq!(total, out.rounds, "phase rounds sum to the run's rounds");
+}
+
 // ------------------------------------------------------------- descriptors
 
 #[test]

@@ -29,6 +29,7 @@ use crate::observation::{ArrivalInfo, Observation, Publication};
 use crate::trace::{Event, Trace};
 use crate::world::World;
 use bd_graphs::{NodeId, PortGraph};
+use bd_telemetry::EngineTelemetry;
 use std::sync::Arc;
 
 /// Per-round scratch arenas owned by the engine and reused across rounds.
@@ -101,6 +102,10 @@ pub struct Engine<M> {
     metrics: RunMetrics,
     trace: Trace,
     scratch: Scratch<M>,
+    /// Observability recorder; `None` unless `bd_telemetry::counters_enabled()`
+    /// held when the engine was constructed (or phase marks were set). The
+    /// disabled hot path is a branch on this `Option` — nothing else.
+    telemetry: Option<Box<EngineTelemetry>>,
 }
 
 /// The result of driving a run to honest termination.
@@ -130,6 +135,22 @@ impl<M: Clone> Engine<M> {
             metrics: RunMetrics::default(),
             trace: Trace::default(),
             scratch: Scratch::default(),
+            telemetry: if bd_telemetry::counters_enabled() {
+                Some(EngineTelemetry::new(Vec::new()))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Declare the run's controller phase schedule — `(name, exclusive end
+    /// round)` pairs in ascending order — so the telemetry recorder can
+    /// attribute counters, wall-clock, and allocations per phase. A no-op
+    /// unless counter recording is enabled (`bd_telemetry::enable_counters`);
+    /// sessions call this right after building the engine.
+    pub fn set_phase_marks(&mut self, marks: Vec<(String, u64)>) {
+        if bd_telemetry::counters_enabled() {
+            self.telemetry = Some(EngineTelemetry::new(marks));
         }
     }
 
@@ -252,6 +273,10 @@ impl<M: Clone> Engine<M> {
                                 limit: self.config.max_rounds,
                             });
                         }
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.counters.ff_jumps += 1;
+                            t.counters.rounds_skipped += target - self.round;
+                        }
                         self.metrics.rounds_skipped += target - self.round;
                         self.round = target;
                         continue;
@@ -263,6 +288,9 @@ impl<M: Clone> Engine<M> {
         let per_robot: Vec<u64> = self.world.robots().iter().map(|r| r.moves).collect();
         self.metrics.rounds = self.round;
         self.metrics.record_moves(&per_robot);
+        if let Some(t) = self.telemetry.take() {
+            bd_telemetry::publish_engine_report(t.finish(self.round));
+        }
         Ok(RunOutcome {
             metrics: self.metrics,
             final_positions: self.world.positions(),
@@ -289,6 +317,7 @@ impl<M: Clone> Engine<M> {
             metrics,
             trace,
             scratch,
+            telemetry,
         } = self;
         let Scratch {
             at_node,
@@ -304,6 +333,16 @@ impl<M: Clone> Engine<M> {
             ..
         } = scratch;
         let round_now = *round;
+        // Observability: `None` when disabled — every instrumentation site
+        // below is a branch on this local `Option` and nothing more. Close
+        // any phase/window boundary reached (single compare; crossings are
+        // rare, and fast-forward jumps close several at once).
+        let mut telem = telemetry.as_deref_mut();
+        if let Some(t) = telem.as_mut() {
+            if round_now >= t.next_mark {
+                t.on_round(round_now);
+            }
+        }
 
         // Active = not terminated. Terminated robots stay put silently but
         // are *physically* present (they appear in rosters).
@@ -329,6 +368,16 @@ impl<M: Clone> Engine<M> {
             }
             r.sort_unstable();
             dirty[node] = false;
+        }
+        if let Some(t) = telem.as_mut() {
+            t.counters.roster_resorts += dirty_nodes.len() as u64;
+            for &node in dirty_nodes.iter() {
+                let len = roster[node].len() as u64;
+                t.counters.roster_entries += len;
+                if len > t.counters.roster_hwm {
+                    t.counters.roster_hwm = len;
+                }
+            }
         }
         dirty_nodes.clear();
 
@@ -377,6 +426,15 @@ impl<M: Clone> Engine<M> {
             }
             metrics.messages += pending.len() as u64;
             metrics.subrounds_executed += 1;
+            if let Some(t) = telem.as_mut() {
+                t.counters.subrounds += 1;
+                t.counters.bulletin_writes += pending.len() as u64;
+                t.counters.bulletin_reads += active.iter().filter(|&&a| a).count() as u64;
+                let held = pending.len() as u64;
+                if held > t.counters.bulletin_hwm {
+                    t.counters.bulletin_hwm = held;
+                }
+            }
             // Flush after the loop: messages published in sub-round `s`
             // become visible in sub-round `s + 1`, never within `s`.
             for (node, publication) in pending.drain(..) {
@@ -457,6 +515,10 @@ impl<M: Clone> Engine<M> {
                     at_node[to].push(i);
                     Scratch::<M>::mark_dirty(dirty, dirty_nodes, node);
                     Scratch::<M>::mark_dirty(dirty, dirty_nodes, to);
+                    if let Some(t) = telem.as_mut() {
+                        t.counters.moves += 1;
+                        t.counters.dirty_marks += 2;
+                    }
                     if config.record_trace {
                         trace.events.push(Event::Moved {
                             round: round_now,
@@ -486,6 +548,14 @@ impl<M: Clone> Engine<M> {
 
         // Reset the bulletins through the touched list (O(publishing
         // nodes), not O(n)) so the next round starts clean.
+        if let Some(t) = telem.as_mut() {
+            t.counters.bulletin_clears += touched.len() as u64;
+            t.counters.rounds_stepped += 1;
+            let depth = dirty_nodes.len() as u64;
+            if depth > t.counters.dirty_hwm {
+                t.counters.dirty_hwm = depth;
+            }
+        }
         for node in touched.drain(..) {
             bulletins[node].clear();
         }
@@ -738,6 +808,59 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn telemetry_records_counters_and_phases_when_enabled() {
+        bd_telemetry::enable_counters(true);
+        bd_telemetry::drain_engine_reports();
+        let g = oriented_ring(6).unwrap();
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default());
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Walker {
+                id: RobotId(7),
+                script: vec![0, 0, 0],
+                step: 0,
+            }),
+        );
+        e.set_phase_marks(vec![("walk".into(), 2), ("tail".into(), 3)]);
+        let out = e.run().unwrap();
+        bd_telemetry::enable_counters(false);
+        assert_eq!(out.metrics.total_moves, 3);
+        let reports = bd_telemetry::drain_engine_reports();
+        // Other tests may race publications; find this run by its shape.
+        let report = reports
+            .iter()
+            .find(|r| r.phases.first().is_some_and(|p| p.name == "walk"))
+            .expect("instrumented run published a report");
+        assert_eq!(report.total.dirty_marks, 6, "two marks per move");
+        assert_eq!(report.total.rounds_stepped, 3);
+        assert!(report.total.roster_resorts >= 3);
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["walk", "tail"]);
+        assert_eq!(report.phases[0].counters.moves, 2);
+        assert_eq!(report.phases[1].counters.moves, 1);
+    }
+
+    #[test]
+    fn telemetry_disabled_records_nothing() {
+        bd_telemetry::enable_counters(false);
+        let g = oriented_ring(6).unwrap();
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default());
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Walker {
+                id: RobotId(8),
+                script: vec![0],
+                step: 0,
+            }),
+        );
+        e.set_phase_marks(vec![("walk".into(), 1)]);
+        assert!(e.telemetry.is_none(), "disabled engines carry no recorder");
+        e.run().unwrap();
     }
 
     #[test]

@@ -51,6 +51,16 @@
 //! Measured rounds are timeline-derived, so fast-forwarding never drifts
 //! them — the determinism suite replays scenarios with the feature
 //! disabled and asserts bit-identical trajectories.
+//!
+//! ## Instrumentation
+//!
+//! When `bd_telemetry::counters_enabled()` is set at engine construction,
+//! the engine carries a `bd-telemetry` recorder: per-phase
+//! `EngineCounters` deltas keyed to marks installed via
+//! [`engine::Engine::set_phase_marks`], round-window snapshots, and an
+//! `EngineReport` published at run end. Disabled, the whole layer is one
+//! relaxed atomic load at construction and a `None` check per round.
+//! `OBSERVABILITY.md` at the repo root documents every counter.
 
 pub mod config;
 pub mod controller;

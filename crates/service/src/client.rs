@@ -36,6 +36,17 @@ impl Client {
         self.get("/stats")
     }
 
+    /// `GET /metrics`: the raw Prometheus text exposition body (the one
+    /// endpoint that is not JSON).
+    pub fn metrics(&self) -> Result<String, ServiceError> {
+        let (status, body) = http::call(self.addr, "GET", "/metrics", None)?;
+        if status == 200 {
+            Ok(body)
+        } else {
+            Err(ServiceError::Http { status, msg: body })
+        }
+    }
+
     /// `GET /audit`: chain-verify the daemon's journal. Both the verified
     /// (`200`) and the tampered (`409`) answer decode to an [`AuditReply`]
     /// — a broken chain is an *answer*, not a transport failure.

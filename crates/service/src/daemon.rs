@@ -9,7 +9,15 @@
 //! [`CachedPlanner`] over the daemon's [`ResultStore`], and parks results
 //! and [`CacheStats`] on the batch record. `GET /batches/:id` serves the
 //! record at any point in its lifecycle; `GET /stats` aggregates across
-//! batches.
+//! batches; `GET /metrics` serves the same accounting (plus worker
+//! busy-time and per-row throughput histograms) as a Prometheus text
+//! exposition (OBSERVABILITY.md documents every metric).
+//!
+//! All cross-batch accounting lives in one `ServeMetrics` behind one
+//! mutex: a worker merges a batch's stats and bumps `completed` in a
+//! single critical section, and `/stats` / `/metrics` snapshot in one
+//! acquisition — a reader can never observe a torn view (say, a
+//! `completed` bump without the totals that came with it).
 //!
 //! Each accepted connection is handled on its own thread (socket
 //! read/write timeouts bound its lifetime), so a stalled client cannot
@@ -31,6 +39,7 @@ use crate::protocol::{
 };
 use crate::store::ResultStore;
 use bd_graphs::PortGraph;
+use bd_telemetry::prom::{self, Histogram, PromText};
 use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -94,29 +103,53 @@ pub const COMPLETED_RETENTION: usize = 1024;
 /// its full JSON.
 pub const GRAPH_MEMO_CAP: usize = 64;
 
+/// Upper bounds of the per-row `bd_row_rounds_per_sec` histogram, in
+/// simulated rounds per second (the `+Inf` bucket is implicit). Fixed at
+/// compile time: hand-rolled exposition has no dynamic bucketing, and
+/// fixed bounds keep scrapes comparable across daemon restarts.
+const RPS_BUCKETS: &[u64] = &[
+    1_000, 10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 5_000_000,
+];
+
+/// Every cross-batch counter the daemon accumulates, behind one mutex so
+/// updates (merge totals + bump `completed`, one worker critical section)
+/// and reads (`/stats`, `/metrics`) are atomic snapshots — the torn-read
+/// fix: no reader can see `completed` without the totals merged with it.
+#[derive(Default)]
+struct ServeMetrics {
+    /// Batches accepted (bumped before the job becomes poppable).
+    submitted: u64,
+    /// Batches finished, done or failed.
+    completed: u64,
+    /// Aggregated per-batch cache accounting.
+    totals: CacheStats,
+    /// Wall-clock workers spent inside batches, microseconds.
+    busy_micros: u64,
+    /// Simulated-cell throughput per Table 1 row, rounds per second.
+    row_rps: BTreeMap<String, Histogram>,
+}
+
+impl ServeMetrics {
+    fn queue_depth(&self) -> u64 {
+        // Saturating as a defensive measure only: under the single lock
+        // `completed` can never outrun `submitted`.
+        self.submitted.saturating_sub(self.completed)
+    }
+}
+
 struct State {
     store: ResultStore,
     batches: Mutex<BTreeMap<u64, BatchRecord>>,
     graphs: Mutex<HashMap<String, Arc<PortGraph>>>,
     next_id: AtomicU64,
     running: AtomicBool,
-    submitted: AtomicU64,
-    completed: AtomicU64,
     /// HTTP connections currently being handled (each on its own thread).
     connections: AtomicU64,
     workers: usize,
-    totals: Mutex<CacheStats>,
+    metrics: Mutex<ServeMetrics>,
 }
 
 impl State {
-    fn queue_depth(&self) -> u64 {
-        // Saturating: a worker can finish (bumping `completed`) before a
-        // concurrent `/stats` observes the submission's `submitted` bump.
-        self.submitted
-            .load(Ordering::Relaxed)
-            .saturating_sub(self.completed.load(Ordering::Relaxed))
-    }
-
     /// Drop the oldest completed records beyond [`COMPLETED_RETENTION`]
     /// (BTreeMap iterates in id order, so the oldest go first).
     fn evict_completed(&self) {
@@ -176,11 +209,9 @@ impl Daemon {
             graphs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             running: AtomicBool::new(true),
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             workers,
-            totals: Mutex::new(CacheStats::default()),
+            metrics: Mutex::new(ServeMetrics::default()),
         });
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(config.queue_depth.max(1));
@@ -278,6 +309,13 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<State>, tx: &SyncSender<
             return;
         }
     };
+    // `/metrics` is the one non-JSON endpoint (Prometheus text
+    // exposition), so it bypasses the JSON responder `route` feeds.
+    if (request.method.as_str(), request.path.as_str()) == ("GET", "/metrics") {
+        let body = render_metrics(state);
+        let _ = http::respond_with(&mut stream, 200, prom::CONTENT_TYPE, &body);
+        return;
+    }
     let (status, body) = route(&request, state, tx);
     let _ = http::respond(&mut stream, status, &body);
 }
@@ -297,15 +335,21 @@ fn route(req: &http::Request, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16,
         }
         ("GET", "/stats") => {
             let counters = state.store.counters();
-            let reply = StatsReply {
-                store_entries: state.store.len(),
-                store_hits: counters.hits,
-                store_misses: counters.misses,
-                batches_submitted: state.submitted.load(Ordering::Relaxed),
-                batches_completed: state.completed.load(Ordering::Relaxed),
-                queue_depth: state.queue_depth(),
-                workers: state.workers,
-                totals: *state.totals.lock().expect("totals lock"),
+            // One acquisition for all batch-level counters: submitted,
+            // completed, queue depth, and totals come from the same
+            // instant, never a torn mix.
+            let reply = {
+                let m = state.metrics.lock().expect("metrics lock");
+                StatsReply {
+                    store_entries: state.store.len(),
+                    store_hits: counters.hits,
+                    store_misses: counters.misses,
+                    batches_submitted: m.submitted,
+                    batches_completed: m.completed,
+                    queue_depth: m.queue_depth(),
+                    workers: state.workers,
+                    totals: m.totals,
+                }
             };
             (200, serde_json::to_string(&reply).expect("stats"))
         }
@@ -370,7 +414,7 @@ fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, S
     );
     // `submitted` is bumped *before* the job becomes poppable: a fast
     // worker must never increment `completed` past `submitted`.
-    state.submitted.fetch_add(1, Ordering::Relaxed);
+    state.metrics.lock().expect("metrics lock").submitted += 1;
     match tx.try_send(id) {
         Ok(()) => {
             let reply = BatchAccepted {
@@ -381,7 +425,7 @@ fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, S
             (202, serde_json::to_string(&reply).expect("accepted"))
         }
         Err(e) => {
-            state.submitted.fetch_sub(1, Ordering::Relaxed);
+            state.metrics.lock().expect("metrics lock").submitted -= 1;
             state.batches.lock().expect("batches lock").remove(&id);
             let msg = match e {
                 TrySendError::Full(_) => "job queue full, resubmit later",
@@ -425,8 +469,24 @@ fn worker_loop(state: &Arc<State>, rx: &Arc<Mutex<Receiver<u64>>>) {
         };
         match job {
             Ok(id) => {
-                process_batch(state, id);
-                state.completed.fetch_add(1, Ordering::Relaxed);
+                let t0 = std::time::Instant::now();
+                let done = process_batch(state, id);
+                // One critical section for the whole completion: totals,
+                // throughput observations, busy time, and the `completed`
+                // bump land together, so `/stats` and `/metrics` readers
+                // always see them as a unit.
+                let mut m = state.metrics.lock().expect("metrics lock");
+                m.busy_micros += t0.elapsed().as_micros() as u64;
+                if let Some((stats, observations)) = done {
+                    m.totals.merge(&stats);
+                    for (row, rps) in observations {
+                        m.row_rps
+                            .entry(row)
+                            .or_insert_with(|| Histogram::new(RPS_BUCKETS))
+                            .observe(rps);
+                    }
+                }
+                m.completed += 1;
             }
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
@@ -453,45 +513,46 @@ fn graph_for(state: &Arc<State>, source: &GraphSource) -> Result<Arc<PortGraph>,
     Ok(Arc::clone(graphs.entry(key).or_insert(g)))
 }
 
-fn process_batch(state: &Arc<State>, id: u64) {
+/// Run one popped batch to completion. Returns the batch's stats plus
+/// per-row `(row name, rounds/sec)` throughput observations for its
+/// *simulated* cells when the batch finished, `None` when it failed or
+/// its record vanished — the caller folds either into [`ServeMetrics`].
+fn process_batch(state: &Arc<State>, id: u64) -> Option<(CacheStats, Vec<(String, u64)>)> {
     let request = {
         let mut batches = state.batches.lock().expect("batches lock");
-        let Some(record) = batches.get_mut(&id) else {
-            return;
-        };
+        let record = batches.get_mut(&id)?;
         record.state = BatchState::Running;
         // Take, don't clone: nothing reads the request after this point,
         // and an `Explicit` graph source can be megabytes — retained
         // requests would defeat the record-retention memory bound.
-        match record.request.take() {
-            Some(request) => request,
-            None => return,
-        }
+        record.request.take()?
     };
 
     let result = run_request(state, &request);
-    {
+    let done = {
         let mut batches = state.batches.lock().expect("batches lock");
-        let Some(record) = batches.get_mut(&id) else {
-            return;
-        };
+        let record = batches.get_mut(&id)?;
         match result {
-            Ok((cells, stats)) => {
+            Ok((cells, stats, observations)) => {
                 record.cells = cells;
                 record.stats = Some(stats);
                 record.state = BatchState::Done;
-                state.totals.lock().expect("totals lock").merge(&stats);
+                Some((stats, observations))
             }
-            Err(e) => record.state = BatchState::Failed(e.to_string()),
+            Err(e) => {
+                record.state = BatchState::Failed(e.to_string());
+                None
+            }
         }
-    }
+    };
     state.evict_completed();
+    done
 }
 
 fn run_request(
     state: &Arc<State>,
     request: &BatchRequest,
-) -> Result<(Vec<CellResult>, CacheStats), ServiceError> {
+) -> Result<(Vec<CellResult>, CacheStats, Vec<(String, u64)>), ServiceError> {
     let graph = graph_for(state, &request.graph)?;
     let mut planner = CachedPlanner::new(&state.store);
     // Per-cell provenance comes straight from the planner: only a store
@@ -506,6 +567,21 @@ fn run_request(
         })
         .collect();
     let (results, stats) = planner.run()?;
+    // Throughput observations for `/metrics`: only cells this batch
+    // actually simulated (hits and aliases replay stored work at store
+    // speed, which would poison an engine-throughput histogram).
+    let observations: Vec<(String, u64)> = request
+        .specs
+        .iter()
+        .zip(&results)
+        .zip(&sources)
+        .filter(|&((_, result), source)| *source == CellSource::Simulation && result.is_ok())
+        .map(|((spec, result), _)| {
+            let metrics = &result.as_ref().expect("filtered Ok").metrics;
+            let rps = metrics.rounds.saturating_mul(1_000_000) / metrics.elapsed_micros.max(1);
+            (spec.algo.row().name().to_string(), rps)
+        })
+        .collect();
     let cells = results
         .into_iter()
         .zip(sources)
@@ -522,5 +598,115 @@ fn run_request(
             },
         })
         .collect();
-    Ok((cells, stats))
+    Ok((cells, stats, observations))
+}
+
+/// Render the full Prometheus text exposition for `GET /metrics`. Every
+/// family here has a row in OBSERVABILITY.md — keep the two in sync.
+fn render_metrics(state: &Arc<State>) -> String {
+    let store = state.store.counters();
+    let entries = state.store.len();
+    let mut text = PromText::new();
+    text.gauge(
+        "bd_store_entries",
+        "Outcomes currently in the result store index.",
+        entries as u64,
+    )
+    .counter(
+        "bd_store_hits_total",
+        "Store lookups answered from the index.",
+        store.hits,
+    )
+    .counter(
+        "bd_store_misses_total",
+        "Store lookups that found nothing.",
+        store.misses,
+    )
+    .counter(
+        "bd_store_appended_total",
+        "Journal entries appended by this process.",
+        store.appended,
+    )
+    .counter(
+        "bd_store_recovered_total",
+        "Torn journal tails dropped at open.",
+        store.recovered,
+    )
+    .gauge(
+        "bd_connections",
+        "HTTP connections currently being handled.",
+        state.connections.load(Ordering::SeqCst),
+    )
+    .gauge(
+        "bd_workers",
+        "Worker threads draining the job queue.",
+        state.workers as u64,
+    );
+    let m = state.metrics.lock().expect("metrics lock");
+    text.counter(
+        "bd_batches_submitted_total",
+        "Batches accepted onto the queue.",
+        m.submitted,
+    )
+    .counter(
+        "bd_batches_completed_total",
+        "Batches finished (done or failed).",
+        m.completed,
+    )
+    .gauge(
+        "bd_queue_depth",
+        "Batches accepted but not yet finished.",
+        m.queue_depth(),
+    )
+    .counter(
+        "bd_worker_busy_micros_total",
+        "Wall-clock microseconds workers spent inside batches.",
+        m.busy_micros,
+    )
+    .counter(
+        "bd_cells_hit_total",
+        "Cells answered from the store.",
+        m.totals.hits,
+    )
+    .counter(
+        "bd_cells_miss_total",
+        "Cells that had to be simulated.",
+        m.totals.misses,
+    )
+    .counter(
+        "bd_cells_error_total",
+        "Cells that errored (never stored).",
+        m.totals.errors,
+    )
+    .counter(
+        "bd_cells_deduped_total",
+        "Cells aliased to an identical cell of the same batch.",
+        m.totals.deduped,
+    )
+    .counter(
+        "bd_rounds_simulated_total",
+        "Engine-stepped rounds across simulated cells.",
+        m.totals.rounds_simulated,
+    )
+    .counter(
+        "bd_rounds_saved_total",
+        "Measured rounds the store answered without simulating.",
+        m.totals.rounds_saved,
+    )
+    .counter(
+        "bd_elapsed_simulated_micros_total",
+        "Wall-clock microseconds spent simulating cells.",
+        m.totals.elapsed_simulated_micros,
+    );
+    if !m.row_rps.is_empty() {
+        text.header(
+            "bd_row_rounds_per_sec",
+            "histogram",
+            "Simulated-cell throughput per Table 1 row, rounds per second.",
+        );
+        for (row, hist) in &m.row_rps {
+            text.histogram_series("bd_row_rounds_per_sec", &[("row", row)], hist);
+        }
+    }
+    text.finish()
 }

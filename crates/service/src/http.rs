@@ -122,13 +122,24 @@ fn reason(status: u16) -> &'static str {
 
 /// Write one JSON response and close the write side.
 pub fn respond(stream: &mut TcpStream, status: u16, json_body: &str) -> std::io::Result<()> {
+    respond_with(stream, status, "application/json", json_body)
+}
+
+/// Write one response with an explicit content type (the `/metrics`
+/// endpoint serves Prometheus text, not JSON) and close the write side.
+pub fn respond_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         reason(status),
-        json_body.len()
+        body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(json_body.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
     stream.flush()
 }
 

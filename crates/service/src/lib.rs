@@ -54,6 +54,7 @@
 //! | `GET /batches/:id` | —                   | [`protocol::BatchReply`] (status, cells, stats) |
 //! | `GET /healthz`     | —                   | [`protocol::Health`]                          |
 //! | `GET /stats`       | —                   | [`protocol::StatsReply`] (cache hits, rounds simulated/saved, queue depth) |
+//! | `GET /metrics`     | —                   | Prometheus text exposition (`text/plain; version=0.0.4`): store/queue/worker counters + per-row throughput histograms; see OBSERVABILITY.md |
 //! | `GET /audit`       | —                   | [`protocol::AuditReply`]: `200` verified chain, `409` tampered (with failing index) |
 //! | `POST /shutdown`   | —                   | `{"ok":true}`, then the daemon drains and exits |
 //!

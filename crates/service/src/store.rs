@@ -41,7 +41,6 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// File name of the journal inside the store directory.
@@ -166,7 +165,10 @@ fn verify_line(trimmed: &str, tip: &str) -> LineVerdict {
 }
 
 /// Counters a store accumulates over its lifetime (process-local; they
-/// reset on reopen, unlike the journal).
+/// reset on reopen, unlike the journal). [`ResultStore::counters`] reads
+/// them in one acquisition of the same lock `get`/`put` update them
+/// under, so a snapshot is a single point in time — never a torn view
+/// mixing fields from before and after a concurrent update.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreCounters {
     /// Lookups answered from the index.
@@ -194,6 +196,11 @@ struct Inner {
     file: File,
     /// Chain digest of the last journal line; the next `put` links to it.
     tip: String,
+    /// Lifetime counters, kept under the one lock so `counters()` is a
+    /// consistent snapshot (OBSERVABILITY.md, torn-read fix).
+    hits: u64,
+    misses: u64,
+    appended: u64,
 }
 
 /// A content-addressed, append-only store of run [`Outcome`]s. Sync: the
@@ -201,9 +208,6 @@ struct Inner {
 pub struct ResultStore {
     path: PathBuf,
     inner: Mutex<Inner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    appended: AtomicU64,
     recovered: u64,
 }
 
@@ -289,10 +293,14 @@ impl ResultStore {
 
         Ok(ResultStore {
             path,
-            inner: Mutex::new(Inner { index, file, tip }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            appended: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                index,
+                file,
+                tip,
+                hits: 0,
+                misses: 0,
+                appended: 0,
+            }),
             recovered,
         })
     }
@@ -317,26 +325,29 @@ impl ResultStore {
         self.inner.lock().expect("store lock").tip.clone()
     }
 
-    /// Lifetime counters (process-local).
+    /// Lifetime counters (process-local), read in one lock acquisition —
+    /// a point-in-time snapshot, never a torn view.
     pub fn counters(&self) -> StoreCounters {
+        let inner = self.inner.lock().expect("store lock");
         StoreCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            appended: self.appended.load(Ordering::Relaxed),
+            hits: inner.hits,
+            misses: inner.misses,
+            appended: inner.appended,
             recovered: self.recovered,
         }
     }
 
     /// The stored outcome for `digest`, counting a hit or a miss.
     pub fn get(&self, digest: &SpecDigest) -> Option<Outcome> {
-        let inner = self.inner.lock().expect("store lock");
+        let mut inner = self.inner.lock().expect("store lock");
         match inner.index.get(digest) {
             Some(out) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(out.clone())
+                let out = out.clone();
+                inner.hits += 1;
+                Some(out)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                inner.misses += 1;
                 None
             }
         }
@@ -372,7 +383,7 @@ impl ResultStore {
         inner.file.flush()?;
         inner.index.insert(digest, outcome.clone());
         inner.tip = chain;
-        self.appended.fetch_add(1, Ordering::Relaxed);
+        inner.appended += 1;
         Ok(true)
     }
 

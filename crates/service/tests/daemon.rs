@@ -93,6 +93,90 @@ fn repeat_submission_is_served_from_the_store() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The torn-read pin: `/stats` snapshots all batch-level counters in one
+/// lock acquisition, so concurrent readers must never observe a state
+/// where `completed` and `totals` (or `submitted` and `queue_depth`)
+/// disagree. Before the single-lock fix, a reader could catch the gap
+/// between the totals merge and the `completed` bump (separate atomics),
+/// seeing totals from N batches next to `batches_completed == N ± 1`.
+#[test]
+fn concurrent_stats_readers_never_see_a_torn_snapshot() {
+    let dir = tmpdir("torn");
+    let daemon = Daemon::start(ServeConfig::ephemeral(&dir)).unwrap();
+    let client = Client::new(daemon.local_addr());
+
+    // Readers hammer /stats while batches flow, checking the invariants
+    // every snapshot must satisfy: one cell per batch, all simulated
+    // (distinct seeds), so completed batches and accounted cells agree
+    // exactly — and the queue arithmetic is exact, not saturated.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut violations = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let s = match client.stats() {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let cells =
+                        s.totals.hits + s.totals.misses + s.totals.errors + s.totals.deduped;
+                    if cells != s.batches_completed {
+                        violations.push(format!(
+                            "totals account for {cells} cells but batches_completed is {}",
+                            s.batches_completed
+                        ));
+                    }
+                    if s.queue_depth != s.batches_submitted - s.batches_completed {
+                        violations.push(format!(
+                            "queue_depth {} != submitted {} - completed {}",
+                            s.queue_depth, s.batches_submitted, s.batches_completed
+                        ));
+                    }
+                }
+                violations
+            })
+        })
+        .collect();
+
+    let n = 9;
+    let graph_src = GraphSource::BenchEr { n, seed: 1000 };
+    let graph = graph_src.materialize().unwrap();
+    let batches = 12;
+    let mut ids = Vec::new();
+    for seed in 0..batches {
+        let request = BatchRequest {
+            graph: graph_src.clone(),
+            specs: vec![
+                ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0)
+                    .with_byzantine(1, AdversaryKind::TokenHijacker)
+                    .with_seed(seed),
+            ],
+        };
+        ids.push(client.submit(&request).unwrap().id);
+    }
+    // Two workers drain out of order; wait on every id, not just the last.
+    for id in ids {
+        assert_eq!(client.wait(id, WAIT).unwrap().status, "done");
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for reader in readers {
+        let violations = reader.join().unwrap();
+        assert!(violations.is_empty(), "torn snapshots: {violations:?}");
+    }
+
+    let final_stats = client.stats().unwrap();
+    assert_eq!(final_stats.batches_completed, batches);
+    assert_eq!(final_stats.totals.misses, batches);
+    assert_eq!(final_stats.queue_depth, 0);
+
+    client.shutdown().unwrap();
+    daemon.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn stalled_connection_does_not_block_the_daemon() {
     let dir = tmpdir("stall");

@@ -88,6 +88,56 @@ fn bd_serve_round_trip_cache_hit_and_clean_shutdown() {
     assert_eq!(stats.store_entries, 1);
     assert_eq!(stats.batches_completed, 2);
 
+    // The live /metrics surface: a parseable Prometheus text exposition
+    // whose counters agree with /stats. Format check: every non-comment
+    // line is exactly `name{labels} value` with a float-parseable value,
+    // and every sample family was announced by a # TYPE header.
+    let metrics = client.metrics().unwrap();
+    let mut typed = std::collections::HashSet::new();
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.insert(rest.split(' ').next().unwrap().to_string());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line without a value: {line:?}");
+        });
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+        let name = series.split('{').next().unwrap();
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.contains(*f))
+            .unwrap_or(name);
+        assert!(typed.contains(family), "sample {name} has no TYPE header");
+    }
+    for expected in [
+        "bd_store_entries 1",
+        "bd_store_hits_total 1",
+        "bd_batches_submitted_total 2",
+        "bd_batches_completed_total 2",
+        "bd_queue_depth 0",
+        "bd_cells_miss_total 1",
+    ] {
+        assert!(
+            metrics.lines().any(|l| l == expected),
+            "missing {expected:?} in exposition:\n{metrics}"
+        );
+    }
+    // The simulated cell produced one per-row throughput observation.
+    assert!(
+        metrics.contains("bd_row_rounds_per_sec_count{row=\"GatheredThirdTh4\"} 1"),
+        "missing row histogram in exposition:\n{metrics}"
+    );
+    assert!(metrics.contains("le=\"+Inf\""));
+
     // The journal the daemon just wrote chain-verifies over the wire.
     let audit = client.audit().unwrap();
     assert!(audit.ok, "tampered journal: {:?}", audit.error);

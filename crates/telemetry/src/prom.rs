@@ -1,0 +1,199 @@
+//! Prometheus text exposition format, hand-rolled: `# HELP`/`# TYPE`
+//! headers, counter/gauge samples, and a fixed-bucket [`Histogram`].
+//!
+//! Everything renders through [`PromText`], which keeps the output in the
+//! shape the format requires (one header pair per metric family, samples
+//! immediately after). Exposition responses must be served with
+//! `Content-Type: text/plain; version=0.0.4`.
+
+use std::fmt::Write as _;
+
+/// The content type a `/metrics` response must carry.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// A fixed-bucket histogram over `u64` observations. Buckets are
+/// cumulative on render, per the exposition format; the `+Inf` bucket is
+/// implicit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    sum: u128,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += u128::from(value);
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+}
+
+/// Builder for a Prometheus text exposition body.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+fn push_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out.push('}');
+}
+
+impl PromText {
+    /// An empty exposition body.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    /// Emit the `# HELP` / `# TYPE` header pair for a metric family.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) -> &mut Self {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        self
+    }
+
+    /// Emit one sample line, optionally labelled.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) -> &mut Self {
+        self.out.push_str(name);
+        push_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {value}");
+        self
+    }
+
+    /// Emit a full counter family: header plus a single unlabelled sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.header(name, "counter", help).sample(name, &[], value)
+    }
+
+    /// Emit a full gauge family: header plus a single unlabelled sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) -> &mut Self {
+        self.header(name, "gauge", help).sample(name, &[], value)
+    }
+
+    /// Emit one labelled histogram series (`_bucket` lines with cumulative
+    /// counts, then `_sum` and `_count`). Call [`PromText::header`] with
+    /// kind `histogram` once per family before the first series.
+    pub fn histogram_series(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+    ) -> &mut Self {
+        let bucket = format!("{name}_bucket");
+        let les: Vec<String> = hist.bounds.iter().map(|b| b.to_string()).collect();
+        let mut cumulative = 0u64;
+        for (i, le) in les.iter().enumerate() {
+            cumulative += hist.counts[i];
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", le));
+            self.sample(&bucket, &with_le, cumulative);
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.sample(&bucket, &with_inf, hist.count);
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        push_labels(&mut self.out, labels);
+        let _ = writeln!(self.out, " {}", hist.sum);
+        self.sample(&format!("{name}_count"), labels, hist.count);
+        self
+    }
+
+    /// The rendered exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 7, 50, 500, 5000, 10] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 5 + 7 + 50 + 500 + 5000 + 10);
+        let mut text = PromText::new();
+        text.header("x", "histogram", "test")
+            .histogram_series("x", &[("row", "A")], &h);
+        let body = text.finish();
+        assert!(body.contains("x_bucket{row=\"A\",le=\"10\"} 3\n"), "{body}");
+        assert!(body.contains("x_bucket{row=\"A\",le=\"100\"} 4\n"));
+        assert!(body.contains("x_bucket{row=\"A\",le=\"1000\"} 5\n"));
+        assert!(body.contains("x_bucket{row=\"A\",le=\"+Inf\"} 6\n"));
+        assert!(body.contains("x_sum{row=\"A\"} 5572\n"));
+        assert!(body.contains("x_count{row=\"A\"} 6\n"));
+    }
+
+    #[test]
+    fn counters_and_gauges_render_headers_once_each() {
+        let mut text = PromText::new();
+        text.counter("hits_total", "Cache hits.", 3)
+            .gauge("queue_depth", "Queued batches.", 0);
+        let body = text.finish();
+        assert_eq!(
+            body,
+            "# HELP hits_total Cache hits.\n# TYPE hits_total counter\nhits_total 3\n\
+             # HELP queue_depth Queued batches.\n# TYPE queue_depth gauge\nqueue_depth 0\n"
+        );
+    }
+
+    #[test]
+    fn every_sample_line_is_two_tokens() {
+        let mut h = Histogram::new(&[1, 2]);
+        h.observe(1);
+        let mut text = PromText::new();
+        text.counter("a_total", "A.", 1)
+            .header("h", "histogram", "H.")
+            .histogram_series("h", &[], &h);
+        for line in text.finish().lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+            assert!(parts.next().is_some());
+        }
+    }
+}
