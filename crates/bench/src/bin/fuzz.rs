@@ -14,12 +14,18 @@
 //! `--trace-out FILE` switches span recording on and exports the fuzzed
 //! cells as a Chrome trace-event JSONL file (cell → phase tree).
 //!
+//! After the static pass, a **dynamic pass** samples event-scheduled
+//! worlds (robot churn, edge failure/heal, adversary switches) on top of
+//! the same case space and checks whole epoch sequences against the
+//! event-aware oracle; `--static-only` / `--dynamic-only` select one pass.
+//!
 //! Usage:
 //!   cargo run --release -p bd-bench --bin fuzz -- \
-//!     [--cases N] [--seed S] [--max-n N] [--budget-secs T] [--broken] [--trace-out FILE]
+//!     [--cases N] [--seed S] [--max-n N] [--budget-secs T] [--broken] \
+//!     [--trace-out FILE] [--static-only] [--dynamic-only]
 
 use bd_bench::trace_out_from_args;
-use bd_oracle::{run_fuzz_with, FuzzConfig};
+use bd_oracle::{run_dynamic_fuzz_with, run_fuzz_with, FuzzConfig};
 use std::time::Duration;
 
 fn arg_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
@@ -53,6 +59,8 @@ fn main() {
         config.time_budget = Some(Duration::from_secs(secs));
     }
     let broken = args.iter().any(|a| a == "--broken");
+    let static_pass = !args.iter().any(|a| a == "--dynamic-only");
+    let dynamic_pass = !args.iter().any(|a| a == "--static-only");
     let trace = trace_out_from_args("fuzz", &args);
 
     println!(
@@ -68,20 +76,56 @@ fn main() {
         }
     );
 
-    let report = run_fuzz_with(&config, |c| if broken { c.with_ff_overshoot(1) } else { c });
+    let mut failed = false;
+    if static_pass {
+        let report = run_fuzz_with(&config, |c| if broken { c.with_ff_overshoot(1) } else { c });
+        println!(
+            "static pass: checked {} cells: {} full-trajectory matches, {} identical-error \
+             agreements",
+            report.cases_run, report.matched, report.match_err
+        );
+        match report.failure {
+            None => {
+                println!("no divergence: the fast path is trajectory-equivalent to the oracle")
+            }
+            Some(failure) => {
+                println!("{failure}");
+                failed = true;
+            }
+        }
+    }
 
-    println!(
-        "checked {} cells: {} full-trajectory matches, {} identical-error agreements",
-        report.cases_run, report.matched, report.match_err
-    );
+    if dynamic_pass && !failed {
+        // Dynamic cells run whole epoch sequences on both engines, so a
+        // quarter of the static case count keeps the pass comparable in
+        // wall-clock terms.
+        let mut dyn_config = config.clone();
+        dyn_config.cases = (config.cases / 4).max(5);
+        let report =
+            run_dynamic_fuzz_with(
+                &dyn_config,
+                |c| if broken { c.with_ff_overshoot(1) } else { c },
+            );
+        println!(
+            "dynamic pass: checked {} event-scheduled cells ({} draws discarded): {} matches, \
+             {} identical-error agreements",
+            report.cases_run, report.discarded, report.matched, report.match_err
+        );
+        match report.failure {
+            None => {
+                println!("no divergence: epoch sequences are trajectory-equivalent across engines")
+            }
+            Some(failure) => {
+                println!("{failure}");
+                failed = true;
+            }
+        }
+    }
+
     if let Some(trace) = trace {
         trace.finish();
     }
-    match report.failure {
-        None => println!("no divergence: the fast path is trajectory-equivalent to the oracle"),
-        Some(failure) => {
-            println!("{failure}");
-            std::process::exit(1);
-        }
+    if failed {
+        std::process::exit(1);
     }
 }

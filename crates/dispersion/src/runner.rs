@@ -97,7 +97,7 @@ pub enum ByzPlacement {
 /// Scenario description: the algorithm plus everything that varies between
 /// runs. Fully serde-able, so sweeps can be stored, shipped, and replayed
 /// as data (`Session::run_batch` consumes slices of these).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// Which Table 1 row to run.
     pub algo: Algorithm,

@@ -1,0 +1,141 @@
+//! Typed world-event timelines.
+//!
+//! An [`EventSchedule`] is the declarative half of a dynamic scenario: a
+//! list of [`ScheduledEvent`]s, each an [`EventKind`] pinned to an exact
+//! round number. Schedules are plain serde-able data — they travel inside
+//! `bdtr1` replay documents and through the fuzzer's sampled space — and
+//! are validated against the graph and the base scenario by
+//! `DynamicSession` before anything runs.
+//!
+//! Events scheduled at the same round form one **batch**: the epoch
+//! running when that round arrives ends there, every event in the batch
+//! applies in list order to the quiescent world, and the next epoch is
+//! planned on whatever the batch left behind.
+
+use bd_dispersion::adversaries::AdversaryKind;
+use bd_graphs::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One world mutation, by class. `Leave` names robots by **inhabitant
+/// index**: the stable, 0-based position in join order (the base cast is
+/// `0..k`, later joins append), unaffected by earlier leaves — so a
+/// schedule never has to know which per-epoch IDs the planner will deal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A robot materializes at `node` and is seated from the next epoch
+    /// on; `honest: false` grows the Byzantine coalition instead.
+    Join { node: NodeId, honest: bool },
+    /// The inhabitant with stable index `robot` vanishes for good.
+    Leave { robot: usize },
+    /// The `u`–`v` edge fails (see `PortGraph::without_edge`).
+    EdgeFail { u: NodeId, v: NodeId },
+    /// A fresh `u`–`v` edge appears (see `PortGraph::with_edge`).
+    EdgeHeal { u: NodeId, v: NodeId },
+    /// All Byzantine robots switch strategy from the next epoch on — the
+    /// adversary-parameter switch at an epoch (phase) boundary.
+    AdversarySwitch { adversary: AdversaryKind },
+    /// Subsequent epochs verify against this per-node honest capacity
+    /// instead of the default `⌈(k−f)/n⌉`.
+    CapacityChange { capacity: usize },
+}
+
+/// An [`EventKind`] pinned to an exact round number.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledEvent {
+    /// The round the event fires at (must be ≥ 1; round 0 is the base
+    /// scenario's own start).
+    pub at: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// A deterministic timeline of world events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventSchedule {
+    /// Events in firing order (non-decreasing `at`; same-round events
+    /// keep their list order within the batch).
+    pub events: Vec<ScheduledEvent>,
+}
+
+impl EventSchedule {
+    /// A schedule from arbitrary-order events; sorts stably by round so
+    /// same-round batches keep their relative order.
+    pub fn new(mut events: Vec<ScheduledEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        EventSchedule { events }
+    }
+
+    /// Builder sugar: append `kind` at round `at` (keeps the sort).
+    pub fn with(mut self, at: u64, kind: EventKind) -> Self {
+        self.events.push(ScheduledEvent { at, kind });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Whether the timeline is empty (a dynamic run degenerates to one
+    /// epoch).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events grouped into same-round batches, in firing order.
+    pub fn batches(&self) -> Vec<(u64, Vec<&EventKind>)> {
+        let mut out: Vec<(u64, Vec<&EventKind>)> = Vec::new();
+        for ev in &self.events {
+            match out.last_mut() {
+                Some((at, batch)) if *at == ev.at => batch.push(&ev.kind),
+                _ => out.push((ev.at, vec![&ev.kind])),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_and_batches() {
+        let s = EventSchedule::new(vec![
+            ScheduledEvent {
+                at: 9,
+                kind: EventKind::Leave { robot: 1 },
+            },
+            ScheduledEvent {
+                at: 4,
+                kind: EventKind::EdgeFail { u: 0, v: 1 },
+            },
+            ScheduledEvent {
+                at: 9,
+                kind: EventKind::Join {
+                    node: 2,
+                    honest: true,
+                },
+            },
+        ]);
+        let batches = s.batches();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].0, 4);
+        assert_eq!(batches[1].0, 9);
+        assert_eq!(batches[1].1.len(), 2);
+        // Same-round order preserved: the leave comes before the join.
+        assert!(matches!(batches[1].1[0], EventKind::Leave { robot: 1 }));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = EventSchedule::default()
+            .with(3, EventKind::EdgeFail { u: 1, v: 2 })
+            .with(
+                7,
+                EventKind::AdversarySwitch {
+                    adversary: AdversaryKind::Silent,
+                },
+            )
+            .with(7, EventKind::CapacityChange { capacity: 2 });
+        let json = serde_json::to_string(&s).unwrap();
+        let back: EventSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

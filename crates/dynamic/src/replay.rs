@@ -1,0 +1,212 @@
+//! The `bdtr1` deterministic trace-replay format.
+//!
+//! A `bdtr1` document is two JSONL lines:
+//!
+//! ```text
+//! {"format":"bdtr1","version":1,"graph":{...},"spec":{...}}
+//! {"outcome":{...}}
+//! ```
+//!
+//! Line 1 pins everything needed to re-execute the run — the epoch-0
+//! graph and the full [`DynamicSpec`] (base scenario + event schedule).
+//! Line 2 is the recorded [`DynamicOutcome`], including the cumulative
+//! cross-epoch trace. Because the engine never reads clocks and the
+//! dynamic pipeline never stamps wall time (`elapsed_micros` stays 0),
+//! re-running line 1 and re-serializing must reproduce line 2 **byte for
+//! byte** — [`replay`] checks exactly that, and CI holds it.
+
+use crate::error::DynamicError;
+use crate::session::{DynamicOutcome, DynamicSession, DynamicSpec};
+use bd_graphs::PortGraph;
+use serde::{Deserialize, Serialize};
+
+/// The format tag on every document's first line.
+pub const FORMAT: &str = "bdtr1";
+/// The current schema version.
+pub const VERSION: u32 = 1;
+
+/// Line 1 of a document: everything needed to re-execute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Header {
+    format: String,
+    version: u32,
+    graph: PortGraph,
+    spec: DynamicSpec,
+}
+
+/// Line 2 of a document: what the run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Body {
+    outcome: DynamicOutcome,
+}
+
+/// What [`replay`] concluded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReplayVerdict {
+    /// Re-execution reproduced the recorded outcome byte for byte.
+    Identical,
+    /// Re-execution produced a different outcome line.
+    Diverged {
+        /// First byte offset where the outcome lines differ.
+        at_byte: usize,
+        /// A short excerpt of each side around the divergence.
+        detail: String,
+    },
+}
+
+impl ReplayVerdict {
+    /// Whether the replay matched.
+    pub fn is_identical(&self) -> bool {
+        matches!(self, ReplayVerdict::Identical)
+    }
+}
+
+/// Serialize a finished run as a `bdtr1` document.
+pub fn export(graph: &PortGraph, spec: &DynamicSpec, outcome: &DynamicOutcome) -> String {
+    let header = serde_json::to_string(&Header {
+        format: FORMAT.to_string(),
+        version: VERSION,
+        graph: graph.clone(),
+        spec: spec.clone(),
+    })
+    .expect("bdtr1 header serializes");
+    let body = serde_json::to_string(&Body {
+        outcome: outcome.clone(),
+    })
+    .expect("bdtr1 body serializes");
+    format!("{header}\n{body}\n")
+}
+
+/// Parse a `bdtr1` document into its graph, spec, and recorded outcome.
+pub fn parse(doc: &str) -> Result<(PortGraph, DynamicSpec, DynamicOutcome), DynamicError> {
+    let mut lines = doc.lines();
+    let first = lines
+        .next()
+        .ok_or_else(|| DynamicError::Replay("empty document".into()))?;
+    let header: Header = serde_json::from_str(first)
+        .map_err(|e| DynamicError::Replay(format!("bad header line: {e}")))?;
+    if header.format != FORMAT {
+        return Err(DynamicError::Replay(format!(
+            "not a bdtr1 document (format tag {:?})",
+            header.format
+        )));
+    }
+    if header.version != VERSION {
+        return Err(DynamicError::Replay(format!(
+            "unsupported bdtr1 version {} (this build reads {VERSION})",
+            header.version
+        )));
+    }
+    let second = lines
+        .next()
+        .ok_or_else(|| DynamicError::Replay("missing outcome line".into()))?;
+    let body: Body = serde_json::from_str(second)
+        .map_err(|e| DynamicError::Replay(format!("bad outcome line: {e}")))?;
+    if lines.any(|l| !l.trim().is_empty()) {
+        return Err(DynamicError::Replay(
+            "trailing content after the outcome line".into(),
+        ));
+    }
+    Ok((header.graph, header.spec, body.outcome))
+}
+
+/// Re-execute a `bdtr1` document and compare the fresh outcome against
+/// the recorded one, byte for byte.
+pub fn replay(doc: &str) -> Result<ReplayVerdict, DynamicError> {
+    let (graph, spec, recorded) = parse(doc)?;
+    let fresh = DynamicSession::new(graph).run(&spec)?;
+    let recorded_json = serde_json::to_string(&Body { outcome: recorded }).expect("serializes");
+    let fresh_json = serde_json::to_string(&Body { outcome: fresh }).expect("serializes");
+    if recorded_json == fresh_json {
+        return Ok(ReplayVerdict::Identical);
+    }
+    let at_byte = recorded_json
+        .bytes()
+        .zip(fresh_json.bytes())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| recorded_json.len().min(fresh_json.len()));
+    let excerpt = |s: &str| -> String {
+        let lo = at_byte.saturating_sub(40);
+        let hi = (at_byte + 40).min(s.len());
+        s.get(lo..hi).unwrap_or("<non-utf8 boundary>").to_string()
+    };
+    Ok(ReplayVerdict::Diverged {
+        at_byte,
+        detail: format!(
+            "recorded ...{}... vs fresh ...{}...",
+            excerpt(&recorded_json),
+            excerpt(&fresh_json)
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventKind, EventSchedule};
+    use bd_dispersion::runner::Algorithm;
+    use bd_dispersion::ScenarioSpec;
+    use bd_graphs::generators::ring;
+
+    fn sample() -> (PortGraph, DynamicSpec) {
+        let g = ring(8).unwrap();
+        let spec = DynamicSpec {
+            base: ScenarioSpec::arbitrary(Algorithm::Baseline, &g)
+                .with_robots(5)
+                .with_seed(21),
+            schedule: EventSchedule::default()
+                .with(3, EventKind::EdgeFail { u: 2, v: 3 })
+                .with(
+                    6,
+                    EventKind::Join {
+                        node: 0,
+                        honest: true,
+                    },
+                )
+                .with(9, EventKind::EdgeHeal { u: 2, v: 3 }),
+        };
+        (g, spec)
+    }
+
+    #[test]
+    fn export_parse_replay_roundtrip() {
+        let (g, spec) = sample();
+        let out = DynamicSession::new(g.clone()).run(&spec).unwrap();
+        let doc = export(&g, &spec, &out);
+        let (g2, spec2, out2) = parse(&doc).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(spec, spec2);
+        assert_eq!(out, out2);
+        // Re-execution reproduces the document byte for byte.
+        assert_eq!(replay(&doc).unwrap(), ReplayVerdict::Identical);
+        assert_eq!(export(&g2, &spec2, &out2), doc);
+    }
+
+    #[test]
+    fn tampered_outcome_is_caught() {
+        let (g, spec) = sample();
+        let mut out = DynamicSession::new(g.clone()).run(&spec).unwrap();
+        let last = out.epochs.last_mut().unwrap();
+        last.outcome.final_positions[0] = (last.outcome.final_positions[0] + 1) % g.n();
+        let doc = export(&g, &spec, &out);
+        match replay(&doc).unwrap() {
+            ReplayVerdict::Diverged { .. } => {}
+            v => panic!("tamper not caught: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(matches!(parse(""), Err(DynamicError::Replay(_))));
+        assert!(matches!(parse("{}\n{}\n"), Err(DynamicError::Replay(_))));
+        let (g, spec) = sample();
+        let out = DynamicSession::new(g.clone()).run(&spec).unwrap();
+        let doc = export(&g, &spec, &out);
+        let header_only = doc.lines().next().unwrap().to_string();
+        assert!(matches!(parse(&header_only), Err(DynamicError::Replay(_))));
+        let wrong_tag = doc.replacen("bdtr1", "bdtr9", 1);
+        assert!(matches!(parse(&wrong_tag), Err(DynamicError::Replay(_))));
+        let trailing = format!("{doc}junk\n");
+        assert!(matches!(parse(&trailing), Err(DynamicError::Replay(_))));
+    }
+}

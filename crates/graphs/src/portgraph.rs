@@ -188,6 +188,82 @@ impl PortGraph {
     pub fn adjacency(&self) -> &[Vec<(NodeId, Port)>] {
         &self.adj
     }
+
+    /// A copy of this graph with the `u`–`v` edge removed (an **edge
+    /// failure**). The vacated port at each endpoint closes the gap: every
+    /// higher-numbered port shifts down by one, and all far-side references
+    /// to those ports are re-pointed, so the result satisfies the symmetry
+    /// invariant. If parallel `u`–`v` edges exist the one with the lowest
+    /// port at `u` fails.
+    ///
+    /// Connectivity is *not* checked here — a failure may legitimately
+    /// split the graph, and it is the caller's job to decide whether a
+    /// disconnected world is acceptable (the dynamic scheduler rejects
+    /// it at validation time).
+    pub fn without_edge(&self, u: NodeId, v: NodeId) -> Result<PortGraph, GraphError> {
+        let n = self.n();
+        for node in [u, v] {
+            if node >= n {
+                return Err(GraphError::NodeOutOfRange { node, n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::InvalidParameters(
+                "cannot fail a self-loop".into(),
+            ));
+        }
+        let p = self.adj[u]
+            .iter()
+            .position(|&(x, _)| x == v)
+            .ok_or_else(|| GraphError::InvalidParameters(format!("no edge {u}-{v} to fail")))?;
+        let q = self.adj[u][p].1;
+        let mut adj = self.adj.clone();
+        adj[u].remove(p);
+        adj[v].remove(q);
+        for ports in adj.iter_mut() {
+            for entry in ports.iter_mut() {
+                if entry.0 == u && entry.1 > p {
+                    entry.1 -= 1;
+                }
+                if entry.0 == v && entry.1 > q {
+                    entry.1 -= 1;
+                }
+            }
+        }
+        PortGraph::from_adjacency(adj)
+    }
+
+    /// A copy of this graph with a fresh `u`–`v` edge (an **edge heal**).
+    /// The new edge takes the next free port at each endpoint — healing a
+    /// failed edge restores the topology, though not necessarily the
+    /// original port numbering (anonymous robots never observe global port
+    /// labels, and the dynamic layer replans per epoch, so only topology
+    /// matters). Refuses self-loops and already-adjacent pairs: the
+    /// mutable-world layer deals in simple graphs.
+    pub fn with_edge(&self, u: NodeId, v: NodeId) -> Result<PortGraph, GraphError> {
+        let n = self.n();
+        for node in [u, v] {
+            if node >= n {
+                return Err(GraphError::NodeOutOfRange { node, n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::InvalidParameters(
+                "cannot heal a self-loop".into(),
+            ));
+        }
+        if self.adj[u].iter().any(|&(x, _)| x == v) {
+            return Err(GraphError::InvalidParameters(format!(
+                "edge {u}-{v} already present"
+            )));
+        }
+        let mut adj = self.adj.clone();
+        let p = adj[u].len();
+        let q = adj[v].len();
+        adj[u].push((v, q));
+        adj[v].push((u, p));
+        PortGraph::from_adjacency(adj)
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +343,74 @@ mod tests {
         assert!(matches!(
             g.try_neighbor(7, 0),
             Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_failure_keeps_symmetry_and_shifts_ports() {
+        // Square 0-1-2-3-0 plus the 0-2 diagonal: failing the diagonal
+        // leaves a 4-cycle with coherent ports everywhere.
+        let g = PortGraph::from_adjacency(vec![
+            vec![(1, 0), (3, 1), (2, 2)],
+            vec![(0, 0), (2, 0)],
+            vec![(1, 1), (3, 0), (0, 2)],
+            vec![(2, 1), (0, 1)],
+        ])
+        .unwrap();
+        let cut = g.without_edge(0, 2).unwrap();
+        assert_eq!(cut.m(), 4);
+        assert_eq!(cut.degree(0), 2);
+        assert_eq!(cut.degree(2), 2);
+        cut.validate().unwrap();
+        assert!(cut.is_connected());
+        // Failing a cycle edge next disconnects nothing; failing a bridge
+        // yields a valid but disconnected graph (the caller must decide).
+        let chopped = cut.without_edge(0, 1).unwrap();
+        chopped.validate().unwrap();
+        assert!(chopped.is_connected());
+        let split = chopped.without_edge(2, 3).unwrap();
+        split.validate().unwrap();
+        assert!(!split.is_connected());
+    }
+
+    #[test]
+    fn edge_heal_restores_topology() {
+        let g = triangle();
+        let cut = g.without_edge(0, 1).unwrap();
+        assert_eq!(cut.m(), 2);
+        let healed = cut.with_edge(0, 1).unwrap();
+        healed.validate().unwrap();
+        assert_eq!(healed.m(), 3);
+        assert!(healed.is_simple());
+        // Topology matches the original triangle even if port labels moved.
+        for v in healed.nodes() {
+            let mut a: Vec<NodeId> = healed.adjacency()[v].iter().map(|e| e.0).collect();
+            let mut b: Vec<NodeId> = g.adjacency()[v].iter().map(|e| e.0).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "neighborhood of {v}");
+        }
+    }
+
+    #[test]
+    fn edge_mutations_reject_nonsense() {
+        let g = triangle();
+        assert!(matches!(
+            g.without_edge(0, 0),
+            Err(GraphError::InvalidParameters(_))
+        ));
+        assert!(matches!(
+            g.with_edge(0, 1),
+            Err(GraphError::InvalidParameters(_))
+        ));
+        assert!(matches!(
+            g.with_edge(0, 9),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        let cut = g.without_edge(1, 2).unwrap();
+        assert!(matches!(
+            cut.without_edge(1, 2),
+            Err(GraphError::InvalidParameters(_))
         ));
     }
 

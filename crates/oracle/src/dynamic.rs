@@ -1,0 +1,510 @@
+//! Dynamic-world differential checking: event-scheduled cells, two
+//! engines, per-epoch comparison.
+//!
+//! `bd-dynamic`'s [`DynamicSession`] drives any [`EpochBackend`]; this
+//! module plugs the naive [`OracleEngine`] into that trait and reruns the
+//! **identical** [`DynamicSpec`] — same schedule, same per-epoch plans,
+//! same controllers from [`bd_dispersion::build_roster`] — on both
+//! engines. Agreement is judged per epoch on everything
+//! trajectory-observable (same exemptions as [`crate::diff`]): the
+//! movement-normalized cumulative trace, each epoch's outcome, and the
+//! absolute round clock. The dynamic fuzz harness samples event schedules
+//! on top of the static case space and greedily minimizes a divergence by
+//! dropping whole event batches.
+
+use crate::diff::{CellVerdict, Divergence};
+use crate::engine::OracleEngine;
+use crate::fuzz::{CaseSketch, FuzzConfig};
+use bd_dispersion::adversaries::AdversaryKind;
+use bd_dispersion::registry::StartRequirement;
+use bd_dispersion::{Msg, RosterEntry};
+use bd_dynamic::{
+    DynamicError, DynamicOutcome, DynamicSession, DynamicSpec, EpochBackend, EventKind,
+    EventSchedule,
+};
+use bd_graphs::PortGraph;
+use bd_runtime::{EngineConfig, EpochOutcome, RunError, Trace, WorldEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+impl EpochBackend for OracleEngine<Msg> {
+    fn begin_epoch(&mut self, seats: Vec<RosterEntry>) -> Result<(), RunError> {
+        OracleEngine::begin_epoch(
+            self,
+            seats.into_iter().map(|s| (s.flavor, s.start, s.controller)),
+        )
+    }
+
+    fn run_epoch(&mut self, stop_at: u64) -> Result<EpochOutcome, RunError> {
+        OracleEngine::run_epoch(self, stop_at)
+    }
+
+    fn advance_to(&mut self, round: u64) -> Result<(), RunError> {
+        OracleEngine::advance_to(self, round)
+    }
+
+    fn set_graph(&mut self, graph: Arc<PortGraph>) -> Result<(), RunError> {
+        self.apply_world_event(WorldEvent::Graph { graph })
+    }
+
+    fn round(&self) -> u64 {
+        OracleEngine::round(self)
+    }
+
+    fn into_trace(self) -> Trace {
+        OracleEngine::into_trace(self)
+    }
+}
+
+/// Run a dynamic spec on the naive reference engine (every round stepped,
+/// trace always on).
+pub fn run_dynamic_oracle(
+    session: &DynamicSession,
+    spec: &DynamicSpec,
+) -> Result<DynamicOutcome, DynamicError> {
+    session.run_with(spec, |graph| {
+        OracleEngine::new(graph, EngineConfig::default().traced())
+    })
+}
+
+/// Differentially check one dynamic cell: the fast engine (fast path
+/// fully enabled) versus the oracle, over the whole epoch sequence.
+pub fn check_dynamic_cell(session: &DynamicSession, spec: &DynamicSpec) -> CellVerdict {
+    check_dynamic_cell_tuned(session, spec, std::convert::identity)
+}
+
+/// [`check_dynamic_cell`] with an engine-config hook applied to the
+/// **fast side only** — the broken-engine demonstrations pass
+/// `|c| c.with_ff_overshoot(1)` and expect `Diverged`.
+pub fn check_dynamic_cell_tuned(
+    session: &DynamicSession,
+    spec: &DynamicSpec,
+    tune: impl FnOnce(EngineConfig) -> EngineConfig,
+) -> CellVerdict {
+    let fast = session.run_tuned(spec, tune);
+    let oracle = run_dynamic_oracle(session, spec);
+    match (fast, oracle) {
+        (Err(fe), Err(oe)) => {
+            let (fe, oe) = (fe.to_string(), oe.to_string());
+            if fe == oe {
+                CellVerdict::MatchErr(fe)
+            } else {
+                CellVerdict::Diverged(Box::new(Divergence::ErrorMismatch {
+                    fast: Some(fe),
+                    oracle: Some(oe),
+                }))
+            }
+        }
+        (Err(fe), Ok(_)) => CellVerdict::Diverged(Box::new(Divergence::ErrorMismatch {
+            fast: Some(fe.to_string()),
+            oracle: None,
+        })),
+        (Ok(_), Err(oe)) => CellVerdict::Diverged(Box::new(Divergence::ErrorMismatch {
+            fast: None,
+            oracle: Some(oe.to_string()),
+        })),
+        (Ok(fast), Ok(oracle)) => {
+            // Cumulative trace first: it localizes the bug to a round.
+            if let Some(td) = fast.trace.first_divergence(&oracle.trace) {
+                return CellVerdict::Diverged(Box::new(Divergence::Trace(td)));
+            }
+            if let Some(d) = dynamic_outcome_divergence(&fast, &oracle) {
+                return CellVerdict::Diverged(Box::new(d));
+            }
+            CellVerdict::Match {
+                rounds: fast.total_rounds,
+            }
+        }
+    }
+}
+
+/// First disagreeing epoch-level field, if any (trajectory-observable
+/// fields only, matching the static checker's exemptions).
+fn dynamic_outcome_divergence(
+    fast: &DynamicOutcome,
+    oracle: &DynamicOutcome,
+) -> Option<Divergence> {
+    fn diff<T: fmt::Debug + PartialEq>(
+        field: &'static str,
+        fast: &T,
+        oracle: &T,
+    ) -> Option<Divergence> {
+        (fast != oracle).then(|| Divergence::Outcome {
+            field,
+            fast: format!("{fast:?}"),
+            oracle: format!("{oracle:?}"),
+        })
+    }
+    if let Some(d) = diff("epochs.len", &fast.epochs.len(), &oracle.epochs.len()) {
+        return Some(d);
+    }
+    for (f, o) in fast.epochs.iter().zip(&oracle.epochs) {
+        let d = diff("epoch.start_round", &f.start_round, &o.start_round)
+            .or_else(|| diff("epoch.end_round", &f.end_round, &o.end_round))
+            .or_else(|| diff("epoch.terminated", &f.terminated, &o.terminated))
+            .or_else(|| diff("epoch.rounds", &f.outcome.rounds, &o.outcome.rounds))
+            .or_else(|| {
+                diff(
+                    "epoch.dispersed",
+                    &f.outcome.dispersed,
+                    &o.outcome.dispersed,
+                )
+            })
+            .or_else(|| {
+                diff(
+                    "epoch.final_positions",
+                    &f.outcome.final_positions,
+                    &o.outcome.final_positions,
+                )
+            })
+            .or_else(|| diff("epoch.report", &f.outcome.report, &o.outcome.report))
+            .or_else(|| {
+                diff(
+                    "epoch.metrics.total_moves",
+                    &f.outcome.metrics.total_moves,
+                    &o.outcome.metrics.total_moves,
+                )
+            })
+            .or_else(|| {
+                diff(
+                    "epoch.metrics.max_moves_per_robot",
+                    &f.outcome.metrics.max_moves_per_robot,
+                    &o.outcome.metrics.max_moves_per_robot,
+                )
+            });
+        if d.is_some() {
+            return d;
+        }
+    }
+    diff("total_rounds", &fast.total_rounds, &oracle.total_rounds)
+}
+
+/// One dynamic fuzz case: a static sketch plus a sampled event schedule.
+/// Regenerates deterministically from its seeds, like [`CaseSketch`].
+#[derive(Debug, Clone)]
+pub struct DynamicSketch {
+    /// The static half (graph family, row, cast, adversary, seeds).
+    pub base: CaseSketch,
+    /// The sampled event timeline.
+    pub schedule: EventSchedule,
+}
+
+impl fmt::Display for DynamicSketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {} events", self.base, self.schedule.events.len())?;
+        for (at, batch) in self.schedule.batches() {
+            write!(f, " @{at}:{:?}", batch)?;
+        }
+        Ok(())
+    }
+}
+
+impl DynamicSketch {
+    /// Build the spec this sketch describes (against its own graph).
+    pub fn spec(&self, graph: &PortGraph) -> DynamicSpec {
+        DynamicSpec {
+            base: self.base.spec(graph),
+            schedule: self.schedule.clone(),
+        }
+    }
+
+    /// Differentially check this sketch under `tune` (fast side only).
+    pub fn check(&self, tune: impl FnOnce(EngineConfig) -> EngineConfig) -> CellVerdict {
+        let graph = self.base.graph();
+        let spec = self.spec(&graph);
+        check_dynamic_cell_tuned(&DynamicSession::new(graph), &spec, tune)
+    }
+}
+
+/// One confirmed, minimized dynamic disagreement.
+#[derive(Debug, Clone)]
+pub struct DynamicFuzzFailure {
+    /// The case as originally drawn.
+    pub original: DynamicSketch,
+    /// The minimized case (fewest event batches that still diverge).
+    pub minimized: DynamicSketch,
+    /// The divergence observed on the minimized case.
+    pub divergence: Divergence,
+}
+
+impl fmt::Display for DynamicFuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DYNAMIC DIVERGENCE: {}", self.divergence)?;
+        if let Some(round) = self.divergence.round() {
+            writeln!(f, "  first mismatch at round {round}")?;
+        }
+        writeln!(f, "  minimized case: {}", self.minimized)?;
+        write!(f, "  original case:  {}", self.original)
+    }
+}
+
+/// What a dynamic fuzz run did.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicFuzzReport {
+    /// Dynamic cells actually checked.
+    pub cases_run: usize,
+    /// Cells where both engines agreed on every epoch.
+    pub matched: usize,
+    /// Cells where both engines failed identically.
+    pub match_err: usize,
+    /// Draws discarded because no valid schedule was found for the base
+    /// cell (counted for visibility — discards are not silent coverage
+    /// loss, they are re-rolled).
+    pub discarded: usize,
+    /// The first divergence found, minimized; `None` on a clean run.
+    pub failure: Option<DynamicFuzzFailure>,
+}
+
+impl DynamicFuzzReport {
+    /// Whether every checked cell agreed.
+    pub fn clean(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Sample an event schedule for `base` (validated; `None` when the drawn
+/// events cannot be made consistent, e.g. the row demands gathered
+/// starts).
+fn draw_schedule(rng: &mut StdRng, base: &CaseSketch) -> Option<EventSchedule> {
+    if base.algo.row().start_requirement() == StartRequirement::Gathered {
+        return None;
+    }
+    let graph = base.graph();
+    let n = graph.n();
+    let session = DynamicSession::new(graph.clone());
+    // A handful of attempts per base cell: schedules are drawn blind, so
+    // some (disconnecting cuts, dead-robot leaves) will not validate.
+    for _ in 0..8 {
+        let batches = rng.gen_range(1..=3usize);
+        let mut schedule = EventSchedule::default();
+        // Event rounds land inside or just past the first epochs; spacing
+        // by at least 2 keeps batches distinct and epochs non-trivial.
+        let mut at = 0u64;
+        let mut population = base.k;
+        for _ in 0..batches {
+            at += rng.gen_range(2..=(n as u64).max(3));
+            for _ in 0..rng.gen_range(1..=2usize) {
+                let kind = match rng.gen_range(0..6u8) {
+                    0 => {
+                        population += 1;
+                        EventKind::Join {
+                            node: rng.gen_range(0..n),
+                            // Hostile joins allowed, but mostly honest so
+                            // `f < k` usually survives validation.
+                            honest: rng.gen_range(0..4u8) != 0,
+                        }
+                    }
+                    1 => EventKind::Leave {
+                        robot: rng.gen_range(0..population),
+                    },
+                    2 => {
+                        let u = rng.gen_range(0..n);
+                        let ports = graph.degree(u);
+                        if ports == 0 {
+                            continue;
+                        }
+                        let (v, _) = graph.neighbor(u, rng.gen_range(0..ports));
+                        EventKind::EdgeFail { u, v }
+                    }
+                    3 => {
+                        let u = rng.gen_range(0..n);
+                        let v = rng.gen_range(0..n);
+                        EventKind::EdgeHeal { u, v }
+                    }
+                    4 => {
+                        let pool: Vec<AdversaryKind> = AdversaryKind::all()
+                            .into_iter()
+                            .filter(|a| !a.needs_strong() || base.algo.strong())
+                            .collect();
+                        EventKind::AdversarySwitch {
+                            adversary: pool[rng.gen_range(0..pool.len())],
+                        }
+                    }
+                    _ => EventKind::CapacityChange {
+                        capacity: rng.gen_range(1..=3usize),
+                    },
+                };
+                schedule = schedule.with(at, kind);
+            }
+        }
+        if schedule.is_empty() {
+            continue;
+        }
+        let spec = DynamicSpec {
+            base: base.spec(&graph),
+            schedule: schedule.clone(),
+        };
+        if session.validate(&spec).is_ok() {
+            return Some(schedule);
+        }
+    }
+    None
+}
+
+/// Minimize a diverging dynamic case by greedily dropping whole event
+/// batches (smallest schedule that still diverges; the base cell is left
+/// alone — shrinking it would change every epoch boundary at once).
+fn minimize_dynamic(
+    start: &DynamicSketch,
+    tune: &impl Fn(EngineConfig) -> EngineConfig,
+) -> (DynamicSketch, Divergence) {
+    let diverges = |s: &DynamicSketch| match s.check(tune) {
+        CellVerdict::Diverged(d) => Some(*d),
+        _ => None,
+    };
+    let mut best = start.clone();
+    let mut best_div = diverges(&best).expect("minimize_dynamic() called on a diverging case");
+    loop {
+        let mut shrunk = false;
+        for (at, _) in best.schedule.batches() {
+            let mut candidate = best.clone();
+            candidate.schedule.events.retain(|e| e.at != at);
+            if let Some(d) = diverges(&candidate) {
+                best = candidate;
+                best_div = d;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return (best, best_div);
+        }
+    }
+}
+
+/// Run the dynamic harness against the **correct** fast engine.
+pub fn run_dynamic_fuzz(config: &FuzzConfig) -> DynamicFuzzReport {
+    run_dynamic_fuzz_with(config, |c| c)
+}
+
+/// Run the dynamic harness with an engine-config hook on the fast side
+/// (broken-engine demonstrations pass `|c| c.with_ff_overshoot(1)`).
+pub fn run_dynamic_fuzz_with(
+    config: &FuzzConfig,
+    tune: impl Fn(EngineConfig) -> EngineConfig,
+) -> DynamicFuzzReport {
+    let started = Instant::now();
+    // Offset the stream so the dynamic pass explores different base cells
+    // than the static pass run from the same master seed.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD11A_11C5);
+    let mut report = DynamicFuzzReport::default();
+    let mut drawn = 0usize;
+    while drawn < config.cases {
+        if let Some(budget) = config.time_budget {
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        drawn += 1;
+        let base = crate::fuzz::draw_case(&mut rng, config.max_n);
+        let Some(schedule) = draw_schedule(&mut rng, &base) else {
+            report.discarded += 1;
+            continue;
+        };
+        let sketch = DynamicSketch { base, schedule };
+        report.cases_run += 1;
+        match sketch.check(&tune) {
+            CellVerdict::Match { .. } => report.matched += 1,
+            CellVerdict::MatchErr(_) => report.match_err += 1,
+            CellVerdict::Diverged(_) => {
+                let (minimized, divergence) = minimize_dynamic(&sketch, &tune);
+                report.failure = Some(DynamicFuzzFailure {
+                    original: sketch,
+                    minimized,
+                    divergence,
+                });
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bd_dispersion::runner::Algorithm;
+    use bd_dispersion::ScenarioSpec;
+    use bd_dynamic::ScheduledEvent;
+    use bd_graphs::generators::ring;
+    use std::time::Duration;
+
+    #[test]
+    fn fast_and_oracle_agree_on_a_churn_cell() {
+        let g = ring(8).unwrap();
+        let spec = DynamicSpec {
+            base: ScenarioSpec::arbitrary(Algorithm::Baseline, &g)
+                .with_robots(6)
+                .with_seed(7),
+            schedule: EventSchedule::new(vec![
+                ScheduledEvent {
+                    at: 3,
+                    kind: EventKind::EdgeFail { u: 0, v: 1 },
+                },
+                ScheduledEvent {
+                    at: 6,
+                    kind: EventKind::Join {
+                        node: 4,
+                        honest: true,
+                    },
+                },
+                ScheduledEvent {
+                    at: 6,
+                    kind: EventKind::Leave { robot: 0 },
+                },
+                ScheduledEvent {
+                    at: 9,
+                    kind: EventKind::EdgeHeal { u: 0, v: 1 },
+                },
+            ]),
+        };
+        let session = DynamicSession::new(g);
+        let verdict = check_dynamic_cell(&session, &spec);
+        assert!(verdict.agreed(), "unexpected divergence: {verdict:?}");
+        assert!(matches!(verdict, CellVerdict::Match { .. }));
+    }
+
+    #[test]
+    fn broken_fast_forward_is_caught_on_dynamic_cells() {
+        // Sqrt row has idle phases; overshooting the ff clamp by one round
+        // must diverge from the oracle even mid-epoch-sequence.
+        let g = ring(9).unwrap();
+        let spec = DynamicSpec {
+            base: ScenarioSpec::arbitrary(Algorithm::ArbitrarySqrtTh5, &g)
+                .with_byzantine(1, AdversaryKind::Silent)
+                .with_seed(3),
+            schedule: EventSchedule::default().with(
+                12,
+                EventKind::AdversarySwitch {
+                    adversary: AdversaryKind::Wanderer,
+                },
+            ),
+        };
+        let session = DynamicSession::new(g);
+        assert!(check_dynamic_cell(&session, &spec).agreed());
+        let broken = check_dynamic_cell_tuned(&session, &spec, |c| c.with_ff_overshoot(1));
+        assert!(
+            !broken.agreed(),
+            "sabotaged fast-forward not caught: {broken:?}"
+        );
+    }
+
+    #[test]
+    fn bounded_dynamic_fuzz_is_clean() {
+        let report = run_dynamic_fuzz(&FuzzConfig {
+            cases: 25,
+            seed: 0xD1,
+            max_n: 9,
+            time_budget: Some(Duration::from_secs(60)),
+        });
+        assert!(
+            report.clean(),
+            "dynamic divergence: {}",
+            report.failure.unwrap()
+        );
+        assert!(report.cases_run > 0, "every draw was discarded");
+    }
+}

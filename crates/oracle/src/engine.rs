@@ -15,8 +15,8 @@
 
 use bd_graphs::{NodeId, PortGraph};
 use bd_runtime::{
-    ArrivalInfo, Controller, EngineConfig, Event, Flavor, MoveChoice, Observation, Publication,
-    RobotId, RunError, RunMetrics, RunOutcome, Trace,
+    ArrivalInfo, Controller, EngineConfig, EpochOutcome, Event, Flavor, MoveChoice, Observation,
+    Publication, RobotId, RunError, RunMetrics, RunOutcome, Trace, WorldEvent,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -37,6 +37,9 @@ pub struct OracleEngine<M> {
     graph: Arc<PortGraph>,
     config: EngineConfig,
     round: u64,
+    /// Round at which the current epoch began; epoch metrics measure from
+    /// here (mirrors the fast engine's epoch clock).
+    epoch_base: u64,
     seats: Vec<Seat<M>>,
     arrivals: Vec<Option<ArrivalInfo>>,
     terminated_logged: Vec<bool>,
@@ -53,6 +56,7 @@ impl<M: Clone> OracleEngine<M> {
             graph: graph.into(),
             config,
             round: 0,
+            epoch_base: 0,
             seats: Vec::new(),
             arrivals: Vec::new(),
             terminated_logged: Vec::new(),
@@ -78,6 +82,129 @@ impl<M: Clone> OracleEngine<M> {
         self.seats
             .iter()
             .all(|s| s.flavor != Flavor::Honest || s.controller.terminated())
+    }
+
+    /// Rounds elapsed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Apply one [`WorldEvent`] between rounds — the same hook (and the
+    /// same observable semantics) as `bd_runtime::Engine::apply_world_event`,
+    /// restated naively: there are no arenas to invalidate because every
+    /// round rebuilds from scratch anyway.
+    pub fn apply_world_event(&mut self, event: WorldEvent<M>) -> Result<(), RunError> {
+        match event {
+            WorldEvent::Join {
+                flavor,
+                node,
+                controller,
+            } => {
+                if node >= self.graph.n() {
+                    return Err(RunError::BadScenario(format!(
+                        "join targets nonexistent node {node} (graph has {} nodes)",
+                        self.graph.n()
+                    )));
+                }
+                self.add_robot(flavor, node, controller);
+            }
+            WorldEvent::Leave { id } => {
+                let i = self.seats.iter().position(|s| s.id == id).ok_or_else(|| {
+                    RunError::BadScenario(format!("no robot with true ID {id} to remove"))
+                })?;
+                self.seats.remove(i);
+                self.arrivals.remove(i);
+                self.terminated_logged.remove(i);
+            }
+            WorldEvent::Graph { graph } => {
+                if let Some(s) = self.seats.iter().find(|s| s.position >= graph.n()) {
+                    return Err(RunError::BadScenario(format!(
+                        "robot {} on node {} would be stranded outside the {}-node \
+                         replacement graph",
+                        s.id,
+                        s.position,
+                        graph.n()
+                    )));
+                }
+                self.graph = graph;
+                for a in self.arrivals.iter_mut() {
+                    *a = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reseat the whole cast for a new epoch and snapshot-and-clear the
+    /// metrics, mirroring `bd_runtime::Engine::begin_epoch`.
+    pub fn begin_epoch<I>(&mut self, seats: I) -> Result<(), RunError>
+    where
+        I: IntoIterator<Item = (Flavor, NodeId, Box<dyn Controller<M>>)>,
+    {
+        while let Some(last) = self.seats.last() {
+            let id = last.id;
+            self.apply_world_event(WorldEvent::Leave { id })?;
+        }
+        for (flavor, node, controller) in seats {
+            self.apply_world_event(WorldEvent::Join {
+                flavor,
+                node,
+                controller,
+            })?;
+        }
+        self.metrics = RunMetrics::default();
+        self.epoch_base = self.round;
+        Ok(())
+    }
+
+    /// Drive rounds — every one of them, no fast-forwarding — until every
+    /// honest robot terminates or the clock reaches `stop_at`.
+    pub fn run_epoch(&mut self, stop_at: u64) -> Result<EpochOutcome, RunError> {
+        if self.seats.is_empty() {
+            return Err(RunError::BadScenario("no robots registered".into()));
+        }
+        let terminated = loop {
+            if self.all_honest_terminated() {
+                break true;
+            }
+            if self.round >= stop_at {
+                break false;
+            }
+            if self.round >= self.config.max_rounds {
+                return Err(RunError::RoundLimit {
+                    limit: self.config.max_rounds,
+                });
+            }
+            self.step()?;
+        };
+        self.metrics.rounds = self.round - self.epoch_base;
+        self.metrics.total_moves = self.seats.iter().map(|s| s.moves).sum();
+        self.metrics.max_moves_per_robot = self.seats.iter().map(|s| s.moves).max().unwrap_or(0);
+        let metrics = std::mem::take(&mut self.metrics);
+        Ok(EpochOutcome {
+            metrics,
+            final_positions: self.seats.iter().map(|s| s.position).collect(),
+            terminated,
+        })
+    }
+
+    /// Jump the round clock across inter-epoch quiescence — a pure
+    /// relabeling, identical in both engines by definition, so it can
+    /// never be a source of divergence.
+    pub fn advance_to(&mut self, round: u64) -> Result<(), RunError> {
+        if round < self.round {
+            return Err(RunError::BadScenario(format!(
+                "cannot rewind the round clock from {} to {round}",
+                self.round
+            )));
+        }
+        self.round = round;
+        Ok(())
+    }
+
+    /// Consume the engine, returning the cumulative trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
     }
 
     /// Execute rounds — every one of them, no fast-forwarding — until every
@@ -119,6 +246,10 @@ impl<M: Clone> OracleEngine<M> {
     fn step(&mut self) -> Result<(), RunError> {
         let k = self.seats.len();
         let round_now = self.round;
+        // Controllers live in epoch-local time (see the fast engine's
+        // `step`): observations count from the epoch base, the trace keeps
+        // the absolute clock. The frames coincide outside dynamic runs.
+        let local_round = round_now - self.epoch_base;
 
         // Active = not terminated. Terminated robots stay put silently but
         // remain physically present (they appear in rosters).
@@ -152,7 +283,7 @@ impl<M: Clone> OracleEngine<M> {
             .iter()
             .zip(&active)
             .filter(|&(_, &a)| a)
-            .map(|(s, _)| s.controller.subrounds_wanted(round_now))
+            .map(|(s, _)| s.controller.subrounds_wanted(local_round))
             .max()
             .unwrap_or(1)
             .max(1);
@@ -165,7 +296,7 @@ impl<M: Clone> OracleEngine<M> {
                 }
                 let node = self.seats[i].position;
                 let obs = Observation {
-                    round: round_now,
+                    round: local_round,
                     subround: sub,
                     subrounds,
                     degree: self.graph.degree(node),
@@ -203,7 +334,7 @@ impl<M: Clone> OracleEngine<M> {
             }
             let node = self.seats[i].position;
             let obs = Observation {
-                round: round_now,
+                round: local_round,
                 subround: subrounds.saturating_sub(1),
                 subrounds,
                 degree: self.graph.degree(node),

@@ -5,7 +5,8 @@
 
 use crate::diff::{check_cell_tuned, CellVerdict, Divergence};
 use bd_dispersion::adversaries::AdversaryKind;
-use bd_dispersion::runner::{Algorithm, ByzPlacement, ScenarioSpec};
+use bd_dispersion::registry::StartRequirement;
+use bd_dispersion::runner::{Algorithm, ByzPlacement, ScenarioSpec, StartConfig};
 use bd_dispersion::Session;
 use bd_graphs::generators::{erdos_renyi_connected, lollipop, random_tree, ring};
 use bd_graphs::PortGraph;
@@ -64,6 +65,11 @@ pub struct CaseSketch {
     pub placement: ByzPlacement,
     /// Whether `f` may exceed the row's tolerance.
     pub overloaded: bool,
+    /// Replace the row's evaluation start with an **explicit** per-robot
+    /// start configuration derived from `spec_seed` (rows whose
+    /// requirement is not `Gathered` only) — widens the sampled space
+    /// past the two canned `StartConfig`s.
+    pub explicit_starts: bool,
     /// Seed for the graph generator.
     pub graph_seed: u64,
     /// Seed for IDs, starts, and adversary randomness.
@@ -74,7 +80,7 @@ impl fmt::Display for CaseSketch {
     fn fmt(&self, fm: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             fm,
-            "{:?} on {:?}(n={}, seed={}) k={} f={}{} adversary={:?} placement={:?} seed={}",
+            "{:?} on {:?}(n={}, seed={}) k={} f={}{}{} adversary={:?} placement={:?} seed={}",
             self.algo,
             self.family,
             self.n,
@@ -82,6 +88,11 @@ impl fmt::Display for CaseSketch {
             self.k,
             self.f,
             if self.overloaded { " (overloaded)" } else { "" },
+            if self.explicit_starts {
+                " (explicit starts)"
+            } else {
+                ""
+            },
             self.adversary,
             self.placement,
             self.spec_seed,
@@ -104,6 +115,14 @@ impl CaseSketch {
             .with_seed(self.spec_seed);
         if self.overloaded {
             spec = spec.overloaded();
+        }
+        if self.explicit_starts {
+            // Deterministic scatter from the spec seed: robot i starts at
+            // a pseudo-random node. Independent of the engine's own
+            // seeded placement paths, so it genuinely widens coverage.
+            let mut srng = StdRng::seed_from_u64(self.spec_seed ^ 0x0057_A275);
+            spec.starts =
+                StartConfig::Explicit((0..self.k).map(|_| srng.gen_range(0..graph.n())).collect());
         }
         spec
     }
@@ -192,7 +211,7 @@ impl FuzzReport {
 /// the ring-only rows (`RingOptimal`; `QuotientTh1` needs a
 /// quotient-isomorphic graph and the cycle is the canonical one) always
 /// get rings, everything else samples all four families.
-fn draw_case(rng: &mut StdRng, max_n: usize) -> CaseSketch {
+pub(crate) fn draw_case(rng: &mut StdRng, max_n: usize) -> CaseSketch {
     const ALGOS: [Algorithm; 9] = [
         Algorithm::QuotientTh1,
         Algorithm::ArbitraryHalfTh2,
@@ -238,6 +257,10 @@ fn draw_case(rng: &mut StdRng, max_n: usize) -> CaseSketch {
         ByzPlacement::LowIds,
         ByzPlacement::HighIds,
     ][rng.gen_range(0..3usize)];
+    // Rows that do not demand a gathered start occasionally get an
+    // explicit scattered start instead of the canned evaluation one.
+    let explicit_starts =
+        algo.row().start_requirement() != StartRequirement::Gathered && rng.gen_range(0..4) == 0;
     CaseSketch {
         family,
         n,
@@ -247,6 +270,7 @@ fn draw_case(rng: &mut StdRng, max_n: usize) -> CaseSketch {
         f,
         placement,
         overloaded,
+        explicit_starts,
         graph_seed: rng.gen(),
         spec_seed: rng.gen(),
     }

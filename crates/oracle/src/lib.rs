@@ -28,10 +28,17 @@
 //!   `subrounds_executed`, `rounds_skipped`, wall-clock) are exempt —
 //!   doing less work is the fast path's job.
 //! * [`fuzz::run_fuzz`] samples random cells across
-//!   {algorithm × adversary × graph family × n × k × f × seed}, stops at
-//!   the first divergence, and greedily minimizes it (smallest `n`, then
-//!   `f`, then `k` that still diverges, with the round of first mismatch
-//!   when the traces split).
+//!   {algorithm × adversary × graph family × n × k × f × seed × start
+//!   configuration}, stops at the first divergence, and greedily
+//!   minimizes it (smallest `n`, then `f`, then `k` that still diverges,
+//!   with the round of first mismatch when the traces split).
+//! * [`dynamic::check_dynamic_cell`] extends the differential surface to
+//!   event-scheduled worlds: the naive engine implements `bd-dynamic`'s
+//!   `EpochBackend` (same world-event hook, restated naively), so whole
+//!   epoch sequences — joins, leaves, edge failures, adversary switches —
+//!   are compared per epoch and on the cumulative trace, and
+//!   [`dynamic::run_dynamic_fuzz`] samples event schedules on top of the
+//!   static case space (minimization drops event batches greedily).
 //!
 //! Because the controllers are shared object-for-object, a divergence can
 //! never be a protocol bug: it is always an engine bug, on one side or
@@ -49,9 +56,14 @@
 //! layering and the mandatory-gate workflow.
 
 pub mod diff;
+pub mod dynamic;
 pub mod engine;
 pub mod fuzz;
 
 pub use diff::{check_cell, check_cell_tuned, run_oracle, CellVerdict, Divergence};
+pub use dynamic::{
+    check_dynamic_cell, check_dynamic_cell_tuned, run_dynamic_fuzz, run_dynamic_fuzz_with,
+    run_dynamic_oracle, DynamicFuzzFailure, DynamicFuzzReport, DynamicSketch,
+};
 pub use engine::OracleEngine;
 pub use fuzz::{run_fuzz, run_fuzz_with, CaseSketch, FuzzConfig, FuzzFailure, FuzzReport};

@@ -19,6 +19,26 @@
 //! In steady state (no movement, no publications) a round performs **zero
 //! heap allocation**; protocol-level message bodies are the only remaining
 //! allocations and belong to the controllers.
+//!
+//! # Dynamic worlds: events and epochs
+//!
+//! A long-lived run is a sequence of **epochs** separated by
+//! [`WorldEvent`]s — robots joining or leaving, the graph being swapped
+//! for an edge failure or heal. [`Engine::apply_world_event`] is the
+//! single mutation primitive: it edits the [`World`] and the engine's
+//! parallel per-robot arrays, then invalidates the scratch arenas
+//! (`scratch.ready = false`), so the next stepped round lazily rebuilds
+//! occupancy, rosters, and the faking list from scratch —
+//! invalidate-and-rebuild *is* the coherence strategy, reusing the exact
+//! O(n + k) path `add_robot` has always used. [`Engine::begin_epoch`]
+//! reseats the whole cast through that primitive and snapshots-and-clears
+//! the metrics; [`Engine::run_epoch`] drives rounds to honest termination
+//! or a scheduled stop; [`Engine::advance_to`] jumps the round clock
+//! across inter-epoch quiescence (after honest termination nothing
+//! observable happens until the next event, by the same argument that
+//! licenses idle fast-forwarding). The round clock, the cumulative trace,
+//! and the telemetry recorder persist across epochs; see `bd-dynamic` for
+//! the scheduling layer.
 
 use crate::config::EngineConfig;
 use crate::controller::{Controller, MoveChoice};
@@ -90,6 +110,47 @@ impl<M> Scratch<M> {
     }
 }
 
+/// A mid-run mutation of the simulated world, applied between rounds via
+/// [`Engine::apply_world_event`]. Each variant keeps the engine's
+/// per-robot arrays and scratch arenas coherent; the `bd-dynamic` crate
+/// schedules these at exact round numbers.
+pub enum WorldEvent<M> {
+    /// A robot materializes at `node` and starts acting next round.
+    Join {
+        /// Fault flavor of the newcomer.
+        flavor: Flavor,
+        /// Node it appears on.
+        node: NodeId,
+        /// Its controller (the true ID is taken from it).
+        controller: Box<dyn Controller<M>>,
+    },
+    /// The robot with true identity `id` vanishes from the world.
+    Leave {
+        /// True ID of the leaver (claimed IDs cannot be targeted).
+        id: RobotId,
+    },
+    /// The graph is replaced — an edge failed or healed. Every robot must
+    /// still stand on a valid node; arrival port memory is cleared because
+    /// it referred to the old labeling.
+    Graph {
+        /// The replacement graph.
+        graph: Arc<PortGraph>,
+    },
+}
+
+/// The result of driving one epoch ([`Engine::run_epoch`]): like
+/// [`RunOutcome`] but borrowed from a still-running engine, with metrics
+/// snapshot-and-cleared so the next epoch starts counting from zero.
+#[derive(Debug)]
+pub struct EpochOutcome {
+    /// Measurements for this epoch alone (`rounds` is epoch-local).
+    pub metrics: RunMetrics,
+    /// Robot positions in current seating order when the epoch ended.
+    pub final_positions: Vec<NodeId>,
+    /// Whether every honest robot terminated before the scheduled stop.
+    pub terminated: bool,
+}
+
 /// Drives one simulation: owns the [`World`], the controllers, and the
 /// bookkeeping. Generic over the protocol message type `M`.
 pub struct Engine<M> {
@@ -97,6 +158,9 @@ pub struct Engine<M> {
     controllers: Vec<Box<dyn Controller<M>>>,
     config: EngineConfig,
     round: u64,
+    /// Round at which the current epoch began (0 for single-epoch runs);
+    /// epoch-local metrics measure from here.
+    epoch_base: u64,
     arrivals: Vec<Option<ArrivalInfo>>,
     terminated_logged: Vec<bool>,
     metrics: RunMetrics,
@@ -130,6 +194,7 @@ impl<M: Clone> Engine<M> {
             controllers: Vec::new(),
             config,
             round: 0,
+            epoch_base: 0,
             arrivals: Vec::new(),
             terminated_logged: Vec::new(),
             metrics: RunMetrics::default(),
@@ -157,20 +222,143 @@ impl<M: Clone> Engine<M> {
     /// Register a robot. Its true ID is taken from the controller.
     pub fn add_robot(&mut self, flavor: Flavor, start: NodeId, controller: Box<dyn Controller<M>>) {
         let id = controller.id();
-        // Rebuild the world with the extra robot; placements are small.
-        let mut placements: Vec<(RobotId, Flavor, NodeId)> = self
-            .world
-            .robots()
-            .iter()
-            .map(|r| (r.id, r.flavor, r.position))
-            .collect();
-        placements.push((id, flavor, start));
-        self.world = World::new(self.world.graph_handle(), placements);
+        self.world.add_robot(id, flavor, start);
         self.controllers.push(controller);
         self.arrivals.push(None);
         self.terminated_logged.push(false);
         // Robot set changed: rebuild the arenas lazily at the next step.
         self.scratch.ready = false;
+    }
+
+    /// Apply one [`WorldEvent`] between rounds. The single mutation
+    /// primitive for dynamic worlds: every variant edits the world and the
+    /// engine's parallel per-robot arrays in lockstep, then invalidates the
+    /// scratch arenas so the next stepped round rebuilds occupancy,
+    /// rosters, and the ID-faking list coherently.
+    pub fn apply_world_event(&mut self, event: WorldEvent<M>) -> Result<(), RunError> {
+        match event {
+            WorldEvent::Join {
+                flavor,
+                node,
+                controller,
+            } => {
+                if node >= self.world.graph().n() {
+                    return Err(RunError::BadScenario(format!(
+                        "join targets nonexistent node {node} (graph has {} nodes)",
+                        self.world.graph().n()
+                    )));
+                }
+                self.world.add_robot(controller.id(), flavor, node);
+                self.controllers.push(controller);
+                self.arrivals.push(None);
+                self.terminated_logged.push(false);
+            }
+            WorldEvent::Leave { id } => {
+                let i = self
+                    .world
+                    .robots()
+                    .iter()
+                    .position(|r| r.id == id)
+                    .ok_or_else(|| {
+                        RunError::BadScenario(format!("no robot with true ID {id} to remove"))
+                    })?;
+                self.world.remove_robot(i);
+                self.controllers.remove(i);
+                self.arrivals.remove(i);
+                self.terminated_logged.remove(i);
+            }
+            WorldEvent::Graph { graph } => {
+                if let Some(r) = self.world.robots().iter().find(|r| r.position >= graph.n()) {
+                    return Err(RunError::BadScenario(format!(
+                        "robot {} on node {} would be stranded outside the {}-node \
+                         replacement graph",
+                        r.id,
+                        r.position,
+                        graph.n()
+                    )));
+                }
+                self.world.set_graph(graph);
+                // Arrival port pairs referred to the old graph's labeling.
+                for a in self.arrivals.iter_mut() {
+                    *a = None;
+                }
+            }
+        }
+        self.scratch.ready = false;
+        Ok(())
+    }
+
+    /// Reseat the whole cast for a new epoch: every current robot leaves,
+    /// the given seats join (all through [`Engine::apply_world_event`]),
+    /// and the metrics are snapshot-and-cleared so per-epoch measurements
+    /// never accumulate across topology changes. The round clock, the
+    /// cumulative trace, and the telemetry recorder persist.
+    pub fn begin_epoch<I>(&mut self, seats: I) -> Result<(), RunError>
+    where
+        I: IntoIterator<Item = (Flavor, NodeId, Box<dyn Controller<M>>)>,
+    {
+        while let Some(last) = self.world.robots().last() {
+            let id = last.id;
+            self.apply_world_event(WorldEvent::Leave { id })?;
+        }
+        for (flavor, node, controller) in seats {
+            self.apply_world_event(WorldEvent::Join {
+                flavor,
+                node,
+                controller,
+            })?;
+        }
+        self.metrics = RunMetrics::default();
+        self.epoch_base = self.round;
+        Ok(())
+    }
+
+    /// Drive rounds until every honest robot terminates or the clock
+    /// reaches `stop_at`, whichever is first. Returns this epoch's
+    /// measurements (metrics are epoch-local and cleared for the next
+    /// epoch); `terminated: false` means the stop round cut the epoch
+    /// short. Per-epoch move totals assume [`Engine::begin_epoch`] seated
+    /// the cast (odometers start at zero on join).
+    pub fn run_epoch(&mut self, stop_at: u64) -> Result<EpochOutcome, RunError> {
+        if self.world.num_robots() == 0 {
+            return Err(RunError::BadScenario("no robots registered".into()));
+        }
+        let terminated = self.drive(Some(stop_at))?;
+        let per_robot: Vec<u64> = self.world.robots().iter().map(|r| r.moves).collect();
+        self.metrics.rounds = self.round - self.epoch_base;
+        self.metrics.record_moves(&per_robot);
+        let metrics = std::mem::take(&mut self.metrics);
+        Ok(EpochOutcome {
+            metrics,
+            final_positions: self.world.positions(),
+            terminated,
+        })
+    }
+
+    /// Jump the round clock forward to `round` without stepping: between
+    /// an epoch's honest termination and the next scheduled event the
+    /// world is quiescent by definition (the same argument that licenses
+    /// idle fast-forwarding), so the jump is a pure relabeling. Errors on
+    /// an attempt to rewind.
+    pub fn advance_to(&mut self, round: u64) -> Result<(), RunError> {
+        if round < self.round {
+            return Err(RunError::BadScenario(format!(
+                "cannot rewind the round clock from {} to {round}",
+                self.round
+            )));
+        }
+        self.round = round;
+        Ok(())
+    }
+
+    /// Consume the engine at the end of a multi-epoch run: publishes the
+    /// telemetry report (when recording) and returns the cumulative trace
+    /// spanning every epoch.
+    pub fn into_trace(mut self) -> Trace {
+        if let Some(t) = self.telemetry.take() {
+            bd_telemetry::publish_engine_report(t.finish(self.round));
+        }
+        self.trace
     }
 
     /// (Re)build the scratch arenas from the current world. O(n + k); runs
@@ -232,13 +420,20 @@ impl<M: Clone> Engine<M> {
             .all(|(slot, c)| slot.flavor != Flavor::Honest || c.terminated())
     }
 
-    /// Execute rounds until every honest robot terminates or the round cap
-    /// is hit.
-    pub fn run(mut self) -> Result<RunOutcome, RunError> {
-        if self.world.num_robots() == 0 {
-            return Err(RunError::BadScenario("no robots registered".into()));
-        }
-        while !self.all_honest_terminated() {
+    /// The shared round loop behind [`Engine::run`] (no stop round) and
+    /// [`Engine::run_epoch`] (stop at the next scheduled event). Returns
+    /// whether every honest robot terminated; with a stop round, `false`
+    /// means the clock reached it first.
+    fn drive(&mut self, stop_at: Option<u64>) -> Result<bool, RunError> {
+        loop {
+            if self.all_honest_terminated() {
+                return Ok(true);
+            }
+            if let Some(stop) = stop_at {
+                if self.round >= stop {
+                    return Ok(false);
+                }
+            }
             if self.round >= self.config.max_rounds {
                 return Err(RunError::RoundLimit {
                     limit: self.config.max_rounds,
@@ -250,18 +445,29 @@ impl<M: Clone> Engine<M> {
             // bulletin is ever read — which is exactly what licenses
             // controllers to declare idleness (see `Controller::idle_until`).
             if self.config.fast_forward {
+                // Idle promises are epoch-local (controllers never see the
+                // absolute clock); shift them by the epoch base before
+                // comparing with `self.round`.
+                let epoch_base = self.epoch_base;
                 let skip_to = self
                     .controllers
                     .iter()
                     .filter(|c| !c.terminated())
                     .map(|c| c.idle_until())
-                    .try_fold(u64::MAX, |acc, u| u.map(|r| acc.min(r)));
+                    .try_fold(u64::MAX, |acc, u| {
+                        u.map(|r| acc.min(r.saturating_add(epoch_base)))
+                    });
                 if let Some(target) = skip_to {
                     // `ff_overshoot` is deliberately-injected breakage (0 in
                     // every real config): it pushes the jump past the round
                     // the earliest robot acts in, losing that action — the
                     // bug class the oracle-differential harness must catch.
-                    let target = target.saturating_add(self.config.ff_overshoot);
+                    let mut target = target.saturating_add(self.config.ff_overshoot);
+                    // Never jump past a scheduled stop: the world mutates
+                    // there, which idle promises know nothing about.
+                    if let Some(stop) = stop_at {
+                        target = target.min(stop);
+                    }
                     if target > self.round + 1 {
                         if target >= self.config.max_rounds {
                             // The earliest round any robot acts again is
@@ -285,6 +491,15 @@ impl<M: Clone> Engine<M> {
             }
             self.step()?;
         }
+    }
+
+    /// Execute rounds until every honest robot terminates or the round cap
+    /// is hit.
+    pub fn run(mut self) -> Result<RunOutcome, RunError> {
+        if self.world.num_robots() == 0 {
+            return Err(RunError::BadScenario("no robots registered".into()));
+        }
+        self.drive(None)?;
         let per_robot: Vec<u64> = self.world.robots().iter().map(|r| r.moves).collect();
         self.metrics.rounds = self.round;
         self.metrics.record_moves(&per_robot);
@@ -312,6 +527,7 @@ impl<M: Clone> Engine<M> {
             controllers,
             config,
             round,
+            epoch_base,
             arrivals,
             terminated_logged,
             metrics,
@@ -333,6 +549,13 @@ impl<M: Clone> Engine<M> {
             ..
         } = scratch;
         let round_now = *round;
+        // Controllers live in *epoch-local* time: a cast seated by
+        // `begin_epoch` at absolute round `r` sees rounds `0, 1, …` like a
+        // fresh run, so registry timelines and idle promises need no
+        // epoch awareness. The trace and telemetry keep the absolute
+        // clock. (`epoch_base` is 0 outside dynamic runs — the frames
+        // coincide.)
+        let local_round = round_now - *epoch_base;
         // Observability: `None` when disabled — every instrumentation site
         // below is a branch on this local `Option` and nothing more. Close
         // any phase/window boundary reached (single compare; crossings are
@@ -387,7 +610,7 @@ impl<M: Clone> Engine<M> {
             .iter()
             .zip(active.iter())
             .filter(|&(_, &a)| a)
-            .map(|(c, _)| c.subrounds_wanted(round_now))
+            .map(|(c, _)| c.subrounds_wanted(local_round))
             .max()
             .unwrap_or(1)
             .max(1);
@@ -399,7 +622,7 @@ impl<M: Clone> Engine<M> {
                 }
                 let node = world.robot(i).position;
                 let obs = Observation {
-                    round: round_now,
+                    round: local_round,
                     subround: sub,
                     subrounds,
                     degree: world.graph().degree(node),
@@ -459,7 +682,7 @@ impl<M: Clone> Engine<M> {
             }
             let node = world.robot(i).position;
             let obs = Observation {
-                round: round_now,
+                round: local_round,
                 subround: subrounds.saturating_sub(1),
                 subrounds,
                 degree: world.graph().degree(node),
@@ -808,6 +1031,145 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    #[test]
+    fn world_events_keep_arenas_coherent_mid_run() {
+        // Step a cast, churn it with every event class, step again: the
+        // lazily rebuilt arenas must agree with the mutated world.
+        let g = oriented_ring(6).unwrap();
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default().traced());
+        e.add_robot(
+            Flavor::Honest,
+            0,
+            Box::new(Walker {
+                id: RobotId(1),
+                script: vec![0, 0, 0, 0],
+                step: 0,
+            }),
+        );
+        e.add_robot(
+            Flavor::Honest,
+            3,
+            Box::new(Walker {
+                id: RobotId(2),
+                script: vec![0],
+                step: 0,
+            }),
+        );
+        e.step().unwrap();
+        e.step().unwrap();
+        // Robot 2 leaves; a newcomer joins on node 5.
+        e.apply_world_event(WorldEvent::Leave { id: RobotId(2) })
+            .unwrap();
+        e.apply_world_event(WorldEvent::Join {
+            flavor: Flavor::Honest,
+            node: 5,
+            controller: Box::new(Walker {
+                id: RobotId(3),
+                script: vec![0],
+                step: 0,
+            }),
+        })
+        .unwrap();
+        // The graph is swapped for an identical copy (labels coherent).
+        let swap = std::sync::Arc::new(oriented_ring(6).unwrap());
+        e.apply_world_event(WorldEvent::Graph { graph: swap })
+            .unwrap();
+        e.step().unwrap();
+        e.step().unwrap();
+        // Seating order after the churn: robot 1 (walked 4 steps from 0),
+        // robot 3 (walked 1 step from 5).
+        assert_eq!(e.world().positions(), vec![4, 0]);
+        assert_eq!(e.world().robot(0).id, RobotId(1));
+        assert_eq!(e.world().robot(1).id, RobotId(3));
+        assert_eq!(e.round(), 4);
+        // Unknown leaver and out-of-range join are scenario errors.
+        assert!(e
+            .apply_world_event(WorldEvent::Leave { id: RobotId(77) })
+            .is_err());
+        let g2: Engine<String> = Engine::new(ring(4).unwrap(), EngineConfig::default());
+        drop(g2);
+        assert!(e
+            .apply_world_event(WorldEvent::Join {
+                flavor: Flavor::Honest,
+                node: 99,
+                controller: Box::new(Walker {
+                    id: RobotId(9),
+                    script: vec![],
+                    step: 0,
+                }),
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn graph_swap_refuses_to_strand_robots() {
+        let g = ring(6).unwrap();
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default());
+        e.add_robot(
+            Flavor::Honest,
+            5,
+            Box::new(Walker {
+                id: RobotId(1),
+                script: vec![],
+                step: 0,
+            }),
+        );
+        let smaller = std::sync::Arc::new(ring(4).unwrap());
+        assert!(matches!(
+            e.apply_world_event(WorldEvent::Graph { graph: smaller }),
+            Err(RunError::BadScenario(_))
+        ));
+    }
+
+    #[test]
+    fn epoch_metrics_are_snapshot_and_cleared() {
+        // Two epochs on one engine: the second epoch's metrics must count
+        // only its own rounds, moves, and annotations — nothing from the
+        // first may accumulate (the rounds_by_phase reset pin).
+        let g = oriented_ring(8).unwrap();
+        let mut e: Engine<String> = Engine::new(g, EngineConfig::default().traced());
+        e.begin_epoch(vec![(
+            Flavor::Honest,
+            0,
+            Box::new(Walker {
+                id: RobotId(1),
+                script: vec![0, 0, 0],
+                step: 0,
+            }) as Box<dyn Controller<String>>,
+        )])
+        .unwrap();
+        let first = e.run_epoch(1000).unwrap();
+        assert!(first.terminated);
+        assert_eq!(first.metrics.rounds, 3);
+        assert_eq!(first.metrics.total_moves, 3);
+
+        // Quiescent gap, then a fresh cast.
+        e.advance_to(10).unwrap();
+        e.begin_epoch(vec![(
+            Flavor::Honest,
+            4,
+            Box::new(Walker {
+                id: RobotId(2),
+                script: vec![0],
+                step: 0,
+            }) as Box<dyn Controller<String>>,
+        )])
+        .unwrap();
+        let second = e.run_epoch(1000).unwrap();
+        assert!(second.terminated);
+        assert_eq!(second.metrics.rounds, 1, "epoch-local, not cumulative");
+        assert_eq!(second.metrics.total_moves, 1);
+        assert_eq!(second.metrics.max_moves_per_robot, 1);
+        assert!(second.metrics.rounds_by_phase.is_empty());
+        assert_eq!(e.round(), 11);
+        // Rewinding the clock is refused.
+        assert!(e.advance_to(3).is_err());
+        // The cumulative trace spans both epochs.
+        let trace = e.into_trace();
+        assert_eq!(trace.move_script(RobotId(1)).len(), 3);
+        assert_eq!(trace.move_script(RobotId(2)).len(), 1);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub mod world;
 
 pub use config::EngineConfig;
 pub use controller::{Controller, MoveChoice};
-pub use engine::{Engine, RunOutcome};
+pub use engine::{Engine, EpochOutcome, RunOutcome, WorldEvent};
 pub use error::RunError;
 pub use ids::{Flavor, RobotId};
 pub use metrics::RunMetrics;

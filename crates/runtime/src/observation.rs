@@ -31,7 +31,9 @@ pub struct Publication<M> {
 /// Everything a robot observes when asked to act.
 #[derive(Debug)]
 pub struct Observation<'a, M> {
-    /// Current round (0-based).
+    /// Current round (0-based, **epoch-local**: a cast seated mid-run by
+    /// a dynamic epoch counts from 0 like a fresh run; identical to the
+    /// engine's absolute clock outside dynamic worlds).
     pub round: u64,
     /// Current sub-round within the round (0-based). Equal to
     /// `subrounds - 1` during the move decision.

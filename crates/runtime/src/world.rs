@@ -94,6 +94,43 @@ impl World {
         (port, entry)
     }
 
+    /// Register one more robot mid-run (a **join** event). Panics on an
+    /// out-of-range node, matching [`World::new`]'s contract.
+    pub fn add_robot(&mut self, id: RobotId, flavor: Flavor, node: NodeId) {
+        assert!(
+            node < self.graph.n(),
+            "robot {id} placed on nonexistent node {node}"
+        );
+        self.robots.push(RobotSlot {
+            id,
+            flavor,
+            position: node,
+            moves: 0,
+        });
+    }
+
+    /// Remove robot `i` (setup index) from the world (a **leave** event),
+    /// returning its final slot. Robots after `i` shift down one index —
+    /// the engine re-aligns its parallel per-robot arrays the same way.
+    pub fn remove_robot(&mut self, i: usize) -> RobotSlot {
+        self.robots.remove(i)
+    }
+
+    /// Swap in a new graph (an **edge fail/heal** epoch). Every robot must
+    /// still stand on a valid node; the caller validates positions first
+    /// (node count never shrinks below an occupied node).
+    pub fn set_graph(&mut self, graph: Arc<PortGraph>) {
+        for r in &self.robots {
+            assert!(
+                r.position < graph.n(),
+                "robot {} stranded on node {} outside the new graph",
+                r.id,
+                r.position
+            );
+        }
+        self.graph = graph;
+    }
+
     /// Positions of all robots indexed by setup order.
     pub fn positions(&self) -> Vec<NodeId> {
         self.robots.iter().map(|r| r.position).collect()

@@ -1,17 +1,28 @@
 //! `bd-serve` — the scenario-serving daemon.
 //!
 //! ```text
-//! bd-serve --store DIR [--addr 127.0.0.1:7171] [--workers N] [--queue-depth N]
+//! bd-serve --store DIR [--addr 127.0.0.1:7171] [--workers N] [--queue-depth N] \
+//!          [--anchor FILE]
 //! ```
 //!
 //! Binds, prints one `listening on <addr>` line (port `0` in `--addr`
 //! resolves to an ephemeral port — scripts scrape this line), and serves
 //! until `POST /shutdown`. See the `bd-service` crate docs for the API.
+//!
+//! `--anchor FILE` keeps the result journal's chain tip in a separate
+//! file, rewritten after every append: on startup and on every `/audit`
+//! the journal's recomputed tip must match it, which catches the one
+//! tampering mode the hash chain alone cannot — truncating the tail
+//! exactly at a line boundary. Point it at storage the journal's own
+//! adversary cannot write.
 
 use bd_service::{Daemon, ServeConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: bd-serve --store DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]");
+    eprintln!(
+        "usage: bd-serve --store DIR [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+         [--anchor FILE]"
+    );
     std::process::exit(2);
 }
 
@@ -33,6 +44,7 @@ fn main() {
             "--queue-depth" => {
                 config.queue_depth = value("--queue-depth").parse().unwrap_or_else(|_| usage())
             }
+            "--anchor" => config.anchor = Some(value("--anchor").into()),
             _ => usage(),
         }
     }

@@ -61,6 +61,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded queue depth; submissions beyond it get `503`.
     pub queue_depth: usize,
+    /// Out-of-band chain-tip anchor file (`--anchor`); when set, the store
+    /// opens with [`ResultStore::open_anchored`] so `/audit` also detects
+    /// line-boundary tail truncation.
+    pub anchor: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -72,6 +76,7 @@ impl ServeConfig {
             store_dir: store_dir.into(),
             workers: 2,
             queue_depth: 64,
+            anchor: None,
         }
     }
 }
@@ -197,7 +202,10 @@ impl std::fmt::Debug for Daemon {
 impl Daemon {
     /// Bind, open the store, and spawn the acceptor + worker threads.
     pub fn start(config: ServeConfig) -> Result<Daemon, ServiceError> {
-        let store = ResultStore::open(&config.store_dir)?;
+        let store = match &config.anchor {
+            Some(anchor) => ResultStore::open_anchored(&config.store_dir, anchor.clone())?,
+            None => ResultStore::open(&config.store_dir)?,
+        };
         let listener = TcpListener::bind(config.addr.as_str())?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;

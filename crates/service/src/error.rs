@@ -30,6 +30,20 @@ pub enum ServiceError {
         /// What broke: digest mismatch, broken link, or bad layout.
         msg: String,
     },
+    /// The journal's chain verifies internally but its tip does not match
+    /// the externally anchored tip — the signature of a tail truncated
+    /// exactly at a line boundary (which the chain alone cannot see) or of
+    /// a wholesale rewrite.
+    AnchorMismatch {
+        /// The journal whose tip was checked.
+        path: PathBuf,
+        /// The anchor file holding the expected tip.
+        anchor: PathBuf,
+        /// Tip recomputed from the journal on disk.
+        journal_tip: String,
+        /// Tip recorded out-of-band.
+        anchored_tip: String,
+    },
     /// Malformed HTTP traffic or JSON payload.
     Protocol(String),
     /// The server answered with a non-success status.
@@ -55,6 +69,20 @@ impl fmt::Display for ServiceError {
                     f,
                     "tamper-evident journal {} fails at entry {index}: {msg}",
                     path.display()
+                )
+            }
+            ServiceError::AnchorMismatch {
+                path,
+                anchor,
+                journal_tip,
+                anchored_tip,
+            } => {
+                write!(
+                    f,
+                    "journal {} tip {journal_tip} does not match the tip {anchored_tip} \
+                     anchored in {} — tail truncation or rewrite",
+                    path.display(),
+                    anchor.display()
                 )
             }
             ServiceError::Protocol(msg) => write!(f, "protocol: {msg}"),

@@ -19,9 +19,17 @@
 //! chain, not a MAC: an adversary with write access who rewrites every
 //! subsequent line is undetectable, as is truncating the tail exactly at a
 //! line boundary. The chain defends provenance against accidents and
-//! casual edits; byzantine storage needs an externally anchored tip
-//! (compare the audit's `tip` against one you recorded). VERIFICATION.md
-//! covers the full trust argument.
+//! casual edits; byzantine storage needs an externally anchored tip.
+//! [`ResultStore::open_anchored`] provides exactly that: the current tip
+//! is persisted to a separate **anchor file** after every append (write
+//! temp + rename, so the anchor is never torn), and both `open_anchored`
+//! and [`ResultStore::verify_chain`] compare the journal's recomputed tip
+//! against the anchored one — a tail truncated exactly at a line boundary
+//! verifies as a chain but no longer matches the anchor, and is reported
+//! as [`ServiceError::AnchorMismatch`]. Keep the anchor on storage the
+//! journal's adversary cannot reach (different volume, different
+//! permissions) or the two fail together. VERIFICATION.md covers the full
+//! trust argument.
 //!
 //! **Crash tolerance:** a damaged *final* line that does not decode is the
 //! signature of a crash mid-append; `open` drops it and truncates the file
@@ -109,6 +117,28 @@ struct Entry {
     body: EntryBody,
     /// `SpecDigest` of `CHAIN_DOMAIN ++ <body json bytes>`.
     chain: String,
+}
+
+/// Read the tip recorded in an anchor file; `None` when the file is
+/// missing or empty (a fresh anchor, initialized at open).
+fn read_anchor(path: &Path) -> Result<Option<String>, ServiceError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let tip = text.trim().to_string();
+            Ok(if tip.is_empty() { None } else { Some(tip) })
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Persist `tip` to the anchor file via write-temp-then-rename, so a
+/// crash mid-write can never leave a torn anchor behind.
+fn write_anchor(path: &Path, tip: &str) -> Result<(), ServiceError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, format!("{tip}\n"))?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
 /// The chain digest of a body's exact serialized bytes.
@@ -207,6 +237,9 @@ struct Inner {
 /// daemon's worker pool shares one store across threads.
 pub struct ResultStore {
     path: PathBuf,
+    /// Out-of-band tip anchor; every append rewrites it and every audit
+    /// checks against it. `None` falls back to chain-only verification.
+    anchor: Option<PathBuf>,
     inner: Mutex<Inner>,
     recovered: u64,
 }
@@ -226,7 +259,26 @@ impl ResultStore {
     /// it loads; only an undecodable *final* line (a torn append) is
     /// recovered, by truncating to the last good entry.
     pub fn open(dir: impl AsRef<Path>) -> Result<ResultStore, ServiceError> {
-        let dir = dir.as_ref();
+        ResultStore::open_inner(dir.as_ref(), None)
+    }
+
+    /// Open the store with its chain tip **anchored out-of-band** in
+    /// `anchor` (any writable path, ideally on storage the journal's
+    /// adversary cannot reach). A missing or empty anchor file is
+    /// initialized from the journal's current tip; an existing one must
+    /// match the tip recomputed from the journal, or the open fails with
+    /// [`ServiceError::AnchorMismatch`] — this is what makes a tail
+    /// truncated exactly at a line boundary (invisible to the chain
+    /// itself) detectable across restarts. Every subsequent `put` rewrites
+    /// the anchor atomically.
+    pub fn open_anchored(
+        dir: impl AsRef<Path>,
+        anchor: impl Into<PathBuf>,
+    ) -> Result<ResultStore, ServiceError> {
+        ResultStore::open_inner(dir.as_ref(), Some(anchor.into()))
+    }
+
+    fn open_inner(dir: &Path, anchor: Option<PathBuf>) -> Result<ResultStore, ServiceError> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(JOURNAL);
         let mut file = OpenOptions::new()
@@ -291,8 +343,24 @@ impl ResultStore {
             file.seek(SeekFrom::End(0))?;
         }
 
+        if let Some(anchor_path) = &anchor {
+            match read_anchor(anchor_path)? {
+                Some(anchored_tip) if anchored_tip != tip => {
+                    return Err(ServiceError::AnchorMismatch {
+                        path,
+                        anchor: anchor_path.clone(),
+                        journal_tip: tip,
+                        anchored_tip,
+                    });
+                }
+                Some(_) => {}
+                None => write_anchor(anchor_path, &tip)?,
+            }
+        }
+
         Ok(ResultStore {
             path,
+            anchor,
             inner: Mutex::new(Inner {
                 index,
                 file,
@@ -308,6 +376,11 @@ impl ResultStore {
     /// Path of the journal file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Path of the out-of-band tip anchor, when one is configured.
+    pub fn anchor(&self) -> Option<&Path> {
+        self.anchor.as_deref()
     }
 
     /// Number of stored outcomes.
@@ -384,6 +457,11 @@ impl ResultStore {
         inner.index.insert(digest, outcome.clone());
         inner.tip = chain;
         inner.appended += 1;
+        // Anchor after the journal write, under the same lock: the anchor
+        // always holds the tip of a journal state that exists on disk.
+        if let Some(anchor_path) = &self.anchor {
+            write_anchor(anchor_path, &inner.tip)?;
+        }
         Ok(true)
     }
 
@@ -395,7 +473,10 @@ impl ResultStore {
     /// disk the file this store wrote?" — so *any* undecodable line,
     /// interior or final, fails it: while the lock is held no append is in
     /// flight, hence a torn tail cannot be ours. All failures report the
-    /// 1-based index of the first bad entry.
+    /// 1-based index of the first bad entry. When the store is anchored,
+    /// the recomputed tip must additionally match the anchored one — the
+    /// check that catches a tail truncated exactly at a line boundary,
+    /// which leaves a perfectly valid (shorter) chain behind.
     pub fn verify_chain(&self) -> Result<ChainAudit, ServiceError> {
         let _inner = self.inner.lock().expect("store lock");
         let text = std::fs::read_to_string(&self.path)?;
@@ -416,6 +497,18 @@ impl ResultStore {
                         path: self.path.clone(),
                         index: lineno + 1,
                         msg,
+                    });
+                }
+            }
+        }
+        if let Some(anchor_path) = &self.anchor {
+            if let Some(anchored_tip) = read_anchor(anchor_path)? {
+                if anchored_tip != tip {
+                    return Err(ServiceError::AnchorMismatch {
+                        path: self.path.clone(),
+                        anchor: anchor_path.clone(),
+                        journal_tip: tip,
+                        anchored_tip,
                     });
                 }
             }

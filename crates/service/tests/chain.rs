@@ -228,6 +228,86 @@ fn boundary_truncation_is_undetectable_but_moves_the_tip() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The fix for that honest limit: an anchored store persists its tip
+/// out-of-band after every append, and both the live audit and a cold
+/// anchored reopen compare the journal's recomputed tip against it —
+/// boundary truncation now fails loudly, while a chain-only open of the
+/// same file stays blind.
+#[test]
+fn anchored_store_detects_boundary_truncation() {
+    let dir = tmpdir("anchored");
+    let anchor = dir.join("tip.anchor");
+    let cfg = EngineConfig::default();
+    let store = ResultStore::open_anchored(&dir, &anchor).unwrap();
+    for i in 0..4 {
+        let (spec, out) = &cells()[i];
+        store
+            .put(scenario_digest(pool_graph(), spec, &cfg), spec, out)
+            .unwrap();
+    }
+    let full_tip = store.verify_chain().unwrap().tip;
+    assert_eq!(
+        std::fs::read_to_string(&anchor).unwrap().trim(),
+        full_tip,
+        "every append rewrites the anchor"
+    );
+
+    // Truncate exactly at a line boundary behind the store's back.
+    let lines = journal_lines(&store);
+    write_lines(&store, &lines[..2]);
+    match store.verify_chain() {
+        Err(ServiceError::AnchorMismatch {
+            journal_tip,
+            anchored_tip,
+            ..
+        }) => {
+            assert_eq!(anchored_tip, full_tip);
+            assert_ne!(journal_tip, full_tip);
+        }
+        other => panic!("anchored audit accepted a truncated journal: {other:?}"),
+    }
+    drop(store);
+
+    match ResultStore::open_anchored(&dir, &anchor) {
+        Err(ServiceError::AnchorMismatch { .. }) => {}
+        other => panic!("anchored reopen accepted a truncated journal: {other:?}"),
+    }
+    // The chain alone still verifies the shorter journal — the blindness
+    // the anchor exists to cure.
+    ResultStore::open(&dir).expect("chain-only open stays blind to boundary truncation");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Anchored lifecycle: a fresh anchor is initialized from the journal at
+/// open (genesis for an empty store), tracks every append, and an intact
+/// journal reopens against it cleanly.
+#[test]
+fn anchor_initializes_and_round_trips() {
+    let dir = tmpdir("anchor-rt");
+    let anchor = dir.join("tip.anchor");
+    let cfg = EngineConfig::default();
+    let store = ResultStore::open_anchored(&dir, &anchor).unwrap();
+    assert_eq!(store.anchor(), Some(anchor.as_path()));
+    assert_eq!(
+        std::fs::read_to_string(&anchor).unwrap().trim(),
+        GENESIS_TIP,
+        "empty store anchors the genesis tip"
+    );
+    let (spec, out) = &cells()[0];
+    store
+        .put(scenario_digest(pool_graph(), spec, &cfg), spec, out)
+        .unwrap();
+    let tip = store.tip();
+    assert_eq!(std::fs::read_to_string(&anchor).unwrap().trim(), tip);
+    drop(store);
+
+    let reopened = ResultStore::open_anchored(&dir, &anchor).unwrap();
+    assert_eq!(reopened.len(), 1);
+    let audit = reopened.verify_chain().unwrap();
+    assert_eq!(audit.tip, tip);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Regression for the daemon's write-back path: many batches drained by
 /// concurrent workers must still produce one globally valid chain — the
 /// store lock serializes appends, and the audit endpoint proves it over
@@ -237,6 +317,7 @@ fn concurrent_worker_write_backs_stay_chain_valid() {
     let dir = tmpdir("workers");
     let mut config = ServeConfig::ephemeral(&dir);
     config.workers = 4;
+    config.anchor = Some(dir.join("tip.anchor"));
     let daemon = Daemon::start(config).unwrap();
     let client = Client::new(daemon.local_addr());
 
@@ -270,8 +351,9 @@ fn concurrent_worker_write_backs_stay_chain_valid() {
     client.shutdown().unwrap();
     daemon.join();
 
-    // The journal the workers interleaved on survives a cold reopen too.
-    let store = ResultStore::open(&dir).unwrap();
+    // The journal the workers interleaved on survives a cold reopen too —
+    // including against the tip the daemon anchored on every write-back.
+    let store = ResultStore::open_anchored(&dir, dir.join("tip.anchor")).unwrap();
     assert_eq!(store.len(), 8);
     assert_eq!(store.verify_chain().unwrap().tip, audit.tip);
     let _ = std::fs::remove_dir_all(&dir);

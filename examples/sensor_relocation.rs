@@ -7,8 +7,16 @@
 //! graph (checked by the runner), the quotient-map algorithm tolerates up
 //! to `n - 1` Byzantine robots because it never trusts a single message.
 //!
+//! The second act runs the field as a *dynamic world*: a compromised
+//! sensor's battery dies mid-deployment, a fresh unit is air-dropped in,
+//! and the attacker rotates strategies — each event starting a new epoch
+//! that re-plans and re-verifies coverage. (The relay backbone is a tree,
+//! so the schedule sticks to churn and adversary switches: severing any
+//! tree edge would disconnect the field.)
+//!
 //! Run with: `cargo run --release --example sensor_relocation`
 
+use byzantine_dispersion::dispersion::runner::ByzPlacement;
 use byzantine_dispersion::graphs::quotient::quotient_graph;
 use byzantine_dispersion::prelude::*;
 
@@ -55,4 +63,53 @@ fn main() {
         );
         assert!(outcome.dispersed);
     }
+
+    // ---- Act two: mid-deployment churn --------------------------------
+    //
+    // Compromised sensors take the low IDs so the schedule can name one
+    // deterministically: sensor 0 (compromised) dies at round 6 while a
+    // working replacement is dropped on relay 3; at round 12 the attacker
+    // rotates the surviving swarm from fake-settling to wandering.
+    let base = ScenarioSpec::arbitrary(Algorithm::QuotientTh1, session.graph())
+        .with_byzantine(f, AdversaryKind::FakeSettler)
+        .with_placement(ByzPlacement::LowIds)
+        .with_seed(7);
+    let spec = DynamicSpec {
+        base,
+        schedule: EventSchedule::default()
+            .with(6, EventKind::Leave { robot: 0 })
+            .with(
+                6,
+                EventKind::Join {
+                    node: 3,
+                    honest: true,
+                },
+            )
+            .with(
+                12,
+                EventKind::AdversarySwitch {
+                    adversary: AdversaryKind::Wanderer,
+                },
+            ),
+    };
+    let dyn_session = DynamicSession::new(field.clone());
+    let outcome = dyn_session.run(&spec).expect("dynamic run");
+    println!("\nmid-deployment churn ({} epochs):", outcome.epochs.len());
+    for ep in &outcome.epochs {
+        println!(
+            "  epoch {}: rounds [{}..{}), {} sensors, terminated: {}, dispersed: {}",
+            ep.epoch,
+            ep.start_round,
+            ep.end_round,
+            ep.outcome.final_positions.len(),
+            ep.terminated,
+            ep.outcome.dispersed,
+        );
+    }
+    let last = outcome.epochs.last().expect("epochs");
+    assert!(last.terminated && last.outcome.dispersed);
+    println!(
+        "field re-covered after churn: {} total rounds across epochs",
+        outcome.total_rounds
+    );
 }

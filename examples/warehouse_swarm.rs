@@ -8,9 +8,17 @@
 //! announce themselves charging when they are not, or go silent. Every
 //! functional robot must end up on its own dock.
 //!
+//! Act two replays the overnight shift as a *dynamic world*: an aisle
+//! closes for maintenance, a robot leaves on a delivery while a
+//! replacement joins at the inbound bay, and the aisle reopens — each
+//! topology change starting a fresh epoch that re-plans and re-verifies
+//! the allocation, with the whole run exported and replayed through the
+//! `bdtr1` trace format.
+//!
 //! Run with: `cargo run --release --example warehouse_swarm`
 
 use byzantine_dispersion::dispersion::runner::ByzPlacement;
+use byzantine_dispersion::dynamic::replay;
 use byzantine_dispersion::prelude::*;
 
 fn main() {
@@ -58,4 +66,61 @@ fn main() {
         outcome.dispersed, outcome.rounds
     );
     assert!(outcome.dispersed);
+
+    // ---- Act two: the overnight shift as a dynamic world ----------------
+    //
+    // Overnight the corrupted units are powered down for reflashing, and
+    // the gathered-start row demands a co-location that churn destroys —
+    // so the night fleet runs the arbitrary-start baseline: twelve
+    // fault-free units already spread across the floor.
+    let fleet = 12;
+    let dyn_base = ScenarioSpec::arbitrary(Algorithm::Baseline, &warehouse)
+        .with_robots(fleet)
+        .with_seed(2026);
+    let schedule = EventSchedule::default()
+        // Maintenance closes the aisle between bays 0 and 1.
+        .with(8, EventKind::EdgeFail { u: 0, v: 1 })
+        // A unit leaves on a delivery; its replacement rolls in at the
+        // inbound bay in the same batch.
+        .with(16, EventKind::Leave { robot: fleet - 1 })
+        .with(
+            16,
+            EventKind::Join {
+                node: 0,
+                honest: true,
+            },
+        )
+        // The aisle reopens for the morning shift.
+        .with(24, EventKind::EdgeHeal { u: 0, v: 1 });
+    let dyn_spec = DynamicSpec {
+        base: dyn_base,
+        schedule,
+    };
+
+    let dyn_session = DynamicSession::new(warehouse.clone());
+    let dyn_outcome = dyn_session.run(&dyn_spec).expect("dynamic run");
+    println!("\novernight shift ({} epochs):", dyn_outcome.epochs.len());
+    for ep in &dyn_outcome.epochs {
+        println!(
+            "  epoch {}: rounds [{}..{}), {} robots, terminated: {}, dispersed: {}",
+            ep.epoch,
+            ep.start_round,
+            ep.end_round,
+            ep.outcome.final_positions.len(),
+            ep.terminated,
+            ep.outcome.dispersed,
+        );
+    }
+    let last = dyn_outcome.epochs.last().expect("epochs");
+    assert!(last.terminated && last.outcome.dispersed);
+
+    // The whole shift replays byte-for-byte from its bdtr1 document.
+    let doc = replay::export(&warehouse, &dyn_spec, &dyn_outcome);
+    let verdict = replay::replay(&doc).expect("well-formed document");
+    println!(
+        "bdtr1 round trip: {} bytes, replay identical: {}",
+        doc.len(),
+        verdict.is_identical()
+    );
+    assert!(verdict.is_identical());
 }

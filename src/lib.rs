@@ -16,6 +16,10 @@
 //! * [`dispersion`] — the paper's algorithms (Theorems 1–7), the adversary
 //!   library, the Theorem 8 impossibility construction, and the high-level
 //!   [`dispersion::runner`] API;
+//! * [`dynamic`] — event-scheduled dynamic worlds: typed event timelines
+//!   (robot churn, edge failure/heal, adversary switches), epoch-structured
+//!   re-planning and re-verification, and the `bdtr1` deterministic
+//!   trace-replay format (see `DYNAMICS.md`);
 //! * [`service`] — the serving layer: content-addressed result store,
 //!   cache-aware batch planner, and the `bd-serve` HTTP daemon.
 //!
@@ -37,6 +41,7 @@
 //! ```
 
 pub use bd_dispersion as dispersion;
+pub use bd_dynamic as dynamic;
 pub use bd_exploration as exploration;
 pub use bd_gathering as gathering;
 pub use bd_graphs as graphs;
@@ -50,6 +55,9 @@ pub mod prelude {
     pub use bd_dispersion::runner::{run_algorithm, Algorithm, Outcome, ScenarioSpec};
     pub use bd_dispersion::session::Session;
     pub use bd_dispersion::verify::verify_dispersion;
+    pub use bd_dynamic::{
+        DynamicOutcome, DynamicSession, DynamicSpec, EventKind, EventSchedule, ScheduledEvent,
+    };
     pub use bd_graphs::{self, generators, PortGraph};
     pub use bd_runtime::metrics::RunMetrics;
     pub use bd_service::{CachedPlanner, ResultStore};
