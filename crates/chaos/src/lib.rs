@@ -1,0 +1,458 @@
+//! # bd-chaos
+//!
+//! Deterministic fault injection for the serving stack. The oracle fuzzer
+//! (VERIFICATION.md layers 4–5) proves the *engine* honest by injecting a
+//! fault and demonstrating the gate catches it; this crate applies the
+//! same discipline to the *infrastructure* around the engine — the
+//! hash-chained `ResultStore` journal, the `bd-serve` daemon, and the
+//! blocking client. Every fault a drill injects is derived from a seed, so
+//! a failing cycle replays byte-identically from its `(plan, cycle)`
+//! coordinates alone.
+//!
+//! ## The model
+//!
+//! A [`FaultPlan`] is a serde-able description of *which* faults can fire
+//! and *how often*, plus the seed all decisions derive from. A [`Chaos`]
+//! handle is built from a plan and threaded into the component under test
+//! (the store's I/O path, the daemon's worker loop); each **injection
+//! point** asks the handle for a decision:
+//!
+//! | Site | Decision | Emulates |
+//! |---|---|---|
+//! | journal append | [`WriteFault::Torn`] | process killed mid-`write(2)`: a prefix of the record reaches disk |
+//! | journal append | [`WriteFault::FsyncLost`] | power loss with dirty page cache: this append **and every later one** never reach disk |
+//! | anchor rewrite | [`AnchorFault::Lost`] | kill between the journal append and the anchor rename |
+//! | worker batch | [`WorkerFault::Panic`] | a worker thread panics mid-batch |
+//!
+//! Socket-level faults ([`SocketFault`]) have no server-side injection
+//! point at all: the drill *is* the adversarial client, speaking garbage,
+//! disconnecting mid-body, stalling, or dribbling bytes at a real daemon
+//! socket. The plan only decides which misbehavior each cycle performs.
+//!
+//! ## Kill semantics
+//!
+//! `Torn` and `FsyncLost` are **kill-class** faults: once one fires, the
+//! handle latches [`Chaos::killed`] and every subsequent journal write or
+//! flush through the same handle is suppressed — a dead process does not
+//! keep writing. The drill treats the error surfaced by the injected
+//! operation as the moment of death, drops the store, and re-opens it the
+//! way a restarted `bd-serve` would. RESILIENCE.md maps every fault to
+//! the recovery contract the drill then asserts.
+//!
+//! ## Cost when disabled
+//!
+//! [`Chaos::off`] carries no plan: every injection point is one `Option`
+//! discriminant check and returns the clean decision. `bd-bench --bin
+//! chaos -- --overhead-check` pins this with the same interleaved A/B
+//! pattern as the telemetry overhead smoke.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A seed-driven description of which faults can fire and how often.
+///
+/// Every `*_one_in` field is an inverse rate: `0` disables the fault,
+/// `1` fires it on every decision, `n` fires it on roughly one decision
+/// in `n` (deterministically — the draw mixes the plan seed, a per-site
+/// domain tag, and the site's decision counter, so the k-th decision at a
+/// site is a pure function of the plan).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed all decisions derive from.
+    pub seed: u64,
+    /// 1-in-N chance a journal append is torn at a seed-chosen byte
+    /// (kill-class: the handle latches dead).
+    pub torn_write_one_in: u32,
+    /// 1-in-N chance an append begins a lost-page-cache window: it and
+    /// every later write never reach disk (kill-class).
+    pub fsync_loss_one_in: u32,
+    /// 1-in-N chance the anchor rewrite after an append is lost (the
+    /// journal-ahead-of-anchor crash window).
+    pub anchor_loss_one_in: u32,
+    /// 1-in-N chance a daemon worker panics inside a batch.
+    pub worker_panic_one_in: u32,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The journal-kill drill mix: torn writes, fsync-loss windows, and
+    /// anchor losses all armed at the given inverse rate.
+    pub fn journal_mix(seed: u64, one_in: u32) -> FaultPlan {
+        FaultPlan {
+            seed,
+            torn_write_one_in: one_in,
+            fsync_loss_one_in: one_in,
+            anchor_loss_one_in: one_in,
+            worker_panic_one_in: 0,
+        }
+    }
+}
+
+/// What an injection point in the journal append path must do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write the whole record and carry on.
+    Clean,
+    /// Write only the first `prefix` bytes, then die: the caller must
+    /// persist exactly that prefix and surface a kill error.
+    Torn {
+        /// Bytes of the record that reach disk (may be 0 or the full
+        /// length — a kill can land on either boundary).
+        prefix: usize,
+    },
+    /// The record (and everything after it) never reaches disk; the
+    /// caller must skip the write and surface a kill error.
+    FsyncLost,
+}
+
+/// What an injection point in the anchor rewrite path must do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnchorFault {
+    /// Rewrite the anchor as usual.
+    Clean,
+    /// Skip the rewrite: the journal ends up one entry ahead of the
+    /// anchor, exactly as a kill between the two writes leaves it.
+    Lost,
+}
+
+/// What an injection point in the daemon's worker loop must do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Process the batch as usual.
+    Clean,
+    /// Panic mid-batch (the daemon must isolate it: batch failed, worker
+    /// alive, counter bumped).
+    Panic,
+}
+
+/// Client-side socket misbehaviors the drill performs against a live
+/// daemon. No server-side injection point exists for these — the drill
+/// speaks them over a real `TcpStream` and the daemon's deadlines and
+/// parser must hold the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SocketFault {
+    /// Send a valid header claiming a body, then disconnect mid-body.
+    DisconnectMidBody,
+    /// Connect, send a partial header, then go silent past the deadline.
+    StalledRead,
+    /// Send bytes that are not HTTP at all.
+    Garbage,
+    /// Claim a `Content-Length` beyond the daemon's message cap.
+    Oversized,
+    /// Dribble a legitimate request one byte at a time, slower than the
+    /// total deadline tolerates.
+    SlowLoris,
+}
+
+impl SocketFault {
+    /// All socket faults, in the order the drill cycles through them.
+    pub const ALL: [SocketFault; 5] = [
+        SocketFault::DisconnectMidBody,
+        SocketFault::StalledRead,
+        SocketFault::Garbage,
+        SocketFault::Oversized,
+        SocketFault::SlowLoris,
+    ];
+
+    /// The seed-chosen fault for one drill cycle.
+    pub fn draw(seed: u64, cycle: u64) -> SocketFault {
+        let i = mix(seed, SITE_SOCKET, cycle) as usize % SocketFault::ALL.len();
+        SocketFault::ALL[i]
+    }
+}
+
+/// Injection counters a handle accumulates — the drill's accounting and
+/// the daemon's `bd_chaos_faults_total` metric family read these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosCounters {
+    /// Journal appends torn mid-record.
+    pub torn_writes: u64,
+    /// Appends that began a lost-page-cache window.
+    pub fsync_losses: u64,
+    /// Anchor rewrites lost.
+    pub anchor_losses: u64,
+    /// Worker panics injected.
+    pub worker_panics: u64,
+    /// Writes suppressed because the handle was already dead.
+    pub suppressed_writes: u64,
+}
+
+/// Domain tags separating the decision streams per site: the k-th torn-
+/// write draw never correlates with the k-th anchor draw.
+const SITE_TORN: u64 = 0x746f_726e; // "torn"
+const SITE_FSYNC: u64 = 0x6673_796e; // "fsyn"
+const SITE_ANCHOR: u64 = 0x616e_6368; // "anch"
+const SITE_WORKER: u64 = 0x776f_726b; // "work"
+const SITE_SOCKET: u64 = 0x736f_636b; // "sock"
+const SITE_PREFIX: u64 = 0x7072_6566; // "pref"
+
+/// SplitMix64-style mix of (seed, site, counter) → a uniform draw. Not
+/// cryptographic; deterministic and well-spread is all a drill needs.
+fn mix(seed: u64, site: u64, counter: u64) -> u64 {
+    let mut z = seed ^ site.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ counter;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One deterministic 1-in-`one_in` draw.
+fn fires(seed: u64, site: u64, counter: u64, one_in: u32) -> bool {
+    one_in != 0 && mix(seed, site, counter) % u64::from(one_in) == 0
+}
+
+struct ChaosState {
+    plan: FaultPlan,
+    /// Monotone decision counters per site — the determinism substrate.
+    journal_decisions: AtomicU64,
+    anchor_decisions: AtomicU64,
+    worker_decisions: AtomicU64,
+    /// Latched by kill-class faults: the "process" is dead, later writes
+    /// are suppressed.
+    killed: AtomicBool,
+    torn_writes: AtomicU64,
+    fsync_losses: AtomicU64,
+    anchor_losses: AtomicU64,
+    worker_panics: AtomicU64,
+    suppressed_writes: AtomicU64,
+}
+
+/// A cheap, cloneable fault-injection handle. [`Chaos::off`] is the
+/// production default: no plan, no allocation, every decision is one
+/// `Option` discriminant check returning the clean answer.
+#[derive(Clone, Default)]
+pub struct Chaos {
+    inner: Option<Arc<ChaosState>>,
+}
+
+impl std::fmt::Debug for Chaos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Chaos(off)"),
+            Some(s) => f
+                .debug_struct("Chaos")
+                .field("plan", &s.plan)
+                .field("killed", &s.killed.load(Ordering::Relaxed))
+                .finish(),
+        }
+    }
+}
+
+impl Chaos {
+    /// The disabled handle: every injection point is a no-op.
+    pub fn off() -> Chaos {
+        Chaos { inner: None }
+    }
+
+    /// A handle executing `plan`.
+    pub fn from_plan(plan: FaultPlan) -> Chaos {
+        Chaos {
+            inner: Some(Arc::new(ChaosState {
+                plan,
+                journal_decisions: AtomicU64::new(0),
+                anchor_decisions: AtomicU64::new(0),
+                worker_decisions: AtomicU64::new(0),
+                killed: AtomicBool::new(false),
+                torn_writes: AtomicU64::new(0),
+                fsync_losses: AtomicU64::new(0),
+                anchor_losses: AtomicU64::new(0),
+                worker_panics: AtomicU64::new(0),
+                suppressed_writes: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether any fault can ever fire through this handle.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether a kill-class fault has fired: the emulated process is dead
+    /// and the caller should stop using the component under test.
+    pub fn killed(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|s| s.killed.load(Ordering::Relaxed))
+    }
+
+    /// Injection counters so far (all zero for a disabled handle).
+    pub fn counters(&self) -> ChaosCounters {
+        match &self.inner {
+            None => ChaosCounters::default(),
+            Some(s) => ChaosCounters {
+                torn_writes: s.torn_writes.load(Ordering::Relaxed),
+                fsync_losses: s.fsync_losses.load(Ordering::Relaxed),
+                anchor_losses: s.anchor_losses.load(Ordering::Relaxed),
+                worker_panics: s.worker_panics.load(Ordering::Relaxed),
+                suppressed_writes: s.suppressed_writes.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// Decision for a journal append of `len` bytes.
+    pub fn journal_write(&self, len: usize) -> WriteFault {
+        let Some(s) = &self.inner else {
+            return WriteFault::Clean;
+        };
+        if s.killed.load(Ordering::Relaxed) {
+            s.suppressed_writes.fetch_add(1, Ordering::Relaxed);
+            return WriteFault::FsyncLost;
+        }
+        let k = s.journal_decisions.fetch_add(1, Ordering::Relaxed);
+        if fires(s.plan.seed, SITE_TORN, k, s.plan.torn_write_one_in) {
+            s.killed.store(true, Ordering::Relaxed);
+            s.torn_writes.fetch_add(1, Ordering::Relaxed);
+            // The kill byte is drawn over `len + 1` so both boundaries —
+            // nothing written, everything written — are reachable.
+            let prefix = (mix(s.plan.seed, SITE_PREFIX, k) as usize) % (len + 1);
+            return WriteFault::Torn { prefix };
+        }
+        if fires(s.plan.seed, SITE_FSYNC, k, s.plan.fsync_loss_one_in) {
+            s.killed.store(true, Ordering::Relaxed);
+            s.fsync_losses.fetch_add(1, Ordering::Relaxed);
+            return WriteFault::FsyncLost;
+        }
+        WriteFault::Clean
+    }
+
+    /// Decision for an anchor rewrite.
+    pub fn anchor_write(&self) -> AnchorFault {
+        let Some(s) = &self.inner else {
+            return AnchorFault::Clean;
+        };
+        if s.killed.load(Ordering::Relaxed) {
+            s.suppressed_writes.fetch_add(1, Ordering::Relaxed);
+            return AnchorFault::Lost;
+        }
+        let k = s.anchor_decisions.fetch_add(1, Ordering::Relaxed);
+        if fires(s.plan.seed, SITE_ANCHOR, k, s.plan.anchor_loss_one_in) {
+            s.anchor_losses.fetch_add(1, Ordering::Relaxed);
+            return AnchorFault::Lost;
+        }
+        AnchorFault::Clean
+    }
+
+    /// Decision for one daemon worker batch.
+    pub fn worker_batch(&self) -> WorkerFault {
+        let Some(s) = &self.inner else {
+            return WorkerFault::Clean;
+        };
+        let k = s.worker_decisions.fetch_add(1, Ordering::Relaxed);
+        if fires(s.plan.seed, SITE_WORKER, k, s.plan.worker_panic_one_in) {
+            s.worker_panics.fetch_add(1, Ordering::Relaxed);
+            return WorkerFault::Panic;
+        }
+        WorkerFault::Clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_always_clean() {
+        let chaos = Chaos::off();
+        assert!(!chaos.enabled());
+        for len in [0, 1, 4096] {
+            assert_eq!(chaos.journal_write(len), WriteFault::Clean);
+        }
+        assert_eq!(chaos.anchor_write(), AnchorFault::Clean);
+        assert_eq!(chaos.worker_batch(), WorkerFault::Clean);
+        assert!(!chaos.killed());
+        assert_eq!(chaos.counters(), ChaosCounters::default());
+    }
+
+    #[test]
+    fn decisions_are_reproducible_from_the_plan() {
+        let plan = FaultPlan::journal_mix(42, 5);
+        let run = || {
+            let chaos = Chaos::from_plan(plan.clone());
+            let mut trace = Vec::new();
+            for i in 0..64 {
+                trace.push((chaos.journal_write(100 + i), chaos.anchor_write()));
+            }
+            (trace, chaos.counters())
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        assert_eq!(a, b, "same plan, same decision stream");
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn kill_class_faults_latch_and_suppress_later_writes() {
+        // torn_write 1-in-1: the very first append dies.
+        let chaos = Chaos::from_plan(FaultPlan {
+            seed: 7,
+            torn_write_one_in: 1,
+            ..FaultPlan::default()
+        });
+        let first = chaos.journal_write(50);
+        assert!(matches!(first, WriteFault::Torn { prefix } if prefix <= 50));
+        assert!(chaos.killed());
+        // Everything after the kill is lost, not torn again.
+        assert_eq!(chaos.journal_write(50), WriteFault::FsyncLost);
+        assert_eq!(chaos.anchor_write(), AnchorFault::Lost);
+        let c = chaos.counters();
+        assert_eq!(c.torn_writes, 1);
+        assert_eq!(c.suppressed_writes, 2);
+    }
+
+    #[test]
+    fn torn_prefix_reaches_both_boundaries() {
+        // Across many seeds with certain tearing, the drawn prefix must
+        // cover 0, the full length, and interior bytes.
+        let mut seen_zero = false;
+        let mut seen_full = false;
+        let mut seen_mid = false;
+        for seed in 0..200 {
+            let chaos = Chaos::from_plan(FaultPlan {
+                seed,
+                torn_write_one_in: 1,
+                ..FaultPlan::default()
+            });
+            match chaos.journal_write(10) {
+                WriteFault::Torn { prefix: 0 } => seen_zero = true,
+                WriteFault::Torn { prefix: 10 } => seen_full = true,
+                WriteFault::Torn { .. } => seen_mid = true,
+                other => panic!("expected torn, got {other:?}"),
+            }
+        }
+        assert!(seen_zero && seen_full && seen_mid);
+    }
+
+    #[test]
+    fn plans_round_trip_through_serde() {
+        let plan = FaultPlan {
+            seed: 99,
+            torn_write_one_in: 3,
+            fsync_loss_one_in: 4,
+            anchor_loss_one_in: 5,
+            worker_panic_one_in: 6,
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn socket_fault_draw_is_deterministic_and_covers_the_taxonomy() {
+        let mut seen = std::collections::BTreeSet::new();
+        for cycle in 0..64 {
+            let a = SocketFault::draw(11, cycle);
+            let b = SocketFault::draw(11, cycle);
+            assert_eq!(a, b);
+            seen.insert(format!("{a:?}"));
+        }
+        assert_eq!(seen.len(), SocketFault::ALL.len(), "all faults drawn");
+    }
+}

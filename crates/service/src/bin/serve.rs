@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bd-serve --store DIR [--addr 127.0.0.1:7171] [--workers N] [--queue-depth N] \
-//!          [--anchor FILE]
+//!          [--anchor FILE] [--chaos-plan FILE]
 //! ```
 //!
 //! Binds, prints one `listening on <addr>` line (port `0` in `--addr`
@@ -15,13 +15,19 @@
 //! tampering mode the hash chain alone cannot — truncating the tail
 //! exactly at a line boundary. Point it at storage the journal's own
 //! adversary cannot write.
+//!
+//! `--chaos-plan FILE` loads a JSON `bd_chaos::FaultPlan` and arms
+//! deterministic fault injection in the store's write path and the worker
+//! loop — the crash-recovery drill's knob (RESILIENCE.md). Never use it
+//! on a store you care about: it exists to tear writes on purpose.
 
+use bd_chaos::{Chaos, FaultPlan};
 use bd_service::{Daemon, ServeConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bd-serve --store DIR [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--anchor FILE]"
+         [--anchor FILE] [--chaos-plan FILE]"
     );
     std::process::exit(2);
 }
@@ -45,6 +51,19 @@ fn main() {
                 config.queue_depth = value("--queue-depth").parse().unwrap_or_else(|_| usage())
             }
             "--anchor" => config.anchor = Some(value("--anchor").into()),
+            "--chaos-plan" => {
+                let path = value("--chaos-plan");
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("bd-serve: read chaos plan {path}: {e}");
+                    std::process::exit(2);
+                });
+                let plan: FaultPlan = serde_json::from_str(&text).unwrap_or_else(|e| {
+                    eprintln!("bd-serve: parse chaos plan {path}: {e}");
+                    std::process::exit(2);
+                });
+                eprintln!("bd-serve: fault injection armed: {plan:?}");
+                config.chaos = Chaos::from_plan(plan);
+            }
             _ => usage(),
         }
     }

@@ -19,12 +19,32 @@
 //! acquisition — a reader can never observe a torn view (say, a
 //! `completed` bump without the totals that came with it).
 //!
-//! Each accepted connection is handled on its own thread (socket
-//! read/write timeouts bound its lifetime), so a stalled client cannot
-//! block `/healthz` or `/shutdown`. Memory is bounded: only the most
-//! recent [`COMPLETED_RETENTION`] finished batch records are kept (older
-//! ones answer `404` after eviction) and at most [`GRAPH_MEMO_CAP`]
-//! graphs stay memoized.
+//! Each accepted connection is handled on its own thread, bounded by
+//! [`http::Deadlines`]: a per-read idle timeout *and* a whole-request
+//! total deadline, so neither a stalled client nor a slow-loris trickle
+//! can hold a thread hostage or block `/healthz` and `/shutdown`. Memory
+//! is bounded: only the most recent [`COMPLETED_RETENTION`] finished
+//! batch records are kept (older ones answer `404` after eviction) and at
+//! most [`GRAPH_MEMO_CAP`] graphs stay memoized.
+//!
+//! **Graceful degradation** (RESILIENCE.md): the store is an
+//! availability liability the compute path does not share, so it is never
+//! allowed to take the daemon down. If the journal fails verification at
+//! startup, or a write to it fails at runtime, the daemon flips to
+//! **degraded compute-only mode**: batches still simulate (nothing is
+//! cached or persisted, every cell reports `cached: false`), `/healthz`
+//! and `/stats` carry `degraded: true`, and `/metrics` exposes
+//! `bd_degraded` / `bd_store_available`. Degradation is one-way for the
+//! process — a journal that failed once is evidence, and only an operator
+//! (restart after repair) should clear it.
+//!
+//! **Worker panic isolation**: a panicking batch (a bug — or the chaos
+//! drill) marks that batch `failed` and is counted in
+//! `bd_worker_panics_total`; the worker thread survives and keeps
+//! draining the queue. The daemon's locks recover from poisoning, at the
+//! documented cost that a batch interrupted mid-accounting may leave its
+//! counters partially merged — availability over perfectly-consistent
+//! metrics, for metrics only.
 //!
 //! Shutdown (`POST /shutdown` or [`Daemon::shutdown`]) stops the acceptor,
 //! which drops the queue sender; workers drain what was already accepted,
@@ -37,7 +57,9 @@ use crate::http;
 use crate::protocol::{
     AuditReply, BatchAccepted, BatchReply, BatchRequest, CellResult, ErrorReply, Health, StatsReply,
 };
-use crate::store::ResultStore;
+use crate::store::{ResultStore, StoreOptions};
+use bd_chaos::{Chaos, WorkerFault};
+use bd_dispersion::BatchPlanner;
 use bd_graphs::PortGraph;
 use bd_telemetry::prom::{self, Histogram, PromText};
 use std::collections::{BTreeMap, HashMap};
@@ -45,7 +67,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -62,9 +84,15 @@ pub struct ServeConfig {
     /// Bounded queue depth; submissions beyond it get `503`.
     pub queue_depth: usize,
     /// Out-of-band chain-tip anchor file (`--anchor`); when set, the store
-    /// opens with [`ResultStore::open_anchored`] so `/audit` also detects
-    /// line-boundary tail truncation.
+    /// opens anchored so `/audit` also detects line-boundary tail
+    /// truncation.
     pub anchor: Option<PathBuf>,
+    /// Per-request I/O deadlines for every connection.
+    pub deadlines: http::Deadlines,
+    /// Fault-injection handle, threaded into both the store's write path
+    /// and the worker loop ([`Chaos::off`] outside drills; `--chaos-plan`
+    /// on the binary).
+    pub chaos: Chaos,
 }
 
 impl ServeConfig {
@@ -77,6 +105,8 @@ impl ServeConfig {
             workers: 2,
             queue_depth: 64,
             anchor: None,
+            deadlines: http::Deadlines::default(),
+            chaos: Chaos::off(),
         }
     }
 }
@@ -116,6 +146,15 @@ const RPS_BUCKETS: &[u64] = &[
     1_000, 10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 5_000_000,
 ];
 
+/// Lock acquisition that survives poisoning: a panicking worker (isolated
+/// by `catch_unwind`) must not turn every later `/stats` or submission
+/// into a second panic. The data under these locks is accounting and
+/// batch records — worst case after a mid-section panic is one batch's
+/// counters partially merged, which the module docs accept by name.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Every cross-batch counter the daemon accumulates, behind one mutex so
 /// updates (merge totals + bump `completed`, one worker critical section)
 /// and reads (`/stats`, `/metrics`) are atomic snapshots — the torn-read
@@ -130,6 +169,14 @@ struct ServeMetrics {
     totals: CacheStats,
     /// Wall-clock workers spent inside batches, microseconds.
     busy_micros: u64,
+    /// Batches whose worker panicked (batch failed, worker survived).
+    worker_panics: u64,
+    /// Requests whose read failed before routing: malformed HTTP, torn
+    /// connections, and elapsed deadlines.
+    protocol_errors: u64,
+    /// Submissions bounced with `503` because the queue was full (or
+    /// the daemon was draining).
+    shed: u64,
     /// Simulated-cell throughput per Table 1 row, rounds per second.
     row_rps: BTreeMap<String, Histogram>,
 }
@@ -143,7 +190,12 @@ impl ServeMetrics {
 }
 
 struct State {
-    store: ResultStore,
+    /// `None` when the journal failed at startup — the daemon starts
+    /// degraded instead of refusing to serve compute.
+    store: Option<ResultStore>,
+    /// `Some(reason)` once the daemon has entered degraded compute-only
+    /// mode. One-way for the process lifetime.
+    degraded: Mutex<Option<String>>,
     batches: Mutex<BTreeMap<u64, BatchRecord>>,
     graphs: Mutex<HashMap<String, Arc<PortGraph>>>,
     next_id: AtomicU64,
@@ -151,14 +203,38 @@ struct State {
     /// HTTP connections currently being handled (each on its own thread).
     connections: AtomicU64,
     workers: usize,
+    deadlines: http::Deadlines,
+    chaos: Chaos,
     metrics: Mutex<ServeMetrics>,
 }
 
 impl State {
+    fn is_degraded(&self) -> bool {
+        lock_recover(&self.degraded).is_some()
+    }
+
+    /// Enter degraded compute-only mode (first reason wins).
+    fn degrade(&self, reason: String) {
+        let mut d = lock_recover(&self.degraded);
+        if d.is_none() {
+            eprintln!("bd-serve: entering degraded compute-only mode: {reason}");
+            *d = Some(reason);
+        }
+    }
+
+    /// The store, but only while the daemon still trusts it.
+    fn healthy_store(&self) -> Option<&ResultStore> {
+        if self.is_degraded() {
+            None
+        } else {
+            self.store.as_ref()
+        }
+    }
+
     /// Drop the oldest completed records beyond [`COMPLETED_RETENTION`]
     /// (BTreeMap iterates in id order, so the oldest go first).
     fn evict_completed(&self) {
-        let mut batches = self.batches.lock().expect("batches lock");
+        let mut batches = lock_recover(&self.batches);
         let completed: Vec<u64> = batches
             .iter()
             .filter(|(_, r)| matches!(r.state, BatchState::Done | BatchState::Failed(_)))
@@ -201,10 +277,25 @@ impl std::fmt::Debug for Daemon {
 
 impl Daemon {
     /// Bind, open the store, and spawn the acceptor + worker threads.
+    ///
+    /// A store that fails to open — tampered journal, anchor mismatch,
+    /// unreadable directory — does **not** fail the start: the daemon
+    /// comes up in degraded compute-only mode with the failure as the
+    /// reason, because a broken cache must not deny service the compute
+    /// path can still provide. Only the socket bind can fail a start.
     pub fn start(config: ServeConfig) -> Result<Daemon, ServiceError> {
-        let store = match &config.anchor {
-            Some(anchor) => ResultStore::open_anchored(&config.store_dir, anchor.clone())?,
-            None => ResultStore::open(&config.store_dir)?,
+        let mut degraded = None;
+        let options = StoreOptions::from_env().with_chaos(config.chaos.clone());
+        let options = match &config.anchor {
+            Some(anchor) => options.with_anchor(anchor.clone()),
+            None => options,
+        };
+        let store = match ResultStore::open_with(&config.store_dir, options) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                degraded = Some(format!("store failed to open: {e}"));
+                None
+            }
         };
         let listener = TcpListener::bind(config.addr.as_str())?;
         let local_addr = listener.local_addr()?;
@@ -213,14 +304,20 @@ impl Daemon {
         let workers = config.workers.max(1);
         let state = Arc::new(State {
             store,
+            degraded: Mutex::new(degraded.clone()),
             batches: Mutex::new(BTreeMap::new()),
             graphs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             running: AtomicBool::new(true),
             connections: AtomicU64::new(0),
             workers,
+            deadlines: config.deadlines,
+            chaos: config.chaos,
             metrics: Mutex::new(ServeMetrics::default()),
         });
+        if let Some(reason) = degraded {
+            eprintln!("bd-serve: starting in degraded compute-only mode: {reason}");
+        }
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<u64>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
@@ -256,6 +353,11 @@ impl Daemon {
         self.local_addr
     }
 
+    /// Whether the daemon is in degraded compute-only mode.
+    pub fn is_degraded(&self) -> bool {
+        self.state.is_degraded()
+    }
+
     /// Ask the daemon to stop accepting; queued work still drains.
     pub fn shutdown(&self) {
         self.state.running.store(false, Ordering::SeqCst);
@@ -289,8 +391,9 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>, tx: &SyncSender<u64>)
             Ok((stream, _)) => {
                 // One thread per connection: a slow or stalled client must
                 // never block /healthz, /shutdown, or other submissions.
-                // Socket timeouts (http::IO_TIMEOUT) bound each thread's
-                // lifetime; the guard keeps the live count for join().
+                // Per-request deadlines (state.deadlines) bound each
+                // thread's lifetime; the guard keeps the live count for
+                // join().
                 state.connections.fetch_add(1, Ordering::SeqCst);
                 let state = Arc::clone(state);
                 let tx = tx.clone();
@@ -310,9 +413,14 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>, tx: &SyncSender<u64>)
 }
 
 fn handle_connection(mut stream: TcpStream, state: &Arc<State>, tx: &SyncSender<u64>) {
-    let request = match http::read_request(&mut stream) {
+    let request = match http::read_request_with(&mut stream, state.deadlines) {
         Ok(r) => r,
         Err(e) => {
+            // Garbage, torn connections, and deadline expiries all land
+            // here: count them (the socket-fault drill's observable),
+            // answer 400 best-effort, drop the connection. Nothing a peer
+            // sends reaches a panic path.
+            lock_recover(&state.metrics).protocol_errors += 1;
             let _ = http::respond(&mut stream, 400, &error_body(&e.to_string()));
             return;
         }
@@ -337,25 +445,28 @@ fn route(req: &http::Request, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16,
         ("GET", "/healthz") => {
             let health = Health {
                 ok: true,
-                store_entries: state.store.len(),
+                degraded: state.is_degraded(),
+                store_entries: state.store.as_ref().map_or(0, ResultStore::len),
             };
             (200, serde_json::to_string(&health).expect("health"))
         }
         ("GET", "/stats") => {
-            let counters = state.store.counters();
+            let counters = state.store.as_ref().map(ResultStore::counters);
             // One acquisition for all batch-level counters: submitted,
             // completed, queue depth, and totals come from the same
             // instant, never a torn mix.
             let reply = {
-                let m = state.metrics.lock().expect("metrics lock");
+                let m = lock_recover(&state.metrics);
                 StatsReply {
-                    store_entries: state.store.len(),
-                    store_hits: counters.hits,
-                    store_misses: counters.misses,
+                    store_entries: state.store.as_ref().map_or(0, ResultStore::len),
+                    store_hits: counters.map_or(0, |c| c.hits),
+                    store_misses: counters.map_or(0, |c| c.misses),
                     batches_submitted: m.submitted,
                     batches_completed: m.completed,
                     queue_depth: m.queue_depth(),
                     workers: state.workers,
+                    degraded: state.is_degraded(),
+                    worker_panics: m.worker_panics,
                     totals: m.totals,
                 }
             };
@@ -379,8 +490,15 @@ fn route(req: &http::Request, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16,
 /// `GET /audit`: chain-verify the journal as it sits on disk right now.
 /// A verified chain is `200`; a broken one is `409 Conflict` with the same
 /// body shape, carrying the failing index; anything else (I/O) is `500`.
+/// A daemon without a store (degraded from startup) answers `503`.
 fn audit(state: &Arc<State>) -> (u16, String) {
-    let reply = match state.store.verify_chain() {
+    let Some(store) = state.store.as_ref() else {
+        return (
+            503,
+            error_body("store unavailable: daemon is degraded compute-only"),
+        );
+    };
+    let reply = match store.verify_chain() {
         Ok(a) => AuditReply {
             ok: true,
             entries: a.entries,
@@ -411,7 +529,7 @@ fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, S
     }
     let cells = request.specs.len();
     let id = state.next_id.fetch_add(1, Ordering::Relaxed);
-    state.batches.lock().expect("batches lock").insert(
+    lock_recover(&state.batches).insert(
         id,
         BatchRecord {
             request: Some(request),
@@ -422,7 +540,7 @@ fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, S
     );
     // `submitted` is bumped *before* the job becomes poppable: a fast
     // worker must never increment `completed` past `submitted`.
-    state.metrics.lock().expect("metrics lock").submitted += 1;
+    lock_recover(&state.metrics).submitted += 1;
     match tx.try_send(id) {
         Ok(()) => {
             let reply = BatchAccepted {
@@ -433,8 +551,11 @@ fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, S
             (202, serde_json::to_string(&reply).expect("accepted"))
         }
         Err(e) => {
-            state.metrics.lock().expect("metrics lock").submitted -= 1;
-            state.batches.lock().expect("batches lock").remove(&id);
+            let mut m = lock_recover(&state.metrics);
+            m.submitted -= 1;
+            m.shed += 1;
+            drop(m);
+            lock_recover(&state.batches).remove(&id);
             let msg = match e {
                 TrySendError::Full(_) => "job queue full, resubmit later",
                 TrySendError::Disconnected(_) => "daemon is shutting down",
@@ -449,7 +570,7 @@ fn batch_status(path: &str, state: &Arc<State>) -> (u16, String) {
         Ok(id) => id,
         Err(_) => return (400, error_body(&format!("bad batch id in {path}"))),
     };
-    let batches = state.batches.lock().expect("batches lock");
+    let batches = lock_recover(&state.batches);
     let Some(record) = batches.get(&id) else {
         return (404, error_body(&format!("no batch {id}")));
     };
@@ -472,29 +593,55 @@ fn batch_status(path: &str, state: &Arc<State>) -> (u16, String) {
 fn worker_loop(state: &Arc<State>, rx: &Arc<Mutex<Receiver<u64>>>) {
     loop {
         let job = {
-            let rx = rx.lock().expect("queue lock");
+            let rx = lock_recover(rx);
             rx.recv_timeout(Duration::from_millis(50))
         };
         match job {
             Ok(id) => {
                 let t0 = std::time::Instant::now();
-                let done = process_batch(state, id);
+                // Panic isolation: a batch that panics (a bug, or the
+                // chaos drill's injected WorkerFault) fails *that batch*;
+                // the worker thread survives and keeps draining.
+                let done = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    process_batch(state, id)
+                }));
                 // One critical section for the whole completion: totals,
                 // throughput observations, busy time, and the `completed`
                 // bump land together, so `/stats` and `/metrics` readers
                 // always see them as a unit.
-                let mut m = state.metrics.lock().expect("metrics lock");
-                m.busy_micros += t0.elapsed().as_micros() as u64;
-                if let Some((stats, observations)) = done {
-                    m.totals.merge(&stats);
-                    for (row, rps) in observations {
-                        m.row_rps
-                            .entry(row)
-                            .or_insert_with(|| Histogram::new(RPS_BUCKETS))
-                            .observe(rps);
+                match done {
+                    Ok(done) => {
+                        let mut m = lock_recover(&state.metrics);
+                        m.busy_micros += t0.elapsed().as_micros() as u64;
+                        if let Some((stats, observations)) = done {
+                            m.totals.merge(&stats);
+                            for (row, rps) in observations {
+                                m.row_rps
+                                    .entry(row)
+                                    .or_insert_with(|| Histogram::new(RPS_BUCKETS))
+                                    .observe(rps);
+                            }
+                        }
+                        m.completed += 1;
+                    }
+                    Err(_) => {
+                        let mut batches = lock_recover(&state.batches);
+                        if let Some(record) = batches.get_mut(&id) {
+                            if !matches!(record.state, BatchState::Done | BatchState::Failed(_)) {
+                                record.state = BatchState::Failed(
+                                    "worker panicked while running this batch (daemon still \
+                                     serving; see bd_worker_panics_total)"
+                                        .into(),
+                                );
+                            }
+                        }
+                        drop(batches);
+                        let mut m = lock_recover(&state.metrics);
+                        m.busy_micros += t0.elapsed().as_micros() as u64;
+                        m.worker_panics += 1;
+                        m.completed += 1;
                     }
                 }
-                m.completed += 1;
             }
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
@@ -507,12 +654,12 @@ fn worker_loop(state: &Arc<State>, rx: &Arc<Mutex<Receiver<u64>>>) {
 /// session).
 fn graph_for(state: &Arc<State>, source: &GraphSource) -> Result<Arc<PortGraph>, ServiceError> {
     let key = source.cache_key();
-    if let Some(g) = state.graphs.lock().expect("graphs lock").get(&key) {
+    if let Some(g) = lock_recover(&state.graphs).get(&key) {
         return Ok(Arc::clone(g));
     }
     // Materialize outside the lock: graph generation can be slow.
     let g = Arc::new(source.materialize()?);
-    let mut graphs = state.graphs.lock().expect("graphs lock");
+    let mut graphs = lock_recover(&state.graphs);
     if graphs.len() >= GRAPH_MEMO_CAP && !graphs.contains_key(&key) {
         // Memo full: serve this batch unmemoized rather than grow without
         // bound (the memo is an optimization, not a correctness need).
@@ -527,7 +674,7 @@ fn graph_for(state: &Arc<State>, source: &GraphSource) -> Result<Arc<PortGraph>,
 /// its record vanished — the caller folds either into [`ServeMetrics`].
 fn process_batch(state: &Arc<State>, id: u64) -> Option<(CacheStats, Vec<(String, u64)>)> {
     let request = {
-        let mut batches = state.batches.lock().expect("batches lock");
+        let mut batches = lock_recover(&state.batches);
         let record = batches.get_mut(&id)?;
         record.state = BatchState::Running;
         // Take, don't clone: nothing reads the request after this point,
@@ -535,10 +682,15 @@ fn process_batch(state: &Arc<State>, id: u64) -> Option<(CacheStats, Vec<(String
         // requests would defeat the record-retention memory bound.
         record.request.take()?
     };
+    // Drill injection point: a seed-chosen batch simply panics here, and
+    // the isolation in `worker_loop` has to contain it. No lock is held.
+    if state.chaos.worker_batch() == WorkerFault::Panic {
+        panic!("chaos: injected worker panic");
+    }
 
     let result = run_request(state, &request);
     let done = {
-        let mut batches = state.batches.lock().expect("batches lock");
+        let mut batches = lock_recover(&state.batches);
         let record = batches.get_mut(&id)?;
         match result {
             Ok((cells, stats, observations)) => {
@@ -562,7 +714,32 @@ fn run_request(
     request: &BatchRequest,
 ) -> Result<(Vec<CellResult>, CacheStats, Vec<(String, u64)>), ServiceError> {
     let graph = graph_for(state, &request.graph)?;
-    let mut planner = CachedPlanner::new(&state.store);
+    if let Some(store) = state.healthy_store() {
+        match run_cached(store, &graph, request) {
+            Ok(done) => return Ok(done),
+            Err(e) => {
+                // The only error `CachedPlanner::run` surfaces is a
+                // store-write failure: degrade and fall through — the
+                // batch (and every later one) is answered compute-only
+                // rather than failed. Re-running the whole batch after a
+                // mid-batch write failure re-simulates cells the store
+                // already answered; a one-time cost, paid exactly once
+                // per process, for never returning a half-persisted
+                // batch.
+                state.degrade(format!("store write path failed: {e}"));
+            }
+        }
+    }
+    Ok(run_compute_only(&graph, request))
+}
+
+/// The store-backed path: consult, simulate misses, write back.
+fn run_cached(
+    store: &ResultStore,
+    graph: &Arc<PortGraph>,
+    request: &BatchRequest,
+) -> Result<(Vec<CellResult>, CacheStats, Vec<(String, u64)>), ServiceError> {
+    let mut planner = CachedPlanner::new(store);
     // Per-cell provenance comes straight from the planner: only a store
     // hit is `cached` (an in-batch duplicate aliases a simulation of this
     // very batch, which is not "answered by the store").
@@ -570,7 +747,7 @@ fn run_request(
         .specs
         .iter()
         .map(|spec| {
-            let idx = planner.add(&graph, spec.clone());
+            let idx = planner.add(graph, spec.clone());
             planner.source(idx)
         })
         .collect();
@@ -609,36 +786,97 @@ fn run_request(
     Ok((cells, stats, observations))
 }
 
+/// The degraded path: simulate everything, consult and persist nothing.
+/// Infallible by construction — per-cell scenario errors stay per-cell —
+/// so a daemon whose store is gone can still never fail a batch for
+/// store reasons.
+fn run_compute_only(
+    graph: &Arc<PortGraph>,
+    request: &BatchRequest,
+) -> (Vec<CellResult>, CacheStats, Vec<(String, u64)>) {
+    let mut planner = BatchPlanner::new();
+    for spec in &request.specs {
+        planner.add(graph, spec.clone());
+    }
+    let results = planner.run();
+    let mut stats = CacheStats::default();
+    let mut observations = Vec::new();
+    let cells = request
+        .specs
+        .iter()
+        .zip(results)
+        .map(|(spec, result)| match result {
+            Ok(outcome) => {
+                stats.misses += 1;
+                stats.rounds_simulated += outcome.metrics.rounds - outcome.metrics.rounds_skipped;
+                stats.elapsed_simulated_micros += outcome.metrics.elapsed_micros;
+                let rps = outcome.metrics.rounds.saturating_mul(1_000_000)
+                    / outcome.metrics.elapsed_micros.max(1);
+                observations.push((spec.algo.row().name().to_string(), rps));
+                CellResult {
+                    cached: false,
+                    outcome: Some(outcome),
+                    error: None,
+                }
+            }
+            Err(e) => {
+                stats.errors += 1;
+                CellResult {
+                    cached: false,
+                    outcome: None,
+                    error: Some(e.to_string()),
+                }
+            }
+        })
+        .collect();
+    (cells, stats, observations)
+}
+
 /// Render the full Prometheus text exposition for `GET /metrics`. Every
 /// family here has a row in OBSERVABILITY.md — keep the two in sync.
 fn render_metrics(state: &Arc<State>) -> String {
-    let store = state.store.counters();
-    let entries = state.store.len();
+    let store = state.store.as_ref().map(ResultStore::counters);
+    let entries = state.store.as_ref().map_or(0, ResultStore::len);
     let mut text = PromText::new();
     text.gauge(
         "bd_store_entries",
         "Outcomes currently in the result store index.",
         entries as u64,
     )
+    .gauge(
+        "bd_store_available",
+        "1 while the daemon trusts and uses its result store.",
+        u64::from(state.healthy_store().is_some()),
+    )
+    .gauge(
+        "bd_degraded",
+        "1 once the daemon has entered degraded compute-only mode.",
+        u64::from(state.is_degraded()),
+    )
     .counter(
         "bd_store_hits_total",
         "Store lookups answered from the index.",
-        store.hits,
+        store.map_or(0, |c| c.hits),
     )
     .counter(
         "bd_store_misses_total",
         "Store lookups that found nothing.",
-        store.misses,
+        store.map_or(0, |c| c.misses),
     )
     .counter(
         "bd_store_appended_total",
         "Journal entries appended by this process.",
-        store.appended,
+        store.map_or(0, |c| c.appended),
     )
     .counter(
         "bd_store_recovered_total",
         "Torn journal tails dropped at open.",
-        store.recovered,
+        store.map_or(0, |c| c.recovered),
+    )
+    .counter(
+        "bd_store_write_failures_total",
+        "Journal appends that failed (the daemon degrades on the first).",
+        store.map_or(0, |c| c.write_failures),
     )
     .gauge(
         "bd_connections",
@@ -650,7 +888,7 @@ fn render_metrics(state: &Arc<State>) -> String {
         "Worker threads draining the job queue.",
         state.workers as u64,
     );
-    let m = state.metrics.lock().expect("metrics lock");
+    let m = lock_recover(&state.metrics);
     text.counter(
         "bd_batches_submitted_total",
         "Batches accepted onto the queue.",
@@ -665,6 +903,21 @@ fn render_metrics(state: &Arc<State>) -> String {
         "bd_queue_depth",
         "Batches accepted but not yet finished.",
         m.queue_depth(),
+    )
+    .counter(
+        "bd_queue_shed_total",
+        "Submissions bounced with 503 because the queue was full.",
+        m.shed,
+    )
+    .counter(
+        "bd_http_protocol_errors_total",
+        "Requests dropped before routing: malformed, torn, or timed out.",
+        m.protocol_errors,
+    )
+    .counter(
+        "bd_worker_panics_total",
+        "Batches whose worker panicked (batch failed, worker survived).",
+        m.worker_panics,
     )
     .counter(
         "bd_worker_busy_micros_total",
@@ -715,6 +968,34 @@ fn render_metrics(state: &Arc<State>) -> String {
         for (row, hist) in &m.row_rps {
             text.histogram_series("bd_row_rounds_per_sec", &[("row", row)], hist);
         }
+    }
+    if state.chaos.enabled() {
+        let c = state.chaos.counters();
+        text.counter(
+            "bd_chaos_torn_writes_total",
+            "Injected journal appends torn at a seed-chosen byte.",
+            c.torn_writes,
+        )
+        .counter(
+            "bd_chaos_fsync_losses_total",
+            "Injected appends lost with the page cache.",
+            c.fsync_losses,
+        )
+        .counter(
+            "bd_chaos_anchor_losses_total",
+            "Injected anchor rewrites that never happened.",
+            c.anchor_losses,
+        )
+        .counter(
+            "bd_chaos_worker_panics_total",
+            "Injected worker panics.",
+            c.worker_panics,
+        )
+        .counter(
+            "bd_chaos_suppressed_writes_total",
+            "Writes suppressed after an injected kill latched.",
+            c.suppressed_writes,
+        );
     }
     text.finish()
 }

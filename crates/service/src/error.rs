@@ -44,6 +44,17 @@ pub enum ServiceError {
         /// Tip recorded out-of-band.
         anchored_tip: String,
     },
+    /// An I/O deadline elapsed before the operation completed — a typed
+    /// peer of [`ServiceError::Io`], so callers (and the client's retry
+    /// loop) can tell "the peer is slow or stalled" from every other I/O
+    /// failure without string-matching.
+    Timeout {
+        /// What was being waited on: `"connect"`, `"read"`, `"write"`,
+        /// or `"request"` (the whole-request total deadline).
+        what: &'static str,
+        /// The deadline that elapsed.
+        after: std::time::Duration,
+    },
     /// Malformed HTTP traffic or JSON payload.
     Protocol(String),
     /// The server answered with a non-success status.
@@ -85,9 +96,29 @@ impl fmt::Display for ServiceError {
                     anchor.display()
                 )
             }
+            ServiceError::Timeout { what, after } => {
+                write!(f, "timeout: {what} did not complete within {after:?}")
+            }
             ServiceError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ServiceError::Http { status, msg } => write!(f, "http {status}: {msg}"),
             ServiceError::Graph(e) => write!(f, "graph source: {e}"),
+        }
+    }
+}
+
+impl ServiceError {
+    /// Whether this failure is transport-level and plausibly transient —
+    /// the class the client's retry loop is allowed to retry for
+    /// idempotent requests (every request in this API is: results are
+    /// content-addressed by `SpecDigest`, so re-submitting a batch the
+    /// daemon already ran replays stored outcomes instead of redoing
+    /// work). Store verdicts (`Corrupt`/`Tampered`/`AnchorMismatch`) and
+    /// 4xx answers are *facts*, not weather — never retried.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServiceError::Io(_) | ServiceError::Timeout { .. } | ServiceError::Protocol(_) => true,
+            ServiceError::Http { status, .. } => *status >= 500 || *status == 429,
+            _ => false,
         }
     }
 }

@@ -62,7 +62,7 @@
 //!
 //! ```text
 //! $ curl -s http://127.0.0.1:7171/healthz
-//! {"ok":true,"store_entries":0}
+//! {"ok":true,"degraded":false,"store_entries":0}
 //!
 //! $ curl -s -X POST http://127.0.0.1:7171/batches -d '{
 //!     "graph": {"BenchEr": {"n": 9, "seed": 1000}},
@@ -92,6 +92,31 @@
 //! path share the store with the daemon: graph sources materialize through
 //! the same `asymmetric_gnp(n, seed)` pure function the sweeps use, so the
 //! digests coincide wherever the cell runs.
+//!
+//! ## Resilience (RESILIENCE.md)
+//!
+//! The serving path is hardened against the failure modes the chaos drill
+//! (`bd-bench --bin chaos`) injects:
+//!
+//! * every request runs under [`http::Deadlines`] — a per-read idle
+//!   timeout plus a whole-request total deadline (slow-loris bound), with
+//!   stalls surfacing as the typed [`ServiceError::Timeout`];
+//! * [`client::Client`] carries connect/read deadlines by default and can
+//!   retry transport failures with capped exponential backoff
+//!   ([`client::ClientConfig`]) — safe because every request is
+//!   idempotent by `SpecDigest`;
+//! * a store that fails verification or becomes unwritable flips the
+//!   daemon into **degraded compute-only mode** instead of taking it
+//!   down (`/healthz` and `/stats` carry `degraded`, `/metrics` exposes
+//!   `bd_degraded`/`bd_store_available`);
+//! * a panicking batch fails *that batch*; the worker and the daemon
+//!   survive (`bd_worker_panics_total`);
+//! * with `BD_STORE_KEY` set ([`store::StoreKey`]), every journal record
+//!   carries a keyed MAC, closing the forged-but-chain-consistent splice
+//!   the bare hash chain cannot see;
+//! * `bd-chaos` fault-injection points in the store's write path compile
+//!   to a single `Option` check when disabled, and the drill's kill →
+//!   restart → verify loop pins crash recovery end to end.
 
 pub mod cached;
 pub mod client;
@@ -103,8 +128,11 @@ pub mod protocol;
 pub mod store;
 
 pub use cached::{CacheStats, CachedPlanner, CellSource};
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use daemon::{Daemon, ServeConfig};
 pub use error::ServiceError;
 pub use graphsrc::GraphSource;
-pub use store::{ChainAudit, EnvContract, ResultStore, GENESIS_TIP};
+pub use http::Deadlines;
+pub use store::{
+    ChainAudit, EnvContract, ResultStore, StoreKey, StoreOptions, GENESIS_TIP, STORE_KEY_ENV,
+};

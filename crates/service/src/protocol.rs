@@ -60,7 +60,11 @@ pub struct BatchReply {
 pub struct Health {
     /// Liveness.
     pub ok: bool,
-    /// Outcomes currently stored.
+    /// Whether the daemon is in degraded compute-only mode (store
+    /// unavailable or distrusted; simulations still served, nothing
+    /// persisted).
+    pub degraded: bool,
+    /// Outcomes currently stored (0 when the store is unavailable).
     pub store_entries: usize,
 }
 
@@ -81,6 +85,11 @@ pub struct StatsReply {
     pub queue_depth: u64,
     /// Worker threads draining the queue.
     pub workers: usize,
+    /// Whether the daemon is in degraded compute-only mode.
+    pub degraded: bool,
+    /// Batches whose worker panicked (the batch failed; the worker and
+    /// the daemon survived).
+    pub worker_panics: u64,
     /// Aggregated per-batch cache accounting.
     pub totals: CacheStats,
 }

@@ -19,17 +19,37 @@
 //! chain, not a MAC: an adversary with write access who rewrites every
 //! subsequent line is undetectable, as is truncating the tail exactly at a
 //! line boundary. The chain defends provenance against accidents and
-//! casual edits; byzantine storage needs an externally anchored tip.
-//! [`ResultStore::open_anchored`] provides exactly that: the current tip
-//! is persisted to a separate **anchor file** after every append (write
-//! temp + rename, so the anchor is never torn), and both `open_anchored`
-//! and [`ResultStore::verify_chain`] compare the journal's recomputed tip
-//! against the anchored one — a tail truncated exactly at a line boundary
-//! verifies as a chain but no longer matches the anchor, and is reported
-//! as [`ServiceError::AnchorMismatch`]. Keep the anchor on storage the
-//! journal's adversary cannot reach (different volume, different
-//! permissions) or the two fail together. VERIFICATION.md covers the full
-//! trust argument.
+//! casual edits; byzantine storage needs an externally anchored tip *and*
+//! a record key:
+//!
+//! * **Anchoring** ([`ResultStore::open_anchored`]): the current tip is
+//!   persisted to a separate **anchor file** after every append (write
+//!   temp + rename, so the anchor is never torn), and both open and
+//!   [`ResultStore::verify_chain`] compare the journal's recomputed tip
+//!   against the anchored one — a tail truncated exactly at a line
+//!   boundary verifies as a chain but no longer matches the anchor, and
+//!   is reported as [`ServiceError::AnchorMismatch`]. Because `put`
+//!   appends the journal line *before* rewriting the anchor, a crash
+//!   between the two leaves the journal exactly **one entry ahead** of
+//!   the anchor; both verifiers accept that single-entry window as
+//!   crash-consistent (and re-anchor), while a journal *behind* its
+//!   anchor — the truncation signature — always fails. Keep the anchor on
+//!   storage the journal's adversary cannot reach, or the two fail
+//!   together.
+//! * **Keyed records** ([`StoreKey`], `BD_STORE_KEY`): with a key
+//!   configured, every appended line additionally carries a `mac` — a
+//!   domain-tagged (`bdsm1`) keyed digest over the body bytes — and
+//!   verification **requires** a valid MAC on every record. A
+//!   forged-but-chain-consistent splice (an adversary who recomputes the
+//!   chain digests after rewriting history — the attack the bare chain
+//!   cannot see, and the one that slips through the anchor's one-entry
+//!   crash window) cannot produce MACs without the key and is rejected as
+//!   [`ServiceError::Tampered`]. Journals written without a key stay
+//!   readable by unkeyed stores; opening one *with* a key refuses, by
+//!   design — keying starts with a fresh (or re-written) journal. The
+//!   keyed digest is the same hand-rolled dual-FNV the chain uses: honest
+//!   about its tier — it defeats adversaries without the key, not
+//!   cryptanalysts; swap in an HMAC when the registry is reachable.
 //!
 //! **Crash tolerance:** a damaged *final* line that does not decode is the
 //! signature of a crash mid-append; `open` drops it and truncates the file
@@ -40,8 +60,18 @@
 //! [`ServiceError::Corrupt`], decodable-but-chain-invalid lines anywhere
 //! (tail included — a *complete* wrong line is not a crash signature) are
 //! [`ServiceError::Tampered`].
+//!
+//! **Fault injection:** the write path carries `bd-chaos` injection
+//! points ([`StoreOptions::chaos`]) so the crash-recovery drill
+//! (`bd-bench --bin chaos`, RESILIENCE.md) can tear appends at a
+//! seed-chosen byte, lose the page cache, or lose the anchor rewrite —
+//! deterministically. A disabled handle costs one `Option` check per
+//! append. [`StoreOptions::break_recovery`] is the drill's teeth mode: it
+//! deliberately disables the tail-truncation step of crash recovery so
+//! the drill can prove it notices a recovery path that stopped working.
 
 use crate::error::ServiceError;
+use bd_chaos::{AnchorFault, Chaos, WriteFault};
 use bd_dispersion::canon::SpecDigest;
 use bd_dispersion::runner::{Outcome, ScenarioSpec};
 use serde::{Deserialize, Serialize};
@@ -54,6 +84,10 @@ use std::sync::Mutex;
 /// File name of the journal inside the store directory.
 pub const JOURNAL: &str = "results.jsonl";
 
+/// Environment variable a record key is read from by
+/// [`StoreOptions::from_env`] (and therefore every standard open).
+pub const STORE_KEY_ENV: &str = "BD_STORE_KEY";
+
 /// Chain link of the empty journal: 32 zeros (no real digest, which is a
 /// pair of FNV streams over a domain-tagged body, can collide with it).
 pub const GENESIS_TIP: &str = "00000000000000000000000000000000";
@@ -63,13 +97,21 @@ pub const GENESIS_TIP: &str = "00000000000000000000000000000000";
 /// never verify here by accident.
 const CHAIN_DOMAIN: &[u8] = b"bdsc1";
 
+/// Domain separator of the keyed record MAC — distinct from the chain
+/// domain so a chain digest can never be replayed as a MAC or vice versa.
+const MAC_DOMAIN: &[u8] = b"bdsm1";
+
 /// Entry layout constants used to recover the body's exact bytes from a
-/// journal line without trusting serializer round-trips: every line is
-/// `{"body":<body json>,"chain":"<32 hex>"}`.
+/// journal line without trusting serializer round-trips. An unkeyed line
+/// is `{"body":<body json>,"chain":"<32 hex>"}`; a keyed line is
+/// `{"body":<body json>,"chain":"<32 hex>","mac":"<32 hex>"}`.
 const LINE_HEAD: &str = "{\"body\":";
 const LINE_TAIL: &str = ",\"chain\":\"";
+const MAC_TAIL: &str = "\",\"mac\":\"";
 /// `,"chain":"` + 32 hex digits + `"}`.
 const TAIL_LEN: usize = LINE_TAIL.len() + 32 + 2;
+/// `,"chain":"` + 32 hex + `","mac":"` + 32 hex + `"}`.
+const KEYED_TAIL_LEN: usize = LINE_TAIL.len() + 32 + MAC_TAIL.len() + 32 + 2;
 
 /// The environment a journal entry was produced under. Committed into the
 /// chain, so an audit can tell which code wrote which results — a stored
@@ -95,28 +137,87 @@ impl EnvContract {
     }
 }
 
-/// The chained payload of one journal line.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct EntryBody {
-    /// 32-hex-digit [`SpecDigest`] rendering (the lookup key).
-    digest: String,
-    /// The spec that produced the outcome (for humans and audits; lookups
-    /// go by digest alone).
-    spec: ScenarioSpec,
-    /// The stored result, replayed verbatim on a hit.
-    outcome: Outcome,
-    /// Environment the entry was written under.
-    env: EnvContract,
-    /// Chain digest of the previous line; [`GENESIS_TIP`] for the first.
-    prev: String,
+/// A record-authentication key. With one configured, every appended
+/// journal line carries a keyed MAC over its body and verification
+/// requires it — the defense the bare hash chain cannot provide against
+/// an adversary who rewrites history *and* recomputes the chain.
+///
+/// Reads from the [`STORE_KEY_ENV`] environment variable by default; the
+/// `Debug` rendering never prints the key material.
+#[derive(Clone, PartialEq, Eq)]
+pub struct StoreKey(Vec<u8>);
+
+impl std::fmt::Debug for StoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StoreKey(<redacted, {} bytes>)", self.0.len())
+    }
 }
 
-/// One journal line: the body plus the digest committing to it.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct Entry {
-    body: EntryBody,
-    /// `SpecDigest` of `CHAIN_DOMAIN ++ <body json bytes>`.
-    chain: String,
+impl StoreKey {
+    /// A key from raw bytes. Empty keys are not a thing: they would make
+    /// "keyed" silently mean "unkeyed".
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Option<StoreKey> {
+        let bytes = bytes.into();
+        if bytes.is_empty() {
+            None
+        } else {
+            Some(StoreKey(bytes))
+        }
+    }
+
+    /// The key configured in the environment (`BD_STORE_KEY`), if any.
+    pub fn from_env() -> Option<StoreKey> {
+        std::env::var(STORE_KEY_ENV).ok().and_then(StoreKey::new)
+    }
+}
+
+/// Everything an open can be configured with. [`StoreOptions::from_env`]
+/// is what the convenience constructors use: no anchor, no chaos, the key
+/// from `BD_STORE_KEY`.
+#[derive(Debug, Clone, Default)]
+pub struct StoreOptions {
+    /// Out-of-band chain-tip anchor file.
+    pub anchor: Option<PathBuf>,
+    /// Record-authentication key; appends carry MACs and verification
+    /// requires them.
+    pub key: Option<StoreKey>,
+    /// Fault-injection handle for the write path (drills only;
+    /// [`Chaos::off`] in production).
+    pub chaos: Chaos,
+    /// **Teeth mode** — deliberately disable the truncation step of
+    /// torn-tail recovery, leaving damaged bytes in place for the next
+    /// append to bury. Exists so the chaos drill can prove it detects a
+    /// recovery path that stopped working; never set outside a drill.
+    pub break_recovery: bool,
+}
+
+impl StoreOptions {
+    /// The standard options: key from the environment, everything else
+    /// off.
+    pub fn from_env() -> StoreOptions {
+        StoreOptions {
+            key: StoreKey::from_env(),
+            ..StoreOptions::default()
+        }
+    }
+
+    /// Anchor the chain tip in `path`.
+    pub fn with_anchor(mut self, path: impl Into<PathBuf>) -> StoreOptions {
+        self.anchor = Some(path.into());
+        self
+    }
+
+    /// Authenticate records under `key` (overrides the environment).
+    pub fn with_key(mut self, key: Option<StoreKey>) -> StoreOptions {
+        self.key = key;
+        self
+    }
+
+    /// Thread a fault-injection handle into the write path.
+    pub fn with_chaos(mut self, chaos: Chaos) -> StoreOptions {
+        self.chaos = chaos;
+        self
+    }
 }
 
 /// Read the tip recorded in an anchor file; `None` when the file is
@@ -149,41 +250,123 @@ fn chain_digest(body_json: &str) -> String {
     SpecDigest::of_bytes(&bytes).to_string()
 }
 
+/// The keyed MAC of a body's exact serialized bytes: domain tag, then the
+/// length-prefixed key, then the body. The length prefix keeps
+/// `(key="ab", body="c…")` and `(key="a", body="bc…")` distinct.
+fn record_mac(key: &StoreKey, body_json: &str) -> String {
+    let mut bytes = Vec::with_capacity(MAC_DOMAIN.len() + 8 + key.0.len() + body_json.len());
+    bytes.extend_from_slice(MAC_DOMAIN);
+    bytes.extend_from_slice(&(key.0.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&key.0);
+    bytes.extend_from_slice(body_json.as_bytes());
+    SpecDigest::of_bytes(&bytes).to_string()
+}
+
+/// The chained payload of one journal line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EntryBody {
+    /// 32-hex-digit [`SpecDigest`] rendering (the lookup key).
+    digest: String,
+    /// The spec that produced the outcome (for humans and audits; lookups
+    /// go by digest alone).
+    spec: ScenarioSpec,
+    /// The stored result, replayed verbatim on a hit.
+    outcome: Outcome,
+    /// Environment the entry was written under.
+    env: EnvContract,
+    /// Chain digest of the previous line; [`GENESIS_TIP`] for the first.
+    prev: String,
+}
+
+/// One journal line: the body plus the digest committing to it. Keyed
+/// lines additionally carry a trailing `"mac"` member, recovered
+/// positionally (the vendored deserializer ignores unknown members).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    body: EntryBody,
+    /// `SpecDigest` of `CHAIN_DOMAIN ++ <body json bytes>`.
+    chain: String,
+}
+
 /// How one journal line fared under verification against the running tip.
 enum LineVerdict {
-    /// Decodes, layout intact, chain digest correct, links to the tip.
+    /// Decodes, layout intact, chain digest correct (and MAC correct when
+    /// a key is configured), links to the tip.
     Good(Box<Entry>),
     /// Does not decode as an entry at all — a crash signature when (and
     /// only when) it is the final line.
     Undecodable(String),
-    /// Decodes but fails the chain: wrong layout, wrong digest, or a
-    /// broken `prev` link. Never a crash signature.
+    /// Decodes but fails the chain: wrong layout, wrong digest, missing
+    /// or wrong MAC, or a broken `prev` link. Never a crash signature.
     ChainViolation(String),
 }
 
-/// Verify one trimmed journal line against the expected `tip`.
-fn verify_line(trimmed: &str, tip: &str) -> LineVerdict {
+/// Positionally recover `(body bytes, mac hex)` from a trimmed line. The
+/// layouts are fixed-width from the end, so no serializer round-trip is
+/// involved; when both tails could match (a body whose text happens to end
+/// like a MAC segment), the chain digest decides — exactly one slice can
+/// verify.
+fn split_line(trimmed: &str) -> Vec<(&str, Option<&str>)> {
+    let mut candidates = Vec::new();
+    if trimmed.len() >= LINE_HEAD.len() + KEYED_TAIL_LEN
+        && trimmed.starts_with(LINE_HEAD)
+        && trimmed.ends_with("\"}")
+        && trimmed[trimmed.len() - KEYED_TAIL_LEN..].starts_with(LINE_TAIL)
+        && trimmed[trimmed.len() - KEYED_TAIL_LEN + LINE_TAIL.len() + 32..].starts_with(MAC_TAIL)
+    {
+        let body = &trimmed[LINE_HEAD.len()..trimmed.len() - KEYED_TAIL_LEN];
+        let mac = &trimmed[trimmed.len() - 34..trimmed.len() - 2];
+        candidates.push((body, Some(mac)));
+    }
+    if trimmed.len() >= LINE_HEAD.len() + TAIL_LEN
+        && trimmed.starts_with(LINE_HEAD)
+        && trimmed.ends_with("\"}")
+        && trimmed[trimmed.len() - TAIL_LEN..].starts_with(LINE_TAIL)
+    {
+        candidates.push((&trimmed[LINE_HEAD.len()..trimmed.len() - TAIL_LEN], None));
+    }
+    candidates
+}
+
+/// Verify one trimmed journal line against the expected `tip` (and `key`,
+/// when the store is keyed).
+fn verify_line(trimmed: &str, tip: &str, key: Option<&StoreKey>) -> LineVerdict {
     let entry: Entry = match serde_json::from_str(trimmed) {
         Ok(e) => e,
         Err(e) => return LineVerdict::Undecodable(e.to_string()),
     };
-    // Recover the body's exact bytes positionally: the chain value is
-    // fixed-width hex at a fixed offset from the end, so no serializer
-    // round-trip is involved in recomputing the digest.
-    if trimmed.len() < LINE_HEAD.len() + TAIL_LEN
-        || !trimmed.starts_with(LINE_HEAD)
-        || !trimmed.ends_with("\"}")
-        || !trimmed[trimmed.len() - TAIL_LEN..].starts_with(LINE_TAIL)
-    {
+    let candidates = split_line(trimmed);
+    if candidates.is_empty() {
         return LineVerdict::ChainViolation("entry layout is not the journal format".into());
     }
-    let body_json = &trimmed[LINE_HEAD.len()..trimmed.len() - TAIL_LEN];
-    let recomputed = chain_digest(body_json);
-    if entry.chain != recomputed {
+    let Some((body_json, mac)) = candidates
+        .iter()
+        .find(|(body, _)| chain_digest(body) == entry.chain)
+    else {
+        let recomputed = chain_digest(candidates[0].0);
         return LineVerdict::ChainViolation(format!(
             "chain digest mismatch: recorded {}, recomputed {recomputed}",
             entry.chain
         ));
+    };
+    if let Some(key) = key {
+        match mac {
+            None => {
+                return LineVerdict::ChainViolation(
+                    "record carries no MAC but this store is keyed — journal written \
+                     unkeyed (or MAC stripped); keying starts with a fresh journal"
+                        .into(),
+                );
+            }
+            Some(mac) if *mac != record_mac(key, body_json) => {
+                return LineVerdict::ChainViolation(
+                    "record MAC does not verify under the configured key: forged record \
+                     or wrong key"
+                        .into(),
+                );
+            }
+            Some(_) => {}
+        }
     }
     if entry.body.prev != tip {
         return LineVerdict::ChainViolation(format!(
@@ -209,6 +392,9 @@ pub struct StoreCounters {
     pub appended: u64,
     /// Journal lines dropped by truncated-tail recovery at open.
     pub recovered: u64,
+    /// Appends that failed (surfaced as errors; the entry is not
+    /// indexed). The daemon degrades after the first of these.
+    pub write_failures: u64,
 }
 
 /// What a successful [`ResultStore::verify_chain`] audit found.
@@ -231,6 +417,7 @@ struct Inner {
     hits: u64,
     misses: u64,
     appended: u64,
+    write_failures: u64,
 }
 
 /// A content-addressed, append-only store of run [`Outcome`]s. Sync: the
@@ -240,6 +427,10 @@ pub struct ResultStore {
     /// Out-of-band tip anchor; every append rewrites it and every audit
     /// checks against it. `None` falls back to chain-only verification.
     anchor: Option<PathBuf>,
+    /// Record-authentication key; `None` verifies the chain alone.
+    key: Option<StoreKey>,
+    /// Fault-injection handle ([`Chaos::off`] outside drills).
+    chaos: Chaos,
     inner: Mutex<Inner>,
     recovered: u64,
 }
@@ -249,7 +440,34 @@ impl std::fmt::Debug for ResultStore {
         f.debug_struct("ResultStore")
             .field("path", &self.path)
             .field("entries", &self.len())
+            .field("keyed", &self.key.is_some())
             .finish()
+    }
+}
+
+/// How an anchored tip relates to the journal's recomputed one.
+enum AnchorVerdict {
+    /// Identical, or a benign one-entry crash window (journal ahead by
+    /// exactly the final entry); the `bool` is whether to re-anchor.
+    Accept(bool),
+    Mismatch {
+        anchored_tip: String,
+    },
+}
+
+/// Judge `anchored` against the replayed journal: `tip` is the journal's
+/// final chain digest, `prev_tip` the digest before the final entry.
+/// `put` appends the journal line before rewriting the anchor, so a crash
+/// between the two legitimately leaves the journal one entry ahead —
+/// that, and only that, is accepted besides an exact match. A journal
+/// *behind* its anchor (truncation) or further ahead (not a single-append
+/// crash) mismatches.
+fn judge_anchor(anchored: Option<String>, tip: &str, prev_tip: Option<&str>) -> AnchorVerdict {
+    match anchored {
+        None => AnchorVerdict::Accept(true),
+        Some(a) if a == tip => AnchorVerdict::Accept(false),
+        Some(a) if prev_tip == Some(a.as_str()) => AnchorVerdict::Accept(true),
+        Some(a) => AnchorVerdict::Mismatch { anchored_tip: a },
     }
 }
 
@@ -257,28 +475,36 @@ impl ResultStore {
     /// Open (creating if needed) the store under `dir`, replaying the
     /// journal into the in-memory index. Every line is chain-verified as
     /// it loads; only an undecodable *final* line (a torn append) is
-    /// recovered, by truncating to the last good entry.
+    /// recovered, by truncating to the last good entry. Key from the
+    /// environment (`BD_STORE_KEY`), no anchor, no chaos.
     pub fn open(dir: impl AsRef<Path>) -> Result<ResultStore, ServiceError> {
-        ResultStore::open_inner(dir.as_ref(), None)
+        ResultStore::open_with(dir, StoreOptions::from_env())
     }
 
     /// Open the store with its chain tip **anchored out-of-band** in
     /// `anchor` (any writable path, ideally on storage the journal's
     /// adversary cannot reach). A missing or empty anchor file is
     /// initialized from the journal's current tip; an existing one must
-    /// match the tip recomputed from the journal, or the open fails with
-    /// [`ServiceError::AnchorMismatch`] — this is what makes a tail
+    /// match the tip recomputed from the journal — modulo the one-entry
+    /// crash window (see the module docs) — or the open fails with
+    /// [`ServiceError::AnchorMismatch`]. This is what makes a tail
     /// truncated exactly at a line boundary (invisible to the chain
-    /// itself) detectable across restarts. Every subsequent `put` rewrites
-    /// the anchor atomically.
+    /// itself) detectable across restarts. Every subsequent `put`
+    /// rewrites the anchor atomically.
     pub fn open_anchored(
         dir: impl AsRef<Path>,
         anchor: impl Into<PathBuf>,
     ) -> Result<ResultStore, ServiceError> {
-        ResultStore::open_inner(dir.as_ref(), Some(anchor.into()))
+        ResultStore::open_with(dir, StoreOptions::from_env().with_anchor(anchor))
     }
 
-    fn open_inner(dir: &Path, anchor: Option<PathBuf>) -> Result<ResultStore, ServiceError> {
+    /// Open with explicit [`StoreOptions`] — the fully-general
+    /// constructor the drills and the daemon use.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: StoreOptions,
+    ) -> Result<ResultStore, ServiceError> {
+        let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
         let path = dir.join(JOURNAL);
         let mut file = OpenOptions::new()
@@ -291,6 +517,7 @@ impl ResultStore {
         file.read_to_string(&mut text)?;
         let mut index = HashMap::new();
         let mut tip = GENESIS_TIP.to_string();
+        let mut prev_tip: Option<String> = None;
         let mut good_bytes = 0usize;
         let mut recovered = 0u64;
         let mut offset = 0usize;
@@ -302,7 +529,7 @@ impl ResultStore {
                 good_bytes = offset;
                 continue;
             }
-            match verify_line(trimmed, &tip) {
+            match verify_line(trimmed, &tip, options.key.as_ref()) {
                 LineVerdict::Good(entry) => {
                     let digest = SpecDigest::parse(&entry.body.digest).ok_or_else(|| {
                         ServiceError::Tampered {
@@ -312,7 +539,7 @@ impl ResultStore {
                         }
                     })?;
                     index.insert(digest, entry.body.outcome);
-                    tip = entry.chain;
+                    prev_tip = Some(std::mem::replace(&mut tip, entry.chain));
                     good_bytes = offset;
                 }
                 LineVerdict::Undecodable(msg) => {
@@ -320,7 +547,15 @@ impl ResultStore {
                     // last line of the file.
                     if offset == text.len() {
                         recovered = 1;
-                        good_bytes = start;
+                        if options.break_recovery {
+                            // Teeth mode: "recover" without truncating —
+                            // the torn bytes stay for the next append to
+                            // bury, which is exactly the corruption the
+                            // drill must detect downstream.
+                            good_bytes = offset;
+                        } else {
+                            good_bytes = start;
+                        }
                         break;
                     }
                     return Err(ServiceError::Corrupt {
@@ -341,11 +576,19 @@ impl ResultStore {
         if good_bytes < text.len() {
             file.set_len(good_bytes as u64)?;
             file.seek(SeekFrom::End(0))?;
+        } else if !text.is_empty() && !text.ends_with('\n') && !options.break_recovery {
+            // A crash can persist the final record in full but lose its
+            // trailing newline: the record replays fine, but appending
+            // after it verbatim would merge two records onto one line.
+            // Terminate it before the store accepts writes.
+            file.write_all(b"\n")?;
         }
 
-        if let Some(anchor_path) = &anchor {
-            match read_anchor(anchor_path)? {
-                Some(anchored_tip) if anchored_tip != tip => {
+        if let Some(anchor_path) = &options.anchor {
+            match judge_anchor(read_anchor(anchor_path)?, &tip, prev_tip.as_deref()) {
+                AnchorVerdict::Accept(true) => write_anchor(anchor_path, &tip)?,
+                AnchorVerdict::Accept(false) => {}
+                AnchorVerdict::Mismatch { anchored_tip } => {
                     return Err(ServiceError::AnchorMismatch {
                         path,
                         anchor: anchor_path.clone(),
@@ -353,14 +596,14 @@ impl ResultStore {
                         anchored_tip,
                     });
                 }
-                Some(_) => {}
-                None => write_anchor(anchor_path, &tip)?,
             }
         }
 
         Ok(ResultStore {
             path,
-            anchor,
+            anchor: options.anchor,
+            key: options.key,
+            chaos: options.chaos,
             inner: Mutex::new(Inner {
                 index,
                 file,
@@ -368,6 +611,7 @@ impl ResultStore {
                 hits: 0,
                 misses: 0,
                 appended: 0,
+                write_failures: 0,
             }),
             recovered,
         })
@@ -381,6 +625,18 @@ impl ResultStore {
     /// Path of the out-of-band tip anchor, when one is configured.
     pub fn anchor(&self) -> Option<&Path> {
         self.anchor.as_deref()
+    }
+
+    /// Whether records are keyed (appends carry MACs, verification
+    /// requires them).
+    pub fn keyed(&self) -> bool {
+        self.key.is_some()
+    }
+
+    /// The fault-injection handle this store was opened with
+    /// ([`Chaos::off`] outside drills) — the drill reads its counters.
+    pub fn chaos(&self) -> &Chaos {
+        &self.chaos
     }
 
     /// Number of stored outcomes.
@@ -407,6 +663,7 @@ impl ResultStore {
             misses: inner.misses,
             appended: inner.appended,
             recovered: self.recovered,
+            write_failures: inner.write_failures,
         }
     }
 
@@ -430,6 +687,11 @@ impl ResultStore {
     /// journal line and flushing it. Idempotent: re-putting an existing
     /// digest is a no-op (returns `false`) — first write wins, matching
     /// the append-only journal's replay semantics.
+    ///
+    /// On a write failure (real, or injected by the chaos handle) the
+    /// entry is **not** indexed: the in-memory view never claims an
+    /// outcome the journal did not durably record, so a resubmission
+    /// after recovery re-simulates and re-appends.
     pub fn put(
         &self,
         digest: SpecDigest,
@@ -451,16 +713,50 @@ impl ResultStore {
             .map_err(|e| ServiceError::Protocol(format!("encode store entry: {e}")))?;
         let chain = chain_digest(&body_json);
         // Assembled positionally, exactly the layout `verify_line` slices.
-        let line = format!("{LINE_HEAD}{body_json}{LINE_TAIL}{chain}\"}}\n");
-        inner.file.write_all(line.as_bytes())?;
-        inner.file.flush()?;
+        let line = match &self.key {
+            None => format!("{LINE_HEAD}{body_json}{LINE_TAIL}{chain}\"}}\n"),
+            Some(key) => {
+                let mac = record_mac(key, &body_json);
+                format!("{LINE_HEAD}{body_json}{LINE_TAIL}{chain}{MAC_TAIL}{mac}\"}}\n")
+            }
+        };
+        match self.chaos.journal_write(line.len()) {
+            WriteFault::Clean => {
+                inner.file.write_all(line.as_bytes())?;
+                inner.file.flush()?;
+            }
+            WriteFault::Torn { prefix } => {
+                // Emulated kill mid-write(2): exactly `prefix` bytes reach
+                // the file, then the process is dead — the entry is not
+                // indexed and the error names the kill.
+                let _ = inner.file.write_all(&line.as_bytes()[..prefix]);
+                let _ = inner.file.flush();
+                inner.write_failures += 1;
+                return Err(ServiceError::Io(std::io::Error::other(format!(
+                    "chaos: killed mid-append after {prefix} of {} bytes",
+                    line.len()
+                ))));
+            }
+            WriteFault::FsyncLost => {
+                inner.write_failures += 1;
+                return Err(ServiceError::Io(std::io::Error::other(
+                    "chaos: append lost with the page cache",
+                )));
+            }
+        }
         inner.index.insert(digest, outcome.clone());
         inner.tip = chain;
         inner.appended += 1;
         // Anchor after the journal write, under the same lock: the anchor
         // always holds the tip of a journal state that exists on disk.
         if let Some(anchor_path) = &self.anchor {
-            write_anchor(anchor_path, &inner.tip)?;
+            match self.chaos.anchor_write() {
+                AnchorFault::Clean => write_anchor(anchor_path, &inner.tip)?,
+                // Emulated kill (or loss) between the journal append and
+                // the anchor rename: the journal runs ahead by one — the
+                // crash window `judge_anchor` accepts on reopen.
+                AnchorFault::Lost => {}
+            }
         }
         Ok(true)
     }
@@ -473,23 +769,26 @@ impl ResultStore {
     /// disk the file this store wrote?" — so *any* undecodable line,
     /// interior or final, fails it: while the lock is held no append is in
     /// flight, hence a torn tail cannot be ours. All failures report the
-    /// 1-based index of the first bad entry. When the store is anchored,
-    /// the recomputed tip must additionally match the anchored one — the
-    /// check that catches a tail truncated exactly at a line boundary,
-    /// which leaves a perfectly valid (shorter) chain behind.
+    /// 1-based index of the first bad entry. When the store is keyed,
+    /// every record's MAC must verify. When the store is anchored, the
+    /// recomputed tip must additionally match the anchored one (modulo
+    /// the one-entry crash window) — the check that catches a tail
+    /// truncated exactly at a line boundary, which leaves a perfectly
+    /// valid (shorter) chain behind.
     pub fn verify_chain(&self) -> Result<ChainAudit, ServiceError> {
         let _inner = self.inner.lock().expect("store lock");
         let text = std::fs::read_to_string(&self.path)?;
         let mut tip = GENESIS_TIP.to_string();
+        let mut prev_tip: Option<String> = None;
         let mut entries = 0usize;
         for (lineno, line) in text.split_inclusive('\n').enumerate() {
             let trimmed = line.trim_end_matches(['\n', '\r']);
             if trimmed.is_empty() {
                 continue;
             }
-            match verify_line(trimmed, &tip) {
+            match verify_line(trimmed, &tip, self.key.as_ref()) {
                 LineVerdict::Good(entry) => {
-                    tip = entry.chain;
+                    prev_tip = Some(std::mem::replace(&mut tip, entry.chain));
                     entries += 1;
                 }
                 LineVerdict::Undecodable(msg) | LineVerdict::ChainViolation(msg) => {
@@ -502,15 +801,15 @@ impl ResultStore {
             }
         }
         if let Some(anchor_path) = &self.anchor {
-            if let Some(anchored_tip) = read_anchor(anchor_path)? {
-                if anchored_tip != tip {
-                    return Err(ServiceError::AnchorMismatch {
-                        path: self.path.clone(),
-                        anchor: anchor_path.clone(),
-                        journal_tip: tip,
-                        anchored_tip,
-                    });
-                }
+            if let AnchorVerdict::Mismatch { anchored_tip } =
+                judge_anchor(read_anchor(anchor_path)?, &tip, prev_tip.as_deref())
+            {
+                return Err(ServiceError::AnchorMismatch {
+                    path: self.path.clone(),
+                    anchor: anchor_path.clone(),
+                    journal_tip: tip,
+                    anchored_tip,
+                });
             }
         }
         Ok(ChainAudit { entries, tip })

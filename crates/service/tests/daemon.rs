@@ -234,6 +234,44 @@ fn store_survives_daemon_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The shutdown drain race: a shutdown arriving while a slow batch is
+/// still queued or mid-simulation must not drop its store write-backs.
+/// `POST /shutdown` stops the acceptor, but the workers drain the queue
+/// and flush every append before `join` returns — a restarted daemon
+/// (or a cold open here) finds all cells journaled and chain-valid.
+#[test]
+fn shutdown_drains_in_flight_write_backs() {
+    let dir = tmpdir("drain");
+    let daemon = Daemon::start(ServeConfig::ephemeral(&dir)).unwrap();
+    let client = Client::new(daemon.local_addr());
+
+    // Slow cells: a larger graph, several seeds, all distinct digests.
+    let graph_src = GraphSource::BenchEr { n: 32, seed: 1000 };
+    let graph = graph_src.materialize().unwrap();
+    let cells = 3;
+    let request = BatchRequest {
+        graph: graph_src,
+        specs: (0..cells)
+            .map(|seed| {
+                ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0).with_seed(seed)
+            })
+            .collect(),
+    };
+    client.submit(&request).unwrap();
+    // Shutdown races the batch: it is queued or mid-simulation now.
+    client.shutdown().unwrap();
+    daemon.join();
+
+    let store = bd_service::ResultStore::open(&dir).unwrap();
+    assert_eq!(
+        store.len(),
+        cells as usize,
+        "shutdown dropped in-flight write-backs"
+    );
+    assert_eq!(store.verify_chain().unwrap().entries, cells as usize);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn per_cell_errors_and_bad_requests_are_reported() {
     let dir = tmpdir("errors");
