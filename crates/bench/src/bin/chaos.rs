@@ -312,10 +312,10 @@ fn journal_drill(cycles: u64, plan_seed: u64, broken: bool) -> Tally {
 fn quick_batch() -> BatchRequest {
     let graph = GraphSource::BenchEr { n: 8, seed: 1000 };
     let g = graph.materialize().expect("bench graph");
-    BatchRequest {
+    BatchRequest::new(
         graph,
-        specs: vec![ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &g, 0).with_seed(2)],
-    }
+        vec![ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &g, 0).with_seed(2)],
+    )
 }
 
 fn perform_socket_fault(addr: std::net::SocketAddr, fault: SocketFault) {
@@ -528,9 +528,11 @@ fn saturation_drill() -> Vec<String> {
     // then a burst that must shed.
     let heavy_graph = GraphSource::BenchEr { n: 32, seed: 1000 };
     let hg = heavy_graph.materialize().expect("bench graph");
-    let heavy = |s: u64| BatchRequest {
-        graph: heavy_graph.clone(),
-        specs: vec![ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &hg, 0).with_seed(s)],
+    let heavy = |s: u64| {
+        BatchRequest::new(
+            heavy_graph.clone(),
+            vec![ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &hg, 0).with_seed(s)],
+        )
     };
     let mut accepted = Vec::new();
     for s in 0..2u64 {

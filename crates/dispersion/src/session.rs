@@ -424,6 +424,10 @@ pub struct BatchPlanner {
     graph_digests: Vec<u64>,
     /// Queued cells: (session index, spec), in insertion order.
     cells: Vec<(usize, ScenarioSpec)>,
+    /// Extra args for the batch span, set by the caller via
+    /// [`BatchPlanner::tag`] — how the daemon threads a request id into
+    /// the span tree. Values must be run-derived (rule 3).
+    tags: Vec<(&'static str, String)>,
 }
 
 impl BatchPlanner {
@@ -477,6 +481,20 @@ impl BatchPlanner {
         self.sessions.len()
     }
 
+    /// Attach an extra `key: value` argument to the batch span the next
+    /// [`BatchPlanner::run`] opens — e.g. the serving layer's request id,
+    /// so per-request lifelines are separable in a Chrome trace of a busy
+    /// daemon. Values must be derived from the run itself, never from
+    /// wall-clock (OBSERVABILITY.md rule 3). Re-tagging a key replaces
+    /// its value.
+    pub fn tag(&mut self, key: &'static str, value: String) {
+        if let Some(slot) = self.tags.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.tags.push((key, value));
+        }
+    }
+
     /// Estimated cost of one planned cell: the registry's exact round
     /// budget scaled by the roster size (each round steps `k` robots).
     fn cost(spec: &ScenarioSpec, plan: &Plan) -> u64 {
@@ -491,15 +509,14 @@ impl BatchPlanner {
     /// the Rayon pool in descending cost order. Each cell fails
     /// independently; the result vector is in [`BatchPlanner::add`] order.
     pub fn run(&self) -> Vec<Result<Outcome, DispersionError>> {
-        // Batch level of the span tree: one span over the whole fan-out.
-        let _batch_span = bd_telemetry::spans::span_with(
-            "batch",
-            "batch",
-            vec![
-                ("cells", self.cells.len().to_string()),
-                ("graphs", self.sessions.len().to_string()),
-            ],
-        );
+        // Batch level of the span tree: one span over the whole fan-out,
+        // carrying any caller-attached tags (e.g. the request id).
+        let mut batch_args = vec![
+            ("cells", self.cells.len().to_string()),
+            ("graphs", self.sessions.len().to_string()),
+        ];
+        batch_args.extend(self.tags.iter().map(|(k, v)| (*k, v.clone())));
+        let _batch_span = bd_telemetry::spans::span_with("batch", "batch", batch_args);
         // Phase 1: plan each cell (includes row `prepare`, reused by the
         // run below — nothing is planned twice).
         let planned: Vec<Result<(Plan, u64), DispersionError>> = self

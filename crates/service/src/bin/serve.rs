@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! bd-serve --store DIR [--addr 127.0.0.1:7171] [--workers N] [--queue-depth N] \
-//!          [--anchor FILE] [--chaos-plan FILE]
+//!          [--anchor FILE] [--chaos-plan FILE] \
+//!          [--log FILE|stderr] [--log-level LVL] [--trace-out FILE]
 //! ```
 //!
 //! Binds, prints one `listening on <addr>` line (port `0` in `--addr`
@@ -20,14 +21,28 @@
 //! deterministic fault injection in the store's write path and the worker
 //! loop — the crash-recovery drill's knob (RESILIENCE.md). Never use it
 //! on a store you care about: it exists to tear writes on purpose.
+//!
+//! `--log FILE|stderr` turns on structured JSONL logging
+//! (`bd_telemetry::log`): one event per line, each carrying the request's
+//! trace id under `req`. `--log-level debug|info|warn|error` sets the
+//! minimum recorded severity (default `info`). Without `--log` the logging
+//! path stays at its disabled-is-free cost.
+//!
+//! `--trace-out FILE` enables span recording for the whole process and, at
+//! shutdown, drains the span buffer into `FILE` as Chrome trace-event
+//! JSONL (open in Perfetto after `jq -s .`). Each batch runs under a
+//! `request` span tagged with its trace id, so a busy daemon's trace
+//! separates into per-request lifelines.
 
 use bd_chaos::{Chaos, FaultPlan};
 use bd_service::{Daemon, ServeConfig};
+use bd_telemetry::log as tlog;
 
 fn usage() -> ! {
     eprintln!(
         "usage: bd-serve --store DIR [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--anchor FILE] [--chaos-plan FILE]"
+         [--anchor FILE] [--chaos-plan FILE] [--log FILE|stderr] [--log-level LVL] \
+         [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -35,6 +50,9 @@ fn usage() -> ! {
 fn main() {
     let mut config = ServeConfig::ephemeral("");
     let mut store_dir = None;
+    let mut log_sink = None;
+    let mut log_level = tlog::Level::Info;
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -64,11 +82,34 @@ fn main() {
                 eprintln!("bd-serve: fault injection armed: {plan:?}");
                 config.chaos = Chaos::from_plan(plan);
             }
+            "--log" => log_sink = Some(value("--log")),
+            "--log-level" => {
+                let lvl = value("--log-level");
+                log_level = tlog::Level::parse(&lvl).unwrap_or_else(|| {
+                    eprintln!("bd-serve: unknown log level {lvl:?}");
+                    usage()
+                });
+            }
+            "--trace-out" => trace_out = Some(value("--trace-out")),
             _ => usage(),
         }
     }
     let Some(store_dir) = store_dir else { usage() };
     config.store_dir = store_dir.into();
+
+    match log_sink.as_deref() {
+        Some("stderr") => tlog::init_stderr(log_level),
+        Some(path) => {
+            if let Err(e) = tlog::init_file(std::path::Path::new(path), log_level) {
+                eprintln!("bd-serve: open log file {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        None => {}
+    }
+    if trace_out.is_some() {
+        bd_telemetry::enable_spans(true);
+    }
 
     let daemon = match Daemon::start(config) {
         Ok(d) => d,
@@ -83,5 +124,20 @@ fn main() {
     use std::io::Write;
     let _ = std::io::stdout().flush();
     daemon.join();
+    if let Some(path) = trace_out {
+        let events = bd_telemetry::spans::drain();
+        match std::fs::File::create(&path) {
+            Ok(file) => {
+                let mut out = std::io::BufWriter::new(file);
+                if let Err(e) = bd_telemetry::spans::write_chrome_trace(&mut out, &events) {
+                    eprintln!("bd-serve: write trace {path}: {e}");
+                } else {
+                    eprintln!("bd-serve: wrote {} span events to {path}", events.len());
+                }
+            }
+            Err(e) => eprintln!("bd-serve: create trace file {path}: {e}"),
+        }
+    }
+    tlog::shutdown();
     println!("bd-serve: drained and stopped");
 }

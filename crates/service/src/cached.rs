@@ -42,6 +42,15 @@ pub struct CacheStats {
     /// Wall-clock spent simulating, microseconds (sum of per-run
     /// `RunMetrics::elapsed_micros`).
     pub elapsed_simulated_micros: u64,
+    /// Wall-clock of the whole simulate stage, microseconds: one
+    /// measurement around the inner `BatchPlanner::run` fan-out (unlike
+    /// [`CacheStats::elapsed_simulated_micros`], which sums per-cell and
+    /// can exceed wall time under a parallel pool). Feeds the daemon's
+    /// `bd_request_duration_micros{stage="simulate"}` histogram.
+    pub simulate_wall_micros: u64,
+    /// Wall-clock spent writing fresh outcomes back to the store,
+    /// microseconds. Feeds `bd_request_duration_micros{stage="store_write"}`.
+    pub store_write_micros: u64,
 }
 
 impl CacheStats {
@@ -54,6 +63,8 @@ impl CacheStats {
         self.rounds_simulated += other.rounds_simulated;
         self.rounds_saved += other.rounds_saved;
         self.elapsed_simulated_micros += other.elapsed_simulated_micros;
+        self.simulate_wall_micros += other.simulate_wall_micros;
+        self.store_write_micros += other.store_write_micros;
     }
 }
 
@@ -193,6 +204,13 @@ impl<'s> CachedPlanner<'s> {
         self.planner.len()
     }
 
+    /// Attach an extra argument to the inner planner's batch span — the
+    /// daemon tags each run with the request id so span exports show
+    /// per-request lifelines. See [`BatchPlanner::tag`].
+    pub fn tag(&mut self, key: &'static str, value: String) {
+        self.planner.tag(key, value);
+    }
+
     /// Where cell `idx` (an index returned by [`CachedPlanner::add`]) gets
     /// its result from. The daemon reports this per cell.
     pub fn source(&self, idx: usize) -> CellSource {
@@ -211,9 +229,13 @@ impl<'s> CachedPlanner<'s> {
     /// per-cell scenario errors stay inside the result vector, matching
     /// `BatchPlanner::run`.
     pub fn run(self) -> Result<(Vec<Result<Outcome, DispersionError>>, CacheStats), ServiceError> {
+        let simulate_started = std::time::Instant::now();
         let mut executed: Vec<Option<Result<Outcome, DispersionError>>> =
             self.planner.run().into_iter().map(Some).collect();
-        let mut stats = CacheStats::default();
+        let mut stats = CacheStats {
+            simulate_wall_micros: simulate_started.elapsed().as_micros() as u64,
+            ..CacheStats::default()
+        };
         // Aliases resolve after their targets, so fill slots in two passes.
         let mut results: Vec<Option<Result<Outcome, DispersionError>>> =
             (0..self.slots.len()).map(|_| None).collect();
@@ -239,7 +261,9 @@ impl<'s> CachedPlanner<'s> {
                             stats.rounds_simulated +=
                                 outcome.metrics.rounds - outcome.metrics.rounds_skipped;
                             stats.elapsed_simulated_micros += outcome.metrics.elapsed_micros;
+                            let write_started = std::time::Instant::now();
                             self.store.put(digest, &spec, outcome)?;
+                            stats.store_write_micros += write_started.elapsed().as_micros() as u64;
                         }
                         Err(_) => stats.errors += 1,
                     }

@@ -174,6 +174,15 @@ impl Client {
         }
     }
 
+    /// [`Client::metrics`] parsed into families and samples
+    /// ([`bd_telemetry::prom::parse`]) — what the load generator's gate
+    /// and the smoke tests read instead of grepping exposition text.
+    pub fn metrics_parsed(&self) -> Result<bd_telemetry::prom::Exposition, ServiceError> {
+        let body = self.metrics()?;
+        bd_telemetry::prom::parse(&body)
+            .map_err(|e| ServiceError::Protocol(format!("parse /metrics exposition: {e}")))
+    }
+
     /// `GET /audit`: chain-verify the daemon's journal. Both the verified
     /// (`200`) and the tampered (`409`) answer decode to an [`AuditReply`]
     /// — a broken chain is an *answer*, not a transport failure.
@@ -190,7 +199,31 @@ impl Client {
     /// `POST /batches`: submit `request`, returning the accepted handle.
     /// Safe under retry: a duplicate submission re-plans against the
     /// store and replays by digest.
+    ///
+    /// A request whose `request_id` is empty is stamped with the
+    /// deterministic content-derived id
+    /// ([`BatchRequest::computed_request_id`]) before it goes on the wire,
+    /// so every submission through this client is traceable end to end; an
+    /// explicit caller-chosen id is passed through untouched.
     pub fn submit(&self, request: &BatchRequest) -> Result<BatchAccepted, ServiceError> {
+        let stamped;
+        let request = if request.request_id.is_empty() {
+            match request.computed_request_id() {
+                Some(id) => {
+                    stamped = BatchRequest {
+                        request_id: id,
+                        ..request.clone()
+                    };
+                    &stamped
+                }
+                // An unmaterializable graph source: send as-is — the
+                // daemon will fail the batch with the real error and
+                // derive a body-hash id for the failure's trace.
+                None => request,
+            }
+        } else {
+            request
+        };
         let body = serde_json::to_string(request)
             .map_err(|e| ServiceError::Protocol(format!("encode batch request: {e}")))?;
         let (status, reply) = self.call("POST", "/batches", Some(&body))?;

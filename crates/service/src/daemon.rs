@@ -59,9 +59,12 @@ use crate::protocol::{
 };
 use crate::store::{ResultStore, StoreOptions};
 use bd_chaos::{Chaos, WorkerFault};
+use bd_dispersion::canon::Fnv64;
 use bd_dispersion::BatchPlanner;
 use bd_graphs::PortGraph;
+use bd_telemetry::log as tlog;
 use bd_telemetry::prom::{self, Histogram, PromText};
+use bd_telemetry::spans;
 use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -69,7 +72,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon knobs.
 #[derive(Debug, Clone)]
@@ -125,6 +128,13 @@ struct BatchRecord {
     state: BatchState,
     cells: Vec<CellResult>,
     stats: Option<CacheStats>,
+    /// The request's trace id: client-submitted, or derived from the raw
+    /// body when the submission carried an empty one. Echoed on every
+    /// reply and threaded through span args and log events.
+    request_id: String,
+    /// When the batch entered the queue; the worker's pop time minus this
+    /// is the `queue_wait` stage.
+    queued_at: Instant,
 }
 
 /// Completed (done/failed) batch records retained for `GET /batches/:id`;
@@ -145,6 +155,56 @@ pub const GRAPH_MEMO_CAP: usize = 64;
 const RPS_BUCKETS: &[u64] = &[
     1_000, 10_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 5_000_000,
 ];
+
+/// Upper bounds of the `bd_request_duration_micros{stage=...}` stage
+/// histograms, in microseconds. 100µs to 30s: the low buckets resolve the
+/// socket/parse stages, the high ones the simulate stage of a large cold
+/// batch.
+const STAGE_BUCKETS: &[u64] = &[
+    100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 30_000_000,
+];
+
+/// The request lifecycle's five stage histograms, one series per stage of
+/// `bd_request_duration_micros`. Always rendered — a scrape of an idle
+/// daemon shows all five families' series at zero, so dashboards and the
+/// doc-sync test never depend on traffic having happened.
+struct StageHistograms {
+    /// Reading and parsing one HTTP request off the socket.
+    read_parse: Histogram,
+    /// Accepted-to-popped time of a batch in the bounded queue.
+    queue_wait: Histogram,
+    /// Wall-clock of the batch's simulate fan-out (cold cells only).
+    simulate: Histogram,
+    /// Writing fresh outcomes back to the store.
+    store_write: Histogram,
+    /// Serializing and writing one response to the socket.
+    respond: Histogram,
+}
+
+impl Default for StageHistograms {
+    fn default() -> StageHistograms {
+        StageHistograms {
+            read_parse: Histogram::new(STAGE_BUCKETS),
+            queue_wait: Histogram::new(STAGE_BUCKETS),
+            simulate: Histogram::new(STAGE_BUCKETS),
+            store_write: Histogram::new(STAGE_BUCKETS),
+            respond: Histogram::new(STAGE_BUCKETS),
+        }
+    }
+}
+
+impl StageHistograms {
+    /// Stage name → histogram, in the order the exposition renders.
+    fn series(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("read_parse", &self.read_parse),
+            ("queue_wait", &self.queue_wait),
+            ("simulate", &self.simulate),
+            ("store_write", &self.store_write),
+            ("respond", &self.respond),
+        ]
+    }
+}
 
 /// Lock acquisition that survives poisoning: a panicking worker (isolated
 /// by `catch_unwind`) must not turn every later `/stats` or submission
@@ -179,6 +239,12 @@ struct ServeMetrics {
     shed: u64,
     /// Simulated-cell throughput per Table 1 row, rounds per second.
     row_rps: BTreeMap<String, Histogram>,
+    /// Per-stage request latency histograms
+    /// (`bd_request_duration_micros{stage=...}`).
+    stages: StageHistograms,
+    /// Total microseconds batches spent queued
+    /// (`bd_queue_wait_micros_total`).
+    queue_wait_micros: u64,
 }
 
 impl ServeMetrics {
@@ -218,6 +284,7 @@ impl State {
         let mut d = lock_recover(&self.degraded);
         if d.is_none() {
             eprintln!("bd-serve: entering degraded compute-only mode: {reason}");
+            tlog::error("degraded", &[("reason", &reason)]);
             *d = Some(reason);
         }
     }
@@ -413,6 +480,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>, tx: &SyncSender<u64>)
 }
 
 fn handle_connection(mut stream: TcpStream, state: &Arc<State>, tx: &SyncSender<u64>) {
+    let read_started = Instant::now();
     let request = match http::read_request_with(&mut stream, state.deadlines) {
         Ok(r) => r,
         Err(e) => {
@@ -421,19 +489,29 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<State>, tx: &SyncSender<
             // answer 400 best-effort, drop the connection. Nothing a peer
             // sends reaches a panic path.
             lock_recover(&state.metrics).protocol_errors += 1;
+            tlog::warn("protocol_error", &[("error", &e.to_string())]);
             let _ = http::respond(&mut stream, 400, &error_body(&e.to_string()));
             return;
         }
     };
+    let read_micros = read_started.elapsed().as_micros() as u64;
     // `/metrics` is the one non-JSON endpoint (Prometheus text
     // exposition), so it bypasses the JSON responder `route` feeds.
+    let respond_started;
     if (request.method.as_str(), request.path.as_str()) == ("GET", "/metrics") {
         let body = render_metrics(state);
+        respond_started = Instant::now();
         let _ = http::respond_with(&mut stream, 200, prom::CONTENT_TYPE, &body);
-        return;
+    } else {
+        let (status, body) = route(&request, state, tx);
+        respond_started = Instant::now();
+        let _ = http::respond(&mut stream, status, &body);
     }
-    let (status, body) = route(&request, state, tx);
-    let _ = http::respond(&mut stream, status, &body);
+    let respond_micros = respond_started.elapsed().as_micros() as u64;
+    // One acquisition for both connection-side stage observations.
+    let mut m = lock_recover(&state.metrics);
+    m.stages.read_parse.observe(read_micros);
+    m.stages.respond.observe(respond_micros);
 }
 
 fn error_body(msg: &str) -> String {
@@ -519,6 +597,17 @@ fn audit(state: &Arc<State>) -> (u16, String) {
     (status, serde_json::to_string(&reply).expect("audit reply"))
 }
 
+/// The daemon-side fallback trace id for a submission whose `request_id`
+/// field came in empty: a content hash of the raw body bytes — still
+/// deterministic (the same body gets the same id on every submission, rule
+/// 3), just not portable across equivalent JSON spellings the way the
+/// client's digest-derived id is.
+fn fallback_request_id(body: &str) -> String {
+    let mut fold = Fnv64::new();
+    fold.write(body.as_bytes());
+    format!("{:016x}", fold.finish())
+}
+
 fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, String) {
     let request: BatchRequest = match serde_json::from_str(body) {
         Ok(r) => r,
@@ -528,6 +617,11 @@ fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, S
         return (400, error_body("batch has no specs"));
     }
     let cells = request.specs.len();
+    let request_id = if request.request_id.is_empty() {
+        fallback_request_id(body)
+    } else {
+        request.request_id.clone()
+    };
     let id = state.next_id.fetch_add(1, Ordering::Relaxed);
     lock_recover(&state.batches).insert(
         id,
@@ -536,6 +630,8 @@ fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, S
             state: BatchState::Queued,
             cells: Vec::new(),
             stats: None,
+            request_id: request_id.clone(),
+            queued_at: Instant::now(),
         },
     );
     // `submitted` is bumped *before* the job becomes poppable: a fast
@@ -543,10 +639,21 @@ fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, S
     lock_recover(&state.metrics).submitted += 1;
     match tx.try_send(id) {
         Ok(()) => {
+            if tlog::enabled(tlog::Level::Info) {
+                tlog::info(
+                    "batch_accepted",
+                    &[
+                        ("req", &request_id),
+                        ("batch", &id.to_string()),
+                        ("cells", &cells.to_string()),
+                    ],
+                );
+            }
             let reply = BatchAccepted {
                 id,
                 cells,
                 status: "queued".into(),
+                request_id,
             };
             (202, serde_json::to_string(&reply).expect("accepted"))
         }
@@ -560,6 +667,7 @@ fn submit_batch(body: &str, state: &Arc<State>, tx: &SyncSender<u64>) -> (u16, S
                 TrySendError::Full(_) => "job queue full, resubmit later",
                 TrySendError::Disconnected(_) => "daemon is shutting down",
             };
+            tlog::warn("queue_shed", &[("req", &request_id), ("reason", msg)]);
             (503, error_body(msg))
         }
     }
@@ -586,6 +694,7 @@ fn batch_status(path: &str, state: &Arc<State>) -> (u16, String) {
         error,
         cells: record.cells.clone(),
         stats: record.stats,
+        request_id: record.request_id.clone(),
     };
     (200, serde_json::to_string(&reply).expect("batch reply"))
 }
@@ -606,14 +715,20 @@ fn worker_loop(state: &Arc<State>, rx: &Arc<Mutex<Receiver<u64>>>) {
                     process_batch(state, id)
                 }));
                 // One critical section for the whole completion: totals,
-                // throughput observations, busy time, and the `completed`
-                // bump land together, so `/stats` and `/metrics` readers
-                // always see them as a unit.
+                // throughput and stage observations, busy time, and the
+                // `completed` bump land together, so `/stats` and
+                // `/metrics` readers always see them as a unit.
                 match done {
-                    Ok(done) => {
+                    Ok((queue_wait, done)) => {
                         let mut m = lock_recover(&state.metrics);
                         m.busy_micros += t0.elapsed().as_micros() as u64;
+                        if let Some(wait) = queue_wait {
+                            m.queue_wait_micros += wait;
+                            m.stages.queue_wait.observe(wait);
+                        }
                         if let Some((stats, observations)) = done {
+                            m.stages.simulate.observe(stats.simulate_wall_micros);
+                            m.stages.store_write.observe(stats.store_write_micros);
                             m.totals.merge(&stats);
                             for (row, rps) in observations {
                                 m.row_rps
@@ -626,7 +741,9 @@ fn worker_loop(state: &Arc<State>, rx: &Arc<Mutex<Receiver<u64>>>) {
                     }
                     Err(_) => {
                         let mut batches = lock_recover(&state.batches);
+                        let mut request_id = String::new();
                         if let Some(record) = batches.get_mut(&id) {
+                            request_id = record.request_id.clone();
                             if !matches!(record.state, BatchState::Done | BatchState::Failed(_)) {
                                 record.state = BatchState::Failed(
                                     "worker panicked while running this batch (daemon still \
@@ -636,6 +753,12 @@ fn worker_loop(state: &Arc<State>, rx: &Arc<Mutex<Receiver<u64>>>) {
                             }
                         }
                         drop(batches);
+                        if tlog::enabled(tlog::Level::Error) {
+                            tlog::error(
+                                "worker_panic",
+                                &[("req", &request_id), ("batch", &id.to_string())],
+                            );
+                        }
                         let mut m = lock_recover(&state.metrics);
                         m.busy_micros += t0.elapsed().as_micros() as u64;
                         m.worker_panics += 1;
@@ -668,54 +791,107 @@ fn graph_for(state: &Arc<State>, source: &GraphSource) -> Result<Arc<PortGraph>,
     Ok(Arc::clone(graphs.entry(key).or_insert(g)))
 }
 
-/// Run one popped batch to completion. Returns the batch's stats plus
-/// per-row `(row name, rounds/sec)` throughput observations for its
-/// *simulated* cells when the batch finished, `None` when it failed or
-/// its record vanished — the caller folds either into [`ServeMetrics`].
-fn process_batch(state: &Arc<State>, id: u64) -> Option<(CacheStats, Vec<(String, u64)>)> {
-    let request = {
+/// Run one popped batch to completion. Returns the batch's queue wait
+/// (known whenever its record was found) plus its stats and per-row
+/// `(row name, rounds/sec)` throughput observations for its *simulated*
+/// cells when the batch finished — the caller folds everything into
+/// [`ServeMetrics`] in one critical section.
+#[allow(clippy::type_complexity)]
+fn process_batch(
+    state: &Arc<State>,
+    id: u64,
+) -> (Option<u64>, Option<(CacheStats, Vec<(String, u64)>)>) {
+    let (request, request_id, queue_wait) = {
         let mut batches = lock_recover(&state.batches);
-        let record = batches.get_mut(&id)?;
+        let Some(record) = batches.get_mut(&id) else {
+            return (None, None);
+        };
         record.state = BatchState::Running;
+        let wait = record.queued_at.elapsed().as_micros() as u64;
         // Take, don't clone: nothing reads the request after this point,
         // and an `Explicit` graph source can be megabytes — retained
         // requests would defeat the record-retention memory bound.
-        record.request.take()?
+        let Some(request) = record.request.take() else {
+            return (None, None);
+        };
+        (request, record.request_id.clone(), wait)
     };
+    if tlog::enabled(tlog::Level::Debug) {
+        tlog::debug(
+            "batch_start",
+            &[("req", &request_id), ("batch", &id.to_string())],
+        );
+    }
     // Drill injection point: a seed-chosen batch simply panics here, and
     // the isolation in `worker_loop` has to contain it. No lock is held.
     if state.chaos.worker_batch() == WorkerFault::Panic {
         panic!("chaos: injected worker panic");
     }
 
-    let result = run_request(state, &request);
+    // The request level of the span tree: one span per batch carrying the
+    // trace id, enclosing the planner's batch → cell → phase spans — a
+    // Chrome trace of a busy daemon separates into per-request lifelines.
+    let result = {
+        let _request_span = spans::span_with(
+            "request",
+            "request",
+            vec![("req", request_id.clone()), ("batch", id.to_string())],
+        );
+        run_request(state, &request, &request_id)
+    };
     let done = {
         let mut batches = lock_recover(&state.batches);
-        let record = batches.get_mut(&id)?;
+        let Some(record) = batches.get_mut(&id) else {
+            return (Some(queue_wait), None);
+        };
         match result {
             Ok((cells, stats, observations)) => {
                 record.cells = cells;
                 record.stats = Some(stats);
                 record.state = BatchState::Done;
+                if tlog::enabled(tlog::Level::Info) {
+                    tlog::info(
+                        "batch_done",
+                        &[
+                            ("req", &request_id),
+                            ("batch", &id.to_string()),
+                            ("hits", &stats.hits.to_string()),
+                            ("misses", &stats.misses.to_string()),
+                            ("deduped", &stats.deduped.to_string()),
+                            ("errors", &stats.errors.to_string()),
+                        ],
+                    );
+                }
                 Some((stats, observations))
             }
             Err(e) => {
+                if tlog::enabled(tlog::Level::Error) {
+                    tlog::error(
+                        "batch_failed",
+                        &[
+                            ("req", &request_id),
+                            ("batch", &id.to_string()),
+                            ("error", &e.to_string()),
+                        ],
+                    );
+                }
                 record.state = BatchState::Failed(e.to_string());
                 None
             }
         }
     };
     state.evict_completed();
-    done
+    (Some(queue_wait), done)
 }
 
 fn run_request(
     state: &Arc<State>,
     request: &BatchRequest,
+    request_id: &str,
 ) -> Result<(Vec<CellResult>, CacheStats, Vec<(String, u64)>), ServiceError> {
     let graph = graph_for(state, &request.graph)?;
     if let Some(store) = state.healthy_store() {
-        match run_cached(store, &graph, request) {
+        match run_cached(store, &graph, request, request_id) {
             Ok(done) => return Ok(done),
             Err(e) => {
                 // The only error `CachedPlanner::run` surfaces is a
@@ -730,7 +906,7 @@ fn run_request(
             }
         }
     }
-    Ok(run_compute_only(&graph, request))
+    Ok(run_compute_only(&graph, request, request_id))
 }
 
 /// The store-backed path: consult, simulate misses, write back.
@@ -738,8 +914,10 @@ fn run_cached(
     store: &ResultStore,
     graph: &Arc<PortGraph>,
     request: &BatchRequest,
+    request_id: &str,
 ) -> Result<(Vec<CellResult>, CacheStats, Vec<(String, u64)>), ServiceError> {
     let mut planner = CachedPlanner::new(store);
+    planner.tag("req", request_id.to_string());
     // Per-cell provenance comes straight from the planner: only a store
     // hit is `cached` (an in-batch duplicate aliases a simulation of this
     // very batch, which is not "answered by the store").
@@ -793,13 +971,19 @@ fn run_cached(
 fn run_compute_only(
     graph: &Arc<PortGraph>,
     request: &BatchRequest,
+    request_id: &str,
 ) -> (Vec<CellResult>, CacheStats, Vec<(String, u64)>) {
     let mut planner = BatchPlanner::new();
+    planner.tag("req", request_id.to_string());
     for spec in &request.specs {
         planner.add(graph, spec.clone());
     }
+    let simulate_started = Instant::now();
     let results = planner.run();
-    let mut stats = CacheStats::default();
+    let mut stats = CacheStats {
+        simulate_wall_micros: simulate_started.elapsed().as_micros() as u64,
+        ..CacheStats::default()
+    };
     let mut observations = Vec::new();
     let cells = request
         .specs
@@ -958,7 +1142,23 @@ fn render_metrics(state: &Arc<State>) -> String {
         "bd_elapsed_simulated_micros_total",
         "Wall-clock microseconds spent simulating cells.",
         m.totals.elapsed_simulated_micros,
+    )
+    .counter(
+        "bd_queue_wait_micros_total",
+        "Total microseconds batches spent queued before a worker took them.",
+        m.queue_wait_micros,
     );
+    // The request lifecycle histograms render unconditionally (all five
+    // stage series, even with zero observations): dashboards and the
+    // doc-sync smoke must see the family on an idle daemon.
+    text.header(
+        "bd_request_duration_micros",
+        "histogram",
+        "Per-stage request latency: read_parse, queue_wait, simulate, store_write, respond.",
+    );
+    for (stage, hist) in m.stages.series() {
+        text.histogram_series("bd_request_duration_micros", &[("stage", stage)], hist);
+    }
     if !m.row_rps.is_empty() {
         text.header(
             "bd_row_rounds_per_sec",

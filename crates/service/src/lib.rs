@@ -54,7 +54,7 @@
 //! | `GET /batches/:id` | —                   | [`protocol::BatchReply`] (status, cells, stats) |
 //! | `GET /healthz`     | —                   | [`protocol::Health`]                          |
 //! | `GET /stats`       | —                   | [`protocol::StatsReply`] (cache hits, rounds simulated/saved, queue depth) |
-//! | `GET /metrics`     | —                   | Prometheus text exposition (`text/plain; version=0.0.4`): store/queue/worker counters + per-row throughput histograms; see OBSERVABILITY.md |
+//! | `GET /metrics`     | —                   | Prometheus text exposition (`text/plain; version=0.0.4`): store/queue/worker counters, per-row throughput histograms, and per-stage request-latency histograms; see OBSERVABILITY.md |
 //! | `GET /audit`       | —                   | [`protocol::AuditReply`]: `200` verified chain, `409` tampered (with failing index) |
 //! | `POST /shutdown`   | —                   | `{"ok":true}`, then the daemon drains and exits |
 //!
@@ -68,17 +68,20 @@
 //!     "graph": {"BenchEr": {"n": 9, "seed": 1000}},
 //!     "specs": [{"algo":"GatheredThirdTh4","num_robots":9,"num_byzantine":1,
 //!                "adversary":"TokenHijacker","placement":"Random",
-//!                "starts":{"Gathered":0},"seed":1000,"allow_overload":false}]}'
-//! {"id":1,"cells":1,"status":"queued"}
+//!                "starts":{"Gathered":0},"seed":1000,"allow_overload":false}],
+//!     "request_id": ""}'
+//! {"id":1,"cells":1,"status":"queued","request_id":"8b1f20c4d1e6a973"}
 //!
 //! $ curl -s http://127.0.0.1:7171/batches/1   # first run: simulated
 //! {"id":1,"status":"done","error":null,"cells":[{"cached":false,"outcome":{…}}],
-//!  "stats":{"hits":0,"misses":1,"errors":0,"rounds_simulated":812,…}}
+//!  "stats":{"hits":0,"misses":1,"errors":0,"rounds_simulated":812,…},
+//!  "request_id":"8b1f20c4d1e6a973"}
 //!
 //! $ curl -s -X POST http://127.0.0.1:7171/batches -d '…same body…' \
 //!     && sleep 0.1 && curl -s http://127.0.0.1:7171/batches/2
 //! {"id":2,"status":"done","error":null,"cells":[{"cached":true,"outcome":{…}}],
-//!  "stats":{"hits":1,"misses":0,"errors":0,"rounds_simulated":0,"rounds_saved":2515,…}}
+//!  "stats":{"hits":1,"misses":0,"errors":0,"rounds_simulated":0,"rounds_saved":2515,…},
+//!  "request_id":"8b1f20c4d1e6a973"}
 //!
 //! $ curl -s http://127.0.0.1:7171/stats
 //! {"store_entries":1,"store_hits":1,"store_misses":1,"batches_submitted":2,
@@ -92,6 +95,20 @@
 //! path share the store with the daemon: graph sources materialize through
 //! the same `asymmetric_gnp(n, seed)` pure function the sweeps use, so the
 //! digests coincide wherever the cell runs.
+//!
+//! ## Request tracing
+//!
+//! Every batch carries a `request_id`: [`client::Client::submit`] stamps
+//! an empty one with the deterministic digest-derived id
+//! ([`protocol::request_id_for`] — same content, same id, never
+//! wall-clock), and the daemon derives a body-hash fallback for bare
+//! submissions. The id is echoed on `202` and on every
+//! `GET /batches/:id`, threaded into the span tree as the `request` span's
+//! `req` argument (exported via `bd-serve --trace-out FILE`), attached to
+//! every structured log event (`--log FILE|stderr`,
+//! `bd_telemetry::log`), and the five request lifecycle stages land in
+//! `bd_request_duration_micros{stage=...}` on `/metrics`. OBSERVABILITY.md
+//! § "Request tracing and logs" is the full contract.
 //!
 //! ## Resilience (RESILIENCE.md)
 //!

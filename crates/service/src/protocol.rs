@@ -4,7 +4,10 @@
 
 use crate::cached::CacheStats;
 use crate::graphsrc::GraphSource;
+use bd_dispersion::canon::{scenario_digest_with, Fnv64, GraphCanon};
 use bd_dispersion::runner::{Outcome, ScenarioSpec};
+use bd_graphs::PortGraph;
+use bd_runtime::EngineConfig;
 use serde::{Deserialize, Serialize};
 
 /// `POST /batches` request body: one graph source plus the specs to run
@@ -16,6 +19,54 @@ pub struct BatchRequest {
     pub graph: GraphSource,
     /// The scenario cells.
     pub specs: Vec<ScenarioSpec>,
+    /// Client-chosen trace id, echoed in [`BatchAccepted`] and
+    /// [`BatchReply`] and threaded through the daemon's span tree and
+    /// log events. [`Client::submit`](crate::Client::submit) stamps the
+    /// deterministic digest-derived id ([`request_id_for`]) when this is
+    /// empty; the daemon derives a fallback from the raw body when a bare
+    /// curl omits it. Same batch content ⇒ same id (rule 3: no
+    /// wall-clock).
+    pub request_id: String,
+}
+
+impl BatchRequest {
+    /// A request for `specs` on `graph`, stamped with the deterministic
+    /// content-derived request id.
+    pub fn new(graph: GraphSource, specs: Vec<ScenarioSpec>) -> BatchRequest {
+        let mut request = BatchRequest {
+            graph,
+            specs,
+            request_id: String::new(),
+        };
+        if let Some(id) = request.computed_request_id() {
+            request.request_id = id;
+        }
+        request
+    }
+
+    /// The content-derived request id for this batch: a 16-hex-digit FNV
+    /// fold over every cell's [`SpecDigest`](bd_dispersion::canon::SpecDigest)
+    /// under the default engine config. `None` when the graph source
+    /// cannot be materialized (the daemon will fail the batch with the
+    /// real error; the id falls back to a body hash).
+    pub fn computed_request_id(&self) -> Option<String> {
+        let graph = self.graph.materialize().ok()?;
+        Some(request_id_for(&graph, &self.specs))
+    }
+}
+
+/// The deterministic request id for `specs` on an already-materialized
+/// graph — the same fold [`BatchRequest::computed_request_id`] performs.
+pub fn request_id_for(graph: &PortGraph, specs: &[ScenarioSpec]) -> String {
+    let canon = GraphCanon::new(graph);
+    let config = EngineConfig::default();
+    let mut fold = Fnv64::new();
+    for spec in specs {
+        let digest = scenario_digest_with(&canon, spec, &config);
+        fold.write(&digest.0.to_le_bytes());
+        fold.write(&digest.1.to_le_bytes());
+    }
+    format!("{:016x}", fold.finish())
 }
 
 /// `POST /batches` success response (`202 Accepted`).
@@ -27,6 +78,9 @@ pub struct BatchAccepted {
     pub cells: usize,
     /// Always `"queued"` at acceptance time.
     pub status: String,
+    /// The request's trace id (client-submitted, or daemon-derived when
+    /// the submission carried none).
+    pub request_id: String,
 }
 
 /// One cell of a finished batch.
@@ -53,6 +107,10 @@ pub struct BatchReply {
     pub cells: Vec<CellResult>,
     /// Cache accounting for this batch, present when `status == "done"`.
     pub stats: Option<CacheStats>,
+    /// The request's trace id — the same value [`BatchAccepted`] echoed,
+    /// so a client can correlate a reply with the daemon's trace export
+    /// and log stream.
+    pub request_id: String,
 }
 
 /// `GET /healthz` response.

@@ -326,14 +326,14 @@ fn concurrent_worker_write_backs_stay_chain_valid() {
     // Eight one-cell batches with distinct digests, all in flight at once.
     let ids: Vec<u64> = (0..8u64)
         .map(|seed| {
-            let request = BatchRequest {
-                graph: graph_src.clone(),
-                specs: vec![
+            let request = BatchRequest::new(
+                graph_src.clone(),
+                vec![
                     ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0)
                         .with_byzantine(1, AdversaryKind::Squatter)
                         .with_seed(seed),
                 ],
-            };
+            );
             client.submit(&request).unwrap().id
         })
         .collect();

@@ -302,10 +302,10 @@ fn tampered_store_degrades_the_daemon_instead_of_killing_it() {
     // Simulations still flow — compute-only, nothing cached.
     let graph_src = GraphSource::BenchEr { n: 8, seed: 1000 };
     let graph = graph_src.materialize().unwrap();
-    let request = BatchRequest {
-        graph: graph_src,
-        specs: vec![ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0).with_seed(7)],
-    };
+    let request = BatchRequest::new(
+        graph_src,
+        vec![ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0).with_seed(7)],
+    );
     let accepted = client.submit(&request).unwrap();
     let reply = client.wait(accepted.id, Duration::from_secs(120)).unwrap();
     assert_eq!(reply.status, "done", "error: {:?}", reply.error);

@@ -22,16 +22,16 @@ fn quick_request() -> BatchRequest {
     let n = 9;
     let graph_src = GraphSource::BenchEr { n, seed: 1000 };
     let graph = graph_src.materialize().unwrap();
-    BatchRequest {
-        graph: graph_src,
-        specs: (0..2)
+    BatchRequest::new(
+        graph_src,
+        (0..2)
             .map(|seed| {
                 ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0)
                     .with_byzantine(1, AdversaryKind::TokenHijacker)
                     .with_seed(seed)
             })
             .collect(),
-    }
+    )
 }
 
 #[test]
@@ -146,14 +146,14 @@ fn concurrent_stats_readers_never_see_a_torn_snapshot() {
     let batches = 12;
     let mut ids = Vec::new();
     for seed in 0..batches {
-        let request = BatchRequest {
-            graph: graph_src.clone(),
-            specs: vec![
+        let request = BatchRequest::new(
+            graph_src.clone(),
+            vec![
                 ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0)
                     .with_byzantine(1, AdversaryKind::TokenHijacker)
                     .with_seed(seed),
             ],
-        };
+        );
         ids.push(client.submit(&request).unwrap().id);
     }
     // Two workers drain out of order; wait on every id, not just the last.
@@ -249,14 +249,14 @@ fn shutdown_drains_in_flight_write_backs() {
     let graph_src = GraphSource::BenchEr { n: 32, seed: 1000 };
     let graph = graph_src.materialize().unwrap();
     let cells = 3;
-    let request = BatchRequest {
-        graph: graph_src,
-        specs: (0..cells)
+    let request = BatchRequest::new(
+        graph_src,
+        (0..cells)
             .map(|seed| {
                 ScenarioSpec::gathered(Algorithm::GatheredThirdTh4, &graph, 0).with_seed(seed)
             })
             .collect(),
-    };
+    );
     client.submit(&request).unwrap();
     // Shutdown races the batch: it is queued or mid-simulation now.
     client.shutdown().unwrap();
@@ -300,10 +300,7 @@ fn per_cell_errors_and_bad_requests_are_reported() {
         other => panic!("expected 400, got {other:?}"),
     }
     // Empty batches are rejected up front.
-    let empty = BatchRequest {
-        graph: GraphSource::Ring { n: 6 },
-        specs: Vec::new(),
-    };
+    let empty = BatchRequest::new(GraphSource::Ring { n: 6 }, Vec::new());
     match client.submit(&empty) {
         Err(ServiceError::Http { status: 400, .. }) => {}
         other => panic!("expected 400, got {other:?}"),
@@ -311,10 +308,10 @@ fn per_cell_errors_and_bad_requests_are_reported() {
 
     // A graph source that cannot materialize fails the whole batch.
     let graph = asymmetric_gnp(9, 1000).unwrap();
-    let bad_graph = BatchRequest {
-        graph: GraphSource::Ring { n: 0 },
-        specs: vec![ScenarioSpec::gathered(Algorithm::RingOptimal, &graph, 0)],
-    };
+    let bad_graph = BatchRequest::new(
+        GraphSource::Ring { n: 0 },
+        vec![ScenarioSpec::gathered(Algorithm::RingOptimal, &graph, 0)],
+    );
     let accepted = client.submit(&bad_graph).unwrap();
     let reply = client.wait(accepted.id, WAIT).unwrap();
     assert_eq!(reply.status, "failed");

@@ -1,7 +1,10 @@
 //! The service smoke: spawn the **real** `bd-serve` binary on an ephemeral
-//! port, submit a quick Table 1 row twice, assert the second response is
-//! served entirely from the store, chain-verify the journal through
-//! `GET /audit`, and verify the daemon shuts down cleanly (exit code 0,
+//! port (with structured logging and span export armed), submit a quick
+//! Table 1 row twice, assert the second response is served entirely from
+//! the store, check the request's trace id end to end (response echo →
+//! log stream → Chrome trace export), chain-verify the journal through
+//! `GET /audit`, enforce the `/metrics` ↔ OBSERVABILITY.md doc-sync rule
+//! mechanically, and verify the daemon shuts down cleanly (exit code 0,
 //! not a kill). CI runs exactly this test as the serving-layer gate.
 
 use bd_dispersion::runner::ScenarioSpec;
@@ -22,13 +25,46 @@ impl Drop for ServerGuard {
     }
 }
 
+/// OBSERVABILITY.md rule 1, enforced mechanically: every family the
+/// exposition renders must have a `` `name` `` row in the doc. Chaos
+/// families are exempt only in the sense that they may be *absent* from
+/// the exposition (this daemon runs without `--chaos-plan`); any family
+/// that does render must be documented, chaos included.
+fn assert_families_documented(exposition: &bd_telemetry::prom::Exposition) {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../OBSERVABILITY.md");
+    let doc = std::fs::read_to_string(doc_path).expect("read OBSERVABILITY.md");
+    for family in exposition.families.keys() {
+        assert!(
+            doc.contains(&format!("`{family}`")),
+            "/metrics family {family} has no row in OBSERVABILITY.md — \
+             every rendered family must be documented (rule 1)"
+        );
+    }
+}
+
 #[test]
 fn bd_serve_round_trip_cache_hit_and_clean_shutdown() {
     let dir = std::env::temp_dir().join(format!("bd-serve-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
+    let log_path = std::env::temp_dir().join(format!("bd-serve-smoke-log-{}", std::process::id()));
+    let trace_path =
+        std::env::temp_dir().join(format!("bd-serve-smoke-trace-{}", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let _ = std::fs::remove_file(&trace_path);
 
     let mut child = Command::new(env!("CARGO_BIN_EXE_bd-serve"))
-        .args(["--store", dir.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .args([
+            "--store",
+            dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--log",
+            log_path.to_str().unwrap(),
+            "--log-level",
+            "debug",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -55,25 +91,34 @@ fn bd_serve_round_trip_cache_hit_and_clean_shutdown() {
     let graph_src = GraphSource::BenchEr { n, seed: 1000 };
     let graph = graph_src.materialize().unwrap();
     let algo = bd_dispersion::runner::Algorithm::GatheredThirdTh4;
-    let request = BatchRequest {
-        graph: graph_src,
-        specs: vec![ScenarioSpec::evaluation(algo, &graph)
+    let request = BatchRequest::new(
+        graph_src,
+        vec![ScenarioSpec::evaluation(algo, &graph)
             .with_byzantine(
                 algo.tolerance(n),
                 bd_dispersion::adversaries::AdversaryKind::TokenHijacker,
             )
             .with_seed(1000)],
-    };
+    );
+    // `BatchRequest::new` stamped the content-derived trace id.
+    let request_id = request.request_id.clone();
+    assert_eq!(request_id.len(), 16, "16-hex digest fold: {request_id:?}");
     let wait = Duration::from_secs(120);
 
     let first = client.submit(&request).unwrap();
+    assert_eq!(first.request_id, request_id, "202 echoes the trace id");
     let first = client.wait(first.id, wait).unwrap();
     assert_eq!(first.status, "done", "error: {:?}", first.error);
+    assert_eq!(first.request_id, request_id, "reply echoes the trace id");
     let s1 = first.stats.unwrap();
     assert_eq!((s1.hits, s1.misses), (0, 1));
     assert!(first.cells[0].outcome.as_ref().unwrap().dispersed);
 
     let second = client.submit(&request).unwrap();
+    assert_eq!(
+        second.request_id, request_id,
+        "same content, same deterministic id (rule 3: no wall-clock)"
+    );
     let second = client.wait(second.id, wait).unwrap();
     let s2 = second.stats.unwrap();
     assert_eq!(
@@ -88,55 +133,52 @@ fn bd_serve_round_trip_cache_hit_and_clean_shutdown() {
     assert_eq!(stats.store_entries, 1);
     assert_eq!(stats.batches_completed, 2);
 
-    // The live /metrics surface: a parseable Prometheus text exposition
-    // whose counters agree with /stats. Format check: every non-comment
-    // line is exactly `name{labels} value` with a float-parseable value,
-    // and every sample family was announced by a # TYPE header.
-    let metrics = client.metrics().unwrap();
-    let mut typed = std::collections::HashSet::new();
-    for line in metrics.lines() {
-        if let Some(rest) = line.strip_prefix("# TYPE ") {
-            typed.insert(rest.split(' ').next().unwrap().to_string());
-            continue;
-        }
-        if line.starts_with('#') || line.is_empty() {
-            continue;
-        }
-        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
-            panic!("sample line without a value: {line:?}");
-        });
-        assert!(
-            value.parse::<f64>().is_ok(),
-            "unparseable value in {line:?}"
-        );
-        let name = series.split('{').next().unwrap();
-        let family = name
-            .strip_suffix("_bucket")
-            .or_else(|| name.strip_suffix("_sum"))
-            .or_else(|| name.strip_suffix("_count"))
-            .filter(|f| typed.contains(*f))
-            .unwrap_or(name);
-        assert!(typed.contains(family), "sample {name} has no TYPE header");
-    }
-    for expected in [
-        "bd_store_entries 1",
-        "bd_store_hits_total 1",
-        "bd_batches_submitted_total 2",
-        "bd_batches_completed_total 2",
-        "bd_queue_depth 0",
-        "bd_cells_miss_total 1",
+    // The live /metrics surface, read through the promoted parser
+    // (`bd_telemetry::prom::parse`): the exposition must parse — which
+    // already enforces that every sample belongs to a `# TYPE`-announced
+    // family and every value is float-parseable — and its counters must
+    // agree with /stats.
+    let exposition = client.metrics_parsed().unwrap();
+    for (family, expected) in [
+        ("bd_store_entries", 1.0),
+        ("bd_store_hits_total", 1.0),
+        ("bd_batches_submitted_total", 2.0),
+        ("bd_batches_completed_total", 2.0),
+        ("bd_queue_depth", 0.0),
+        ("bd_cells_miss_total", 1.0),
     ] {
-        assert!(
-            metrics.lines().any(|l| l == expected),
-            "missing {expected:?} in exposition:\n{metrics}"
+        assert_eq!(
+            exposition.value(family),
+            Some(expected),
+            "family {family} in exposition"
         );
     }
     // The simulated cell produced one per-row throughput observation.
-    assert!(
-        metrics.contains("bd_row_rounds_per_sec_count{row=\"GatheredThirdTh4\"} 1"),
-        "missing row histogram in exposition:\n{metrics}"
+    assert_eq!(
+        exposition.histogram_count("bd_row_rounds_per_sec", &[("row", "GatheredThirdTh4")]),
+        Some(1.0),
+        "row histogram in exposition"
     );
-    assert!(metrics.contains("le=\"+Inf\""));
+    // The request lifecycle stages: both batches waited in the queue,
+    // exactly one (the cold one) simulated and wrote back, and every
+    // HTTP exchange so far was read and responded to.
+    for (stage, at_least) in [
+        ("read_parse", 2.0),
+        ("queue_wait", 2.0),
+        ("simulate", 2.0),
+        ("store_write", 2.0),
+        ("respond", 2.0),
+    ] {
+        let count = exposition
+            .histogram_count("bd_request_duration_micros", &[("stage", stage)])
+            .unwrap_or_else(|| panic!("stage {stage} series missing"));
+        assert!(count >= at_least, "stage {stage} observed {count} times");
+    }
+    assert!(
+        exposition.value("bd_queue_wait_micros_total").is_some(),
+        "queue wait counter present"
+    );
+    assert_families_documented(&exposition);
 
     // The journal the daemon just wrote chain-verifies over the wire.
     let audit = client.audit().unwrap();
@@ -148,5 +190,55 @@ fn bd_serve_round_trip_cache_hit_and_clean_shutdown() {
     client.shutdown().unwrap();
     let status = guard.0.wait().expect("wait for bd-serve");
     assert!(status.success(), "bd-serve exited {status:?}");
+
+    // The structured log stream: JSONL events carrying the trace id for
+    // both the acceptance and the completion of each batch.
+    let log = std::fs::read_to_string(&log_path).expect("read log file");
+    let accepted: Vec<&str> = log
+        .lines()
+        .filter(|l| l.contains("\"event\":\"batch_accepted\""))
+        .collect();
+    assert_eq!(accepted.len(), 2, "two accepted batches logged:\n{log}");
+    for line in &accepted {
+        assert!(line.starts_with("{\"ts\":"), "JSONL shape: {line}");
+        assert!(
+            line.contains(&format!("\"req\":\"{request_id}\"")),
+            "accepted event carries the trace id: {line}"
+        );
+    }
+    let done: Vec<&str> = log
+        .lines()
+        .filter(|l| l.contains("\"event\":\"batch_done\""))
+        .collect();
+    assert_eq!(done.len(), 2, "two completed batches logged:\n{log}");
+    assert!(
+        done[0].contains("\"misses\":\"1\"") && done[1].contains("\"hits\":\"1\""),
+        "completion events carry the cache accounting:\n{log}"
+    );
+
+    // The Chrome trace export: each batch ran under a `request` span
+    // whose args carry the client's trace id, and the planner's batch
+    // span inherited it as a tag — per-request lifelines are separable.
+    let trace = std::fs::read_to_string(&trace_path).expect("read trace file");
+    let request_spans = trace
+        .lines()
+        .filter(|l| l.contains("\"cat\":\"request\"") && l.contains("\"ph\":\"B\""))
+        .count();
+    assert_eq!(request_spans, 2, "one request span per batch:\n{trace}");
+    assert!(
+        trace.contains(&format!("\"req\":\"{request_id}\"")),
+        "trace spans carry the client-submitted id:\n{trace}"
+    );
+    let tagged_batches = trace
+        .lines()
+        .filter(|l| l.contains("\"cat\":\"batch\"") && l.contains(&request_id))
+        .count();
+    assert!(
+        tagged_batches >= 2,
+        "planner batch spans are tagged with the request id:\n{trace}"
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&log_path);
+    let _ = std::fs::remove_file(&trace_path);
 }

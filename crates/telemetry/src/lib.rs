@@ -15,7 +15,11 @@
 //!   JSONL (open in `chrome://tracing` / Perfetto after wrapping the
 //!   lines in a JSON array, e.g. `jq -s .`).
 //! * [`prom`] — Prometheus text exposition format: counter/gauge
-//!   rendering and a hand-rolled fixed-bucket [`prom::Histogram`].
+//!   rendering, a hand-rolled fixed-bucket [`prom::Histogram`], and a
+//!   parser ([`prom::parse`]) for reading an exposition back.
+//! * [`log`] — leveled structured JSONL events (request lifecycle on the
+//!   serving path), off by default under the same one-relaxed-load
+//!   disabled contract.
 //!
 //! # The zero-overhead contract
 //!
@@ -31,6 +35,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 pub mod counters;
+pub mod log;
 pub mod prom;
 pub mod spans;
 

@@ -1,0 +1,249 @@
+//! Structured, leveled JSONL logging — the third recording layer of
+//! `bd-telemetry`, built for the serving path.
+//!
+//! One event is one JSON object on one line:
+//!
+//! ```json
+//! {"ts":152340,"lvl":"info","event":"batch_done","req":"64f9c1a0b2d83e17","batch":"7","misses":"2"}
+//! ```
+//!
+//! * `ts` — microseconds on the process-local monotonic clock (the same
+//!   epoch the span tree uses, so log lines and trace events correlate
+//!   directly; never wall-clock — OBSERVABILITY.md rule 3).
+//! * `lvl` — `debug` / `info` / `warn` / `error`.
+//! * `event` — a stable snake_case event name (grep/jq key).
+//! * everything else — caller-supplied string fields; the serving path
+//!   always carries the request id under `req` so a request's lifecycle
+//!   can be reassembled from the stream with one filter.
+//!
+//! # The disabled-is-free contract
+//!
+//! Logging is **off by default**. The disabled path of [`enabled`] (and
+//! therefore of every [`event`] call) is a single relaxed atomic load and
+//! compare — the same contract as counters and spans, pinned by the same
+//! CI overhead smoke (`bd-bench --bin profile -- --overhead-check` runs
+//! with this module compiled in). Sinks are process-global and behind one
+//! mutex: events are coarse (request lifecycle, not per-round), so a
+//! mutex per emitted line is deliberate, exactly like the span buffer.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Log severity, ordered. Filtering keeps events at or above the
+/// configured minimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Request-lifecycle chatter (batch start, stage detail).
+    Debug = 0,
+    /// Normal operation milestones (accepted, done, startup).
+    Info = 1,
+    /// Degraded-but-serving conditions (shed load, protocol errors).
+    Warn = 2,
+    /// Faults (worker panic, store degradation).
+    Error = 3,
+}
+
+impl Level {
+    /// The `lvl` field rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parse a level name (the `--log-level` flag).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel for "logging off" in the level atomic (above every level).
+const OFF: u8 = u8::MAX;
+
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(OFF);
+
+enum Sink {
+    Stderr,
+    File(std::io::LineWriter<std::fs::File>),
+}
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Is an event at `level` currently recorded? The disabled path is this
+/// one relaxed load and compare — call sites can skip field formatting
+/// entirely when it returns `false`.
+#[inline(always)]
+pub fn enabled(level: Level) -> bool {
+    level as u8 >= MIN_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Route events at or above `min` to stderr.
+pub fn init_stderr(min: Level) {
+    *SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Sink::Stderr);
+    MIN_LEVEL.store(min as u8, Ordering::SeqCst);
+}
+
+/// Route events at or above `min` to `path` (append; line-buffered, so a
+/// crashed process loses at most the line being written).
+pub fn init_file(path: &std::path::Path, min: Level) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    *SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) =
+        Some(Sink::File(std::io::LineWriter::new(file)));
+    MIN_LEVEL.store(min as u8, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Turn logging off and flush + drop the sink. Safe to call when already
+/// off.
+pub fn shutdown() {
+    MIN_LEVEL.store(OFF, Ordering::SeqCst);
+    let mut sink = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(Sink::File(mut w)) = sink.take() {
+        let _ = w.flush();
+    }
+}
+
+/// Render one event line (exposed for tests; [`event`] writes it to the
+/// sink). Field values are JSON-escaped; keys are trusted identifiers.
+fn render(level: Level, name: &str, fields: &[(&str, &str)]) -> String {
+    let mut line = String::with_capacity(64 + fields.len() * 24);
+    line.push_str("{\"ts\":");
+    line.push_str(&crate::spans::now_micros().to_string());
+    line.push_str(",\"lvl\":\"");
+    line.push_str(level.as_str());
+    line.push_str("\",\"event\":\"");
+    crate::spans::escape_into(&mut line, name);
+    line.push('"');
+    for (key, value) in fields {
+        line.push_str(",\"");
+        crate::spans::escape_into(&mut line, key);
+        line.push_str("\":\"");
+        crate::spans::escape_into(&mut line, value);
+        line.push('"');
+    }
+    line.push('}');
+    line
+}
+
+/// Record one structured event. A no-op (one relaxed load) when `level`
+/// is below the configured minimum or logging is off.
+pub fn event(level: Level, name: &str, fields: &[(&str, &str)]) {
+    if !enabled(level) {
+        return;
+    }
+    let line = render(level, name, fields);
+    let mut sink = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match sink.as_mut() {
+        Some(Sink::Stderr) => eprintln!("{line}"),
+        Some(Sink::File(w)) => {
+            let _ = writeln!(w, "{line}");
+        }
+        None => {}
+    }
+}
+
+/// [`event`] at [`Level::Debug`].
+pub fn debug(name: &str, fields: &[(&str, &str)]) {
+    event(Level::Debug, name, fields);
+}
+
+/// [`event`] at [`Level::Info`].
+pub fn info(name: &str, fields: &[(&str, &str)]) {
+    event(Level::Info, name, fields);
+}
+
+/// [`event`] at [`Level::Warn`].
+pub fn warn(name: &str, fields: &[(&str, &str)]) {
+    event(Level::Warn, name, fields);
+}
+
+/// [`event`] at [`Level::Error`].
+pub fn error(name: &str, fields: &[(&str, &str)]) {
+    event(Level::Error, name, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The log tests toggle process-global state; serialize them.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        GATE.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn off_by_default_and_disabled_is_one_load() {
+        let _gate = lock();
+        shutdown();
+        assert!(!enabled(Level::Error));
+        // Emitting while off writes nowhere and must not panic.
+        error("nothing", &[("k", "v")]);
+    }
+
+    #[test]
+    fn file_sink_writes_one_json_object_per_line_with_level_filtering() {
+        let _gate = lock();
+        let path = std::env::temp_dir().join(format!("bd-log-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        init_file(&path, Level::Info).unwrap();
+        assert!(enabled(Level::Info) && enabled(Level::Error));
+        assert!(!enabled(Level::Debug));
+        debug("filtered_out", &[]);
+        info(
+            "batch_done",
+            &[("req", "64f9c1a0b2d83e17"), ("misses", "2")],
+        );
+        warn("queue_shed", &[("msg", "he said \"hi\"\n")]);
+        shutdown();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "debug event must be filtered: {text}");
+        assert!(lines[0].contains("\"event\":\"batch_done\""));
+        assert!(lines[0].contains("\"req\":\"64f9c1a0b2d83e17\""));
+        assert!(lines[0].contains("\"lvl\":\"info\""));
+        assert!(lines[0].starts_with("{\"ts\":"));
+        // Escaping keeps the line one JSON object on one line: the quote
+        // and newline in the message are escaped, and (since we iterated
+        // with `lines()`) no raw newline survived inside the object.
+        assert!(
+            lines[1].contains("\\\"hi\\\"\\n"),
+            "bad escape: {}",
+            lines[1]
+        );
+        assert!(lines[1].ends_with('}'));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for level in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("loud"), None);
+    }
+}

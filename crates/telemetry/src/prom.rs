@@ -72,7 +72,10 @@ fn push_labels(out: &mut String, labels: &[(&str, &str)]) {
         if i > 0 {
             out.push(',');
         }
-        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
         let _ = write!(out, "{k}=\"{escaped}\"");
     }
     out.push('}');
@@ -144,6 +147,208 @@ impl PromText {
     }
 }
 
+/// One parsed sample line: the full sample name (including any
+/// `_bucket`/`_sum`/`_count` suffix), its label set in source order, and
+/// the value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name as it appeared on the line.
+    pub name: String,
+    /// Label key/value pairs, unescaped, in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// One metric family: the `# TYPE` kind, the `# HELP` text, and every
+/// sample attributed to it (histogram families absorb their `_bucket`,
+/// `_sum`, and `_count` series).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Family {
+    /// Family kind from `# TYPE` (`counter`, `gauge`, `histogram`).
+    pub kind: String,
+    /// Help text from `# HELP`.
+    pub help: String,
+    /// All samples of the family, in source order.
+    pub samples: Vec<Sample>,
+}
+
+/// A parsed text exposition: family name → [`Family`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// Families keyed by base name (sorted for deterministic iteration).
+    pub families: std::collections::BTreeMap<String, Family>,
+}
+
+impl Exposition {
+    /// The family named `name`, if present.
+    pub fn family(&self, name: &str) -> Option<&Family> {
+        self.families.get(name)
+    }
+
+    /// The value of family `name`'s single unlabelled sample (counters
+    /// and gauges).
+    pub fn value(&self, name: &str) -> Option<f64> {
+        let family = self.families.get(name)?;
+        family
+            .samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// The value of the sample with exactly this name and label set
+    /// (order-insensitive), searched across all families — `name` may be
+    /// a suffixed histogram series like `foo_count`.
+    pub fn sample_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.families
+            .values()
+            .flat_map(|f| &f.samples)
+            .find_map(|s| {
+                let same_labels = s.labels.len() == labels.len()
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v));
+                (s.name == name && same_labels).then_some(s.value)
+            })
+    }
+
+    /// The observation count of histogram family `name` under `labels`
+    /// (its `_count` series).
+    pub fn histogram_count(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.sample_value(&format!("{name}_count"), labels)
+    }
+}
+
+/// Parse a Prometheus text exposition body (the dialect [`PromText`]
+/// renders: `# HELP`/`# TYPE` headers, integer-valued samples, histogram
+/// `_bucket`/`_sum`/`_count` series). Samples must belong to a declared
+/// family — an undeclared or unparseable line is an error, which is what
+/// lets the smoke tests enforce the "every family documented" rule
+/// mechanically.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut exposition = Exposition::default();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed HELP line: {line:?}"))?;
+            exposition
+                .families
+                .entry(name.to_string())
+                .or_default()
+                .help = help.to_string();
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed TYPE line: {line:?}"))?;
+            exposition
+                .families
+                .entry(name.to_string())
+                .or_default()
+                .kind = kind.to_string();
+        } else if line.starts_with('#') {
+            // Other comments are legal and ignored.
+        } else {
+            let sample = parse_sample(line)?;
+            let family = family_of(&exposition, &sample.name)
+                .ok_or_else(|| format!("sample for undeclared family: {line:?}"))?;
+            exposition
+                .families
+                .get_mut(&family)
+                .expect("family_of returns existing keys")
+                .samples
+                .push(sample);
+        }
+    }
+    Ok(exposition)
+}
+
+/// Which declared family owns the sample named `name`? Exact match first;
+/// histogram families claim their `_bucket`/`_sum`/`_count` series.
+fn family_of(exposition: &Exposition, name: &str) -> Option<String> {
+    if exposition.families.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if exposition
+                .families
+                .get(base)
+                .is_some_and(|f| f.kind == "histogram")
+            {
+                return Some(base.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name, labels, value_str) = if let Some(brace) = line.find('{') {
+        let name = &line[..brace];
+        let rest = &line[brace + 1..];
+        let (labels, after) = parse_labels(rest, line)?;
+        let value = after
+            .strip_prefix(' ')
+            .ok_or_else(|| format!("missing value after labels: {line:?}"))?;
+        (name, labels, value)
+    } else {
+        let (name, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("malformed sample line: {line:?}"))?;
+        (name, Vec::new(), value)
+    };
+    let value: f64 = value_str
+        .parse()
+        .map_err(|_| format!("unparseable value {value_str:?} in {line:?}"))?;
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parse `k="v",...}` (after the opening brace), unescaping label values.
+/// Returns the labels and the remainder after the closing brace.
+fn parse_labels<'a>(
+    mut rest: &'a str,
+    line: &str,
+) -> Result<(Vec<(String, String)>, &'a str), String> {
+    let mut labels = Vec::new();
+    loop {
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+        let eq = rest
+            .find("=\"")
+            .ok_or_else(|| format!("malformed label in {line:?}"))?;
+        let key = rest[..eq].to_string();
+        let mut value = String::new();
+        let mut chars = rest[eq + 2..].char_indices();
+        let close = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| format!("unterminated label value in {line:?}"))?;
+            match c {
+                '"' => break i,
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return Err(format!("dangling escape in {line:?}")),
+                },
+                c => value.push(c),
+            }
+        };
+        labels.push((key, value));
+        rest = &rest[eq + 2 + close + 1..];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +384,116 @@ mod tests {
             "# HELP hits_total Cache hits.\n# TYPE hits_total counter\nhits_total 3\n\
              # HELP queue_depth Queued batches.\n# TYPE queue_depth gauge\nqueue_depth 0\n"
         );
+    }
+
+    #[test]
+    fn histogram_boundary_value_lands_in_its_bucket() {
+        // Bounds are inclusive upper bounds (`le`): an observation equal
+        // to a bound belongs to that bucket, not the next one.
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(10);
+        h.observe(100);
+        let mut text = PromText::new();
+        text.header("b", "histogram", "B.")
+            .histogram_series("b", &[], &h);
+        let body = text.finish();
+        assert!(body.contains("b_bucket{le=\"10\"} 1\n"), "{body}");
+        assert!(body.contains("b_bucket{le=\"100\"} 2\n"), "{body}");
+        assert!(body.contains("b_bucket{le=\"+Inf\"} 2\n"), "{body}");
+    }
+
+    #[test]
+    fn histogram_value_above_top_bucket_only_counts_in_inf() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(101);
+        h.observe(u64::MAX);
+        let mut text = PromText::new();
+        text.header("b", "histogram", "B.")
+            .histogram_series("b", &[], &h);
+        let body = text.finish();
+        assert!(body.contains("b_bucket{le=\"10\"} 0\n"), "{body}");
+        assert!(body.contains("b_bucket{le=\"100\"} 0\n"), "{body}");
+        assert!(body.contains("b_bucket{le=\"+Inf\"} 2\n"), "{body}");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 101 + u128::from(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_with_zero_observations_renders_all_zero() {
+        let h = Histogram::new(&[10]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        let mut text = PromText::new();
+        text.header("z", "histogram", "Z.")
+            .histogram_series("z", &[], &h);
+        let body = text.finish();
+        assert!(body.contains("z_bucket{le=\"10\"} 0\n"), "{body}");
+        assert!(body.contains("z_bucket{le=\"+Inf\"} 0\n"), "{body}");
+        assert!(body.contains("z_sum 0\n"), "{body}");
+        assert!(body.contains("z_count 0\n"), "{body}");
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_and_newline() {
+        let mut text = PromText::new();
+        text.header("e_total", "counter", "E.")
+            .sample("e_total", &[("path", "a\\b\"c\nd")], 1);
+        let body = text.finish();
+        assert!(
+            body.contains("e_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            "{body}"
+        );
+        // And the parser reverses it.
+        let parsed = parse(&body).unwrap();
+        assert_eq!(
+            parsed.sample_value("e_total", &[("path", "a\\b\"c\nd")]),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_counters_gauges_and_histograms() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(500);
+        let mut text = PromText::new();
+        text.counter("hits_total", "Cache hits.", 7)
+            .gauge("depth", "Queue depth.", 2)
+            .header("lat", "histogram", "Latency.")
+            .histogram_series("lat", &[("stage", "simulate")], &h);
+        let exposition = parse(&text.finish()).unwrap();
+
+        assert_eq!(exposition.families.len(), 3);
+        assert_eq!(exposition.value("hits_total"), Some(7.0));
+        assert_eq!(exposition.value("depth"), Some(2.0));
+        let lat = exposition.family("lat").unwrap();
+        assert_eq!(lat.kind, "histogram");
+        assert_eq!(lat.help, "Latency.");
+        // 3 buckets (incl. +Inf) + sum + count.
+        assert_eq!(lat.samples.len(), 5);
+        assert_eq!(
+            exposition.histogram_count("lat", &[("stage", "simulate")]),
+            Some(3.0)
+        );
+        assert_eq!(
+            exposition.sample_value("lat_bucket", &[("stage", "simulate"), ("le", "100")]),
+            Some(2.0)
+        );
+        assert_eq!(
+            exposition.sample_value("lat_sum", &[("stage", "simulate")]),
+            Some(555.0)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_undeclared_samples_and_garbage_values() {
+        assert!(parse("orphan_total 3\n").is_err());
+        let bad = "# HELP x X.\n# TYPE x counter\nx banana\n";
+        assert!(parse(bad).is_err());
+        // Non-header comments are legal noise.
+        let ok = "# just a comment\n# HELP x X.\n# TYPE x counter\nx 1\n";
+        assert_eq!(parse(ok).unwrap().value("x"), Some(1.0));
     }
 
     #[test]

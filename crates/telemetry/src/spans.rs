@@ -138,8 +138,9 @@ pub fn drain() -> Vec<SpanEvent> {
     events
 }
 
-/// Minimal JSON string escaping for event names and argument values.
-fn escape_into(out: &mut String, s: &str) {
+/// Minimal JSON string escaping for event names and argument values
+/// (shared with the [`crate::log`] line renderer).
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
